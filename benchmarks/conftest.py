@@ -1,0 +1,48 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Each ``test_*`` module regenerates one table or figure from the paper
+(see DESIGN.md, experiment index).  Results are printed and also written
+to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite them.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run closer to paper-scale sample sizes
+  (more Monte Carlo patterns, more eps points, more random-eps runs).
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale factor: full mode uses paper-like sampling, default is CI-sized.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Monte Carlo pattern budget per eps point.
+MC_PATTERNS = 1 << (18 if FULL else 14)
+
+#: Level-gap cap for the correlation engine on the big stand-ins.
+LEVEL_GAP = None if FULL else 6
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's regenerated table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+    print()
+    print(text)
+
+
+def relative_errors(per_output_a, per_output_b, floor=1e-9):
+    """Per-output percentage differences |a-b|/max(b, floor) * 100."""
+    return [abs(per_output_a[o] - per_output_b[o])
+            / max(per_output_b[o], floor) * 100.0
+            for o in per_output_b]
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2007)

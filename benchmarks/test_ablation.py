@@ -1,0 +1,169 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+(i)   Correlation coefficients on/off: how much of the single-pass error on
+      reconvergent circuits the Sec. 4.1 machinery removes.
+(ii)  Weight-vector source: exact (exhaustive/BDD) vs sampled weights.
+(iii) Closed-form error growth with the number of noisy gates (the Sec. 3.1
+      observation that accuracy degrades as more gates are noisy).
+(iv)  Correlation locality cap (level gap): cost/accuracy trade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_benchmark
+from repro.probability import exhaustive_weight_vectors, sampled_weight_vectors
+from repro.reliability import (
+    ObservabilityModel,
+    SinglePassAnalyzer,
+    exhaustive_exact_reliability,
+)
+from repro.sim import monte_carlo_reliability
+
+from conftest import MC_PATTERNS, relative_errors, write_result
+
+
+def test_ablation_correlation_on_off(benchmark):
+    def run():
+        rows = []
+        for name in ("cu", "b9", "c1355"):
+            circuit = get_benchmark(name)
+            weights = sampled_weight_vectors(circuit, n_patterns=1 << 15)
+            on = SinglePassAnalyzer(circuit, weights=weights,
+                                    use_correlation=True,
+                                    max_correlation_level_gap=8)
+            off = SinglePassAnalyzer(circuit, weights=weights,
+                                     use_correlation=False)
+            eps = 0.05
+            mc = monte_carlo_reliability(circuit, eps,
+                                         n_patterns=MC_PATTERNS, seed=1)
+            err_on = np.mean(relative_errors(on.run(eps).per_output,
+                                             mc.per_output))
+            err_off = np.mean(relative_errors(off.run(eps).per_output,
+                                              mc.per_output))
+            rows.append((name, err_on, err_off))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation (i): correlation coefficients on/off, eps=0.05",
+             f"{'bench':8s} {'avg % err (corr)':>17s} {'avg % err (ind)':>16s}"]
+    for name, on, off in rows:
+        lines.append(f"{name:8s} {on:17.2f} {off:16.2f}")
+    write_result("ablation_correlation.txt", "\n".join(lines))
+    # Correlation must help overall (sum across benches).
+    assert sum(on for _, on, _ in rows) < sum(off for _, _, off in rows)
+
+
+def test_ablation_weight_source(benchmark):
+    def run():
+        circuit = get_benchmark("cu")  # 14 inputs: exhaustive feasible
+        exact_w = exhaustive_weight_vectors(circuit)
+        rows = []
+        for n_patterns in (1 << 10, 1 << 13, 1 << 16):
+            sampled_w = sampled_weight_vectors(circuit,
+                                               n_patterns=n_patterns, seed=2)
+            eps = 0.1
+            exact_delta = SinglePassAnalyzer(
+                circuit, weights=exact_w).run(eps).per_output
+            sampled_delta = SinglePassAnalyzer(
+                circuit, weights=sampled_w).run(eps).per_output
+            gap = max(abs(exact_delta[o] - sampled_delta[o])
+                      for o in exact_delta)
+            rows.append((n_patterns, gap))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation (ii): sampled vs exact weight vectors, cu, eps=0.1",
+             f"{'patterns':>9s} {'max |delta gap|':>16s}"]
+    for n, gap in rows:
+        lines.append(f"{n:9d} {gap:16.5f}")
+    write_result("ablation_weights.txt", "\n".join(lines))
+    # More patterns => weights converge to exact.
+    assert rows[-1][1] <= rows[0][1] + 1e-6
+    assert rows[-1][1] < 0.01
+
+
+def test_ablation_closed_form_error_growth(benchmark):
+    """Sec. 3.1: closed-form accuracy depends on how many gates are noisy."""
+    def run():
+        circuit = get_benchmark("fig2")
+        model = ObservabilityModel(circuit)
+        gates = circuit.topological_gates()
+        eps_value = 0.15
+        rows = []
+        for k in range(1, len(gates) + 1):
+            eps = {g: eps_value for g in gates[:k]}
+            cf = model.delta(eps)
+            exact = exhaustive_exact_reliability(circuit, eps).delta()
+            rows.append((k, abs(cf - exact)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation (iii): closed-form |error| vs number of noisy gates "
+             "(fig2, eps=0.15)",
+             f"{'noisy gates':>12s} {'|cf - exact|':>13s}"]
+    for k, gap in rows:
+        lines.append(f"{k:12d} {gap:13.6f}")
+    write_result("ablation_closed_form.txt", "\n".join(lines))
+    # One noisy gate: single-failure regime, closed form near exact.
+    assert rows[0][1] < 1e-6
+    # All gates noisy: visible multi-failure error.
+    assert rows[-1][1] > rows[0][1]
+
+
+def test_ablation_noisy_observability(benchmark):
+    """Sec. 3.1(ii): noise distorts observability — measure the drift."""
+    def run():
+        from repro.circuits import fig2_circuit
+        from repro.sim import monte_carlo_observabilities, noisy_observabilities
+        circuit = fig2_circuit()
+        noiseless = monte_carlo_observabilities(circuit,
+                                                n_patterns=1 << 14, seed=1)
+        rows = []
+        for eps in (0.0, 0.05, 0.15, 0.3):
+            noisy = noisy_observabilities(circuit, eps,
+                                          n_patterns=1 << 14, seed=1)
+            drift = np.mean([abs(noisy[g] - noiseless[g])
+                             for g in noiseless])
+            rows.append((eps, float(drift)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation (v): observability distortion under noise (fig2)",
+             f"{'eps':>6s} {'mean |o_noisy - o|':>19s}"]
+    for eps, drift in rows:
+        lines.append(f"{eps:6.2f} {drift:19.4f}")
+    write_result("ablation_noisy_observability.txt", "\n".join(lines))
+    # Drift grows with eps (the reason the closed form degrades, Fig. 1c).
+    assert rows[-1][1] > rows[0][1] + 0.02
+
+
+def test_ablation_level_gap(benchmark):
+    def run():
+        circuit = get_benchmark("c1908")
+        weights = sampled_weight_vectors(circuit, n_patterns=1 << 15)
+        eps = 0.1
+        mc = monte_carlo_reliability(circuit, eps, n_patterns=MC_PATTERNS,
+                                     seed=3)
+        rows = []
+        import time
+        for gap in (2, 6, 12, None):
+            analyzer = SinglePassAnalyzer(circuit, weights=weights,
+                                          max_correlation_level_gap=gap)
+            t0 = time.perf_counter()
+            result = analyzer.run(eps)
+            elapsed = time.perf_counter() - t0
+            err = np.mean(relative_errors(result.per_output, mc.per_output))
+            rows.append((gap, result.correlation_pairs, elapsed, err))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation (iv): correlation level-gap cap, c1908, eps=0.1",
+             f"{'gap':>6s} {'pairs':>8s} {'seconds':>8s} {'avg % err':>10s}"]
+    for gap, pairs, elapsed, err in rows:
+        gap_text = "none" if gap is None else str(gap)
+        lines.append(f"{gap_text:>6s} {pairs:8d} {elapsed:8.2f} {err:10.2f}")
+    write_result("ablation_level_gap.txt", "\n".join(lines))
+    # Larger caps compute more pairs; the accuracy change stays small.
+    assert rows[0][1] <= rows[-1][1]
+    assert abs(rows[0][3] - rows[-1][3]) < 2.0

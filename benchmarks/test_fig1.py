@@ -1,0 +1,67 @@
+"""Regenerates Fig. 1(b)/(c): observability closed form vs Monte Carlo.
+
+Fig. 1(b): on the small illustration circuit the closed form tracks Monte
+Carlo over the whole eps range, deviating only slightly near eps = 0.5.
+
+Fig. 1(c): on one output of b9 the closed form is accurate for small eps
+and diverges as eps grows (multiple simultaneous gate failures are not
+captured by statically computed observabilities).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import fig1_circuit, get_benchmark
+from repro.reliability import ObservabilityModel
+from repro.sim import monte_carlo_reliability
+
+from conftest import MC_PATTERNS, write_result
+
+EPS_POINTS = [i / 20 * 0.5 for i in range(21)]  # 0 .. 0.5
+
+
+def _curves(circuit, output, mc_patterns):
+    model = ObservabilityModel(circuit, output=output)
+    rows = []
+    for i, eps in enumerate(EPS_POINTS):
+        mc = monte_carlo_reliability(circuit, eps, n_patterns=mc_patterns,
+                                     seed=300 + i).per_output[output]
+        rows.append((eps, model.delta(eps), mc))
+    return rows
+
+
+def test_fig1b_small_circuit(benchmark):
+    circuit = fig1_circuit()
+    rows = benchmark.pedantic(
+        _curves, args=(circuit, "y", max(MC_PATTERNS, 1 << 15)),
+        rounds=1, iterations=1)
+    lines = ["Fig. 1(b) reproduction — fig1a stand-in, closed form vs MC",
+             f"{'eps':>6s} {'closed-form':>12s} {'monte carlo':>12s}"]
+    for eps, cf, mc in rows:
+        lines.append(f"{eps:6.3f} {cf:12.5f} {mc:12.5f}")
+    gaps = [abs(cf - mc) for _, cf, mc in rows]
+    lines.append(f"max |gap| = {max(gaps):.4f}")
+    write_result("fig1b.txt", "\n".join(lines))
+    # Paper shape: highly accurate on the small circuit across the range.
+    assert max(gaps) < 0.05
+
+
+def test_fig1c_b9_output(benchmark):
+    circuit = get_benchmark("b9")
+    output = circuit.outputs[0]
+    cone = circuit.cone(output)
+    rows = benchmark.pedantic(_curves, args=(cone, output, MC_PATTERNS),
+                              rounds=1, iterations=1)
+    lines = [f"Fig. 1(c) reproduction — b9 stand-in output {output} "
+             f"(cone of {cone.num_gates} gates), closed form vs MC",
+             f"{'eps':>6s} {'closed-form':>12s} {'monte carlo':>12s}"]
+    for eps, cf, mc in rows:
+        lines.append(f"{eps:6.3f} {cf:12.5f} {mc:12.5f}")
+    write_result("fig1c.txt", "\n".join(lines))
+
+    # Paper shape: accurate for small eps...
+    small = [abs(cf - mc) for eps, cf, mc in rows if 0 < eps <= 0.05]
+    assert max(small) < 0.025
+    # ...with a larger error appearing as eps increases.
+    large = [abs(cf - mc) for eps, cf, mc in rows if 0.2 <= eps <= 0.4]
+    assert max(large) > max(small)

@@ -1,0 +1,63 @@
+"""Regenerates Fig. 6: delta(eps) curves for two outputs of i10.
+
+The paper picks two i10 outputs with large fanin cones (662 and 1034
+gates) and shows the Monte Carlo and single-pass curves are visually
+indistinguishable despite their diverse shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import cone_size
+from repro.circuits import get_benchmark
+from repro.reliability import SinglePassAnalyzer
+from repro.sim import monte_carlo_reliability
+
+from conftest import FULL, LEVEL_GAP, MC_PATTERNS, write_result
+
+N_POINTS = 26 if FULL else 11
+
+
+def _run():
+    i10 = get_benchmark("i10")
+    # The two outputs with the largest cones, as in the paper.
+    sizes = sorted(((cone_size(i10, o), o) for o in i10.outputs),
+                   reverse=True)
+    picks = [sizes[0][1], sizes[1][1]]
+    curves = {}
+    for out in picks:
+        cone = i10.cone(out)
+        analyzer = SinglePassAnalyzer(
+            cone, weight_method="sampled", n_patterns=1 << 15,
+            max_correlation_level_gap=LEVEL_GAP, seed=0)
+        rows = []
+        for i in range(N_POINTS):
+            eps = 0.5 * i / (N_POINTS - 1)
+            sp = analyzer.run(eps).per_output[out]
+            mc = monte_carlo_reliability(
+                cone, eps, n_patterns=MC_PATTERNS,
+                seed=700 + i).per_output[out]
+            rows.append((eps, sp, mc))
+        curves[out] = (cone.num_gates, rows)
+    return curves
+
+
+def test_fig6_i10_output_curves(benchmark):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["Fig. 6 reproduction — delta(eps) for the two largest-cone "
+             "outputs of the i10 stand-in (single-pass vs MC)"]
+    for out, (gates, rows) in curves.items():
+        lines.append(f"\noutput {out} (cone: {gates} gates)")
+        lines.append(f"{'eps':>6s} {'single-pass':>12s} {'monte carlo':>12s}")
+        for eps, sp, mc in rows:
+            lines.append(f"{eps:6.3f} {sp:12.5f} {mc:12.5f}")
+        gap = max(abs(sp - mc) for _, sp, mc in rows)
+        lines.append(f"max |gap| = {gap:.4f}")
+    write_result("fig6.txt", "\n".join(lines))
+
+    # Paper shape: the curves are essentially indistinguishable.
+    for out, (gates, rows) in curves.items():
+        gap = max(abs(sp - mc) for _, sp, mc in rows)
+        assert gap < 0.03, (out, gap)
+        # Cones are large, like the paper's 662/1034-gate cones.
+        assert gates > 200

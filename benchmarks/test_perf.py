@@ -1,0 +1,98 @@
+"""Performance benchmarks: the paper's Sec. 5 speed claims.
+
+Timed with pytest-benchmark (multiple rounds, real statistics):
+
+* single-pass run cost per eps point on small/medium/large stand-ins;
+* closed-form re-evaluation cost (the 'flexibility' argument of Sec. 3:
+  changing eps only re-evaluates Eqn. (3));
+* Monte Carlo cost per eps point (the baseline the paper beats);
+* the PTM scalability wall: exact but exponential in level width.
+"""
+
+import pytest
+
+from repro.circuits import c17, get_benchmark
+from repro.reliability import (
+    ObservabilityModel,
+    PtmWidthError,
+    SinglePassAnalyzer,
+    ptm_reliability,
+)
+from repro.sim import monte_carlo_reliability
+
+from conftest import LEVEL_GAP, write_result
+
+_timings = {}
+
+
+@pytest.fixture(scope="module")
+def analyzers():
+    built = {}
+    for name in ("b9", "c499", "i10"):
+        circuit = get_benchmark(name)
+        built[name] = SinglePassAnalyzer(
+            circuit, weight_method="sampled", n_patterns=1 << 14,
+            max_correlation_level_gap=LEVEL_GAP, seed=0)
+    return built
+
+
+@pytest.mark.parametrize("name", ["b9", "c499", "i10"])
+def test_single_pass_run(benchmark, analyzers, name):
+    analyzer = analyzers[name]
+    result = benchmark(analyzer.run, 0.1)
+    _timings[f"single_pass_{name}"] = benchmark.stats.stats.mean
+    assert all(0 <= v <= 1 for v in result.per_output.values())
+
+
+def test_single_pass_without_correlation_i10(benchmark, analyzers):
+    circuit = analyzers["i10"].circuit
+    fast = SinglePassAnalyzer(circuit, weights=analyzers["i10"].weights,
+                              use_correlation=False)
+    benchmark(fast.run, 0.1)
+    _timings["single_pass_i10_nocorr"] = benchmark.stats.stats.mean
+
+
+def test_closed_form_reevaluation(benchmark):
+    circuit = get_benchmark("b9")
+    model = ObservabilityModel(circuit, output=circuit.outputs[0],
+                               method="sampled", n_patterns=1 << 13)
+    benchmark(model.delta, 0.07)
+    _timings["closed_form_b9"] = benchmark.stats.stats.mean
+    # Re-evaluation must be microsecond-scale: the Sec. 3 flexibility claim.
+    assert benchmark.stats.stats.mean < 1e-3
+
+
+def test_monte_carlo_point_b9(benchmark):
+    circuit = get_benchmark("b9")
+    benchmark.pedantic(monte_carlo_reliability, args=(circuit, 0.1),
+                       kwargs={"n_patterns": 1 << 14, "seed": 0},
+                       rounds=3, iterations=1)
+    _timings["mc_b9_16k"] = benchmark.stats.stats.mean
+
+
+def test_ptm_exact_but_walled(benchmark):
+    """PTM is exact on tiny circuits and rejects realistic widths."""
+    small = c17()
+    result = benchmark(ptm_reliability, small, 0.1)
+    assert 0 < result.delta("22") < 0.5
+    _timings["ptm_c17"] = benchmark.stats.stats.mean
+    with pytest.raises(PtmWidthError):
+        ptm_reliability(get_benchmark("b9"), 0.1)
+
+
+def test_perf_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "single_pass_i10" not in _timings:
+        pytest.skip("timing benchmarks did not all run")
+    lines = ["Performance summary (mean seconds per call)"]
+    for key, mean in sorted(_timings.items()):
+        lines.append(f"{key:28s} {mean * 1000:10.3f} ms")
+    mc = _timings.get("mc_b9_16k")
+    sp = _timings.get("single_pass_b9")
+    if mc and sp:
+        paper_budget = mc * (6_400_000 / (1 << 14))
+        lines.append(
+            f"\nb9: paper-budget MC (6.4M patterns) ~ {paper_budget:.1f}s "
+            f"per eps point vs single-pass {sp * 1000:.1f} ms "
+            f"=> ~{paper_budget / sp:.0f}x speedup")
+    write_result("perf.txt", "\n".join(lines))

@@ -1,0 +1,56 @@
+"""Reliability comparison of adder architectures.
+
+Same function — an 8-bit add — in three classic topologies:
+
+* ripple-carry: fewest gates, deepest logic;
+* carry-lookahead: shallow carries, heavy fanout;
+* Kogge-Stone: logarithmic depth, most gates.
+
+The single-pass analysis scores each under the same gate failure
+probability, quantifying the depth-vs-gate-count reliability trade that
+the paper's Fig. 8 discussion predicts.  Monte Carlo cross-checks the
+analytic numbers.
+
+Run:  python examples/adder_architectures.py
+"""
+
+import numpy as np
+
+from repro import SinglePassAnalyzer, monte_carlo_reliability
+from repro.circuit import circuit_stats
+from repro.circuits import (
+    carry_lookahead_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+
+WIDTH = 8
+EPS = 0.01
+
+adders = [
+    ripple_carry_adder(WIDTH),
+    carry_lookahead_adder(WIDTH),
+    kogge_stone_adder(WIDTH),
+]
+
+print(f"{WIDTH}-bit adders, every gate eps = {EPS}\n")
+print(f"{'adder':10s} {'gates':>6s} {'depth':>6s} {'maxfo':>6s} "
+      f"{'mean delta (sp)':>16s} {'mean delta (mc)':>16s} "
+      f"{'worst output':>13s}")
+
+for circuit in adders:
+    stats = circuit_stats(circuit)
+    analyzer = SinglePassAnalyzer(circuit, max_correlation_level_gap=8)
+    result = analyzer.run(EPS)
+    mc = monte_carlo_reliability(circuit, EPS, n_patterns=1 << 16, seed=1)
+    sp_mean = np.mean(list(result.per_output.values()))
+    mc_mean = np.mean(list(mc.per_output.values()))
+    worst = max(result.per_output, key=result.per_output.get)
+    print(f"{circuit.name:10s} {stats.num_gates:6d} {stats.depth:6d} "
+          f"{stats.max_fanout:6d} {sp_mean:16.5f} {mc_mean:16.5f} "
+          f"{worst:>13s}")
+
+print("\nreading: the ripple adder's high-order sum bits accumulate the "
+      "whole carry chain's noise (deep logic); the prefix adders flatten "
+      "the chain at the cost of more noisy gates — which wins depends on "
+      "eps and on which outputs matter.")

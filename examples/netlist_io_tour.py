@@ -1,0 +1,72 @@
+"""Netlist I/O tour: parse, convert, transform, and analyze a file.
+
+Shows the file-format side of the library: write a ``.bench`` netlist,
+read it back, convert to BLIF and Verilog, expand its XORs into NAND logic
+(the c499 -> c1355 transformation), and verify with both the single-pass
+analysis and an exact oracle that the expansion changed the circuit's
+*reliability* even though its *function* is identical.
+
+Run:  python examples/netlist_io_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    exhaustive_exact_reliability,
+    load_bench,
+    save_blif,
+    save_verilog,
+    single_pass_reliability,
+)
+from repro.circuit import expand_xor, strip_buffers
+
+BENCH_TEXT = """\
+# a 2-bit parity/compare slice
+INPUT(a0)
+INPUT(a1)
+INPUT(b0)
+INPUT(b1)
+OUTPUT(diff)
+OUTPUT(odd)
+x0 = XOR(a0, b0)
+x1 = XOR(a1, b1)
+diff = OR(x0, x1)
+odd = XOR(x0, x1)
+"""
+
+workdir = Path(tempfile.mkdtemp(prefix="repro_io_"))
+bench_path = workdir / "slice.bench"
+bench_path.write_text(BENCH_TEXT)
+
+circuit = load_bench(bench_path)
+print(f"parsed: {circuit}")
+
+save_blif(circuit, workdir / "slice.blif")
+save_verilog(circuit, workdir / "slice.v")
+print(f"wrote {workdir / 'slice.blif'} and {workdir / 'slice.v'}")
+print("\nVerilog view:")
+print((workdir / "slice.v").read_text())
+
+nand_version = strip_buffers(expand_xor(circuit), name="slice_nand")
+print(f"XOR-expanded: {nand_version} "
+      f"(gate count {circuit.num_gates} -> {nand_version.num_gates})")
+
+# Same function...
+for vec in range(16):
+    assignment = {"a0": vec & 1, "a1": (vec >> 1) & 1,
+                  "b0": (vec >> 2) & 1, "b1": (vec >> 3) & 1}
+    assert (circuit.evaluate_outputs(assignment)
+            == nand_version.evaluate_outputs(assignment))
+print("functional equivalence on all 16 input vectors: OK")
+
+# ...different reliability: more (noisy) gates and more reconvergence.
+eps = 0.02
+for c in (circuit, nand_version):
+    sp = single_pass_reliability(c, eps)
+    exact = exhaustive_exact_reliability(c, eps)
+    print(f"{c.name:12s} delta[diff]: single-pass={sp.per_output['diff']:.5f} "
+          f"exact={exact.per_output['diff']:.5f}")
+print("\nthe NAND mapping is functionally identical but less reliable per "
+      "gate-eps — each XOR became four noisy NANDs (c499 vs c1355 in the "
+      "paper's Table 2).")

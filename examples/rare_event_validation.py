@@ -1,0 +1,41 @@
+"""Validating the closed form in the soft-error regime with stratified MC.
+
+At realistic failure rates (eps ~ 1e-6 per cycle and below) plain Monte
+Carlo cannot resolve delta at all — a 65 536-pattern run expects ~0 failed
+evaluations.  The stratified estimator conditions on the number of failing
+gates, resolving delta down to arbitrarily small eps; the Sec. 3 closed
+form should agree there (single-failure dominance), and both should peel
+away from each other only as eps grows into the multi-failure regime.
+
+Run:  python examples/rare_event_validation.py
+"""
+
+from repro import ObservabilityModel, get_benchmark, monte_carlo_reliability
+from repro.sim import StratifiedEstimator
+
+circuit = get_benchmark("cu")
+output = circuit.outputs[0]
+print(f"circuit: {circuit}, output {output}\n")
+
+estimator = StratifiedEstimator(circuit, max_failures=3,
+                                n_patterns=1 << 13,
+                                samples_per_stratum=300, seed=0)
+model = ObservabilityModel(circuit, output=output)
+
+print(f"{'eps':>8s} {'stratified':>12s} {'tail bound':>11s} "
+      f"{'closed form':>12s} {'plain MC (64k)':>15s}")
+for eps in (1e-8, 1e-6, 1e-4, 1e-3, 1e-2):
+    result = estimator.evaluate(eps)
+    strat = result.per_output[output]
+    closed = model.delta(eps)
+    mc = monte_carlo_reliability(circuit, eps, n_patterns=1 << 16,
+                                 seed=2).per_output[output]
+    print(f"{eps:8.0e} {strat:12.3e} {result.tail_bound:11.1e} "
+          f"{closed:12.3e} {mc:15.3e}")
+
+print("\nreading: below eps ~ 1e-4 plain MC reports 0 (no failures in the "
+      "sample) while the stratified estimate and the closed form agree to "
+      "a few percent.  The stratified estimator is only valid while its "
+      "tail bound is negligible — with 59 gates and 3 strata that means "
+      "eps up to ~1e-2; beyond that, plain MC takes over (and is cheap "
+      "there anyway).  The two estimators cover complementary regimes.")

@@ -1,0 +1,45 @@
+"""Soft-error-rate estimation with the observability closed form.
+
+The paper's Sec. 5.1 singles out SER estimation as the natural client of
+the Sec. 3 closed form: single-event upsets are localized to one gate, so
+single-failure dominance holds and Eqn. (3) is essentially exact.  This
+example models a 16-bit ripple-carry adder under particle strikes, reports
+per-output FIT, and ranks the gates that dominate the soft error rate.
+
+Run:  python examples/soft_error_estimation.py
+"""
+
+from repro.apps import estimate_ser, uniform_ser_model, GateSerModel
+from repro.circuits import ripple_carry_adder
+
+circuit = ripple_carry_adder(16)
+print(f"circuit: {circuit}")
+
+# A flat strike model: every gate upsets at 2e-12 upsets/second (order of
+# terrestrial neutron-induced rates for a small cell); clock 1 GHz.
+models = uniform_ser_model(circuit, upset_rate_per_sec=2e-12)
+
+# Make the carry chain 5x more vulnerable (larger diffusion area), the way
+# a real cell-level characterization would differentiate gates.
+for gate in circuit.topological_gates():
+    if "and" in circuit.node(gate).gate_type.value:
+        models[gate] = GateSerModel(upset_rate_per_sec=1e-11)
+
+report = estimate_ser(circuit, models, clock_hz=1e9,
+                      output=circuit.outputs[-1])
+
+print("\nper-output failure probability (per cycle) and FIT:")
+for out in circuit.outputs:
+    p = report.per_output_failure_probability[out]
+    fit = report.per_output_fit[out]
+    print(f"  {out:8s} p={p:.3e}  FIT={fit:.3f}")
+
+print(f"\ntop gates by contribution to {circuit.outputs[-1]!r} SER:")
+ranked = sorted(report.gate_contributions.items(),
+                key=lambda kv: kv[1], reverse=True)
+for gate, contribution in ranked[:8]:
+    print(f"  {gate:8s} {contribution:.3e}")
+
+print("\nnote: high-order sum bits see more logic (longer carry chains), "
+      "so their FIT grows with bit position — logical masking quantified "
+      "by the observability model.")

@@ -1,0 +1,53 @@
+"""repro — accurate and scalable reliability analysis of logic circuits.
+
+A from-scratch reproduction of Choudhury & Mohanram, *Accurate and scalable
+reliability analysis of logic circuits* (DATE 2007): the observability-based
+closed form, the single-pass algorithm with correlation coefficients for
+reconvergent fanout, and every substrate they rest on (netlist model and
+I/O, ROBDD engine, bit-parallel Monte Carlo fault injection, PTM and
+exhaustive oracles, benchmark circuit generators, and the Sec. 5.1
+applications).
+
+Quick start::
+
+    from repro import get_benchmark, SinglePassAnalyzer
+
+    circuit = get_benchmark("b9")
+    analyzer = SinglePassAnalyzer(circuit)       # weights computed once
+    result = analyzer.run(0.05)                  # eps for every gate
+    print(result.per_output)                     # delta_y per output
+"""
+
+from .circuit import (
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    GateType,
+    circuit_stats,
+)
+from .io import load_bench, load_blif, save_bench, save_blif, save_verilog
+from .probability import ErrorProbability, WeightData, compute_weights
+from .reliability import (
+    ConsolidatedAnalyzer,
+    ObservabilityModel,
+    SinglePassAnalyzer,
+    SinglePassResult,
+    exhaustive_exact_reliability,
+    ptm_reliability,
+    single_pass_reliability,
+)
+from .sim import monte_carlo_reliability
+from .circuits import get_benchmark, list_benchmarks, TABLE2_BENCHMARKS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit", "CircuitBuilder", "CircuitError", "GateType", "circuit_stats",
+    "load_bench", "load_blif", "save_bench", "save_blif", "save_verilog",
+    "ErrorProbability", "WeightData", "compute_weights",
+    "ConsolidatedAnalyzer", "ObservabilityModel", "SinglePassAnalyzer",
+    "SinglePassResult", "exhaustive_exact_reliability", "ptm_reliability",
+    "single_pass_reliability", "monte_carlo_reliability",
+    "get_benchmark", "list_benchmarks", "TABLE2_BENCHMARKS",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Applications built on the reliability analyses (paper Sec. 5.1)."""
+
+from .ser import GateSerModel, SerReport, estimate_ser, uniform_ser_model
+from .redundancy import (
+    HardeningOutcome,
+    asymmetric_targets,
+    hardening_sweep,
+    selective_tmr,
+)
+from .explorer import CandidateScore, explain_ranking, score_candidates
+from .optimize import (
+    DEFAULT_LADDER,
+    AllocationResult,
+    HardeningOption,
+    allocate_hardening,
+    hardening_frontier,
+)
+
+__all__ = [
+    "GateSerModel", "SerReport", "estimate_ser", "uniform_ser_model",
+    "HardeningOutcome", "asymmetric_targets", "hardening_sweep",
+    "selective_tmr",
+    "CandidateScore", "explain_ranking", "score_candidates",
+    "DEFAULT_LADDER", "AllocationResult", "HardeningOption",
+    "allocate_hardening", "hardening_frontier",
+]

@@ -1,0 +1,147 @@
+"""Reliability-driven design optimization (paper conclusions, Sec. 5.1).
+
+Given a hardening cost model — each gate can be upgraded to a lower
+failure probability at some area/power cost (gate sizing, hardened cell
+swap) — allocate a budget to minimize the closed-form output error.
+
+Because Eqn. (3) gives ``delta = 1/2 (1 - exp(sum_i log(1 - 2 eps_i o_i)))``,
+minimizing delta is maximizing ``sum_i log(1 - 2 eps_i o_i)``: the
+objective is *separable* per gate, so a greedy ladder over upgrade options
+ranked by log-gain per unit cost is optimal for the continuous relaxation
+and near-optimal for discrete ladders (the classic knapsack-greedy
+argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit
+from ..reliability.closed_form import ObservabilityModel
+from ..sim.montecarlo import EpsilonSpec, epsilon_of
+
+
+@dataclass(frozen=True)
+class HardeningOption:
+    """One upgrade step: multiply the gate's eps by ``eps_factor``.
+
+    ``cost`` is in arbitrary budget units (e.g. relative area).  Options
+    with ``eps_factor >= 1`` are rejected.
+    """
+
+    eps_factor: float
+    cost: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.eps_factor < 1.0:
+            raise ValueError("eps_factor must be in [0, 1)")
+        if self.cost <= 0.0:
+            raise ValueError("cost must be positive")
+
+
+#: A typical cell-swap ladder: each step halves eps at growing cost.
+DEFAULT_LADDER = (
+    HardeningOption(eps_factor=0.5, cost=1.0),
+    HardeningOption(eps_factor=0.25, cost=2.2),
+    HardeningOption(eps_factor=0.1, cost=4.0),
+)
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of a hardening budget allocation."""
+
+    #: Chosen upgrade per gate (None = left as-is).
+    upgrades: Dict[str, Optional[HardeningOption]]
+    #: Final per-gate failure probabilities.
+    final_eps: Dict[str, float]
+    #: Closed-form delta before/after.
+    delta_before: float
+    delta_after: float
+    #: Budget actually spent.
+    spent: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative reduction of the output error probability."""
+        if self.delta_before <= 0.0:
+            return 0.0
+        return 1.0 - self.delta_after / self.delta_before
+
+
+def allocate_hardening(model: ObservabilityModel,
+                       base_eps: EpsilonSpec,
+                       budget: float,
+                       ladder: Sequence[HardeningOption] = DEFAULT_LADDER
+                       ) -> AllocationResult:
+    """Greedy budgeted hardening against the closed-form objective.
+
+    Each gate may climb the (sorted) upgrade ladder one rung at a time;
+    rungs across all gates compete on marginal log-gain per unit cost.
+    High-observability gates win the early budget — the quantitative form
+    of "introduce redundancy at selected gates" from Sec. 5.1.
+    """
+    if budget < 0.0:
+        raise ValueError("budget must be nonnegative")
+    ladder = sorted(ladder, key=lambda o: o.eps_factor, reverse=True)
+    gates = list(model.observabilities)
+    eps0 = {g: epsilon_of(base_eps, g) for g in gates}
+    delta_before = model.delta(eps0)
+
+    def log_term(gate: str, eps_value: float) -> float:
+        o = model.observabilities[gate]
+        x = 1.0 - 2.0 * eps_value * o
+        return math.log(max(x, 1e-300))
+
+    current_rung: Dict[str, int] = {g: -1 for g in gates}
+    spent = 0.0
+    # Candidate pool: (gain per cost, gate, rung index), refreshed lazily.
+    while True:
+        best = None
+        for g in gates:
+            rung = current_rung[g] + 1
+            if rung >= len(ladder):
+                continue
+            option = ladder[rung]
+            step_cost = option.cost - (
+                ladder[rung - 1].cost if rung > 0 else 0.0)
+            if step_cost <= 0.0:
+                step_cost = 1e-12
+            if spent + step_cost > budget:
+                continue
+            prev_eps = eps0[g] * (
+                ladder[rung - 1].eps_factor if rung > 0 else 1.0)
+            new_eps = eps0[g] * option.eps_factor
+            gain = log_term(g, new_eps) - log_term(g, prev_eps)
+            score = gain / step_cost
+            if best is None or score > best[0]:
+                best = (score, g, rung, step_cost)
+        if best is None or best[0] <= 0.0:
+            break
+        _, g, rung, step_cost = best
+        current_rung[g] = rung
+        spent += step_cost
+
+    upgrades = {g: (ladder[r] if r >= 0 else None)
+                for g, r in current_rung.items()}
+    final_eps = {g: eps0[g] * (ladder[r].eps_factor if r >= 0 else 1.0)
+                 for g, r in current_rung.items()}
+    return AllocationResult(
+        upgrades=upgrades,
+        final_eps=final_eps,
+        delta_before=delta_before,
+        delta_after=model.delta(final_eps),
+        spent=spent,
+    )
+
+
+def hardening_frontier(model: ObservabilityModel,
+                       base_eps: EpsilonSpec,
+                       budgets: Sequence[float],
+                       ladder: Sequence[HardeningOption] = DEFAULT_LADDER
+                       ) -> List[Tuple[float, AllocationResult]]:
+    """The budget-vs-reliability tradeoff curve."""
+    return [(b, allocate_hardening(model, base_eps, b, ladder))
+            for b in budgets]

@@ -1,0 +1,145 @@
+"""Selective and asymmetric redundancy insertion (paper Sec. 5.1).
+
+The paper positions single-pass analysis as the driver for *fine-grained*
+hardening: instead of triplicating every gate, harden only the gates whose
+failures dominate the output error.  This module implements that loop:
+
+1. rank gates by single-pass sensitivity (or closed-form gradient);
+2. triplicate the top-k gates (:func:`selective_tmr`);
+3. re-analyze and report the reliability improvement per added gate.
+
+It also exposes the asymmetric-redundancy signal: per-node ``0→1`` versus
+``1→0`` error probabilities, which quadded-style schemes exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import Circuit, triplicate_gates
+from ..sim.montecarlo import EpsilonSpec, epsilon_of, monte_carlo_reliability
+from ..reliability.single_pass import SinglePassAnalyzer
+from ..reliability.sensitivity import rank_critical_gates
+
+
+@dataclass
+class HardeningOutcome:
+    """Before/after comparison for one selective-hardening experiment."""
+
+    hardened_gates: List[str]
+    baseline_delta: Dict[str, float]
+    hardened_delta: Dict[str, float]
+    gate_overhead: int
+
+    @property
+    def mean_improvement(self) -> float:
+        """Mean relative reduction of output error probability."""
+        ratios = []
+        for out, before in self.baseline_delta.items():
+            after = self.hardened_delta[out]
+            if before > 0.0:
+                ratios.append(1.0 - after / before)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def selective_tmr(circuit: Circuit,
+                  eps: EpsilonSpec,
+                  top_k: int,
+                  output: Optional[str] = None,
+                  analyzer: Optional[SinglePassAnalyzer] = None,
+                  voter_eps: Optional[float] = None,
+                  evaluate: str = "single_pass",
+                  mc_patterns: int = 1 << 16,
+                  seed: int = 0) -> HardeningOutcome:
+    """Harden the ``top_k`` most critical gates with local TMR.
+
+    ``voter_eps`` sets the failure probability of the inserted voter gates
+    (the three copies stay as noisy as the logic they replicate).  ``None``
+    makes voters as noisy as the protected gate — pessimistic, and at
+    uniform eps it makes TMR a net *loss* (the voter's own failures
+    dominate; the analysis quantifies this honestly).  Real
+    selective-hardening flows use oversized / radiation-hardened voter
+    cells, i.e. a small ``voter_eps``.
+
+    ``evaluate`` selects how the *hardened* circuit is measured:
+    ``"single_pass"`` (fast, but TMR's identical-fanin copies are the
+    worst case for the pairwise correlation approximation) or
+    ``"monte_carlo"`` (sampled, unbiased; recommended for final numbers).
+    """
+    if evaluate not in ("single_pass", "monte_carlo"):
+        raise ValueError("evaluate must be 'single_pass' or 'monte_carlo'")
+    analyzer = analyzer or SinglePassAnalyzer(circuit, seed=seed)
+    baseline = analyzer.run(eps)
+    ranked = rank_critical_gates(analyzer, eps, output=output, top_k=top_k)
+    chosen = [g for g, _ in ranked]
+    roles: Dict[str, tuple] = {}
+    hardened = triplicate_gates(circuit, chosen, roles=roles)
+
+    hardened_eps = {}
+    for gate in hardened.topological_gates():
+        role = roles.get(gate)
+        if role is None:
+            hardened_eps[gate] = epsilon_of(eps, gate)
+        elif role[0] == "copy":
+            # Replicated logic stays as noisy as the gate it replicates.
+            hardened_eps[gate] = epsilon_of(eps, role[1])
+        elif voter_eps is not None:
+            hardened_eps[gate] = float(voter_eps)
+        else:
+            # Pessimistic default: voters as noisy as the protected gate.
+            hardened_eps[gate] = epsilon_of(eps, role[1])
+
+    if evaluate == "monte_carlo":
+        mc = monte_carlo_reliability(hardened, hardened_eps,
+                                     n_patterns=mc_patterns, seed=seed)
+        after_delta = dict(mc.per_output)
+    else:
+        hardened_analyzer = SinglePassAnalyzer(hardened, seed=seed)
+        after_delta = dict(hardened_analyzer.run(hardened_eps).per_output)
+    return HardeningOutcome(
+        hardened_gates=chosen,
+        baseline_delta=dict(baseline.per_output),
+        hardened_delta=after_delta,
+        gate_overhead=hardened.num_gates - circuit.num_gates,
+    )
+
+
+def hardening_sweep(circuit: Circuit,
+                    eps: EpsilonSpec,
+                    k_values: List[int],
+                    output: Optional[str] = None,
+                    voter_eps: Optional[float] = None,
+                    evaluate: str = "single_pass",
+                    seed: int = 0) -> List[Tuple[int, HardeningOutcome]]:
+    """Evaluate selective TMR over several protection budgets."""
+    analyzer = SinglePassAnalyzer(circuit, seed=seed)
+    return [(k, selective_tmr(circuit, eps, k, output=output,
+                              analyzer=analyzer, voter_eps=voter_eps,
+                              evaluate=evaluate, seed=seed))
+            for k in k_values]
+
+
+def asymmetric_targets(circuit: Circuit,
+                       eps: EpsilonSpec,
+                       direction: str = "0to1",
+                       top_k: int = 10,
+                       seed: int = 0) -> List[Tuple[str, float]]:
+    """Gates with the largest directional error probability.
+
+    ``direction`` is ``"0to1"`` or ``"1to0"``.  Quadded-style redundancy
+    mitigates the two directions with different structures; this is the
+    target list for inserting the cheaper one-sided protection first.
+    """
+    if direction not in ("0to1", "1to0"):
+        raise ValueError("direction must be '0to1' or '1to0'")
+    analyzer = SinglePassAnalyzer(circuit, seed=seed)
+    result = analyzer.run(eps)
+    scored = []
+    for gate in circuit.topological_gates():
+        ep = result.node_errors[gate]
+        p1 = result.signal_prob[gate]
+        weight = (1.0 - p1) * ep.p01 if direction == "0to1" else p1 * ep.p10
+        scored.append((gate, weight))
+    scored.sort(key=lambda kv: kv[1], reverse=True)
+    return scored[:top_k]

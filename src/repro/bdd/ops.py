@@ -1,0 +1,137 @@
+"""Bridge between :class:`~repro.circuit.circuit.Circuit` and the BDD engine.
+
+:func:`build_node_bdds` constructs, in one topological sweep, the error-free
+Boolean function of every node over the circuit's primary inputs.  These
+BDDs drive the exact observability computation (Sec. 3), exact signal
+probabilities, and exact gate weight vectors (Sec. 4) of the paper.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..circuit import Circuit, GateType
+from .manager import Bdd, BddManager
+
+
+class CircuitBdds:
+    """The per-node BDDs of a circuit, plus the input-variable binding."""
+
+    def __init__(self, circuit: Circuit, manager: BddManager,
+                 node_bdds: Dict[str, Bdd], var_index: Dict[str, int]):
+        self.circuit = circuit
+        self.manager = manager
+        self.node_bdds = node_bdds
+        #: Map from primary-input name to BDD variable index.
+        self.var_index = var_index
+
+    def __getitem__(self, node_name: str) -> Bdd:
+        return self.node_bdds[node_name]
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self.node_bdds
+
+    def signal_probability(self, node_name: str,
+                           input_probs: Optional[Dict[str, float]] = None
+                           ) -> float:
+        """Exact Pr[node = 1] over the primary-input distribution.
+
+        ``input_probs`` maps input names to their 1-probability; inputs left
+        out (or a ``None`` argument) default to 0.5, the paper's uniform
+        assumption.
+        """
+        probs = [0.5] * self.manager.num_vars
+        if input_probs:
+            for name, p in input_probs.items():
+                probs[self.var_index[name]] = p
+        return self.node_bdds[node_name].probability(probs)
+
+
+def build_node_bdds(circuit: Circuit,
+                    manager: Optional[BddManager] = None,
+                    var_order: Optional[Sequence[str]] = None) -> CircuitBdds:
+    """Build the error-free BDD of every node in the circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to translate.
+    manager:
+        Reuse an existing manager (its variables must already match
+        ``var_order``); a fresh one is created by default.
+    var_order:
+        Primary-input ordering for the BDD variables.  Defaults to circuit
+        input declaration order, which for the structured generators in
+        :mod:`repro.circuits` keeps related bits adjacent (a decent static
+        order).
+
+    Raises
+    ------
+    BddSizeLimitError
+        If the node limit of the manager is exceeded; callers fall back to
+        simulation-based estimation.
+    """
+    order = list(var_order) if var_order is not None else circuit.inputs
+    if set(order) != set(circuit.inputs):
+        raise ValueError("var_order must be a permutation of circuit inputs")
+    mgr = manager if manager is not None else BddManager()
+    var_index: Dict[str, int] = {}
+    node_bdds: Dict[str, Bdd] = {}
+    for name in order:
+        if mgr.num_vars > len(var_index):
+            # Manager pre-populated (shared across circuits): reuse slots.
+            var_index[name] = len(var_index)
+            node_bdds[name] = mgr.var(var_index[name])
+        else:
+            var_index[name] = mgr.num_vars
+            node_bdds[name] = mgr.new_var(name)
+
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type.is_input:
+            continue
+        node_bdds[name] = _gate_bdd(mgr, node.gate_type,
+                                    [node_bdds[f] for f in node.fanins])
+    return CircuitBdds(circuit, mgr, node_bdds, var_index)
+
+
+def _gate_bdd(mgr: BddManager, gate_type: GateType,
+              fanins: Sequence[Bdd]) -> Bdd:
+    if gate_type is GateType.CONST0:
+        return mgr.false
+    if gate_type is GateType.CONST1:
+        return mgr.true
+    if gate_type is GateType.BUF:
+        return fanins[0]
+    if gate_type is GateType.NOT:
+        return ~fanins[0]
+    if gate_type is GateType.AND:
+        return reduce(lambda a, b: a & b, fanins)
+    if gate_type is GateType.NAND:
+        return ~reduce(lambda a, b: a & b, fanins)
+    if gate_type is GateType.OR:
+        return reduce(lambda a, b: a | b, fanins)
+    if gate_type is GateType.NOR:
+        return ~reduce(lambda a, b: a | b, fanins)
+    if gate_type is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, fanins)
+    if gate_type is GateType.XNOR:
+        return ~reduce(lambda a, b: a ^ b, fanins)
+    raise ValueError(f"cannot build BDD for {gate_type!r}")  # pragma: no cover
+
+
+def joint_probability(bdds: Sequence[Bdd],
+                      values: Sequence[int]) -> float:
+    """Exact probability that each function takes the corresponding value.
+
+    Used for gate weight vectors: the joint signal probability distribution
+    of a gate's fanins is ``joint_probability([f_i, f_j], [b_i, b_j])`` over
+    all value combinations.  All functions must share one manager.
+    """
+    if not bdds:
+        return 1.0
+    acc = bdds[0] if values[0] else ~bdds[0]
+    for f, v in zip(bdds[1:], values[1:]):
+        acc = acc & (f if v else ~f)
+    return acc.probability()

@@ -1,0 +1,38 @@
+"""Circuit substrate: gate model, netlist DAG, analysis, and transforms."""
+
+from .gate import (
+    GateType,
+    GateArityError,
+    evaluate_gate,
+    truth_table,
+    inverted_type,
+    parse_gate_type,
+)
+from .circuit import Circuit, CircuitError, Node
+from .builder import CircuitBuilder
+from .analysis import (
+    CircuitStats,
+    circuit_stats,
+    cone_size,
+    fanout_stems,
+    input_support,
+    is_tree,
+    node_index,
+    reconvergent_gates,
+    support_bitsets,
+)
+from .transform import expand_xor, limit_fanout, strip_buffers, triplicate_gates
+from .restructure import map_to_nand, rebalance_chains
+from .equivalence import EquivalenceResult, are_equivalent
+
+__all__ = [
+    "GateType", "GateArityError", "evaluate_gate", "truth_table",
+    "inverted_type", "parse_gate_type",
+    "Circuit", "CircuitError", "Node", "CircuitBuilder",
+    "CircuitStats", "circuit_stats", "cone_size", "fanout_stems",
+    "input_support", "is_tree", "node_index", "reconvergent_gates",
+    "support_bitsets",
+    "expand_xor", "limit_fanout", "strip_buffers", "triplicate_gates",
+    "map_to_nand", "rebalance_chains",
+    "EquivalenceResult", "are_equivalent",
+]

@@ -1,0 +1,145 @@
+"""Structural analysis of circuits: supports, fanout, reconvergence.
+
+These views feed the reliability algorithms:
+
+* *support bitsets* let the correlation-coefficient machinery decide in O(1)
+  whether two wires can be correlated at all (disjoint transitive fanin
+  cones ⇒ statistically independent error events);
+* *reconvergence detection* identifies the gates where the single-pass
+  algorithm's independence assumption breaks (Sec. 4.1 of the paper);
+* *fanout and level statistics* drive the Fig. 8 redundancy-free
+  design-space exploration (low- vs high-fanout synthesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .circuit import Circuit
+
+
+def node_index(circuit: Circuit) -> Dict[str, int]:
+    """Assign each node a dense index in topological order."""
+    return {name: i for i, name in enumerate(circuit.topological_order())}
+
+
+def support_bitsets(circuit: Circuit) -> Dict[str, int]:
+    """Transitive-fanin bitsets (over *all* nodes) for every node.
+
+    The bitset of node ``n`` has bit ``index[m]`` set for every node ``m`` in
+    the transitive fanin cone of ``n``, *including n itself*.  Python ints
+    make this memory-frugal and the union a single ``|``.
+    """
+    index = node_index(circuit)
+    bits: Dict[str, int] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        mask = 1 << index[name]
+        for fi in node.fanins:
+            mask |= bits[fi]
+        bits[name] = mask
+    return bits
+
+
+def input_support(circuit: Circuit) -> Dict[str, Set[str]]:
+    """Primary-input support set of every node."""
+    supp: Dict[str, Set[str]] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type.is_input:
+            supp[name] = {name}
+        elif node.gate_type.is_constant:
+            supp[name] = set()
+        else:
+            acc: Set[str] = set()
+            for fi in node.fanins:
+                acc |= supp[fi]
+            supp[name] = acc
+    return supp
+
+
+def cone_size(circuit: Circuit, output: str) -> int:
+    """Number of logic gates in the transitive fanin cone of a node.
+
+    Matches the paper's usage for Fig. 6 ("cone sizes of the two outputs are
+    662 and 1034 gates").
+    """
+    return sum(1 for n in circuit.transitive_fanin([output])
+               if circuit.node(n).gate_type.is_logic)
+
+
+def fanout_stems(circuit: Circuit) -> List[str]:
+    """Nodes with more than one fanout wire (the sources of reconvergence)."""
+    return [n for n in circuit.topological_order()
+            if circuit.fanout_count(n) > 1]
+
+
+def reconvergent_gates(circuit: Circuit) -> Dict[str, List[Tuple[str, str]]]:
+    """Find gates whose inputs have overlapping transitive fanin cones.
+
+    Returns a map from gate name to the list of fanin pairs (i, j) whose
+    supports intersect — exactly the sites where the single-pass algorithm
+    must apply correlation coefficients.  A gate wired to the same fanin
+    twice also counts.
+    """
+    bits = support_bitsets(circuit)
+    result: Dict[str, List[Tuple[str, str]]] = {}
+    for name in circuit.topological_gates():
+        node = circuit.node(name)
+        pairs = []
+        fi = node.fanins
+        for a in range(len(fi)):
+            for b in range(a + 1, len(fi)):
+                if bits[fi[a]] & bits[fi[b]]:
+                    pairs.append((fi[a], fi[b]))
+        if pairs:
+            result[name] = pairs
+    return result
+
+
+def is_tree(circuit: Circuit) -> bool:
+    """True when no node (input or gate) has fanout greater than one.
+
+    On such circuits the single-pass analysis is provably exact (paper,
+    Sec. 4), a property the test suite checks against the exhaustive oracle.
+    """
+    return not fanout_stems(circuit)
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics used in reports and the Fig. 8 discussion."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    depth: int
+    max_fanout: int
+    total_output_levels: int
+    num_fanout_stems: int
+    num_reconvergent_gates: int
+
+    def as_row(self) -> str:
+        return (f"{self.name:12s} in={self.num_inputs:4d} out={self.num_outputs:3d} "
+                f"gates={self.num_gates:5d} depth={self.depth:3d} "
+                f"maxfo={self.max_fanout:3d} stems={self.num_fanout_stems:4d} "
+                f"reconv={self.num_reconvergent_gates:4d}")
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute a :class:`CircuitStats` summary for a circuit."""
+    fanouts = [circuit.fanout_count(n) for n in circuit.topological_order()]
+    total_levels = sum(circuit.level(o) for o in circuit.outputs)
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=len(circuit.inputs),
+        num_outputs=len(circuit.outputs),
+        num_gates=circuit.num_gates,
+        depth=circuit.depth,
+        max_fanout=max(fanouts, default=0),
+        total_output_levels=total_levels,
+        num_fanout_stems=len(fanout_stems(circuit)),
+        num_reconvergent_gates=len(reconvergent_gates(circuit)),
+    )

@@ -1,0 +1,118 @@
+"""Fluent construction helpers for :class:`~repro.circuit.circuit.Circuit`.
+
+The :class:`CircuitBuilder` removes the name bookkeeping from programmatic
+circuit construction: it auto-generates gate names, accepts nested calls, and
+returns node names so expressions read like structural HDL::
+
+    b = CircuitBuilder("fulladder")
+    a, bb, cin = b.inputs("a", "b", "cin")
+    s = b.xor(b.xor(a, bb), cin)
+    cout = b.or_(b.and_(a, bb), b.and_(b.xor(a, bb), cin))
+    b.outputs(s=s, cout=cout)
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gate import GateType
+
+
+class CircuitBuilder:
+    """Incrementally build a :class:`Circuit` with auto-named gates."""
+
+    def __init__(self, name: str = "circuit", prefix: str = "g"):
+        self._circuit = Circuit(name)
+        self._prefix = prefix
+        self._counter = 0
+        self._output_aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def fresh_name(self, hint: Optional[str] = None) -> str:
+        """Generate a node name that is unused in the circuit."""
+        base = hint or self._prefix
+        while True:
+            candidate = f"{base}{self._counter}"
+            self._counter += 1
+            if candidate not in self._circuit:
+                return candidate
+
+    def input(self, name: str) -> str:
+        """Declare one primary input."""
+        return self._circuit.add_input(name)
+
+    def inputs(self, *names: str) -> Tuple[str, ...]:
+        """Declare several primary inputs and return their names."""
+        return tuple(self._circuit.add_input(n) for n in names)
+
+    def input_bus(self, stem: str, width: int) -> List[str]:
+        """Declare a bus of inputs named ``stem0 .. stem{width-1}``."""
+        return [self._circuit.add_input(f"{stem}{i}") for i in range(width)]
+
+    def const(self, value: int, name: Optional[str] = None) -> str:
+        return self._circuit.add_const(name or self.fresh_name("const"), value)
+
+    def gate(self, gate_type: GateType, *fanins: str,
+             name: Optional[str] = None) -> str:
+        """Add a gate of any type; returns the new node name."""
+        return self._circuit.add_gate(name or self.fresh_name(),
+                                      gate_type, fanins)
+
+    # Named conveniences (trailing underscores dodge keywords).
+    def and_(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.AND, *fanins, name=name)
+
+    def nand(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NAND, *fanins, name=name)
+
+    def or_(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.OR, *fanins, name=name)
+
+    def nor(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NOR, *fanins, name=name)
+
+    def xor(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.XOR, *fanins, name=name)
+
+    def xnor(self, *fanins: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.XNOR, *fanins, name=name)
+
+    def not_(self, fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NOT, fanin, name=name)
+
+    def buf(self, fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.BUF, fanin, name=name)
+
+    def output(self, node: str) -> str:
+        """Mark an existing node as a primary output."""
+        self._circuit.set_output(node)
+        return node
+
+    def outputs(self, *nodes: str, **named: str) -> None:
+        """Mark outputs; ``named`` entries add a BUF with the alias name.
+
+        ``b.outputs(s=sum_node)`` creates a buffer named ``s`` driven by
+        ``sum_node`` and marks it as an output, giving the port a stable
+        name independent of internal gate naming.
+        """
+        for node in nodes:
+            self._circuit.set_output(node)
+        for alias, node in named.items():
+            if alias == node:
+                self._circuit.set_output(node)
+            else:
+                buf = self._circuit.add_gate(alias, GateType.BUF, [node])
+                self._circuit.set_output(buf)
+                self._output_aliases[alias] = node
+
+    def build(self) -> Circuit:
+        """Validate and return the constructed circuit."""
+        self._circuit.validate()
+        return self._circuit
+
+    @property
+    def circuit(self) -> Circuit:
+        """Access the (possibly incomplete) circuit under construction."""
+        return self._circuit

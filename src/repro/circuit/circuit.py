@@ -1,0 +1,322 @@
+"""The :class:`Circuit` netlist data structure.
+
+A circuit is a DAG of named nodes.  Primary inputs have type
+:attr:`~repro.circuit.gate.GateType.INPUT`; every other node is a constant or
+a logic gate with an ordered tuple of fanin node names.  Any node may be
+marked as a primary output (the same node may drive several named outputs,
+which matters for multi-output reliability consolidation).
+
+The class is mutable during construction and caches derived views
+(topological order, fanout map, levels) lazily; any mutation invalidates the
+caches.  All reliability algorithms operate on these views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .gate import GateType, check_arity, evaluate_gate
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuit constructions or queries."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single netlist node: a primary input, constant, or logic gate."""
+
+    name: str
+    gate_type: GateType
+    fanins: Tuple[str, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.fanins)
+
+
+class Circuit:
+    """A combinational logic circuit represented as a named-node DAG.
+
+    Parameters
+    ----------
+    name:
+        Human-readable circuit name (used by writers and reports).
+
+    Notes
+    -----
+    Node insertion order is preserved and used as a tie-break in the
+    topological order, so circuits are fully deterministic across runs.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._outputs: List[str] = []
+        self._caches_valid = False
+        self._topo: List[str] = []
+        self._fanouts: Dict[str, Tuple[str, ...]] = {}
+        self._levels: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Add a primary input node and return its name."""
+        self._add_node(Node(name, GateType.INPUT))
+        return name
+
+    def add_const(self, name: str, value: int) -> str:
+        """Add a constant driver node with the given 0/1 value."""
+        gate_type = GateType.CONST1 if value else GateType.CONST0
+        self._add_node(Node(name, gate_type))
+        return name
+
+    def add_gate(self, name: str, gate_type: GateType,
+                 fanins: Sequence[str]) -> str:
+        """Add a logic gate node.
+
+        ``fanins`` must already exist in the circuit; this enforces that the
+        netlist is entered in topological order, which keeps cycle detection
+        trivial and matches how netlist files are parsed (forward references
+        are resolved by the parsers before calling this).
+        """
+        if isinstance(gate_type, str):
+            raise TypeError("gate_type must be a GateType, not str")
+        check_arity(gate_type, len(fanins))
+        for fi in fanins:
+            if fi not in self._nodes:
+                raise CircuitError(
+                    f"gate {name!r}: fanin {fi!r} is not defined yet")
+        self._add_node(Node(name, gate_type, tuple(fanins)))
+        return name
+
+    def set_output(self, name: str) -> None:
+        """Mark an existing node as a primary output.
+
+        A node may be listed as an output only once; multi-output circuits
+        list several distinct nodes.
+        """
+        if name not in self._nodes:
+            raise CircuitError(f"cannot mark unknown node {name!r} as output")
+        if name in self._outputs:
+            raise CircuitError(f"node {name!r} is already an output")
+        self._outputs.append(name)
+        self._caches_valid = False
+
+    def _add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise CircuitError(f"duplicate node name {node.name!r}")
+        if not node.name:
+            raise CircuitError("node name must be non-empty")
+        self._nodes[node.name] = node
+        self._caches_valid = False
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> Node:
+        """Return the :class:`Node` with the given name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise CircuitError(f"no node named {name!r}") from None
+
+    @property
+    def nodes(self) -> Mapping[str, Node]:
+        """Read-only view of all nodes, in insertion order."""
+        return dict(self._nodes)
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input names, in insertion order."""
+        return [n.name for n in self._nodes.values() if n.gate_type.is_input]
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output names, in the order they were declared."""
+        return list(self._outputs)
+
+    @property
+    def gates(self) -> List[str]:
+        """Names of all logic gates (excludes inputs and constants)."""
+        return [n.name for n in self._nodes.values() if n.gate_type.is_logic]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of logic gates — the 'size' column of the paper's Table 2."""
+        return len(self.gates)
+
+    def fanins(self, name: str) -> Tuple[str, ...]:
+        return self.node(name).fanins
+
+    def fanouts(self, name: str) -> Tuple[str, ...]:
+        """Names of nodes that use ``name`` as a fanin (with multiplicity 1).
+
+        A gate using the same fanin twice appears once here; use
+        :meth:`fanout_count` for wire multiplicity.
+        """
+        self._ensure_caches()
+        return self._fanouts.get(name, ())
+
+    def fanout_count(self, name: str) -> int:
+        """Number of fanout *wires* leaving a node (counts multiplicity)."""
+        self._ensure_caches()
+        return sum(self._nodes[g].fanins.count(name)
+                   for g in self._fanouts.get(name, ()))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def _ensure_caches(self) -> None:
+        if self._caches_valid:
+            return
+        # Nodes were entered in topological order by construction; verify
+        # and record, rather than re-sorting.
+        seen = set()
+        topo: List[str] = []
+        fanouts: Dict[str, List[str]] = {}
+        for node in self._nodes.values():
+            for fi in node.fanins:
+                if fi not in seen:
+                    raise CircuitError(
+                        f"node {node.name!r} uses {fi!r} before definition")
+            seen.add(node.name)
+            topo.append(node.name)
+            for fi in dict.fromkeys(node.fanins):
+                fanouts.setdefault(fi, []).append(node.name)
+        levels: Dict[str, int] = {}
+        for node in self._nodes.values():
+            if node.gate_type.is_input or node.gate_type.is_constant:
+                levels[node.name] = 0
+            else:
+                levels[node.name] = 1 + max(levels[fi] for fi in node.fanins)
+        self._topo = topo
+        self._fanouts = {k: tuple(v) for k, v in fanouts.items()}
+        self._levels = levels
+        self._caches_valid = True
+
+    def topological_order(self) -> List[str]:
+        """All node names in a topological order (inputs first)."""
+        self._ensure_caches()
+        return list(self._topo)
+
+    def topological_gates(self) -> List[str]:
+        """Logic-gate names only, in topological order."""
+        self._ensure_caches()
+        return [n for n in self._topo if self._nodes[n].gate_type.is_logic]
+
+    def level(self, name: str) -> int:
+        """Logic level of a node: 0 for inputs/constants, else 1 + max fanin."""
+        self._ensure_caches()
+        return self._levels[self.node(name).name]
+
+    @property
+    def depth(self) -> int:
+        """Maximum logic level over all nodes (0 for a gate-free circuit)."""
+        self._ensure_caches()
+        return max(self._levels.values(), default=0)
+
+    def transitive_fanin(self, names: Iterable[str],
+                         include_roots: bool = True) -> List[str]:
+        """Nodes in the transitive fanin cone of ``names``, topologically.
+
+        Includes primary inputs.  ``include_roots`` controls whether the seed
+        nodes themselves are part of the result.
+        """
+        roots = [self.node(n).name for n in names]
+        wanted = set(roots)
+        stack = list(roots)
+        while stack:
+            cur = stack.pop()
+            for fi in self._nodes[cur].fanins:
+                if fi not in wanted:
+                    wanted.add(fi)
+                    stack.append(fi)
+        if not include_roots:
+            wanted -= set(roots)
+        return [n for n in self.topological_order() if n in wanted]
+
+    def cone(self, output: str, name: Optional[str] = None) -> "Circuit":
+        """Extract the single-output sub-circuit feeding ``output``.
+
+        The returned circuit contains exactly the transitive fanin cone of
+        ``output`` and declares ``output`` as its only primary output.
+        """
+        keep = set(self.transitive_fanin([output]))
+        sub = Circuit(name or f"{self.name}_cone_{output}")
+        for node_name in self.topological_order():
+            if node_name not in keep:
+                continue
+            node = self._nodes[node_name]
+            sub._add_node(node)
+        sub.set_output(output)
+        return sub
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Return an independent copy of this circuit."""
+        dup = Circuit(name or self.name)
+        dup._nodes = dict(self._nodes)
+        dup._outputs = list(self._outputs)
+        return dup
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate every node for one primary-input assignment.
+
+        ``assignment`` maps each primary input name to 0/1.  Returns a dict
+        from every node name to its value.  This is the slow reference
+        evaluator; simulation uses :mod:`repro.sim`.
+        """
+        values: Dict[str, int] = {}
+        for name in self.topological_order():
+            node = self._nodes[name]
+            if node.gate_type.is_input:
+                try:
+                    values[name] = assignment[name] & 1
+                except KeyError:
+                    raise CircuitError(
+                        f"no value supplied for primary input {name!r}"
+                    ) from None
+            else:
+                values[name] = evaluate_gate(
+                    node.gate_type, [values[fi] for fi in node.fanins])
+        return values
+
+    def evaluate_outputs(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate and return only the primary-output values."""
+        values = self.evaluate(assignment)
+        return {o: values[o] for o in self._outputs}
+
+    # ------------------------------------------------------------------
+    # Validation and reporting
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`CircuitError` if broken.
+
+        Checks: at least one output, every output defined, no dangling logic
+        (warning-level issues are not raised), arity rules already enforced
+        at construction.
+        """
+        self._ensure_caches()
+        if not self._outputs:
+            raise CircuitError(f"circuit {self.name!r} declares no outputs")
+        for out in self._outputs:
+            if out not in self._nodes:
+                raise CircuitError(f"output {out!r} is undefined")
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}: {len(self.inputs)} inputs, "
+                f"{self.num_gates} gates, {len(self._outputs)} outputs)")
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())

@@ -1,0 +1,75 @@
+"""BDD-based combinational equivalence checking.
+
+`are_equivalent` proves (not samples) that two circuits compute the same
+functions at every shared output — the workhorse behind the function
+-preserving transforms (XOR expansion, NAND mapping, rebalancing, TMR) and
+the c499/c1355 stand-in pair.  Returns a counterexample input assignment
+when the circuits differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .circuit import Circuit
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    #: Output where the first difference was found (None if equivalent).
+    failing_output: Optional[str] = None
+    #: An input assignment exposing the difference (None if equivalent).
+    counterexample: Optional[Dict[str, int]] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def are_equivalent(c1: Circuit, c2: Circuit,
+                   outputs: Optional[Sequence[str]] = None,
+                   node_limit: int = 2_000_000) -> EquivalenceResult:
+    """Prove or refute functional equivalence of two circuits.
+
+    Requirements: identical primary-input name sets, and each checked
+    output name present in both circuits (default: ``c1``'s outputs, which
+    must then all exist in ``c2``).  Both circuits are built into one BDD
+    manager over a shared variable order, so equal functions hash-cons to
+    the same node and the check per output is a pointer comparison.
+
+    Raises :class:`~repro.bdd.BddSizeLimitError` if the shared build
+    exceeds ``node_limit`` (fall back to random simulation in that case).
+    """
+    # Imported here: repro.bdd depends on repro.circuit, so a module-level
+    # import would be circular during package initialization.
+    from ..bdd import BddManager, build_node_bdds
+
+    if set(c1.inputs) != set(c2.inputs):
+        raise ValueError(
+            "circuits have different primary-input sets: "
+            f"{sorted(set(c1.inputs) ^ set(c2.inputs))[:6]} ...")
+    checked = list(outputs) if outputs is not None else list(c1.outputs)
+    for out in checked:
+        if out not in c1 or out not in c2:
+            raise ValueError(f"output {out!r} missing from one circuit")
+
+    order = c1.inputs
+    manager = BddManager(node_limit=node_limit)
+    bdds1 = build_node_bdds(c1, manager, var_order=order)
+    bdds2 = build_node_bdds(c2, manager, var_order=order)
+
+    for out in checked:
+        if bdds1[out] == bdds2[out]:
+            continue
+        difference = bdds1[out] ^ bdds2[out]
+        assignment = difference.pick_assignment()
+        counterexample = {name: 0 for name in c1.inputs}
+        for name, index in bdds1.var_index.items():
+            if assignment and index in assignment:
+                counterexample[name] = assignment[index]
+        return EquivalenceResult(equivalent=False, failing_output=out,
+                                 counterexample=counterexample)
+    return EquivalenceResult(equivalent=True)

@@ -1,0 +1,190 @@
+"""Gate primitives: types, arity rules, and Boolean evaluation.
+
+Every combinational node in a :class:`~repro.circuit.circuit.Circuit` has a
+:class:`GateType`.  The reliability algorithms in this package only ever need
+two things from a gate: its truth table (for weight-vector and error
+propagation math) and fast scalar/word evaluation (for simulation).  Both are
+provided here so the rest of the code base never special-cases gate kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import reduce
+from typing import Sequence, Tuple
+
+
+class GateType(enum.Enum):
+    """The kinds of nodes supported in a circuit netlist.
+
+    ``INPUT`` marks a primary input (no fanins).  ``CONST0``/``CONST1`` are
+    constant drivers (no fanins).  All remaining types are logic gates whose
+    output is a Boolean function of their fanins.
+    """
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    @property
+    def is_input(self) -> bool:
+        return self is GateType.INPUT
+
+    @property
+    def is_constant(self) -> bool:
+        return self in (GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_logic(self) -> bool:
+        """True for nodes computing a function of one or more fanins."""
+        return not (self.is_input or self.is_constant)
+
+
+#: Gate types that accept exactly one fanin.
+UNARY_TYPES = frozenset({GateType.BUF, GateType.NOT})
+
+#: Gate types that accept two or more fanins.
+MULTI_INPUT_TYPES = frozenset(
+    {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+     GateType.XOR, GateType.XNOR}
+)
+
+#: Gate types whose output is the complement of a simpler base function.
+INVERTING_TYPES = frozenset(
+    {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+)
+
+_BASE_OF_INVERTING = {
+    GateType.NOT: GateType.BUF,
+    GateType.NAND: GateType.AND,
+    GateType.NOR: GateType.OR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+class GateArityError(ValueError):
+    """Raised when a gate is constructed with an unsupported fanin count."""
+
+
+def check_arity(gate_type: GateType, arity: int) -> None:
+    """Validate that ``gate_type`` accepts ``arity`` fanins.
+
+    Raises :class:`GateArityError` on violation.  XOR/XNOR with more than two
+    fanins use parity semantics (odd number of 1s), matching common netlist
+    formats.
+    """
+    if gate_type.is_input or gate_type.is_constant:
+        if arity != 0:
+            raise GateArityError(
+                f"{gate_type.value} node must have no fanins, got {arity}")
+    elif gate_type in UNARY_TYPES:
+        if arity != 1:
+            raise GateArityError(
+                f"{gate_type.value} gate must have exactly 1 fanin, got {arity}")
+    elif gate_type in MULTI_INPUT_TYPES:
+        if arity < 2:
+            raise GateArityError(
+                f"{gate_type.value} gate must have >= 2 fanins, got {arity}")
+    else:  # pragma: no cover - enum is exhaustive
+        raise GateArityError(f"unknown gate type {gate_type!r}")
+
+
+def evaluate_gate(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate a gate on scalar 0/1 fanin values and return 0 or 1.
+
+    XOR/XNOR with more than two fanins compute parity (odd number of ones).
+    """
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type is GateType.BUF:
+        return values[0] & 1
+    if gate_type is GateType.NOT:
+        return (values[0] & 1) ^ 1
+    if gate_type is GateType.AND:
+        return int(all(v & 1 for v in values))
+    if gate_type is GateType.NAND:
+        return int(not all(v & 1 for v in values))
+    if gate_type is GateType.OR:
+        return int(any(v & 1 for v in values))
+    if gate_type is GateType.NOR:
+        return int(not any(v & 1 for v in values))
+    if gate_type is GateType.XOR:
+        return reduce(lambda a, b: a ^ (b & 1), values, 0)
+    if gate_type is GateType.XNOR:
+        return reduce(lambda a, b: a ^ (b & 1), values, 0) ^ 1
+    if gate_type is GateType.INPUT:
+        raise ValueError("primary inputs carry values; they are not evaluated")
+    raise ValueError(f"unknown gate type {gate_type!r}")  # pragma: no cover
+
+
+def truth_table(gate_type: GateType, arity: int) -> Tuple[int, ...]:
+    """Return the gate's truth table as a tuple of 2**arity output bits.
+
+    Entry ``k`` is the output for the input vector whose bit ``t`` (LSB =
+    fanin 0) is ``(k >> t) & 1``.  Used by the single-pass algorithm's
+    weighted-input-error machinery, which iterates over all input minterms.
+    """
+    check_arity(gate_type, arity)
+    if gate_type.is_constant:
+        return (evaluate_gate(gate_type, ()),)
+    return tuple(
+        evaluate_gate(gate_type, [(k >> t) & 1 for t in range(arity)])
+        for k in range(1 << arity)
+    )
+
+
+def inverted_type(gate_type: GateType) -> GateType:
+    """Return the gate type computing the complement function, if named.
+
+    ``AND <-> NAND``, ``OR <-> NOR``, ``XOR <-> XNOR``, ``BUF <-> NOT``,
+    ``CONST0 <-> CONST1``.  Raises ``ValueError`` for ``INPUT``.
+    """
+    pairs = {
+        GateType.AND: GateType.NAND, GateType.NAND: GateType.AND,
+        GateType.OR: GateType.NOR, GateType.NOR: GateType.OR,
+        GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR,
+        GateType.BUF: GateType.NOT, GateType.NOT: GateType.BUF,
+        GateType.CONST0: GateType.CONST1, GateType.CONST1: GateType.CONST0,
+    }
+    if gate_type not in pairs:
+        raise ValueError(f"{gate_type.value} has no complement type")
+    return pairs[gate_type]
+
+
+def base_type(gate_type: GateType) -> Tuple[GateType, bool]:
+    """Decompose a gate into (non-inverting base type, output inverted?)."""
+    if gate_type in INVERTING_TYPES:
+        return _BASE_OF_INVERTING[gate_type], True
+    return gate_type, False
+
+
+#: Mapping from lowercase gate names (as used by netlist formats and the CLI)
+#: to :class:`GateType`.
+NAME_TO_TYPE = {t.value: t for t in GateType}
+NAME_TO_TYPE.update({
+    "inv": GateType.NOT,
+    "buff": GateType.BUF,
+    "buffer": GateType.BUF,
+    "vdd": GateType.CONST1,
+    "gnd": GateType.CONST0,
+    "one": GateType.CONST1,
+    "zero": GateType.CONST0,
+})
+
+
+def parse_gate_type(name: str) -> GateType:
+    """Map a textual gate name (case-insensitive) to a :class:`GateType`."""
+    try:
+        return NAME_TO_TYPE[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown gate type name {name!r}") from None

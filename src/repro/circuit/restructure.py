@@ -1,0 +1,166 @@
+"""Function-preserving restructuring transforms.
+
+Two optimization-flavored rewrites used by the reliability applications:
+
+* :func:`rebalance_chains` converts skewed chains of one associative gate
+  type into balanced trees — the depth-reduction move behind the Fig. 8
+  result (fewer levels of noise between inputs and outputs, same gates);
+* :func:`map_to_nand` technology-maps a circuit onto 2-input NAND gates
+  only (the c499 → c1355 style mapping, generalized to every gate type).
+
+Both preserve the Boolean functions exactly (asserted by tests on random
+circuits) while changing the reliability profile, making them natural
+moves for redundancy-free reliability optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .circuit import Circuit
+from .gate import GateType
+from .transform import _FreshNamer
+
+_ASSOCIATIVE = (GateType.AND, GateType.OR, GateType.XOR)
+
+
+def rebalance_chains(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Rebuild single-use chains of AND/OR/XOR gates as balanced trees.
+
+    A gate ``g`` of associative type T absorbs a fanin ``f`` when ``f`` has
+    the same type and ``g`` is its only consumer (and ``f`` is not a
+    primary output).  The collected leaves are re-combined as a balanced
+    tree using the same number of 2-input gates; the root keeps ``g``'s
+    name.  Depth shrinks from O(chain length) to O(log); the function and
+    gate count are unchanged.
+    """
+    out = Circuit(name or f"{circuit.name}_balanced")
+    fresh = _FreshNamer(circuit, prefix="bal")
+    output_set = set(circuit.outputs)
+    absorbed: set = set()
+
+    def leaves_of(gate: str, gate_type: GateType) -> List[str]:
+        node = circuit.node(gate)
+        collected: List[str] = []
+        for fi in node.fanins:
+            fi_node = circuit.node(fi)
+            if (fi_node.gate_type is gate_type
+                    and circuit.fanout_count(fi) == 1
+                    and fi not in output_set):
+                absorbed.add(fi)
+                collected.extend(leaves_of(fi, gate_type))
+            else:
+                collected.append(fi)
+        return collected
+
+    plans: Dict[str, List[str]] = {}
+    for gate in circuit.topological_gates():
+        node = circuit.node(gate)
+        if node.gate_type not in _ASSOCIATIVE or gate in absorbed:
+            continue
+        leaves = leaves_of(gate, node.gate_type)
+        if len(leaves) > 2:
+            plans[gate] = leaves
+
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type.is_input:
+            out.add_input(node_name)
+        elif node.gate_type.is_constant:
+            out.add_const(node_name,
+                          1 if node.gate_type is GateType.CONST1 else 0)
+        elif node_name in absorbed:
+            continue  # rebuilt inside its consumer's tree
+        elif node_name in plans:
+            layer = list(plans[node_name])
+            while len(layer) > 2:
+                nxt = []
+                for i in range(0, len(layer) - 1, 2):
+                    nxt.append(out.add_gate(fresh(), node.gate_type,
+                                            [layer[i], layer[i + 1]]))
+                if len(layer) % 2:
+                    nxt.append(layer[-1])
+                layer = nxt
+            out.add_gate(node_name, node.gate_type, layer)
+        else:
+            out.add_gate(node_name, node.gate_type, node.fanins)
+    for o in circuit.outputs:
+        out.set_output(o)
+    return out
+
+
+def map_to_nand(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Technology-map every gate onto 2-input NANDs (plus tied-input NOTs).
+
+    Standard decompositions: NOT = NAND(a, a); AND = NOT(NAND); OR =
+    NAND(NOT a, NOT b); XOR = 4 NANDs; wide gates decompose through
+    2-input trees first.  The function is preserved; gate count and depth
+    grow — quantifying the reliability cost of a NAND-only library is the
+    c499 vs c1355 comparison generalized.
+    """
+    out = Circuit(name or f"{circuit.name}_nand2")
+    fresh = _FreshNamer(circuit, prefix="nm")
+    mapping: Dict[str, str] = {}
+
+    def nand(a: str, b: str, result_name: Optional[str] = None) -> str:
+        return out.add_gate(result_name or fresh(), GateType.NAND, [a, b])
+
+    def inv(a: str, result_name: Optional[str] = None) -> str:
+        return nand(a, a, result_name)
+
+    def emit_and2(a: str, b: str, result_name=None) -> str:
+        return inv(nand(a, b), result_name)
+
+    def emit_or2(a: str, b: str, result_name=None) -> str:
+        return nand(inv(a), inv(b), result_name)
+
+    def emit_xor2(a: str, b: str, result_name=None) -> str:
+        n1 = nand(a, b)
+        return nand(nand(a, n1), nand(b, n1), result_name)
+
+    def reduce_tree(emit, operands: List[str], result_name: str) -> str:
+        layer = list(operands)
+        while len(layer) > 2:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(emit(layer[i], layer[i + 1]))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return emit(layer[0], layer[1], result_name)
+
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        gt = node.gate_type
+        fis = [mapping.get(f, f) for f in node.fanins]
+        if gt.is_input:
+            out.add_input(node_name)
+        elif gt.is_constant:
+            out.add_const(node_name, 1 if gt is GateType.CONST1 else 0)
+        elif gt is GateType.BUF:
+            mapping[node_name] = inv(inv(fis[0]), node_name)
+        elif gt is GateType.NOT:
+            mapping[node_name] = inv(fis[0], node_name)
+        elif gt is GateType.NAND and len(fis) == 2:
+            mapping[node_name] = nand(fis[0], fis[1], node_name)
+        elif gt is GateType.AND:
+            mapping[node_name] = reduce_tree(emit_and2, fis, node_name)
+        elif gt is GateType.NAND:
+            target = reduce_tree(emit_and2, fis, fresh())
+            mapping[node_name] = inv(target, node_name)
+        elif gt is GateType.OR:
+            mapping[node_name] = reduce_tree(emit_or2, fis, node_name)
+        elif gt is GateType.NOR:
+            target = reduce_tree(emit_or2, fis, fresh())
+            mapping[node_name] = inv(target, node_name)
+        elif gt is GateType.XOR:
+            mapping[node_name] = reduce_tree(emit_xor2, fis, node_name)
+        elif gt is GateType.XNOR:
+            target = reduce_tree(emit_xor2, fis, fresh())
+            mapping[node_name] = inv(target, node_name)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unmappable gate type {gt!r}")
+    for o in circuit.outputs:
+        out.set_output(mapping.get(o, o))
+    from .transform import strip_buffers
+    return strip_buffers(out, name=out.name)

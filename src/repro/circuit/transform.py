@@ -1,0 +1,222 @@
+"""Structural circuit transforms.
+
+These support the paper's application studies:
+
+* :func:`expand_xor` rebuilds XOR/XNOR gates as 4-NAND networks — the
+  relationship between the c499/c1355 benchmark pair, used to construct our
+  c1355 stand-in from the c499 stand-in;
+* :func:`triplicate_gates` inserts selective triple-modular redundancy at a
+  chosen gate subset (Sec. 5.1, "introduce redundancy at selected gates");
+* :func:`limit_fanout` produces a bounded-fanout version of a circuit by
+  duplicating logic cones, the mechanism behind the low-/high-fanout b9
+  comparison of Fig. 8;
+* :func:`strip_buffers` removes BUF gates (useful after I/O round trips).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gate import GateType
+
+
+def _remap(fanins: Sequence[str], mapping: Dict[str, str]) -> List[str]:
+    return [mapping.get(fi, fi) for fi in fanins]
+
+
+def expand_xor(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Return a copy with every 2-input XOR/XNOR expanded into NAND logic.
+
+    ``a XOR b`` becomes the classic 4-NAND network; XNOR adds an inverter
+    implemented as a 2-input NAND with tied inputs.  Wider XOR gates are
+    first decomposed into a chain of 2-input XORs.  Gate count per XOR grows
+    from 1 to 4, mirroring how c1355 implements c499's function.
+    """
+    out = Circuit(name or f"{circuit.name}_nand")
+    mapping: Dict[str, str] = {}
+    fresh = _FreshNamer(circuit, prefix="xx")
+
+    def emit_xor2(a: str, b: str, invert: bool) -> str:
+        n1 = out.add_gate(fresh(), GateType.NAND, [a, b])
+        n2 = out.add_gate(fresh(), GateType.NAND, [a, n1])
+        n3 = out.add_gate(fresh(), GateType.NAND, [b, n1])
+        n4 = out.add_gate(fresh(), GateType.NAND, [n2, n3])
+        if invert:
+            return out.add_gate(fresh(), GateType.NAND, [n4, n4])
+        return n4
+
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type.is_input:
+            out.add_input(node_name)
+        elif node.gate_type.is_constant:
+            out.add_const(node_name,
+                          1 if node.gate_type is GateType.CONST1 else 0)
+        elif node.gate_type in (GateType.XOR, GateType.XNOR):
+            fis = _remap(node.fanins, mapping)
+            acc = fis[0]
+            for nxt in fis[1:-1]:
+                acc = emit_xor2(acc, nxt, invert=False)
+            acc = emit_xor2(acc, fis[-1],
+                            invert=node.gate_type is GateType.XNOR)
+            # Give the final node the original name via a buffer so outputs
+            # keep their names.
+            mapping[node_name] = out.add_gate(node_name, GateType.BUF, [acc])
+        else:
+            out.add_gate(node_name, node.gate_type, _remap(node.fanins, mapping))
+    for o in circuit.outputs:
+        out.set_output(mapping.get(o, o))
+    return out
+
+
+def triplicate_gates(circuit: Circuit, gates: Iterable[str],
+                     name: Optional[str] = None,
+                     roles: Optional[Dict[str, Tuple[str, str]]] = None
+                     ) -> Circuit:
+    """Selective TMR: triplicate the chosen gates and vote on their outputs.
+
+    Each selected gate ``g`` is replaced by three copies fed by the same
+    fanins and a 2-of-3 majority voter (three ANDs + one OR) whose output
+    takes over ``g``'s name.  Downstream logic is untouched.  Voter gates
+    are themselves subject to noise in later analysis, as in real redundant
+    logic.
+
+    ``roles``, if provided, is filled with ``node -> (role, protected)``
+    entries where role is ``"copy"`` or ``"voter"`` — reliability flows use
+    it to give hardened voter cells a different failure probability than
+    the replicated logic.
+    """
+    chosen = set(gates)
+    for g in chosen:
+        if not circuit.node(g).gate_type.is_logic:
+            raise CircuitError(f"cannot triplicate non-gate node {g!r}")
+    out = Circuit(name or f"{circuit.name}_tmr")
+    fresh = _FreshNamer(circuit, prefix="tmr")
+
+    def note(node: str, role: str, protected: str) -> None:
+        if roles is not None:
+            roles[node] = (role, protected)
+
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type.is_input:
+            out.add_input(node_name)
+        elif node.gate_type.is_constant:
+            out.add_const(node_name,
+                          1 if node.gate_type is GateType.CONST1 else 0)
+        elif node_name in chosen:
+            copies = [out.add_gate(fresh(), node.gate_type, node.fanins)
+                      for _ in range(3)]
+            p01 = out.add_gate(fresh(), GateType.AND, [copies[0], copies[1]])
+            p02 = out.add_gate(fresh(), GateType.AND, [copies[0], copies[2]])
+            p12 = out.add_gate(fresh(), GateType.AND, [copies[1], copies[2]])
+            out.add_gate(node_name, GateType.OR, [p01, p02, p12])
+            for c in copies:
+                note(c, "copy", node_name)
+            for v in (p01, p02, p12, node_name):
+                note(v, "voter", node_name)
+        else:
+            out.add_gate(node_name, node.gate_type, node.fanins)
+    for o in circuit.outputs:
+        out.set_output(o)
+    return out
+
+
+def limit_fanout(circuit: Circuit, max_fanout: int,
+                 name: Optional[str] = None) -> Circuit:
+    """Duplicate gates so that no gate drives more than ``max_fanout`` wires.
+
+    Gates whose fanout exceeds the bound are cloned (sharing fanins) and the
+    fanout wires are distributed round-robin over the clones.  Primary
+    inputs are never duplicated (they are noise-free sources).  Gate count
+    grows; depth is unchanged — this realizes the "low fanout version"
+    synthesis of Fig. 8 structurally.
+    """
+    if max_fanout < 1:
+        raise ValueError("max_fanout must be >= 1")
+    out = Circuit(name or f"{circuit.name}_fo{max_fanout}")
+    fresh = _FreshNamer(circuit, prefix="dup")
+    output_set = set(circuit.outputs)
+    # For each over-driven gate, the list of clone names; consumers pick
+    # clones round-robin through this rotor.
+    clones: Dict[str, List[str]] = {}
+    rotor: Dict[str, int] = {}
+
+    def pick(fi: str) -> str:
+        if fi not in clones:
+            return fi
+        names = clones[fi]
+        i = rotor[fi]
+        rotor[fi] = (i + 1) % len(names)
+        return names[i]
+
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type.is_input:
+            out.add_input(node_name)
+            continue
+        if node.gate_type.is_constant:
+            out.add_const(node_name,
+                          1 if node.gate_type is GateType.CONST1 else 0)
+            continue
+        fo = circuit.fanout_count(node_name)
+        if node_name in output_set:
+            fo += 1  # the output port is one more consumer
+        if fo <= max_fanout:
+            out.add_gate(node_name, node.gate_type,
+                         [pick(fi) for fi in node.fanins])
+            continue
+        n_copies = -(-fo // max_fanout)  # ceil division
+        names = [node_name] + [fresh() for _ in range(n_copies - 1)]
+        for copy_name in names:
+            out.add_gate(copy_name, node.gate_type,
+                         [pick(fi) for fi in node.fanins])
+        clones[node_name] = names
+        rotor[node_name] = 1 if node_name in output_set else 0
+    for o in circuit.outputs:
+        out.set_output(o)
+    return out
+
+
+def strip_buffers(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Remove BUF gates, rewiring consumers to the buffer's fanin.
+
+    Buffers driving primary outputs are kept so output names survive.
+    """
+    out = Circuit(name or circuit.name)
+    mapping: Dict[str, str] = {}
+    output_set = set(circuit.outputs)
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type.is_input:
+            out.add_input(node_name)
+        elif node.gate_type.is_constant:
+            out.add_const(node_name,
+                          1 if node.gate_type is GateType.CONST1 else 0)
+        elif (node.gate_type is GateType.BUF
+              and node_name not in output_set):
+            mapping[node_name] = mapping.get(node.fanins[0], node.fanins[0])
+        else:
+            out.add_gate(node_name, node.gate_type,
+                         _remap(node.fanins, mapping))
+    for o in circuit.outputs:
+        out.set_output(mapping.get(o, o))
+    return out
+
+
+class _FreshNamer:
+    """Generate node names guaranteed fresh w.r.t. an existing circuit."""
+
+    def __init__(self, circuit: Circuit, prefix: str):
+        self._taken = set(circuit.topological_order())
+        self._prefix = prefix
+        self._n = 0
+
+    def __call__(self) -> str:
+        while True:
+            candidate = f"{self._prefix}_{self._n}"
+            self._n += 1
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate

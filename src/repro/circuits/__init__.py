@@ -1,0 +1,43 @@
+"""Benchmark circuits: generators, paper stand-ins, and figure circuits."""
+
+from .generators import (
+    array_multiplier,
+    c17,
+    equality_comparator,
+    full_adder,
+    majority_voter,
+    mux_tree,
+    one_hot_decoder,
+    parity_tree,
+    random_circuit,
+    ripple_carry_adder,
+    sec_circuit,
+)
+from .datapath import (
+    ALU_OPS,
+    alu_slice,
+    barrel_shifter,
+    carry_lookahead_adder,
+    kogge_stone_adder,
+    priority_encoder,
+)
+from .figures import fig1_circuit, fig2_circuit
+from .catalog import (
+    TABLE2_BENCHMARKS,
+    BenchmarkEntry,
+    benchmark_entry,
+    get_benchmark,
+    list_benchmarks,
+)
+from . import standins
+
+__all__ = [
+    "array_multiplier", "c17", "equality_comparator", "full_adder",
+    "majority_voter", "mux_tree", "one_hot_decoder", "parity_tree",
+    "random_circuit", "ripple_carry_adder", "sec_circuit",
+    "ALU_OPS", "alu_slice", "barrel_shifter", "carry_lookahead_adder",
+    "kogge_stone_adder", "priority_encoder",
+    "fig1_circuit", "fig2_circuit",
+    "TABLE2_BENCHMARKS", "BenchmarkEntry", "benchmark_entry",
+    "get_benchmark", "list_benchmarks", "standins",
+]

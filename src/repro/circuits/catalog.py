@@ -1,0 +1,93 @@
+"""Registry of benchmark circuits (paper stand-ins, figures, generators)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..circuit import Circuit
+from . import figures, generators, standins
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One catalog entry: constructor plus paper-side metadata."""
+
+    name: str
+    build: Callable[[], Circuit]
+    paper_gates: Optional[int] = None
+    description: str = ""
+
+
+_CATALOG: Dict[str, BenchmarkEntry] = {}
+
+
+def _register(entry: BenchmarkEntry) -> None:
+    _CATALOG[entry.name] = entry
+
+
+_register(BenchmarkEntry("c17", generators.c17, paper_gates=None,
+                         description="ISCAS-85 c17 (exact netlist)"))
+_register(BenchmarkEntry("fig1a", figures.fig1_circuit,
+                         description="Fig. 1(a) illustration stand-in"))
+_register(BenchmarkEntry("fig2", figures.fig2_circuit,
+                         description="Fig. 2 worked-example stand-in"))
+_register(BenchmarkEntry("x2", standins.x2, paper_gates=56,
+                         description="MCNC x2 stand-in"))
+_register(BenchmarkEntry("cu", standins.cu, paper_gates=59,
+                         description="MCNC cu stand-in"))
+_register(BenchmarkEntry("b9", standins.b9, paper_gates=210,
+                         description="MCNC b9 stand-in"))
+_register(BenchmarkEntry("b9_low_fanout", standins.b9_low_fanout,
+                         description="Fig. 8 low-fanout b9 synthesis"))
+_register(BenchmarkEntry("b9_high_fanout", standins.b9_high_fanout,
+                         description="Fig. 8 high-fanout b9 synthesis"))
+_register(BenchmarkEntry("c499", standins.c499, paper_gates=650,
+                         description="ISCAS-85 c499 stand-in (32-bit SEC)"))
+_register(BenchmarkEntry("c1355", standins.c1355, paper_gates=653,
+                         description="ISCAS-85 c1355 stand-in (c499 in NANDs)"))
+_register(BenchmarkEntry("c1908", standins.c1908, paper_gates=699,
+                         description="ISCAS-85 c1908 stand-in"))
+_register(BenchmarkEntry("c2670", standins.c2670, paper_gates=756,
+                         description="ISCAS-85 c2670 stand-in"))
+_register(BenchmarkEntry("frg2", standins.frg2, paper_gates=1024,
+                         description="MCNC frg2 stand-in"))
+_register(BenchmarkEntry("c3540", standins.c3540, paper_gates=1466,
+                         description="ISCAS-85 c3540 stand-in"))
+_register(BenchmarkEntry("i10", standins.i10, paper_gates=2643,
+                         description="i10 stand-in"))
+_register(BenchmarkEntry("c432", standins.c432,
+                         description="ISCAS-85 c432 stand-in (not in the "
+                                     "paper's Table 2)"))
+_register(BenchmarkEntry("c880", standins.c880,
+                         description="ISCAS-85 c880 stand-in (not in the "
+                                     "paper's Table 2)"))
+_register(BenchmarkEntry("c6288", standins.c6288,
+                         description="ISCAS-85 c6288 stand-in: a real "
+                                     "16x16 array multiplier"))
+
+#: The ten circuits of the paper's Table 2, in row order.
+TABLE2_BENCHMARKS: List[str] = [
+    "x2", "cu", "b9", "c499", "c1355", "c1908", "c2670", "frg2",
+    "c3540", "i10",
+]
+
+
+def get_benchmark(name: str) -> Circuit:
+    """Build the named benchmark circuit (deterministic)."""
+    try:
+        return _CATALOG[name].build()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(_CATALOG)}"
+        ) from None
+
+
+def benchmark_entry(name: str) -> BenchmarkEntry:
+    """Catalog metadata for one benchmark."""
+    return _CATALOG[name]
+
+
+def list_benchmarks() -> List[str]:
+    """All registered benchmark names."""
+    return sorted(_CATALOG)

@@ -1,0 +1,197 @@
+"""Datapath generators: fast adders, shifters, encoders, an ALU slice.
+
+These complement :mod:`repro.circuits.generators` with the structures that
+dominate real datapaths; all are deterministic, functionally verified in
+the test suite, and double as workloads for the examples and ablation
+benchmarks (e.g. ripple vs Kogge-Stone reliability under the same eps —
+prefix adders trade depth for extra gates and fanout, which the analyses
+quantify).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..circuit import Circuit, CircuitBuilder, GateType
+from .generators import full_adder
+
+
+def carry_lookahead_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit single-level carry-lookahead adder.
+
+    Generate/propagate per bit; each carry computed as an explicit
+    sum-of-products over all lower generates — shallow but fanout-heavy,
+    the structural opposite of the ripple-carry adder.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"cla{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    cin = b.input("cin")
+    g = [b.and_(a_bus[i], b_bus[i]) for i in range(width)]
+    p = [b.xor(a_bus[i], b_bus[i]) for i in range(width)]
+    carries = [cin]
+    for i in range(width):
+        # c_{i+1} = g_i + p_i g_{i-1} + ... + p_i ... p_0 c_0
+        terms = [g[i]]
+        for j in range(i - 1, -1, -1):
+            factor = g[j]
+            for t in range(j + 1, i + 1):
+                factor = b.and_(factor, p[t])
+            terms.append(factor)
+        chain = carries[0]
+        for t in range(0, i + 1):
+            chain = b.and_(chain, p[t])
+        terms.append(chain)
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = b.or_(acc, term)
+        carries.append(acc)
+    for i in range(width):
+        b.outputs(**{f"sum{i}": b.xor(p[i], carries[i])})
+    b.outputs(cout=carries[width])
+    return b.build()
+
+
+def kogge_stone_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit Kogge-Stone parallel-prefix adder.
+
+    Logarithmic depth, heavy wiring/fanout — the canonical fast-adder
+    topology.  Produces ``sum0..sum{w-1}`` and ``cout``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"ks{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    cin = b.input("cin")
+    g = [b.and_(a_bus[i], b_bus[i]) for i in range(width)]
+    p = [b.xor(a_bus[i], b_bus[i]) for i in range(width)]
+    # Prefix network over (g, p) pairs.
+    gg: List[str] = list(g)
+    pp: List[str] = list(p)
+    distance = 1
+    while distance < width:
+        new_g = list(gg)
+        new_p = list(pp)
+        for i in range(distance, width):
+            # (g, p)_i = (g_i + p_i g_{i-d}, p_i p_{i-d})
+            new_g[i] = b.or_(gg[i], b.and_(pp[i], gg[i - distance]))
+            new_p[i] = b.and_(pp[i], pp[i - distance])
+        gg, pp = new_g, new_p
+        distance *= 2
+    carries = [cin]
+    for i in range(width):
+        carries.append(b.or_(gg[i], b.and_(pp[i], cin)))
+    for i in range(width):
+        b.outputs(**{f"sum{i}": b.xor(p[i], carries[i])})
+    b.outputs(cout=carries[width])
+    return b.build()
+
+
+def barrel_shifter(width_bits: int, name: Optional[str] = None) -> Circuit:
+    """Logical-left barrel shifter: ``2**width_bits`` data bits.
+
+    Shift amount ``s`` (``width_bits`` select inputs) rotates zeros in
+    from the right: ``y = d << s`` truncated to the data width.
+    """
+    if width_bits < 1:
+        raise ValueError("width_bits must be >= 1")
+    width = 1 << width_bits
+    b = CircuitBuilder(name or f"bshift{width}")
+    data = b.input_bus("d", width)
+    sel = b.input_bus("s", width_bits)
+    zero = b.const(0, name="zero")
+    layer = list(data)
+    for stage in range(width_bits):
+        shift = 1 << stage
+        s = sel[stage]
+        s_n = b.not_(s)
+        nxt = []
+        for i in range(width):
+            unshifted = b.and_(layer[i], s_n)
+            source = layer[i - shift] if i - shift >= 0 else zero
+            shifted = b.and_(source, s)
+            nxt.append(b.or_(unshifted, shifted))
+        layer = nxt
+    for i in range(width):
+        b.outputs(**{f"y{i}": layer[i]})
+    return b.build()
+
+
+def priority_encoder(width: int, name: Optional[str] = None) -> Circuit:
+    """Priority encoder: index of the highest asserted input, plus valid.
+
+    Outputs ``y0..`` (binary index, MSB priority) and ``valid``.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    bits = max(1, (width - 1).bit_length())
+    b = CircuitBuilder(name or f"prio{width}")
+    xs = b.input_bus("x", width)
+    # grant_i = x_i AND none of the higher inputs.
+    grants: List[str] = []
+    higher_none: Optional[str] = None
+    for i in range(width - 1, -1, -1):
+        if higher_none is None:
+            grants.append(xs[i])
+            higher_none = b.not_(xs[i])
+        else:
+            grants.append(b.and_(xs[i], higher_none))
+            if i > 0:
+                higher_none = b.and_(higher_none, b.not_(xs[i]))
+    grants.reverse()  # grants[i] corresponds to input i
+    valid = grants[0]
+    for gr in grants[1:]:
+        valid = b.or_(valid, gr)
+    for bit in range(bits):
+        members = [grants[i] for i in range(width) if (i >> bit) & 1]
+        if not members:
+            b.outputs(**{f"y{bit}": b.const(0)})
+            continue
+        acc = members[0]
+        for m in members[1:]:
+            acc = b.or_(acc, m)
+        b.outputs(**{f"y{bit}": acc})
+    b.outputs(valid=valid)
+    return b.build()
+
+
+#: ALU opcode encoding used by :func:`alu_slice`.
+ALU_OPS = ("and", "or", "xor", "add")
+
+
+def alu_slice(width: int, name: Optional[str] = None) -> Circuit:
+    """A tiny ``width``-bit ALU: AND / OR / XOR / ADD selected by 2 bits.
+
+    Opcode ``(op1, op0)``: 00 = AND, 01 = OR, 10 = XOR, 11 = ADD (with
+    carry-in and carry-out).  A realistic mixed-structure workload for the
+    reliability analyses.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"alu{width}")
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    op0 = b.input("op0")
+    op1 = b.input("op1")
+    cin = b.input("cin")
+    op0_n = b.not_(op0)
+    op1_n = b.not_(op1)
+    sel_and = b.and_(op1_n, op0_n)
+    sel_or = b.and_(op1_n, op0)
+    sel_xor = b.and_(op1, op0_n)
+    sel_add = b.and_(op1, op0)
+    carry = cin
+    for i in range(width):
+        f_and = b.and_(a_bus[i], b_bus[i])
+        f_or = b.or_(a_bus[i], b_bus[i])
+        f_xor = b.xor(a_bus[i], b_bus[i])
+        f_add, carry = full_adder(b, a_bus[i], b_bus[i], carry)
+        picked = b.or_(
+            b.or_(b.and_(f_and, sel_and), b.and_(f_or, sel_or)),
+            b.or_(b.and_(f_xor, sel_xor), b.and_(f_add, sel_add)))
+        b.outputs(**{f"r{i}": picked})
+    b.outputs(cout=b.and_(carry, sel_add))
+    return b.build()

@@ -1,0 +1,56 @@
+"""Illustration circuits for the paper's figures.
+
+The original Fig. 1(a) and Fig. 2 schematics are images we do not have;
+these stand-ins realize every property the surrounding text relies on (see
+DESIGN.md, substitutions).  The exact numeric constants the paper quotes
+for its own figure (e.g. 46/256) are recomputed for these circuits by the
+exhaustive-exact engine and pinned in the test suite.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, GateType
+
+
+def fig1_circuit() -> Circuit:
+    """Stand-in for Fig. 1(a): the observability-distortion example.
+
+    Required properties (Sec. 3.1):
+
+    * a gate ``Gx`` in the transitive fanin of another gate ``Gy`` — so the
+      independence assumption ``o_x (1 - o_y) > 0`` is provably wrong
+      (``Gx`` is observable only if ``Gy`` is);
+    * a gate ``Gz`` whose failure modulates the propagation of ``Gx``
+      failures (their joint failure effect differs from the closed form);
+    * reconvergent fanout.
+    """
+    c = Circuit("fig1a")
+    for pi in ("p", "q", "r", "s"):
+        c.add_input(pi)
+    c.add_gate("Gx", GateType.AND, ["p", "q"])
+    c.add_gate("Gz", GateType.OR, ["r", "s"])
+    c.add_gate("Gy", GateType.OR, ["Gx", "r"])
+    c.add_gate("y", GateType.NAND, ["Gy", "Gz"])
+    c.set_output("y")
+    return c
+
+
+def fig2_circuit() -> Circuit:
+    """Stand-in for Fig. 2: the worked single-pass example.
+
+    Required properties (Sec. 4): six 2-input gates numbered in processing
+    order; the fanout at gate 2 reconverges at gate 6 via gates 4 and 5;
+    gate 1's weight vector is uniform (0.25 each) because it is fed by
+    primary inputs directly.
+    """
+    c = Circuit("fig2")
+    for pi in ("a", "b", "cc", "d"):
+        c.add_input(pi)
+    c.add_gate("n1", GateType.AND, ["a", "b"])
+    c.add_gate("n2", GateType.OR, ["cc", "d"])
+    c.add_gate("n3", GateType.NAND, ["n1", "cc"])
+    c.add_gate("n4", GateType.AND, ["n2", "n1"])
+    c.add_gate("n5", GateType.NAND, ["n2", "n3"])
+    c.add_gate("n6", GateType.OR, ["n4", "n5"])
+    c.set_output("n6")
+    return c

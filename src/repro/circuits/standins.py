@@ -1,0 +1,130 @@
+"""Stand-in circuits for the paper's Table 2 benchmark suite.
+
+The original ISCAS-85 / MCNC netlists are not redistributable here, so each
+benchmark is replaced by a deterministic synthetic circuit with the same
+gate count and comparable structure (see DESIGN.md, substitutions):
+
+* ``c499`` is a 32-bit single-error-correcting decoder — the real c499's
+  function — with the syndrome fanning out to all 32 correctors (heavy
+  reconvergence, the paper's hardest accuracy case);
+* ``c1355`` is the same circuit with every XOR expanded into NAND logic,
+  exactly how the real pair is related;
+* the remaining benchmarks are seeded random multilevel logic with the
+  paper's gate counts and published I/O counts.
+
+Every constructor is deterministic; gate counts are pinned by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..circuit import Circuit, limit_fanout, strip_buffers, expand_xor
+from .generators import fanin_network, random_circuit, sec_circuit
+
+
+def x2() -> Circuit:
+    """Stand-in for MCNC x2: 56 gates, 10 inputs, 7 outputs."""
+    return random_circuit(10, 56, 7, seed=1002, name="x2",
+                          depth_bias=0.55, window=10)
+
+
+def cu() -> Circuit:
+    """Stand-in for MCNC cu: 59 gates, 14 inputs, 11 outputs."""
+    return random_circuit(14, 59, 11, seed=1003, name="cu",
+                          depth_bias=0.5, window=10)
+
+
+def b9() -> Circuit:
+    """Stand-in for MCNC b9: 210 gates, 41 inputs, 21 outputs."""
+    return random_circuit(41, 210, 21, seed=1009, name="b9",
+                          depth_bias=0.55, window=16)
+
+
+def b9_low_fanout() -> Circuit:
+    """Shallow b9-scale synthesis for the Fig. 8 study (balanced trees).
+
+    Computes *exactly the same Boolean functions* as
+    :func:`b9_high_fanout` with the same gate count; only the logic depth
+    differs (wide output operations realized as balanced trees instead of
+    chains).  This isolates the levels-of-logic covariate the paper
+    credits for the Fig. 8 reliability gap.
+    """
+    return fanin_network(41, 63, 21, leaves_per_output=8, seed=809,
+                         balanced=True, name="b9_shallow")
+
+
+def b9_high_fanout() -> Circuit:
+    """Deep b9-scale synthesis for the Fig. 8 study (skewed chains).
+
+    Same functions and gate count as :func:`b9_low_fanout`, more logic
+    levels — the Fig. 8 "more levels of noise" candidate.
+    """
+    return fanin_network(41, 63, 21, leaves_per_output=8, seed=809,
+                         balanced=False, name="b9_deep")
+
+
+def c499() -> Circuit:
+    """Stand-in for ISCAS-85 c499: 32-bit SEC decoder, XOR-dominated."""
+    circuit = sec_circuit(data_bits=32, check_bits=8, name="c499", seed=499)
+    return circuit
+
+
+def c1355() -> Circuit:
+    """Stand-in for ISCAS-85 c1355: c499 with XORs expanded to NANDs."""
+    expanded = expand_xor(c499(), name="c1355")
+    return strip_buffers(expanded, name="c1355")
+
+
+def c1908() -> Circuit:
+    """Stand-in for ISCAS-85 c1908: 699 gates, 33 inputs, 25 outputs."""
+    return random_circuit(33, 699, 25, seed=1908, name="c1908",
+                          depth_bias=0.6, window=24, xor_weight=0.18)
+
+
+def c2670() -> Circuit:
+    """Stand-in for ISCAS-85 c2670: 756 gates, 157 inputs, 64 outputs."""
+    return random_circuit(157, 756, 64, seed=2670, name="c2670",
+                          depth_bias=0.5, window=32)
+
+
+def frg2() -> Circuit:
+    """Stand-in for MCNC frg2: 1024 gates, 143 inputs, 139 outputs."""
+    return random_circuit(143, 1024, 139, seed=3042, name="frg2",
+                          depth_bias=0.5, window=32)
+
+
+def c3540() -> Circuit:
+    """Stand-in for ISCAS-85 c3540: 1466 gates, 50 inputs, 22 outputs."""
+    return random_circuit(50, 1466, 22, seed=3540, name="c3540",
+                          depth_bias=0.65, window=32, xor_weight=0.1)
+
+
+def i10() -> Circuit:
+    """Stand-in for i10: 2643 gates, 257 inputs, 224 outputs."""
+    return random_circuit(257, 2643, 224, seed=4210, name="i10",
+                          depth_bias=0.6, window=40)
+
+
+def c432() -> Circuit:
+    """Stand-in for ISCAS-85 c432 (priority/interrupt logic): 160 gates."""
+    return random_circuit(36, 160, 7, seed=432, name="c432",
+                          depth_bias=0.65, window=14, xor_weight=0.12)
+
+
+def c880() -> Circuit:
+    """Stand-in for ISCAS-85 c880 (8-bit ALU): 383 gates."""
+    return random_circuit(60, 383, 26, seed=880, name="c880",
+                          depth_bias=0.6, window=20)
+
+
+def c6288() -> Circuit:
+    """Stand-in for ISCAS-85 c6288 — which *is* a 16x16 array multiplier.
+
+    Built from the real structure (:func:`array_multiplier`), not random
+    logic: 1440 gates of carry-save adder array with the multiplier's
+    notorious deep reconvergence (the real c6288 counts 2406 gates in a
+    NOR-heavy mapping of the same array).
+    """
+    from .generators import array_multiplier
+    return array_multiplier(16, name="c6288")

@@ -1,0 +1,336 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+``info``         circuit structure statistics
+``analyze``      single-pass reliability for one or more eps values
+``mc``           Monte Carlo reliability (fault injection baseline)
+``closed``       observability-based closed-form reliability
+``curve``        delta(eps) sweep comparing single-pass and Monte Carlo
+``stratified``   rare-event (small-eps) stratified estimate
+``testability``  stuck-at fault simulation profile
+``harden``       budgeted reliability-driven hardening allocation
+``convert``      netlist format conversion (.bench / .blif / .v)
+``bench``        list the built-in benchmark catalog
+
+Circuits are referenced either by a file path (``.bench`` or ``.blif``) or
+by a built-in catalog name (``repro bench`` lists them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .circuit import Circuit, circuit_stats
+from .circuits import get_benchmark, list_benchmarks, benchmark_entry
+from .io import load_bench, load_blif, save_bench, save_blif, save_verilog
+from .reliability import ObservabilityModel, SinglePassAnalyzer
+from .sim import monte_carlo_reliability
+
+
+def _load_circuit(ref: str) -> Circuit:
+    path = Path(ref)
+    if path.exists():
+        if path.suffix == ".bench":
+            return load_bench(path)
+        if path.suffix == ".blif":
+            return load_blif(path)
+        raise SystemExit(f"unsupported netlist extension: {path.suffix}")
+    try:
+        return get_benchmark(ref)
+    except KeyError:
+        raise SystemExit(
+            f"{ref!r} is neither a file nor a known benchmark "
+            f"(try: repro bench)") from None
+
+
+def _eps_list(spec: str) -> List[float]:
+    values = [float(tok) for tok in spec.split(",") if tok.strip()]
+    for v in values:
+        if not 0.0 <= v <= 0.5:
+            raise SystemExit(f"eps {v} outside [0, 0.5]")
+    return values
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    stats = circuit_stats(circuit)
+    print(stats.as_row())
+    print(f"outputs: {', '.join(circuit.outputs[:12])}"
+          + (" ..." if len(circuit.outputs) > 12 else ""))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    for name in list_benchmarks():
+        entry = benchmark_entry(name)
+        paper = f"paper-gates={entry.paper_gates}" if entry.paper_gates else ""
+        print(f"{name:16s} {entry.description} {paper}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    analyzer = SinglePassAnalyzer(
+        circuit, use_correlation=not args.no_correlation,
+        weight_method=args.weights, seed=args.seed,
+        max_correlation_level_gap=args.level_gap)
+    for eps in _eps_list(args.eps):
+        t0 = time.perf_counter()
+        result = analyzer.run(eps)
+        elapsed = time.perf_counter() - t0
+        print(f"eps={eps}: ({elapsed * 1000:.1f} ms, "
+              f"{result.correlation_pairs} corr pairs)")
+        for out, delta in result.per_output.items():
+            print(f"  delta[{out}] = {delta:.6f}")
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    for eps in _eps_list(args.eps):
+        t0 = time.perf_counter()
+        result = monte_carlo_reliability(circuit, eps,
+                                         n_patterns=args.patterns,
+                                         seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        print(f"eps={eps}: ({elapsed:.2f} s, {args.patterns} patterns)")
+        for out, delta in result.per_output.items():
+            print(f"  delta[{out}] = {delta:.6f}")
+        print(f"  any-output = {result.any_output:.6f}")
+    return 0
+
+
+def _cmd_closed(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    output = args.output or circuit.outputs[0]
+    model = ObservabilityModel(circuit, output=output, seed=args.seed)
+    for eps in _eps_list(args.eps):
+        print(f"eps={eps}: delta[{output}] = {model.delta(eps):.6f}")
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    output = args.output or circuit.outputs[0]
+    analyzer = SinglePassAnalyzer(circuit, seed=args.seed,
+                                  max_correlation_level_gap=args.level_gap)
+    eps_values = [args.max_eps * i / (args.points - 1)
+                  for i in range(args.points)]
+    print(f"# {circuit.name} output={output}")
+    print(f"{'eps':>8s} {'single-pass':>12s} {'monte-carlo':>12s}")
+    for i, eps in enumerate(eps_values):
+        sp = analyzer.run(eps).per_output[output]
+        mc = monte_carlo_reliability(circuit, eps, n_patterns=args.patterns,
+                                     seed=args.seed + i).per_output[output]
+        print(f"{eps:8.4f} {sp:12.6f} {mc:12.6f}")
+    return 0
+
+
+def _cmd_testability(args: argparse.Namespace) -> int:
+    from .testing import full_fault_list, simulate_faults
+    circuit = _load_circuit(args.circuit)
+    faults = full_fault_list(circuit)
+    sim = simulate_faults(circuit, faults, n_patterns=args.patterns,
+                          seed=args.seed,
+                          exhaustive=len(circuit.inputs) <= args.exhaustive_limit)
+    print(f"{len(faults)} stuck-at faults, "
+          f"{sim.n_patterns} patterns, coverage {sim.coverage() * 100:.1f}%")
+    hard = sorted(sim.detections, key=sim.detections.get)[:args.top]
+    print(f"hardest {len(hard)} faults:")
+    for fault in hard:
+        print(f"  {str(fault):16s} detection prob = "
+              f"{sim.detection_probability(fault):.5f}")
+    return 0
+
+
+def _cmd_stratified(args: argparse.Namespace) -> int:
+    from .sim import StratifiedEstimator
+    circuit = _load_circuit(args.circuit)
+    estimator = StratifiedEstimator(circuit, max_failures=args.max_failures,
+                                    n_patterns=args.patterns,
+                                    samples_per_stratum=args.samples,
+                                    seed=args.seed)
+    for eps in _eps_list(args.eps):
+        result = estimator.evaluate(eps)
+        print(f"eps={eps:g}: any-output = {result.any_output:.3e} "
+              f"(tail bound {result.tail_bound:.1e})")
+        for out, delta in result.per_output.items():
+            print(f"  delta[{out}] = {delta:.3e}")
+    return 0
+
+
+def _cmd_harden(args: argparse.Namespace) -> int:
+    from .apps import allocate_hardening
+    from .reliability import ObservabilityModel
+    circuit = _load_circuit(args.circuit)
+    output = args.output or circuit.outputs[0]
+    model = ObservabilityModel(circuit, output=output, seed=args.seed)
+    result = allocate_hardening(model, args.eps_value, args.budget)
+    upgraded = [g for g, u in result.upgrades.items() if u is not None]
+    print(f"output {output}: delta {result.delta_before:.6f} -> "
+          f"{result.delta_after:.6f} "
+          f"({result.improvement * 100:.1f}% better), "
+          f"spent {result.spent:.1f}/{args.budget:g}")
+    print(f"upgraded {len(upgraded)} gates: "
+          + ", ".join(sorted(upgraded)[:12])
+          + (" ..." if len(upgraded) > 12 else ""))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .reliability import compare_methods
+    circuit = _load_circuit(args.circuit)
+    eps_values = _eps_list(args.eps)
+    for eps in eps_values:
+        comparison = compare_methods(circuit, eps,
+                                     mc_patterns=args.patterns,
+                                     seed=args.seed)
+        print(comparison.as_table())
+        if eps != eps_values[-1]:
+            print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import ReportConfig, reliability_report
+    circuit = _load_circuit(args.circuit)
+    config = ReportConfig(mc_patterns=args.patterns, seed=args.seed,
+                          include_testability=not args.no_testability)
+    text = reliability_report(circuit, config)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    out = Path(args.out)
+    if out.suffix == ".bench":
+        save_bench(circuit, out)
+    elif out.suffix == ".blif":
+        save_blif(circuit, out)
+    elif out.suffix in (".v", ".sv"):
+        save_verilog(circuit, out)
+    else:
+        raise SystemExit(f"unsupported output extension: {out.suffix}")
+    print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliability analysis of logic circuits (DATE 2007 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("circuit", help="netlist path or benchmark name")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("info", help="circuit structure statistics")
+    add_common(p)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("bench", help="list built-in benchmarks")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("analyze", help="single-pass reliability analysis")
+    add_common(p)
+    p.add_argument("--eps", default="0.05",
+                   help="comma-separated gate failure probabilities")
+    p.add_argument("--no-correlation", action="store_true",
+                   help="disable Sec. 4.1 correlation coefficients")
+    p.add_argument("--weights", default="auto",
+                   choices=["auto", "bdd", "exhaustive", "sampled"])
+    p.add_argument("--level-gap", type=int, default=None,
+                   help="locality cap for correlation pairs")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("mc", help="Monte Carlo fault-injection baseline")
+    add_common(p)
+    p.add_argument("--eps", default="0.05")
+    p.add_argument("--patterns", type=int, default=1 << 16)
+    p.set_defaults(func=_cmd_mc)
+
+    p = sub.add_parser("closed", help="observability closed-form analysis")
+    add_common(p)
+    p.add_argument("--eps", default="0.05")
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_closed)
+
+    p = sub.add_parser("curve", help="delta(eps) sweep: single-pass vs MC")
+    add_common(p)
+    p.add_argument("--output", default=None)
+    p.add_argument("--points", type=int, default=11)
+    p.add_argument("--max-eps", type=float, default=0.5)
+    p.add_argument("--patterns", type=int, default=1 << 14)
+    p.add_argument("--level-gap", type=int, default=8)
+    p.set_defaults(func=_cmd_curve)
+
+    p = sub.add_parser("testability",
+                       help="stuck-at fault simulation profile")
+    add_common(p)
+    p.add_argument("--patterns", type=int, default=1 << 13)
+    p.add_argument("--top", type=int, default=10,
+                   help="how many hardest faults to list")
+    p.add_argument("--exhaustive-limit", type=int, default=16,
+                   help="use exhaustive patterns up to this input count")
+    p.set_defaults(func=_cmd_testability)
+
+    p = sub.add_parser("stratified",
+                       help="rare-event (small-eps) reliability estimate")
+    add_common(p)
+    p.add_argument("--eps", default="1e-6")
+    p.add_argument("--max-failures", type=int, default=3)
+    p.add_argument("--patterns", type=int, default=1 << 12)
+    p.add_argument("--samples", type=int, default=200,
+                   help="failure-set samples per stratum")
+    p.set_defaults(func=_cmd_stratified)
+
+    p = sub.add_parser("harden",
+                       help="budgeted reliability-driven hardening")
+    add_common(p)
+    p.add_argument("--eps-value", type=float, default=0.01,
+                   help="baseline per-gate failure probability")
+    p.add_argument("--budget", type=float, default=10.0)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_harden)
+
+    p = sub.add_parser("compare",
+                       help="run every estimator side by side")
+    add_common(p)
+    p.add_argument("--eps", default="0.05")
+    p.add_argument("--patterns", type=int, default=1 << 16)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("report", help="full markdown reliability report")
+    add_common(p)
+    p.add_argument("--out", default=None, help="write to file")
+    p.add_argument("--patterns", type=int, default=1 << 14)
+    p.add_argument("--no-testability", action="store_true")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("convert", help="convert netlist formats")
+    add_common(p)
+    p.add_argument("out", help="output path (.bench / .blif / .v)")
+    p.set_defaults(func=_cmd_convert)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

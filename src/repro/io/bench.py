@@ -1,0 +1,148 @@
+"""ISCAS-85 ``.bench`` netlist reader and writer.
+
+The ``.bench`` format is the lingua franca for the benchmark family the
+paper evaluates (c499, c1355, c1908, ...)::
+
+    # c17
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+
+Files may define gates in any order; the reader resolves forward references
+and rejects combinational cycles.  Sequential elements (DFF) are rejected —
+the paper and this library address combinational reliability.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..circuit import Circuit, CircuitError, GateType, parse_gate_type
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<name>[^\s=()]+)\s*=\s*(?P<op>[A-Za-z0-9_]+)\s*"
+    r"\((?P<args>[^)]*)\)\s*$")
+_DECL_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$",
+                      re.IGNORECASE)
+
+_UNSUPPORTED_OPS = {"dff", "latch", "ff"}
+
+
+class BenchFormatError(CircuitError):
+    """Raised for malformed ``.bench`` input."""
+
+
+def loads_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse a ``.bench`` netlist from a string into a :class:`Circuit`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: Dict[str, Tuple[GateType, List[str]]] = {}
+    order: List[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, node = decl.group(1).upper(), decl.group(2)
+            (inputs if kind == "INPUT" else outputs).append(node)
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+        gate_name = m.group("name")
+        op = m.group("op").lower()
+        if op in _UNSUPPORTED_OPS:
+            raise BenchFormatError(
+                f"line {lineno}: sequential element {op.upper()} is not "
+                f"supported (combinational circuits only)")
+        try:
+            gate_type = parse_gate_type(op)
+        except ValueError as exc:
+            raise BenchFormatError(f"line {lineno}: {exc}") from None
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if gate_name in gates or gate_name in inputs:
+            raise BenchFormatError(
+                f"line {lineno}: node {gate_name!r} defined twice")
+        gates[gate_name] = (gate_type, args)
+        order.append(gate_name)
+
+    circuit = Circuit(name)
+    for pi in inputs:
+        circuit.add_input(pi)
+
+    # Emit gates in dependency order (files may forward-reference).
+    emitted = set(inputs)
+    pending = list(order)
+    while pending:
+        progressed = False
+        still_pending = []
+        for g in pending:
+            gate_type, args = gates[g]
+            if all(a in emitted for a in args):
+                for a in args:
+                    if a not in circuit:
+                        raise BenchFormatError(
+                            f"gate {g!r} references undefined node {a!r}")
+                circuit.add_gate(g, gate_type, args)
+                emitted.add(g)
+                progressed = True
+            else:
+                missing = [a for a in args
+                           if a not in emitted and a not in gates]
+                if missing:
+                    raise BenchFormatError(
+                        f"gate {g!r} references undefined node {missing[0]!r}")
+                still_pending.append(g)
+        if not progressed:
+            raise BenchFormatError(
+                f"combinational cycle involving: {', '.join(still_pending[:5])}")
+        pending = still_pending
+
+    for po in outputs:
+        if po not in circuit:
+            raise BenchFormatError(f"OUTPUT({po}) is undefined")
+        circuit.set_output(po)
+    circuit.validate()
+    return circuit
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return loads_bench(path.read_text(), name=path.stem)
+
+
+def dumps_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text.
+
+    Constants are not representable in ``.bench``; circuits containing
+    CONST0/CONST1 nodes raise :class:`BenchFormatError`.
+    """
+    lines = [f"# {circuit.name}", f"# {len(circuit.inputs)} inputs, "
+             f"{len(circuit.outputs)} outputs, {circuit.num_gates} gates"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({po})")
+    lines.append("")
+    for gname in circuit.topological_gates():
+        node = circuit.node(gname)
+        lines.append(
+            f"{gname} = {node.gate_type.value.upper()}"
+            f"({', '.join(node.fanins)})")
+    for node in circuit:
+        if node.gate_type.is_constant:
+            raise BenchFormatError(
+                f"constant node {node.name!r} cannot be written to .bench")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(dumps_bench(circuit))

@@ -1,0 +1,83 @@
+"""Graphviz DOT writer for circuit visualization.
+
+Renders the netlist DAG (inputs as diamonds, gates as boxes labeled with
+their type, outputs double-circled) and can color nodes by any scalar
+annotation — per-node error probability, observability, criticality —
+turning the reliability analyses into heat maps:
+
+    from repro.io import dumps_dot
+    result = SinglePassAnalyzer(c).run(0.05)
+    text = dumps_dot(c, heat={n: result.node_delta(n) for n in c.gates})
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..circuit import Circuit
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _heat_color(value: float, lo: float, hi: float) -> str:
+    """Map a scalar to a white->red HSV fill."""
+    if hi <= lo:
+        frac = 0.0
+    else:
+        frac = min(1.0, max(0.0, (value - lo) / (hi - lo)))
+    # Hue 0 (red); saturation scales with the value; full brightness.
+    return f"0.000 {frac:.3f} 1.000"
+
+
+def dumps_dot(circuit: Circuit,
+              heat: Optional[Dict[str, float]] = None,
+              heat_label: str = "heat") -> str:
+    """Serialize the circuit as a Graphviz digraph.
+
+    ``heat`` optionally maps node names to scalars rendered as a
+    white-to-red fill (plus a numeric suffix in the node label).
+    """
+    lines = [f"digraph {_quote(circuit.name)} {{",
+             "  rankdir=LR;",
+             "  node [fontname=\"Helvetica\", fontsize=10];"]
+    lo = min(heat.values()) if heat else 0.0
+    hi = max(heat.values()) if heat else 1.0
+    outputs = set(circuit.outputs)
+    for node in circuit:
+        name = node.name
+        attrs = []
+        if node.gate_type.is_input:
+            attrs.append("shape=diamond")
+            label = name
+        elif node.gate_type.is_constant:
+            attrs.append("shape=plaintext")
+            label = "1" if node.gate_type.value == "const1" else "0"
+        else:
+            attrs.append("shape=box")
+            label = f"{name}\\n{node.gate_type.value.upper()}"
+        if name in outputs:
+            attrs.append("peripheries=2")
+        if heat and name in heat:
+            label += f"\\n{heat_label}={heat[name]:.3g}"
+            attrs.append("style=filled")
+            attrs.append(
+                f'fillcolor="{_heat_color(heat[name], lo, hi)}"')
+        attrs.append(f'label="{label}"')
+        lines.append(f"  {_quote(name)} [{', '.join(attrs)}];")
+    for node in circuit:
+        for fi in node.fanins:
+            lines.append(f"  {_quote(fi)} -> {_quote(node.name)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(circuit: Circuit, path: Union[str, Path],
+             heat: Optional[Dict[str, float]] = None,
+             heat_label: str = "heat") -> None:
+    """Write the circuit's DOT rendering to a file."""
+    Path(path).write_text(dumps_dot(circuit, heat=heat,
+                                    heat_label=heat_label))

@@ -1,0 +1,71 @@
+"""Structural Verilog writer (for viewing circuits in standard EDA tools).
+
+Only a writer is provided: the reliability flow consumes ``.bench``/BLIF and
+programmatic circuits; Verilog output exists so that generated benchmark
+stand-ins can be inspected, synthesized, or cross-checked externally.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Union
+
+from ..circuit import Circuit, GateType
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+_GATE_OP = {
+    GateType.AND: " & ",
+    GateType.NAND: " & ",
+    GateType.OR: " | ",
+    GateType.NOR: " | ",
+    GateType.XOR: " ^ ",
+    GateType.XNOR: " ^ ",
+}
+
+_INVERTING = {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+
+
+def _escape(name: str) -> str:
+    """Return a legal Verilog identifier for a netlist node name."""
+    if _ID_RE.match(name):
+        return name
+    return "\\" + name + " "
+
+
+def dumps_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit as a single structural Verilog module."""
+    esc: Dict[str, str] = {n: _escape(n) for n in circuit.topological_order()}
+    module = re.sub(r"[^A-Za-z0-9_]", "_", circuit.name) or "top"
+    ports = [esc[p] for p in circuit.inputs] + [esc[p] for p in circuit.outputs]
+    lines = [f"module {module} ({', '.join(ports)});"]
+    for pi in circuit.inputs:
+        lines.append(f"  input {esc[pi]};")
+    for po in circuit.outputs:
+        lines.append(f"  output {esc[po]};")
+    out_set = set(circuit.outputs)
+    for g in circuit.topological_gates():
+        if g not in out_set:
+            lines.append(f"  wire {esc[g]};")
+    for node in circuit:
+        if node.gate_type.is_input:
+            continue
+        if node.gate_type is GateType.CONST0:
+            expr = "1'b0"
+        elif node.gate_type is GateType.CONST1:
+            expr = "1'b1"
+        elif node.gate_type in (GateType.BUF, GateType.NOT):
+            expr = esc[node.fanins[0]]
+        else:
+            expr = _GATE_OP[node.gate_type].join(esc[f] for f in node.fanins)
+        if node.gate_type in _INVERTING:
+            expr = f"~({expr})"
+        lines.append(f"  assign {esc[node.name]} = {expr};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to a Verilog file."""
+    Path(path).write_text(dumps_verilog(circuit))

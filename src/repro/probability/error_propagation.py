@@ -1,0 +1,309 @@
+"""Core error-propagation math of the single-pass algorithm (paper Table 1).
+
+Given a gate's truth table, its weight vector, and the ``0→1`` / ``1→0``
+error probabilities of its fanins, :func:`weighted_error_components`
+computes the weighted input error vector ``PW`` — the probability that
+input errors alone flip the gate's error-free output — separately for the
+output-0 and output-1 sides.  The paper tabulates this for a 2-input AND
+(Table 1); here it is implemented for arbitrary gate types and arities by
+summing over all (error-free vector, perturbed vector) transitions.
+
+The same function implements the correlation-coefficient weighting of
+Sec. 4.1 / Fig. 4: a ``corr`` callback supplies coefficients between error
+events on wire pairs, and an optional conditioning event ``cond`` scales
+every fanin flip probability by its coefficient with that event (the
+``Pr(l_{0→1} | k_{0→1})`` expansion used when propagating coefficients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+#: Error-event codes: a 0→1 flip and a 1→0 flip.
+EVENT_0TO1 = 0
+EVENT_1TO0 = 1
+
+#: Signature of a correlation-coefficient provider:
+#: ``corr(a, event_a, b, event_b)`` returns the coefficient for the joint
+#: occurrence of the two error events (1.0 for independent wires).
+CorrelationFn = Callable[[str, int, str, int], float]
+
+
+@dataclass(frozen=True)
+class ErrorProbability:
+    """Conditional error probabilities of one wire.
+
+    ``p01`` = Pr[wire reads 1 | its error-free value is 0]; ``p10`` is the
+    symmetric 1→0 probability.  These are the quantities the single pass
+    propagates from inputs to outputs.
+    """
+
+    p01: float = 0.0
+    p10: float = 0.0
+
+    def of_event(self, event: int) -> float:
+        return self.p01 if event == EVENT_0TO1 else self.p10
+
+    def total(self, signal_prob_one: float) -> float:
+        """Unconditional error probability given Pr[wire = 1]."""
+        return ((1.0 - signal_prob_one) * self.p01
+                + signal_prob_one * self.p10)
+
+
+ERROR_FREE = ErrorProbability(0.0, 0.0)
+
+
+def _clamp01(x: float) -> float:
+    if x < 0.0:
+        return 0.0
+    if x > 1.0:
+        return 1.0
+    return x
+
+
+# Per-truth-table transition structure, shared by every gate with the same
+# function: for each error-free input vector v, the tuple
+# (output bit, per-position flip events, perturbations) where perturbations
+# lists, for each output-flipping perturbed vector, the positions that flip.
+_TransitionTable = Tuple[Tuple[int, Tuple[int, ...], Tuple[Tuple[int, ...], ...]], ...]
+_TRANSITION_CACHE: dict = {}
+
+
+def _transition_table(truth: Tuple[int, ...], k: int) -> _TransitionTable:
+    key = (truth, k)
+    table = _TRANSITION_CACHE.get(key)
+    if table is not None:
+        return table
+    rows = []
+    for v in range(1 << k):
+        b = truth[v]
+        events = tuple(EVENT_0TO1 if not ((v >> t) & 1) else EVENT_1TO0
+                       for t in range(k))
+        perturbations = tuple(
+            tuple(t for t in range(k) if ((v ^ vp) >> t) & 1)
+            for vp in range(1 << k) if truth[vp] != b)
+        rows.append((b, events, perturbations))
+    table = tuple(rows)
+    _TRANSITION_CACHE[key] = table
+    return table
+
+
+def transition_probability(v: int, v_perturbed: int,
+                           fanins: Sequence[str],
+                           errors: Mapping[str, ErrorProbability],
+                           corr: Optional[CorrelationFn] = None,
+                           cond: Optional[Tuple[str, int]] = None) -> float:
+    """Probability that fanin errors turn error-free vector ``v`` into
+    ``v_perturbed``.
+
+    Independence across fanins is assumed unless ``corr`` is given, in which
+    case: each pair of *flipping* fanins contributes one pairwise
+    coefficient; each non-flipping fanin's flip probability (inside its
+    ``1 - p`` factor) is scaled by its coefficients with every flipping
+    fanin; and, when ``cond`` names a conditioning error event, every flip
+    probability is additionally scaled by its coefficient with that event —
+    exactly the structure of the paper's Fig. 4 expression.
+    """
+    k = len(fanins)
+    flip_positions = [t for t in range(k)
+                      if ((v >> t) ^ (v_perturbed >> t)) & 1]
+    # The event by which fanin t would leave its error-free value.
+    events = [EVENT_0TO1 if not ((v >> t) & 1) else EVENT_1TO0
+              for t in range(k)]
+
+    term = 1.0
+    for t in flip_positions:
+        p = errors[fanins[t]].of_event(events[t])
+        if corr is not None and cond is not None:
+            p *= corr(fanins[t], events[t], cond[0], cond[1])
+        term *= _clamp01(p)
+        if term == 0.0:
+            return 0.0
+    if corr is not None:
+        for a in range(len(flip_positions)):
+            for b in range(a + 1, len(flip_positions)):
+                ta, tb = flip_positions[a], flip_positions[b]
+                term *= corr(fanins[ta], events[ta], fanins[tb], events[tb])
+        term = max(0.0, term)
+        if term == 0.0:
+            return 0.0
+    flips = set(flip_positions)
+    for t in range(k):
+        if t in flips:
+            continue
+        p = errors[fanins[t]].of_event(events[t])
+        if p > 0.0 and corr is not None:
+            scale = 1.0
+            if cond is not None:
+                scale *= corr(fanins[t], events[t], cond[0], cond[1])
+            for u in flip_positions:
+                scale *= corr(fanins[t], events[t], fanins[u], events[u])
+                if scale > 1e12:
+                    scale = 1e12  # overflow guard; clamped below anyway
+            p = _clamp01(p * scale)
+        term *= 1.0 - p
+    return max(0.0, term)
+
+
+def weighted_error_components(truth: Sequence[int],
+                              weights: Sequence[float],
+                              fanins: Sequence[str],
+                              errors: Mapping[str, ErrorProbability],
+                              corr: Optional[CorrelationFn] = None,
+                              cond: Optional[Tuple[str, int]] = None
+                              ) -> Tuple[float, float, float, float]:
+    """Compute ``(PW(0), W(0), PW(1), W(1))`` for one gate.
+
+    ``PW(b)`` is the total weighted probability that input errors flip the
+    output away from error-free value ``b``; ``W(b)`` is the total weight of
+    input vectors with output ``b`` (paper Sec. 4, items i–ii).
+    """
+    k = len(fanins)
+    table = _transition_table(tuple(truth), k)
+    # Per-fanin (p01, p10), fetched once.
+    probs = [(errors[f].p01, errors[f].p10) for f in fanins]
+    pw = [0.0, 0.0]
+    w_side = [0.0, 0.0]
+
+    if corr is None:
+        # Independence fast path (plain Sec. 4 algorithm).
+        for v in range(1 << k):
+            b, events, perturbations = table[v]
+            w = weights[v]
+            w_side[b] += w
+            if w == 0.0:
+                continue
+            flip_prob = 0.0
+            for flips in perturbations:
+                term = 1.0
+                for t in range(k):
+                    p = probs[t][events[t]]
+                    term *= p if t in flips else 1.0 - p
+                    if term == 0.0:
+                        break
+                flip_prob += term
+            pw[b] += w * min(1.0, flip_prob)
+        return pw[0], w_side[0], pw[1], w_side[1]
+
+    for v in range(1 << k):
+        b, events, perturbations = table[v]
+        w = weights[v]
+        w_side[b] += w
+        if w == 0.0:
+            continue
+        flip_prob = 0.0
+        for flips in perturbations:
+            flip_prob += _correlated_transition(
+                k, flips, events, fanins, probs, corr, cond)
+        pw[b] += w * min(1.0, flip_prob)
+    return pw[0], w_side[0], pw[1], w_side[1]
+
+
+def _correlated_transition(k: int,
+                           flips: Tuple[int, ...],
+                           events: Tuple[int, ...],
+                           fanins: Sequence[str],
+                           probs: Sequence[Tuple[float, float]],
+                           corr: CorrelationFn,
+                           cond: Optional[Tuple[str, int]]) -> float:
+    """One perturbation's probability with correlation weighting."""
+    term = 1.0
+    min_flip = 1.0
+    for t in flips:
+        p = probs[t][events[t]]
+        if cond is not None:
+            p *= corr(fanins[t], events[t], cond[0], cond[1])
+        p = _clamp01(p)
+        if p < min_flip:
+            min_flip = p
+        term *= p
+        if term == 0.0:
+            return 0.0
+    n_flips = len(flips)
+    for a in range(n_flips):
+        for b2 in range(a + 1, n_flips):
+            ta, tb = flips[a], flips[b2]
+            term *= corr(fanins[ta], events[ta], fanins[tb], events[tb])
+            if term > 1e12:
+                term = 1e12  # cap intermediates; a later factor may be 0
+    if term <= 0.0:
+        return 0.0
+    # Feasibility: the joint of all flips can never exceed any single flip
+    # probability.  Products of several large pairwise coefficients (3-way
+    # correlated cliques, e.g. TMR voters) would otherwise overshoot.
+    if term > min_flip:
+        term = min_flip
+    for t in range(k):
+        if t in flips:
+            continue
+        p = probs[t][events[t]]
+        if p > 0.0:
+            scale = 1.0
+            if cond is not None:
+                scale *= corr(fanins[t], events[t], cond[0], cond[1])
+            for u in flips:
+                scale *= corr(fanins[t], events[t], fanins[u], events[u])
+                if scale > 1e12:
+                    scale = 1e12  # overflow guard; clamped below anyway
+            p = _clamp01(p * scale)
+        term *= 1.0 - p
+    return max(0.0, term)
+
+
+def combine_with_local_failure(pw0: float, w0: float,
+                               pw1: float, w1: float,
+                               eps: float,
+                               eps10: Optional[float] = None
+                               ) -> ErrorProbability:
+    """Fold the local gate failure into the propagated components.
+
+    Implements the paper's item (iii):
+    ``Pr(g_{0→1}) = (1-eps) PW(0)/W(0) + eps (1 - PW(0)/W(0))`` and its
+    1→0 counterpart.  A side with zero weight (output constant on that
+    side) is conventionally assigned the pure local failure probability —
+    downstream terms give it zero weight, so the value never matters.
+
+    With ``eps10`` the local channel is *asymmetric*: the gate's computed
+    output flips 0→1 with probability ``eps`` and 1→0 with ``eps10`` (the
+    BSC acts on the computed value, so when input errors already flipped
+    the output to 1, staying wrong means *not* suffering a 1→0 flip):
+
+        Pr(g 0→1) = r0 (1 - eps10) + (1 - r0) eps01.
+    """
+    e01 = eps
+    e10 = eps if eps10 is None else eps10
+    r0 = _clamp01(pw0 / w0) if w0 > 0.0 else 0.0
+    r1 = _clamp01(pw1 / w1) if w1 > 0.0 else 0.0
+    return ErrorProbability(
+        p01=r0 * (1.0 - e10) + (1.0 - r0) * e01,
+        p10=r1 * (1.0 - e01) + (1.0 - r1) * e10,
+    )
+
+
+def conditional_error_probability(side: int,
+                                  truth: Sequence[int],
+                                  weights: Sequence[float],
+                                  fanins: Sequence[str],
+                                  errors: Mapping[str, ErrorProbability],
+                                  eps: float,
+                                  corr: Optional[CorrelationFn],
+                                  cond: Tuple[str, int],
+                                  eps10: Optional[float] = None) -> float:
+    """``Pr(g flips from side | cond event)`` — the Fig. 4 expansion.
+
+    Used by the correlation engine when propagating coefficients through a
+    gate: ``eps + (1 - 2 eps) * PW(side | cond) / W(side)`` (symmetric
+    case; the asymmetric generalization substitutes the directional local
+    flip probabilities).
+    """
+    e01 = eps
+    e10 = eps if eps10 is None else eps10
+    pw0, w0, pw1, w1 = weighted_error_components(
+        truth, weights, fanins, errors, corr=corr, cond=cond)
+    pw, w = (pw0, w0) if side == 0 else (pw1, w1)
+    local = e01 if side == 0 else e10
+    if w <= 0.0:
+        return local
+    r = _clamp01(pw / w)
+    return _clamp01(local + r * (1.0 - e01 - e10))

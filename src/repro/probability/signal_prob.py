@@ -1,0 +1,192 @@
+"""Signal probability estimation (Pr[node = 1] in the error-free circuit).
+
+Three estimators with one interface:
+
+* :func:`exact_signal_probabilities` — BDD-based, exact;
+* :func:`sampled_signal_probabilities` — bit-parallel random simulation;
+* :class:`CorrelationSignalProbability` — the Ercolani et al. (ETC 1989)
+  analytic method the paper cites as [8]: one topological pass propagating
+  signal probabilities together with pairwise *correlation coefficients*
+  ``C_ab = Pr(a=1, b=1) / (Pr(a=1) Pr(b=1))`` so reconvergent fanout does
+  not corrupt the estimates.  The error-event correlation machinery of
+  Sec. 4.1 is the direct generalization of this class (four coefficients
+  per pair instead of one), so it also serves as its reference
+  implementation at the signal level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bdd import CircuitBdds, build_node_bdds
+from ..circuit import Circuit, truth_table
+from ..circuit.analysis import support_bitsets
+from ..sim.simulator import signal_probabilities as _sim_signal_probabilities
+
+
+def exact_signal_probabilities(circuit: Circuit,
+                               bdds: Optional[CircuitBdds] = None,
+                               input_probs: Optional[Dict[str, float]] = None
+                               ) -> Dict[str, float]:
+    """Exact Pr[node = 1] for every node, via BDDs."""
+    if bdds is None:
+        bdds = build_node_bdds(circuit)
+    return {name: bdds.signal_probability(name, input_probs)
+            for name in circuit.topological_order()}
+
+
+def sampled_signal_probabilities(circuit: Circuit,
+                                 n_patterns: int = 1 << 16,
+                                 seed: int = 0,
+                                 input_probs: Optional[Dict[str, float]] = None
+                                 ) -> Dict[str, float]:
+    """Sampled Pr[node = 1] via bit-parallel random-pattern simulation."""
+    rng = np.random.default_rng(seed)
+    return _sim_signal_probabilities(circuit, n_patterns=n_patterns, rng=rng,
+                                     input_probs=input_probs)
+
+
+def _safe_div(num: float, den: float) -> float:
+    return num / den if den > 0.0 else 1.0
+
+
+class CorrelationSignalProbability:
+    """Analytic signal probabilities with pairwise correlation coefficients.
+
+    One topological pass computes ``Pr[node = 1]``; pairwise coefficients
+    between wires are computed lazily (memoized) only when a reconvergent
+    gate actually needs them, keeping the cost near-linear on circuits with
+    sparse reconvergence.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyze.
+    input_probs:
+        Optional per-input 1-probabilities (default 0.5 each).
+    """
+
+    def __init__(self, circuit: Circuit,
+                 input_probs: Optional[Dict[str, float]] = None):
+        self.circuit = circuit
+        self._support = support_bitsets(circuit)
+        self._topo_pos = {name: i
+                          for i, name in enumerate(circuit.topological_order())}
+        self._corr_cache: Dict[Tuple[str, str], float] = {}
+        self.prob: Dict[str, float] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type.is_input:
+                self.prob[name] = (input_probs or {}).get(name, 0.5)
+            elif node.gate_type.is_constant:
+                self.prob[name] = float(node.gate_type.value == "const1")
+            else:
+                self.prob[name] = self._gate_prob(name, cond=None)
+
+    # ------------------------------------------------------------------
+    def signal_probability(self, name: str) -> float:
+        """Estimated Pr[node = 1]."""
+        return self.prob[name]
+
+    def correlation(self, a: str, b: str) -> float:
+        """Coefficient ``C_ab = Pr(a=1, b=1) / (Pr(a=1) Pr(b=1))``.
+
+        Independent (support-disjoint) wires return exactly 1.
+        """
+        if a == b:
+            return _safe_div(1.0, self.prob[a])
+        if not (self._support[a] & self._support[b]):
+            return 1.0
+        if self._topo_pos[a] < self._topo_pos[b]:
+            a, b = b, a
+        key = (a, b)
+        cached = self._corr_cache.get(key)
+        if cached is not None:
+            return cached
+        # a is the later wire; expand it through its gate conditioned on b=1.
+        node = self.circuit.node(a)
+        if not node.gate_type.is_logic:
+            # Distinct input/constant wires with overlapping support cannot
+            # occur; treat defensively as independent.
+            result = 1.0
+        else:
+            cond_prob = self._gate_prob(a, cond=b)
+            result = _safe_div(cond_prob, self.prob[a])
+        self._corr_cache[key] = result
+        return result
+
+    def joint(self, a: str, b: str) -> float:
+        """Estimated Pr(a=1, b=1)."""
+        return min(1.0, self.prob[a] * self.prob[b] * self.correlation(a, b))
+
+    # ------------------------------------------------------------------
+    def _pair_value_corr(self, i: str, vi: int, j: str, vj: int) -> float:
+        """Correlation coefficient for events (i == vi) and (j == vj).
+
+        Derived from the 1-1 coefficient through the marginal identities;
+        e.g. ``Pr(i=1, j=0) = Pr(i=1) - Pr(i=1, j=1)``.
+        """
+        pi, pj = self.prob[i], self.prob[j]
+        c11 = self.correlation(i, j)
+        if vi and vj:
+            return c11
+        if vi and not vj:
+            return _safe_div(1.0 - pj * c11, 1.0 - pj)
+        if not vi and vj:
+            return _safe_div(1.0 - pi * c11, 1.0 - pi)
+        return _safe_div(1.0 - pi - pj + pi * pj * c11,
+                         (1.0 - pi) * (1.0 - pj))
+
+    def _cond_value_prob(self, i: str, vi: int, cond: Optional[str]) -> float:
+        """Pr(i == vi | cond = 1) under pairwise scaling (cond None: marginal)."""
+        p = self.prob[i] if vi else 1.0 - self.prob[i]
+        if cond is None or cond == i:
+            if cond == i:
+                return 1.0 if vi else 0.0
+            return p
+        scaled = p * self._pair_value_corr(i, vi, cond, 1)
+        return min(1.0, max(0.0, scaled))
+
+    def _gate_prob(self, gate: str, cond: Optional[str]) -> float:
+        """Pr(gate = 1 | cond = 1) with pairwise-corrected input joints."""
+        node = self.circuit.node(gate)
+        fanins = node.fanins
+        k = len(fanins)
+        truth = truth_table(node.gate_type, k)
+        total = 0.0
+        for v in range(1 << k):
+            if not truth[v]:
+                continue
+            term = 1.0
+            for t in range(k):
+                term *= self._cond_value_prob(fanins[t], (v >> t) & 1, cond)
+                if term == 0.0:
+                    break
+            if term == 0.0:
+                continue
+            for t in range(k):
+                for u in range(t + 1, k):
+                    if fanins[t] == fanins[u]:
+                        # Same wire twice: joint collapses; approximate by
+                        # dividing out one marginal.
+                        vt, vu = (v >> t) & 1, (v >> u) & 1
+                        if vt != vu:
+                            term = 0.0
+                        else:
+                            term = _safe_div(
+                                term,
+                                self._cond_value_prob(fanins[t], vt, cond))
+                        continue
+                    term *= self._pair_value_corr(
+                        fanins[t], (v >> t) & 1, fanins[u], (v >> u) & 1)
+            total += max(0.0, term)
+        return min(1.0, max(0.0, total))
+
+
+def correlation_signal_probabilities(circuit: Circuit,
+                                     input_probs: Optional[Dict[str, float]]
+                                     = None) -> Dict[str, float]:
+    """Convenience wrapper returning the Ercolani-style estimates as a dict."""
+    return dict(CorrelationSignalProbability(circuit, input_probs).prob)

@@ -1,0 +1,177 @@
+"""Gate weight vectors: joint signal probability distributions of gate inputs.
+
+The single-pass algorithm (paper Sec. 4) consumes, for every gate, a *weight
+vector* ``W``: the probability of each error-free input combination.  For a
+2-input gate ``W`` has four entries ``W00, W01, W10, W11`` (index bit ``t``
+is fanin ``t``'s value).  Weight vectors depend only on circuit structure —
+never on the gate failure probabilities — so they are computed once and
+reused across reliability sweeps, exactly as the paper prescribes.
+
+Three interchangeable sources are provided:
+
+* :func:`bdd_weight_vectors` — exact, symbolic (the paper's BDD route);
+* :func:`exhaustive_weight_vectors` — exact, via full-enumeration bit-parallel
+  simulation (practical up to ~26 inputs);
+* :func:`sampled_weight_vectors` — estimated from random-pattern simulation
+  (the paper's other route; scales to any circuit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..bdd import BddSizeLimitError, CircuitBdds, build_node_bdds
+from ..circuit import Circuit
+from ..sim import patterns
+from ..sim.simulator import exhaustive_simulate, simulate
+
+
+@dataclass
+class WeightData:
+    """Weight vectors for every gate plus per-node signal probabilities.
+
+    Attributes
+    ----------
+    weights:
+        ``weights[gate][v]`` is the probability that the error-free values
+        of the gate's fanins equal the bit-pattern ``v`` (bit ``t`` of ``v``
+        = fanin ``t``).  Entries sum to 1 per gate.
+    signal_prob:
+        ``signal_prob[node]`` = Pr[node = 1] error-free.  Needed for the
+        final weighting ``delta_y = Pr(y=0) Pr(y01) + Pr(y=1) Pr(y10)``.
+    source:
+        Which estimator produced the data ("bdd", "exhaustive", "sampled").
+    """
+
+    weights: Dict[str, np.ndarray]
+    signal_prob: Dict[str, float]
+    source: str = "unknown"
+
+    def weight(self, gate: str) -> np.ndarray:
+        return self.weights[gate]
+
+    def output_side_weight(self, gate: str, truth: tuple, side: int) -> float:
+        """Total weight W(side) of input vectors producing output ``side``."""
+        w = self.weights[gate]
+        return float(sum(w[v] for v in range(len(w)) if truth[v] == side))
+
+
+def bdd_weight_vectors(circuit: Circuit,
+                       bdds: Optional[CircuitBdds] = None,
+                       input_probs: Optional[Dict[str, float]] = None
+                       ) -> WeightData:
+    """Exact weight vectors via BDDs (paper Sec. 4, symbolic route).
+
+    May raise :class:`~repro.bdd.BddSizeLimitError` on circuits whose BDDs
+    blow up; callers then fall back to :func:`sampled_weight_vectors`.
+    """
+    if bdds is None:
+        bdds = build_node_bdds(circuit)
+    probs = [0.5] * bdds.manager.num_vars
+    if input_probs:
+        for name, p in input_probs.items():
+            probs[bdds.var_index[name]] = p
+
+    signal_prob = {name: bdds[name].probability(probs)
+                   for name in circuit.topological_order()}
+    weights: Dict[str, np.ndarray] = {}
+    for gate in circuit.topological_gates():
+        fanins = circuit.fanins(gate)
+        k = len(fanins)
+        vec = np.zeros(1 << k)
+        for v in range(1 << k):
+            acc = None
+            for t, fi in enumerate(fanins):
+                lit = bdds[fi] if (v >> t) & 1 else ~bdds[fi]
+                acc = lit if acc is None else acc & lit
+            vec[v] = acc.probability(probs) if acc is not None else 1.0
+        weights[gate] = vec
+    return WeightData(weights=weights, signal_prob=signal_prob, source="bdd")
+
+
+def _weights_from_packs(circuit: Circuit,
+                        values: Dict[str, np.ndarray],
+                        n_patterns: int,
+                        source: str) -> WeightData:
+    """Count joint input combinations per gate from simulated packs."""
+    signal_prob = {
+        name: patterns.masked_popcount(pack, n_patterns) / n_patterns
+        for name, pack in values.items()}
+    weights: Dict[str, np.ndarray] = {}
+    for gate in circuit.topological_gates():
+        fanins = circuit.fanins(gate)
+        k = len(fanins)
+        vec = np.zeros(1 << k)
+        for v in range(1 << k):
+            acc = None
+            for t, fi in enumerate(fanins):
+                pack = values[fi]
+                word = pack if (v >> t) & 1 else np.bitwise_not(pack)
+                acc = word.copy() if acc is None else np.bitwise_and(acc, word)
+            count = patterns.masked_popcount(acc, n_patterns)
+            vec[v] = count / n_patterns
+        weights[gate] = vec
+    return WeightData(weights=weights, signal_prob=signal_prob, source=source)
+
+
+def exhaustive_weight_vectors(circuit: Circuit) -> WeightData:
+    """Exact weight vectors by enumerating all input vectors (<= 26 inputs)."""
+    values = exhaustive_simulate(circuit)
+    n_patterns = max(64, 1 << len(circuit.inputs))
+    return _weights_from_packs(circuit, values, n_patterns, "exhaustive")
+
+
+def sampled_weight_vectors(circuit: Circuit,
+                           n_patterns: int = 1 << 16,
+                           rng: Optional[np.random.Generator] = None,
+                           seed: int = 0,
+                           input_probs: Optional[Dict[str, float]] = None
+                           ) -> WeightData:
+    """Weight vectors estimated from random-pattern simulation."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    n_words = patterns.words_for_patterns(n_patterns)
+    pack = patterns.random_pack(circuit.inputs, n_words, rng, input_probs)
+    values = simulate(circuit, pack)
+    return _weights_from_packs(circuit, values, n_patterns, "sampled")
+
+
+def compute_weights(circuit: Circuit,
+                    method: str = "auto",
+                    n_patterns: int = 1 << 16,
+                    seed: int = 0,
+                    bdd_node_limit: int = 500_000,
+                    input_probs: Optional[Dict[str, float]] = None
+                    ) -> WeightData:
+    """Pick a weight-vector estimator suited to the circuit size.
+
+    ``method`` is one of ``"auto"``, ``"bdd"``, ``"exhaustive"``,
+    ``"sampled"``.  Auto prefers exact enumeration for small input counts,
+    then BDDs (abandoning them if they exceed ``bdd_node_limit`` nodes),
+    then sampling.  A non-uniform ``input_probs`` distribution rules out
+    the exhaustive (uniform-enumeration) route.
+    """
+    if method == "bdd":
+        return bdd_weight_vectors(circuit, input_probs=input_probs)
+    if method == "exhaustive":
+        if input_probs:
+            raise ValueError(
+                "exhaustive weights assume uniform inputs; use bdd/sampled")
+        return exhaustive_weight_vectors(circuit)
+    if method == "sampled":
+        return sampled_weight_vectors(circuit, n_patterns=n_patterns,
+                                      seed=seed, input_probs=input_probs)
+    if method != "auto":
+        raise ValueError(f"unknown weight method {method!r}")
+    if len(circuit.inputs) <= 20 and not input_probs:
+        return exhaustive_weight_vectors(circuit)
+    try:
+        from ..bdd import BddManager
+        bdds = build_node_bdds(circuit, BddManager(node_limit=bdd_node_limit))
+        return bdd_weight_vectors(circuit, bdds=bdds,
+                                  input_probs=input_probs)
+    except BddSizeLimitError:
+        return sampled_weight_vectors(circuit, n_patterns=n_patterns,
+                                      seed=seed, input_probs=input_probs)

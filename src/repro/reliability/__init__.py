@@ -1,0 +1,66 @@
+"""Reliability analysis algorithms: the paper's core contribution."""
+
+from .observability import (
+    bdd_observabilities,
+    compute_observabilities,
+    sampled_observabilities,
+)
+from .closed_form import (
+    MultiOutputObservabilityModel,
+    ObservabilityModel,
+    closed_form_delta,
+)
+from .single_pass import (
+    SinglePassAnalyzer,
+    SinglePassResult,
+    single_pass_reliability,
+)
+from .exact import (
+    ExactResult,
+    bdd_exact_reliability,
+    evaluate_polynomial,
+    exhaustive_exact_reliability,
+    fixed_failure_error_probability,
+    frontier_exact_reliability,
+    reliability_polynomial,
+)
+from .ptm import PtmWidthError, ptm_reliability
+from .consolidated import (
+    ConsolidatedAnalyzer,
+    ConsolidatedResult,
+    consolidated_curve,
+    output_joint_distributions,
+)
+from .sensitivity import (
+    asymmetry_report,
+    epsilon_map,
+    rank_critical_gates,
+    single_pass_sensitivities,
+)
+from .comparison import Comparison, MethodRow, compare_methods
+from .analytical import (
+    compositional_delta,
+    multiplexing_trajectory,
+    nand_excitation_step,
+    nand_fixed_points,
+    von_neumann_threshold,
+)
+
+__all__ = [
+    "bdd_observabilities", "compute_observabilities",
+    "sampled_observabilities",
+    "MultiOutputObservabilityModel", "ObservabilityModel",
+    "closed_form_delta",
+    "SinglePassAnalyzer", "SinglePassResult", "single_pass_reliability",
+    "ExactResult", "bdd_exact_reliability", "evaluate_polynomial",
+    "exhaustive_exact_reliability", "fixed_failure_error_probability",
+    "frontier_exact_reliability", "reliability_polynomial",
+    "PtmWidthError", "ptm_reliability",
+    "ConsolidatedAnalyzer", "ConsolidatedResult", "consolidated_curve",
+    "output_joint_distributions",
+    "asymmetry_report", "epsilon_map", "rank_critical_gates",
+    "single_pass_sensitivities",
+    "Comparison", "MethodRow", "compare_methods",
+    "compositional_delta", "multiplexing_trajectory",
+    "nand_excitation_step", "nand_fixed_points", "von_neumann_threshold",
+]

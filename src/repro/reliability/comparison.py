@@ -1,0 +1,141 @@
+"""Side-by-side comparison of every reliability estimator on one circuit.
+
+:func:`compare_methods` runs the applicable subset of the library's
+analyses — single-pass with and without correlation coefficients, the
+observability closed form, the naive compositional baseline, Monte Carlo,
+the stratified estimator, and an exact oracle when the circuit is small
+enough — and returns one row per method with its delta estimates and
+runtime.  This powers ``python -m repro compare`` and gives new users a
+one-call overview of the accuracy/cost landscape the paper maps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..sim import monte_carlo_reliability, stratified_reliability
+from ..sim.montecarlo import EpsilonSpec
+from .analytical import compositional_delta
+from .closed_form import ObservabilityModel
+from .exact import exhaustive_exact_reliability
+from .single_pass import SinglePassAnalyzer
+
+
+@dataclass
+class MethodRow:
+    """One estimator's result on the comparison circuit."""
+
+    method: str
+    per_output: Dict[str, float]
+    seconds: float
+    note: str = ""
+
+    def mean_delta(self) -> float:
+        return float(np.mean(list(self.per_output.values())))
+
+
+@dataclass
+class Comparison:
+    """All rows plus the designated reference for error reporting."""
+
+    circuit_name: str
+    eps: float
+    rows: List[MethodRow] = field(default_factory=list)
+    reference: Optional[str] = None
+
+    def row(self, method: str) -> MethodRow:
+        for r in self.rows:
+            if r.method == method:
+                return r
+        raise KeyError(method)
+
+    def errors_vs_reference(self) -> Dict[str, float]:
+        """Mean relative % error of each method against the reference."""
+        if self.reference is None:
+            raise ValueError("no reference method available")
+        ref = self.row(self.reference).per_output
+        result = {}
+        for r in self.rows:
+            if r.method == self.reference:
+                continue
+            errs = [abs(r.per_output[o] - ref[o]) / max(ref[o], 1e-12) * 100
+                    for o in ref]
+            result[r.method] = float(np.mean(errs))
+        return result
+
+    def as_table(self) -> str:
+        lines = [f"method comparison — {self.circuit_name}, eps={self.eps}",
+                 f"{'method':24s} {'mean delta':>11s} {'seconds':>9s}  note"]
+        for r in self.rows:
+            lines.append(f"{r.method:24s} {r.mean_delta():11.6f} "
+                         f"{r.seconds:9.3f}  {r.note}")
+        if self.reference:
+            lines.append(f"\nmean % error vs {self.reference}:")
+            for method, err in self.errors_vs_reference().items():
+                lines.append(f"  {method:22s} {err:8.2f}%")
+        return "\n".join(lines)
+
+
+def compare_methods(circuit: Circuit,
+                    eps: float,
+                    mc_patterns: int = 1 << 16,
+                    exact_gate_limit: int = 14,
+                    level_gap: Optional[int] = 8,
+                    seed: int = 0) -> Comparison:
+    """Run every applicable estimator on one circuit at one uniform eps."""
+    comparison = Comparison(circuit_name=circuit.name, eps=eps)
+
+    def timed(method: str, fn, note: str = "") -> None:
+        t0 = time.perf_counter()
+        per_output = fn()
+        comparison.rows.append(MethodRow(
+            method=method, per_output=per_output,
+            seconds=time.perf_counter() - t0, note=note))
+
+    if circuit.num_gates <= exact_gate_limit:
+        timed("exact (exhaustive)",
+              lambda: exhaustive_exact_reliability(circuit, eps).per_output,
+              note="ground truth")
+        comparison.reference = "exact (exhaustive)"
+
+    timed("monte carlo",
+          lambda: monte_carlo_reliability(
+              circuit, eps, n_patterns=mc_patterns,
+              seed=seed).per_output,
+          note=f"{mc_patterns} patterns")
+    if comparison.reference is None:
+        comparison.reference = "monte carlo"
+
+    analyzer = SinglePassAnalyzer(circuit, seed=seed,
+                                  max_correlation_level_gap=level_gap)
+    timed("single-pass (corr)", lambda: analyzer.run(eps).per_output,
+          note="Sec. 4 + 4.1")
+    plain = SinglePassAnalyzer(circuit, weights=analyzer.weights,
+                               use_correlation=False)
+    timed("single-pass (indep)", lambda: plain.run(eps).per_output,
+          note="Sec. 4 only")
+
+    def closed() -> Dict[str, float]:
+        result = {}
+        for out in circuit.outputs:
+            model = ObservabilityModel(circuit, output=out,
+                                       method="sampled",
+                                       n_patterns=1 << 13, seed=seed)
+            result[out] = model.delta(eps)
+        return result
+
+    timed("closed form", closed, note="Sec. 3, Eqn. 3")
+    timed("compositional", lambda: compositional_delta(circuit, eps),
+          note="prior analytical rules")
+    if eps <= 0.05:
+        timed("stratified MC",
+              lambda: stratified_reliability(
+                  circuit, eps, max_failures=3, n_patterns=1 << 12,
+                  samples_per_stratum=100, seed=seed).per_output,
+              note="rare-event regime")
+    return comparison

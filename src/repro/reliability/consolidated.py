@@ -1,0 +1,169 @@
+"""Consolidated multi-output error probability (paper Sec. 5.1, Figs. 5/8).
+
+The *consolidated output error* is the probability that at least one
+primary output is in error.  The paper obtains it "by performing
+correlation-based analysis described in Sec. 4.1 on the individual
+delta curves"; concretely, for outputs ``a`` and ``b`` the joint error
+probability expands over the four error-free value combinations:
+
+    Pr(e_a, e_b) = sum_{va, vb} Pr(y_a = va, y_b = vb)
+                   * Pr(a errs from va) * Pr(b errs from vb)
+                   * C(a's event, b's event)
+
+with ``C`` the Sec. 4.1 error-event correlation coefficient.  Two outputs
+then consolidate by inclusion–exclusion; for more outputs the pairwise
+no-error correlation factors chain multiplicatively (documented
+approximation; the Monte Carlo ``any_output`` estimate is the reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..probability.error_propagation import EVENT_0TO1, EVENT_1TO0
+from ..sim import patterns
+from ..sim.simulator import CompiledCircuit, exhaustive_simulate
+from .single_pass import SinglePassAnalyzer, SinglePassResult
+
+PairJoint = Dict[Tuple[str, str], np.ndarray]
+
+
+def output_joint_distributions(circuit: Circuit,
+                               n_patterns: Optional[int] = None,
+                               seed: int = 0) -> PairJoint:
+    """Joint error-free value distribution for every output pair.
+
+    Returns ``{(a, b): array of 4}`` where index ``va + 2*vb`` holds
+    ``Pr(y_a = va, y_b = vb)``.  Exact by exhaustive simulation up to 26
+    inputs, sampled otherwise.  Like weight vectors, these depend only on
+    structure and are computed once per circuit.
+    """
+    if n_patterns is None and len(circuit.inputs) <= 26:
+        values = exhaustive_simulate(circuit)
+        total = max(64, 1 << len(circuit.inputs))
+    else:
+        n = n_patterns or (1 << 16)
+        rng = np.random.default_rng(seed)
+        n_words = patterns.words_for_patterns(n)
+        pack = patterns.random_pack(circuit.inputs, n_words, rng)
+        compiled = CompiledCircuit(circuit)
+        run = compiled.run(pack)
+        values = {name: run[slot] for name, slot in compiled.output_slots}
+        total = n
+    joint: PairJoint = {}
+    for a, b in combinations(circuit.outputs, 2):
+        wa, wb = values[a], values[b]
+        counts = np.zeros(4)
+        for va in (0, 1):
+            for vb in (0, 1):
+                word = np.bitwise_and(wa if va else np.bitwise_not(wa),
+                                      wb if vb else np.bitwise_not(wb))
+                counts[va + 2 * vb] = (
+                    patterns.masked_popcount(word, total)
+                    if total >= 64 else patterns.popcount(word))
+        joint[(a, b)] = counts / counts.sum()
+    return joint
+
+
+@dataclass
+class ConsolidatedResult:
+    """Consolidated (any-output) error probability and its ingredients."""
+
+    #: Per-output delta (copied from the single-pass result).
+    per_output: Dict[str, float]
+    #: Pr[at least one output errs], with pairwise correlation correction.
+    any_output: float
+    #: Pr[at least one output errs] under full output independence.
+    any_output_independent: float
+    #: Pairwise joint error probabilities Pr(e_a and e_b).
+    pairwise_joint_error: Dict[Tuple[str, str], float]
+
+
+class ConsolidatedAnalyzer:
+    """Computes consolidated output error curves analytically.
+
+    Wraps a :class:`SinglePassAnalyzer`; the output-pair joint value
+    distributions are computed once at construction.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 analyzer: Optional[SinglePassAnalyzer] = None,
+                 joint: Optional[PairJoint] = None,
+                 n_patterns: Optional[int] = None,
+                 seed: int = 0,
+                 **analyzer_kwargs):
+        self.circuit = circuit
+        self.analyzer = analyzer if analyzer is not None else (
+            SinglePassAnalyzer(circuit, seed=seed, **analyzer_kwargs))
+        self.joint = joint if joint is not None else (
+            output_joint_distributions(circuit, n_patterns=n_patterns,
+                                       seed=seed))
+
+    def consolidate(self, result: SinglePassResult) -> ConsolidatedResult:
+        """Consolidate an existing single-pass result."""
+        outputs = list(result.per_output)
+        delta = result.per_output
+        engine = result.correlation_engine
+        pair_error: Dict[Tuple[str, str], float] = {}
+        no_error = 1.0
+        for out in outputs:
+            no_error *= 1.0 - delta[out]
+        correction = 1.0
+        for a, b in combinations(outputs, 2):
+            joint_ab = self._pair_joint_error(a, b, result, engine)
+            pair_error[(a, b)] = joint_ab
+            none_ab = max(0.0, 1.0 - delta[a] - delta[b] + joint_ab)
+            denom = (1.0 - delta[a]) * (1.0 - delta[b])
+            if denom > 0.0:
+                correction *= none_ab / denom
+        corrected_none = min(1.0, max(0.0, no_error * correction))
+        return ConsolidatedResult(
+            per_output=dict(delta),
+            any_output=1.0 - corrected_none,
+            any_output_independent=1.0 - no_error,
+            pairwise_joint_error=pair_error,
+        )
+
+    def run(self, eps) -> ConsolidatedResult:
+        """Single-pass analysis + consolidation for one eps vector."""
+        return self.consolidate(self.analyzer.run(eps))
+
+    def curve(self, eps_values) -> Dict[float, float]:
+        """Consolidated any-output error over an eps sweep."""
+        return {e: self.run(e).any_output for e in eps_values}
+
+    # ------------------------------------------------------------------
+    def _pair_joint_error(self, a: str, b: str,
+                          result: SinglePassResult, engine) -> float:
+        key = (a, b) if (a, b) in self.joint else (b, a)
+        if key == (b, a):
+            a, b = b, a
+        dist = self.joint[key]
+        ea, eb_ = result.node_errors[a], result.node_errors[b]
+        total = 0.0
+        for va in (0, 1):
+            for vb in (0, 1):
+                p_values = dist[va + 2 * vb]
+                if p_values == 0.0:
+                    continue
+                event_a = EVENT_1TO0 if va else EVENT_0TO1
+                event_b = EVENT_1TO0 if vb else EVENT_0TO1
+                pa = ea.of_event(event_a)
+                pb = eb_.of_event(event_b)
+                if pa == 0.0 or pb == 0.0:
+                    continue
+                c = engine(a, event_a, b, event_b) if engine else 1.0
+                total += p_values * min(min(pa, pb), pa * pb * c)
+        return min(total, min(result.per_output[a], result.per_output[b]))
+
+
+def consolidated_curve(circuit: Circuit, eps_values, seed: int = 0,
+                       **analyzer_kwargs) -> Dict[float, float]:
+    """Convenience: consolidated any-output error curve for a circuit."""
+    analyzer = ConsolidatedAnalyzer(circuit, seed=seed, **analyzer_kwargs)
+    return analyzer.curve(eps_values)

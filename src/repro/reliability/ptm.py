@@ -1,0 +1,172 @@
+"""Probabilistic transfer matrix (PTM) reliability analysis.
+
+A faithful dense reimplementation of the approach of Krishnaswamy et al.
+(DATE 2005), the baseline the paper contrasts with: the circuit is
+levelized, each level's behaviour under gate noise is a stochastic matrix
+over wire-vector states (gate PTMs tensored with identity pass-throughs and
+fanout/wiring maps), and the circuit PTM is the product of the level
+matrices.  The output error probability is then read off by comparing the
+noisy output distribution with the ideal (noise-free) transfer function.
+
+The method is *exact* — it serves as a second oracle besides
+:mod:`repro.reliability.exact` — but its storage is exponential in the
+level width, which is precisely the scalability wall the paper's Sec. 2
+describes ("massive matrix storage and manipulation overhead").  The
+``bench_perf`` benchmark quantifies that wall against the single-pass
+algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuit import Circuit, truth_table
+from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from .exact import ExactResult
+
+
+class PtmWidthError(ValueError):
+    """Raised when a circuit's level width exceeds the dense-PTM budget."""
+
+
+def _levelize(circuit: Circuit) -> List[List[str]]:
+    """Group gates by logic level, 1..depth."""
+    levels: Dict[int, List[str]] = {}
+    for gate in circuit.topological_gates():
+        levels.setdefault(circuit.level(gate), []).append(gate)
+    return [levels[lv] for lv in sorted(levels)]
+
+
+def ptm_reliability(circuit: Circuit,
+                    eps: EpsilonSpec,
+                    max_width: int = 12,
+                    max_inputs: int = 12) -> ExactResult:
+    """Exact delta for every output via dense PTM propagation.
+
+    Parameters
+    ----------
+    max_width:
+        Maximum wires alive across any level boundary; the dense transfer
+        matrix for a level is ``2**w_in x 2**w_out``.
+    max_inputs:
+        Maximum primary inputs (the row space is ``2**n_inputs``).
+    """
+    validate_epsilon(eps, circuit)
+    circuit.validate()
+    n_inputs = len(circuit.inputs)
+    if n_inputs > max_inputs:
+        raise PtmWidthError(
+            f"{n_inputs} inputs exceeds max_inputs={max_inputs}")
+    for node in circuit:
+        if node.gate_type.is_constant:
+            raise PtmWidthError("constant nodes are not supported in the "
+                                "PTM evaluator; fold them first")
+
+    level_gates = _levelize(circuit)
+    topo_pos = {name: i for i, name in enumerate(circuit.topological_order())}
+    outputs = set(circuit.outputs)
+
+    # needed_after[L] = wires produced at level <= L that are consumed at
+    # level > L or are primary outputs.
+    def frontier_after(level: int) -> List[str]:
+        wires = []
+        for name in circuit.topological_order():
+            if circuit.level(name) > level:
+                continue
+            if name in outputs or any(circuit.level(c) > level
+                                      for c in circuit.fanouts(name)):
+                wires.append(name)
+        return sorted(wires, key=topo_pos.get)
+
+    current = sorted(circuit.inputs, key=topo_pos.get)
+    if len(current) > max_width:
+        raise PtmWidthError(
+            f"input frontier {len(current)} exceeds max_width={max_width}")
+    n_rows = 1 << n_inputs
+    matrix = np.eye(n_rows)  # rows: input vectors, cols: current wire states
+
+    for level_index, gates in enumerate(level_gates, start=1):
+        nxt = frontier_after(level_index)
+        # Wires produced *above* this level cannot be in nxt yet; wires in
+        # nxt are either pass-throughs from `current` or this level's gates.
+        pass_wires = [w for w in nxt if w in current]
+        new_gates = [g for g in gates if g in nxt]
+        kept = pass_wires + new_gates
+        if set(kept) != set(nxt):  # pragma: no cover - structural invariant
+            raise RuntimeError("frontier bookkeeping error")
+        w_in, w_out = len(current), len(kept)
+        if max(w_in, w_out) > max_width:
+            raise PtmWidthError(
+                f"level {level_index} width {max(w_in, w_out)} exceeds "
+                f"max_width={max_width}")
+
+        cur_pos = {w: i for i, w in enumerate(current)}
+        out_pos = {w: i for i, w in enumerate(kept)}
+        states = np.arange(1 << w_in, dtype=np.int64)
+
+        # Pass-through wires: copy their bit to the new position.
+        pass_index = np.zeros(1 << w_in, dtype=np.int64)
+        for w in pass_wires:
+            bit = (states >> cur_pos[w]) & 1
+            pass_index |= bit << out_pos[w]
+
+        # Error-free outputs of this level's gates (including gates dropped
+        # from the frontier: none — gates with no consumers and not outputs
+        # simply never appear in nxt and can be skipped entirely).
+        gate_correct = []
+        for g in gates:
+            node = circuit.node(g)
+            tt = np.array(truth_table(node.gate_type, node.arity),
+                          dtype=np.int64)
+            idx = np.zeros(1 << w_in, dtype=np.int64)
+            for t, fi in enumerate(node.fanins):
+                idx |= ((states >> cur_pos[fi]) & 1) << t
+            gate_correct.append(tt[idx])
+
+        kept_gate_ids = [i for i, g in enumerate(gates) if g in out_pos]
+        dropped = [i for i in range(len(gates)) if i not in kept_gate_ids]
+        # Dropped gates (dead outputs) contribute no state bits and their
+        # noise marginalizes out; ignore them.
+        del dropped
+
+        transfer = np.zeros((1 << w_in, 1 << w_out))
+        n_kept = len(kept_gate_ids)
+        for flips in range(1 << n_kept):
+            prob = 1.0
+            col = pass_index.copy()
+            for t, gi in enumerate(kept_gate_ids):
+                g = gates[gi]
+                e = epsilon_of(eps, g)
+                flip = (flips >> t) & 1
+                prob *= e if flip else 1.0 - e
+                value = gate_correct[gi] ^ flip
+                col |= value << out_pos[g]
+            if prob == 0.0:
+                continue
+            np.add.at(transfer, (states, col), prob)
+        matrix = matrix @ transfer
+        current = kept
+
+    # Compare the noisy distribution with the ideal outputs per input row.
+    final_pos = {w: i for i, w in enumerate(current)}
+    final_states = np.arange(matrix.shape[1], dtype=np.int64)
+    per_output: Dict[str, float] = {}
+    any_mismatch = np.zeros((n_rows, matrix.shape[1]), dtype=bool)
+    input_names = circuit.inputs
+    clean_outputs = {out: np.zeros(n_rows, dtype=np.int64)
+                     for out in circuit.outputs}
+    for x in range(n_rows):
+        assignment = {name: (x >> i) & 1 for i, name in enumerate(input_names)}
+        values = circuit.evaluate(assignment)
+        for out in circuit.outputs:
+            clean_outputs[out][x] = values[out]
+    for out in circuit.outputs:
+        bit = ((final_states >> final_pos[out]) & 1)[None, :]
+        mismatch = bit != clean_outputs[out][:, None]
+        per_output[out] = float((matrix * mismatch).sum() / n_rows)
+        any_mismatch |= mismatch
+    any_output = float((matrix * any_mismatch).sum() / n_rows)
+    return ExactResult(per_output=per_output, any_output=any_output,
+                       method="ptm")

@@ -1,0 +1,191 @@
+"""Single-pass reliability analysis (paper Sec. 4 and Sec. 4.1).
+
+Gates are processed once, in topological order.  At each gate the
+propagated input error components are combined — through the gate's weight
+vector (joint error-free input distribution) — into a weighted input error
+vector, which is then folded with the local failure probability ``eps``
+into the gate's output error probabilities ``Pr(g_{0→1})`` and
+``Pr(g_{1→0})``.  At the outputs,
+
+    delta_y = Pr(y=0) Pr(y_{0→1}) + Pr(y=1) Pr(y_{1→0}).
+
+Given weight vectors the pass is O(n); it is exact on fanout-free circuits
+and uses the Sec. 4.1 error-event correlation coefficients to correct the
+independence assumption at reconvergent fanout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..circuit import Circuit, truth_table
+from ..probability.correlation import ErrorCorrelationEngine
+from ..probability.error_propagation import (
+    ERROR_FREE,
+    ErrorProbability,
+    combine_with_local_failure,
+    weighted_error_components,
+)
+from ..probability.weights import WeightData, compute_weights
+from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+
+
+@dataclass
+class SinglePassResult:
+    """Everything one single-pass run produces.
+
+    Attributes
+    ----------
+    per_output:
+        ``delta_y`` for every primary output.
+    node_errors:
+        The propagated :class:`ErrorProbability` of *every* node — the
+        paper highlights this as an application enabler (per-node delta
+        curves, asymmetric redundancy targeting).
+    signal_prob:
+        Error-free Pr[node = 1] (from the weight data).
+    correlation_pairs:
+        Number of wire-pair coefficients the correlation engine computed
+        (0 when correlations were disabled).
+    """
+
+    per_output: Dict[str, float]
+    node_errors: Dict[str, ErrorProbability]
+    signal_prob: Dict[str, float]
+    used_correlation: bool
+    correlation_pairs: int = 0
+    #: The run's correlation engine (memoized coefficients), kept so that
+    #: multi-output consolidation can reuse it; None when disabled.
+    correlation_engine: Optional[ErrorCorrelationEngine] = field(
+        default=None, repr=False, compare=False)
+
+    def delta(self, output: Optional[str] = None) -> float:
+        """delta for one output (default: the only output)."""
+        if output is None:
+            if len(self.per_output) != 1:
+                raise ValueError("output name required for multi-output result")
+            return next(iter(self.per_output.values()))
+        return self.per_output[output]
+
+    def node_delta(self, node: str) -> float:
+        """Unconditional error probability of an internal node."""
+        return self.node_errors[node].total(self.signal_prob[node])
+
+
+class SinglePassAnalyzer:
+    """Reusable single-pass engine: weights computed once, swept many times.
+
+    The paper stresses that weight vectors are independent of ``eps`` and
+    "may be performed once at the beginning and used over several runs";
+    this class is that split.  Construct once per circuit, then call
+    :meth:`run` for each failure-probability vector.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit under analysis.
+    weights:
+        Precomputed :class:`WeightData` (else computed via
+        ``weight_method``).
+    weight_method:
+        ``"auto"`` (default), ``"bdd"``, ``"exhaustive"``, or ``"sampled"``.
+    use_correlation:
+        Apply the Sec. 4.1 correlation-coefficient correction at
+        reconvergent fanout (default True).
+    input_errors:
+        Optional error probabilities at the primary inputs (the algorithm's
+        initial conditions; default: noise-free inputs).
+    """
+
+    def __init__(self, circuit: Circuit,
+                 weights: Optional[WeightData] = None,
+                 weight_method: str = "auto",
+                 use_correlation: bool = True,
+                 input_errors: Optional[Mapping[str, ErrorProbability]] = None,
+                 n_patterns: int = 1 << 16,
+                 seed: int = 0,
+                 max_correlation_pairs: int = 1_000_000,
+                 max_correlation_level_gap: Optional[int] = None,
+                 input_probs: Optional[Mapping[str, float]] = None):
+        circuit.validate()
+        self.circuit = circuit
+        self.weights = weights if weights is not None else compute_weights(
+            circuit, method=weight_method, n_patterns=n_patterns, seed=seed,
+            input_probs=dict(input_probs) if input_probs else None)
+        self.use_correlation = use_correlation
+        self.input_errors = dict(input_errors or {})
+        self.max_correlation_pairs = max_correlation_pairs
+        self.max_correlation_level_gap = max_correlation_level_gap
+        self._truth: Dict[str, tuple] = {}
+        for gate in circuit.topological_gates():
+            node = circuit.node(gate)
+            self._truth[gate] = truth_table(node.gate_type, node.arity)
+
+    def run(self, eps: EpsilonSpec,
+            eps10: Optional[EpsilonSpec] = None) -> SinglePassResult:
+        """One topological pass for one failure-probability vector.
+
+        ``eps10``, when given, makes every gate's local channel asymmetric:
+        its computed output flips 0→1 with ``eps`` and 1→0 with ``eps10``
+        (the symmetric BSC is the default, as in the paper).
+        """
+        validate_epsilon(eps, self.circuit)
+        if eps10 is not None:
+            validate_epsilon(eps10, self.circuit)
+        circuit = self.circuit
+        errors: Dict[str, ErrorProbability] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type.is_input:
+                errors[name] = self.input_errors.get(name, ERROR_FREE)
+            elif node.gate_type.is_constant:
+                errors[name] = ERROR_FREE
+
+        # Materialize the spec once so hot loops use plain dict lookups.
+        gates = circuit.topological_gates()
+        eps_map = {g: epsilon_of(eps, g) for g in gates}
+        eps10_map = (None if eps10 is None
+                     else {g: epsilon_of(eps10, g) for g in gates})
+        corr = None
+        if self.use_correlation:
+            corr = ErrorCorrelationEngine(
+                circuit, self.weights, errors,
+                eps_of=lambda g: eps_map[g],
+                max_pairs=self.max_correlation_pairs,
+                max_level_gap=self.max_correlation_level_gap,
+                eps10_of=(None if eps10_map is None
+                          else (lambda g: eps10_map[g])))
+
+        for gate in gates:
+            node = circuit.node(gate)
+            pw0, w0, pw1, w1 = weighted_error_components(
+                self._truth[gate], self.weights.weights[gate],
+                node.fanins, errors, corr=corr)
+            errors[gate] = combine_with_local_failure(
+                pw0, w0, pw1, w1, eps_map[gate],
+                eps10=None if eps10_map is None else eps10_map[gate])
+
+        per_output = {}
+        for out in circuit.outputs:
+            p1 = self.weights.signal_prob[out]
+            per_output[out] = errors[out].total(p1)
+        return SinglePassResult(
+            per_output=per_output,
+            node_errors=errors,
+            signal_prob=dict(self.weights.signal_prob),
+            used_correlation=self.use_correlation,
+            correlation_pairs=corr.pairs_computed if corr else 0,
+            correlation_engine=corr,
+        )
+
+    def curve(self, eps_values: Iterable[float],
+              output: Optional[str] = None) -> Dict[float, float]:
+        """delta(eps) over a sweep of uniform gate failure probabilities."""
+        return {e: self.run(e).delta(output) for e in eps_values}
+
+
+def single_pass_reliability(circuit: Circuit, eps: EpsilonSpec,
+                            **kwargs) -> SinglePassResult:
+    """One-shot convenience wrapper around :class:`SinglePassAnalyzer`."""
+    return SinglePassAnalyzer(circuit, **kwargs).run(eps)

@@ -1,0 +1,11 @@
+"""From-scratch SAT substrate: CNF, Tseitin encoding, CDCL solver, ATPG."""
+
+from .cnf import Cnf, CircuitEncoder, encode_circuit, miter
+from .solver import SatSolver, solve_cnf
+from .atpg import SatAtpg, sat_equivalent
+
+__all__ = [
+    "Cnf", "CircuitEncoder", "encode_circuit", "miter",
+    "SatSolver", "solve_cnf",
+    "SatAtpg", "sat_equivalent",
+]

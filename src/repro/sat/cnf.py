@@ -1,0 +1,182 @@
+"""CNF formulas and Tseitin encoding of circuits.
+
+The paper grounds its observability machinery in the testing literature,
+citing Larrabee's SAT-based test generation ([7]).  This package provides
+that substrate: a CNF container, the standard Tseitin translation of a
+gate-level netlist (one variable per node, a constant-size clause set per
+gate), and miter construction for equivalence/difference queries.
+
+Literal convention: DIMACS-style signed integers — variable ``v`` is the
+positive literal ``v``, its negation ``-v``; variables count from 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit, GateType
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: clause list over integer variables 1..num_vars."""
+
+    num_vars: int = 0
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause (trivially UNSAT); add via "
+                             "two contradictory unit clauses if intended")
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+        self.clauses.append(clause)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Check a full assignment (index 1..num_vars; index 0 unused)."""
+        for clause in self.clauses:
+            if not any(assignment[abs(lit)] == (lit > 0) for lit in clause):
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        lines += [" ".join(map(str, clause)) + " 0"
+                  for clause in self.clauses]
+        return "\n".join(lines) + "\n"
+
+
+class CircuitEncoder:
+    """Tseitin-encodes one or more circuits into a shared CNF.
+
+    Each encoded node gets a CNF variable; re-encoding a second circuit
+    over the same input variables (via ``input_vars``) builds miters.
+    """
+
+    def __init__(self, cnf: Optional[Cnf] = None):
+        self.cnf = cnf if cnf is not None else Cnf()
+
+    def encode(self, circuit: Circuit,
+               input_vars: Optional[Dict[str, int]] = None,
+               prefix: str = "") -> Dict[str, int]:
+        """Encode every node; returns the node-name -> variable map.
+
+        ``input_vars`` reuses existing variables for the primary inputs
+        (they must cover all of them); fresh variables are created
+        otherwise.
+        """
+        var: Dict[str, int] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type.is_input:
+                if input_vars is not None:
+                    var[name] = input_vars[name]
+                else:
+                    var[name] = self.cnf.new_var()
+                continue
+            v = self.cnf.new_var()
+            var[name] = v
+            fanins = [var[f] for f in node.fanins]
+            self._encode_gate(node.gate_type, v, fanins)
+        return var
+
+    # ------------------------------------------------------------------
+    def _encode_gate(self, gate_type: GateType, out: int,
+                     fanins: List[int]) -> None:
+        add = self.cnf.add_clause
+        if gate_type is GateType.CONST0:
+            add([-out])
+            return
+        if gate_type is GateType.CONST1:
+            add([out])
+            return
+        if gate_type is GateType.BUF:
+            add([-out, fanins[0]])
+            add([out, -fanins[0]])
+            return
+        if gate_type is GateType.NOT:
+            add([-out, -fanins[0]])
+            add([out, fanins[0]])
+            return
+        if gate_type in (GateType.AND, GateType.NAND):
+            y = out if gate_type is GateType.AND else -out
+            # y <-> AND(fanins): (y | -f1 | ... ) and (-y | fi) for each i.
+            add([y] + [-f for f in fanins])
+            for f in fanins:
+                add([-y, f])
+            return
+        if gate_type in (GateType.OR, GateType.NOR):
+            y = out if gate_type is GateType.OR else -out
+            add([-y] + list(fanins))
+            for f in fanins:
+                add([y, -f])
+            return
+        if gate_type in (GateType.XOR, GateType.XNOR):
+            # Decompose wide parity into 2-input steps.
+            acc = fanins[0]
+            for f in fanins[1:-1]:
+                nxt = self.cnf.new_var()
+                self._xor2(nxt, acc, f)
+                acc = nxt
+            target = out if gate_type is GateType.XOR else None
+            if target is None:
+                # XNOR: out <-> NOT(acc XOR last): encode via aux.
+                aux = self.cnf.new_var()
+                self._xor2(aux, acc, fanins[-1])
+                add([-out, -aux])
+                add([out, aux])
+            else:
+                self._xor2(out, acc, fanins[-1])
+            return
+        raise ValueError(f"unencodable gate type {gate_type!r}")
+
+    def _xor2(self, y: int, a: int, b: int) -> None:
+        add = self.cnf.add_clause
+        add([-y, a, b])
+        add([-y, -a, -b])
+        add([y, -a, b])
+        add([y, a, -b])
+
+
+def encode_circuit(circuit: Circuit) -> Tuple[Cnf, Dict[str, int]]:
+    """Tseitin-encode one circuit; returns (cnf, node-name -> variable)."""
+    encoder = CircuitEncoder()
+    var = encoder.encode(circuit)
+    return encoder.cnf, var
+
+
+def miter(c1: Circuit, c2: Circuit) -> Tuple[Cnf, Dict[str, int],
+                                             Dict[str, int], int]:
+    """Build a miter: SAT iff the circuits differ on some shared output.
+
+    Returns ``(cnf, vars1, vars2, miter_output_var)``; the miter variable
+    is asserted true, so the formula is UNSAT exactly when the circuits
+    are equivalent on ``c1``'s outputs.
+    """
+    if set(c1.inputs) != set(c2.inputs):
+        raise ValueError("miter requires identical input sets")
+    encoder = CircuitEncoder()
+    vars1 = encoder.encode(c1)
+    input_vars = {pi: vars1[pi] for pi in c1.inputs}
+    vars2 = encoder.encode(c2, input_vars=input_vars)
+    cnf = encoder.cnf
+    diffs = []
+    for out in c1.outputs:
+        if out not in c2:
+            raise ValueError(f"output {out!r} missing from second circuit")
+        d = cnf.new_var()
+        encoder._xor2(d, vars1[out], vars2[out])
+        diffs.append(d)
+    m = cnf.new_var()
+    cnf.add_clause([-m] + diffs)
+    for d in diffs:
+        cnf.add_clause([m, -d])
+    cnf.add_clause([m])
+    return cnf, vars1, vars2, m

@@ -1,0 +1,258 @@
+"""A compact CDCL SAT solver (watched literals, first-UIP learning, VSIDS).
+
+Written from scratch for this library's testing substrate (Larrabee-style
+SAT ATPG, miter-based equivalence).  Design goals are correctness and
+clarity over raw speed: two-watched-literal propagation, first-UIP clause
+learning with non-chronological backjumping, exponential-decay activity
+ordering, and geometric restarts — the standard modern core, small enough
+to audit.
+
+The solver is verified against brute-force enumeration on random formulas
+(hypothesis) and against the BDD engine on circuit miters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cnf import Cnf
+
+_UNASSIGNED = -1
+
+
+class SatSolver:
+    """CDCL solver over a fixed CNF; supports incremental assumptions."""
+
+    def __init__(self, cnf: Cnf):
+        self.num_vars = cnf.num_vars
+        # Clause database: lists of literals; learned clauses appended.
+        self.clauses: List[List[int]] = [list(c) for c in cnf.clauses]
+        n = self.num_vars
+        self.assign: List[int] = [_UNASSIGNED] * (n + 1)  # 0/1 per var
+        self.level: List[int] = [0] * (n + 1)
+        self.reason: List[Optional[int]] = [None] * (n + 1)
+        self.activity: List[float] = [0.0] * (n + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        # watches[lit] = clause indices watching literal `lit`.
+        self.watches: Dict[int, List[int]] = {}
+        self._ok = True
+        for idx, clause in enumerate(self.clauses):
+            if not self._attach(idx, clause):
+                self._ok = False
+
+    # ------------------------------------------------------------------
+    # Clause attachment
+    # ------------------------------------------------------------------
+    def _attach(self, idx: int, clause: List[int]) -> bool:
+        if len(clause) == 1:
+            return self._enqueue(clause[0], None)
+        self.watches.setdefault(clause[0], []).append(idx)
+        self.watches.setdefault(clause[1], []).append(idx)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        v = self.assign[abs(lit)]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else 1 - v
+
+    def _enqueue(self, lit: int, reason_idx: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value == 0:
+            return False  # conflicting enqueue
+        if value == 1:
+            return True
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_idx
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            false_lit = -lit
+            watch_list = self.watches.get(false_lit, [])
+            new_list: List[int] = []
+            i = 0
+            while i < len(watch_list):
+                idx = watch_list[i]
+                i += 1
+                clause = self.clauses[idx]
+                # Ensure the false literal is in slot 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_list.append(idx)
+                    continue
+                # Search a replacement watch.
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != 0:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches.setdefault(clause[1], []).append(idx)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                new_list.append(idx)
+                if not self._enqueue(first, idx):
+                    new_list.extend(watch_list[i:])
+                    self.watches[false_lit] = new_list
+                    return idx
+            self.watches[false_lit] = new_list
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_idx: int) -> Tuple[List[int], int]:
+        learnt: List[int] = [0]  # slot 0 reserved for the UIP literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        idx: Optional[int] = conflict_idx
+        trail_pos = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            assert idx is not None
+            for q in self.clauses[idx]:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick the next trail literal to resolve on.
+            while not seen[abs(self.trail[trail_pos])]:
+                trail_pos -= 1
+            lit = self.trail[trail_pos]
+            seen[abs(lit)] = False
+            trail_pos -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            idx = self.reason[abs(lit)]
+        learnt[0] = -lit
+        # Backjump level: second-highest level in the learnt clause.
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            back_level = max(self.level[abs(q)] for q in learnt[1:])
+            # Move one literal of back_level into slot 1 for watching.
+            for j in range(1, len(learnt)):
+                if self.level[abs(learnt[j])] == back_level:
+                    learnt[1], learnt[j] = learnt[j], learnt[1]
+                    break
+        return learnt, back_level
+
+    def _cancel_until(self, level: int) -> None:
+        while len(self.trail_lim) > level:
+            mark = self.trail_lim.pop()
+            while len(self.trail) > mark:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.assign[var] = _UNASSIGNED
+                self.reason[var] = None
+        self.qhead = min(self.qhead, len(self.trail))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _decide(self) -> Optional[int]:
+        best_var, best_act = 0, -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == _UNASSIGNED and self.activity[v] > best_act:
+                best_var, best_act = v, self.activity[v]
+        if best_var == 0:
+            return None
+        return -best_var  # negative-first polarity (CNF-friendly default)
+
+    def solve(self, assumptions: Sequence[int] = ()
+              ) -> Optional[Dict[int, bool]]:
+        """Solve; returns {var: bool} for SAT, None for UNSAT.
+
+        ``assumptions`` are literals asserted at decision level 1+; the
+        solver state is reset afterwards so the instance is reusable.
+        """
+        if not self._ok:
+            return None
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return None
+        root_trail = len(self.trail)
+        conflicts_budget = 100
+        total_conflicts = 0
+        try:
+            # Assert assumptions, each at its own level.
+            for lit in assumptions:
+                if self._value(lit) == 1:
+                    continue
+                if self._value(lit) == 0:
+                    return None
+                self.trail_lim.append(len(self.trail))
+                if not self._enqueue(lit, None):
+                    return None
+                if self._propagate() is not None:
+                    return None
+            assumption_level = len(self.trail_lim)
+
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    total_conflicts += 1
+                    if len(self.trail_lim) <= assumption_level:
+                        return None  # conflict at (or below) assumptions
+                    learnt, back_level = self._analyze(conflict)
+                    back_level = max(back_level, assumption_level)
+                    self._cancel_until(back_level)
+                    idx = len(self.clauses)
+                    self.clauses.append(learnt)
+                    if len(learnt) > 1:
+                        self.watches.setdefault(learnt[0], []).append(idx)
+                        self.watches.setdefault(learnt[1], []).append(idx)
+                    self._enqueue(learnt[0], idx if len(learnt) > 1 else None)
+                    self.var_inc /= self.var_decay
+                    if total_conflicts >= conflicts_budget:
+                        conflicts_budget = int(conflicts_budget * 1.5)
+                        self._cancel_until(assumption_level)
+                    continue
+                lit = self._decide()
+                if lit is None:
+                    return {v: bool(self.assign[v])
+                            for v in range(1, self.num_vars + 1)}
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+        finally:
+            self._cancel_until(0)
+            del root_trail
+
+
+def solve_cnf(cnf: Cnf,
+              assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+    """One-shot convenience wrapper around :class:`SatSolver`."""
+    return SatSolver(cnf).solve(assumptions)

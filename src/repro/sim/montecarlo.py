@@ -1,0 +1,319 @@
+"""Monte Carlo reliability analysis by fault injection (the paper's baseline).
+
+Implements the "standard technique" the paper compares against: simulate the
+error-free circuit and a noisy replica — every gate output XOR-ed with a
+Bernoulli(eps) flip mask — on the same random input patterns, and count
+output disagreements.  All bit-parallel: 64 patterns per word.
+
+This module is both the accuracy reference for the single-pass algorithm
+(Table 2, Figs. 1/5/6/7) and the performance foil (runtime columns of
+Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuit import Circuit
+from . import patterns
+from .simulator import CompiledCircuit
+
+EpsilonSpec = Union[float, Mapping[str, float]]
+
+
+def epsilon_of(eps: EpsilonSpec, gate: str) -> float:
+    """Resolve a gate's failure probability from a scalar or per-gate map.
+
+    A mapping without an entry for ``gate`` means that gate is noise-free
+    (eps = 0), letting callers perturb a gate subset only.
+    """
+    if isinstance(eps, (int, float)):
+        return float(eps)
+    return float(eps.get(gate, 0.0))
+
+
+def validate_epsilon(eps: EpsilonSpec, circuit: Circuit) -> None:
+    """Check all failure probabilities lie in [0, 0.5] (BSC model range)."""
+    if isinstance(eps, Mapping):
+        for gate, value in eps.items():
+            if gate not in circuit:
+                raise ValueError(f"epsilon given for unknown gate {gate!r}")
+            if not circuit.node(gate).gate_type.is_logic:
+                raise ValueError(
+                    f"epsilon given for non-gate node {gate!r} "
+                    "(inputs are noise-free in the BSC model)")
+            if not 0.0 <= value <= 0.5:
+                raise ValueError(
+                    f"epsilon[{gate!r}] = {value} outside [0, 0.5]")
+    else:
+        if not 0.0 <= float(eps) <= 0.5:
+            raise ValueError(f"epsilon = {eps} outside [0, 0.5]")
+
+
+@dataclass
+class MonteCarloResult:
+    """Estimated output error probabilities from fault-injection sampling."""
+
+    #: Pr[output differs from its error-free value], per output name.
+    per_output: Dict[str, float]
+    #: Pr[at least one output differs] (the consolidated error of Sec. 5.1).
+    any_output: float
+    #: Number of sampled input vectors.
+    n_patterns: int
+
+    def delta(self, output: Optional[str] = None) -> float:
+        """The delta estimate for one output (default: the only output)."""
+        if output is None:
+            if len(self.per_output) != 1:
+                raise ValueError("output name required for multi-output result")
+            return next(iter(self.per_output.values()))
+        return self.per_output[output]
+
+    def standard_error(self, output: str) -> float:
+        """Binomial standard error of the per-output estimate."""
+        p = self.per_output[output]
+        return float(np.sqrt(max(p * (1.0 - p), 0.0) / self.n_patterns))
+
+
+def monte_carlo_reliability(circuit: Circuit,
+                            eps: EpsilonSpec,
+                            n_patterns: int = 1 << 16,
+                            rng: Optional[np.random.Generator] = None,
+                            seed: int = 0,
+                            batch_words: int = 1 << 12,
+                            noise_precision: int = 24,
+                            input_probs: Optional[Dict[str, float]] = None
+                            ) -> MonteCarloResult:
+    """Estimate delta(eps) for every output by fault-injection simulation.
+
+    Parameters
+    ----------
+    eps:
+        Gate failure probability: a scalar applied to every gate (the
+        paper's Table 2 setting) or a per-gate mapping (Fig. 7 setting).
+    n_patterns:
+        Number of random input vectors (the paper uses 6.4M; the default
+        65 536 keeps pure-Python runs quick — raise it for tighter
+        estimates).
+    batch_words:
+        Words simulated per batch; bounds memory at roughly
+        ``num_nodes * batch_words * 8`` bytes.
+    noise_precision:
+        Binary digits used to quantize eps when drawing flip masks.
+    """
+    validate_epsilon(eps, circuit)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    compiled = CompiledCircuit(circuit)
+    gate_eps = {name: epsilon_of(eps, name)
+                for name, _ in compiled.gate_slots}
+
+    diff_counts = {name: 0 for name, _ in compiled.output_slots}
+    any_count = 0
+    remaining = n_patterns
+    while remaining > 0:
+        batch_patterns = min(remaining, batch_words * patterns.WORD_BITS)
+        n_words = patterns.words_for_patterns(batch_patterns)
+        input_pack = patterns.random_pack(
+            circuit.inputs, n_words, rng, input_probs)
+        clean = compiled.run(input_pack)
+
+        def noise(name: str, words: int) -> Optional[np.ndarray]:
+            e = gate_eps[name]
+            if e <= 0.0:
+                return None
+            return patterns.bernoulli_words(e, words, rng, noise_precision)
+
+        noisy = compiled.run(input_pack, noise=noise)
+        any_diff = np.zeros(n_words, dtype=np.uint64)
+        for name, slot in compiled.output_slots:
+            diff = np.bitwise_xor(clean[slot], noisy[slot])
+            diff_counts[name] += patterns.masked_popcount(diff, batch_patterns)
+            np.bitwise_or(any_diff, diff, out=any_diff)
+        any_count += patterns.masked_popcount(any_diff, batch_patterns)
+        remaining -= batch_patterns
+
+    per_output = {name: count / n_patterns
+                  for name, count in diff_counts.items()}
+    return MonteCarloResult(per_output=per_output,
+                            any_output=any_count / n_patterns,
+                            n_patterns=n_patterns)
+
+
+def monte_carlo_delta_curve(circuit: Circuit,
+                            eps_values: Sequence[float],
+                            output: Optional[str] = None,
+                            n_patterns: int = 1 << 16,
+                            seed: int = 0,
+                            **kwargs) -> Dict[float, float]:
+    """delta(eps) sampled over a sweep of uniform gate failure rates.
+
+    Returns ``{eps: delta}`` for one output (default: the single output, or
+    the consolidated any-output probability if ``output == "*"``).
+    """
+    curve: Dict[float, float] = {}
+    for i, e in enumerate(eps_values):
+        result = monte_carlo_reliability(
+            circuit, e, n_patterns=n_patterns, seed=seed + i, **kwargs)
+        if output == "*":
+            curve[e] = result.any_output
+        else:
+            curve[e] = result.delta(output)
+    return curve
+
+
+def monte_carlo_asymmetric_reliability(circuit: Circuit,
+                                       eps01: EpsilonSpec,
+                                       eps10: EpsilonSpec,
+                                       n_patterns: int = 1 << 16,
+                                       rng: Optional[np.random.Generator]
+                                       = None,
+                                       seed: int = 0,
+                                       batch_words: int = 1 << 12,
+                                       noise_precision: int = 24
+                                       ) -> MonteCarloResult:
+    """Fault-injection estimate under asymmetric gate channels.
+
+    Each gate's *computed* output flips 0→1 with ``eps01`` and 1→0 with
+    ``eps10`` — the value-dependent generalization of the BSC model, and
+    the sampling reference for ``SinglePassAnalyzer.run(eps, eps10=...)``.
+    """
+    validate_epsilon(eps01, circuit)
+    validate_epsilon(eps10, circuit)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    compiled = CompiledCircuit(circuit)
+    e01 = {name: epsilon_of(eps01, name) for name, _ in compiled.gate_slots}
+    e10 = {name: epsilon_of(eps10, name) for name, _ in compiled.gate_slots}
+
+    diff_counts = {name: 0 for name, _ in compiled.output_slots}
+    any_count = 0
+    remaining = n_patterns
+    while remaining > 0:
+        batch_patterns = min(remaining, batch_words * patterns.WORD_BITS)
+        n_words = patterns.words_for_patterns(batch_patterns)
+        input_pack = patterns.random_pack(circuit.inputs, n_words, rng)
+        clean = compiled.run(input_pack)
+
+        def value_noise(name: str,
+                        computed: np.ndarray) -> Optional[np.ndarray]:
+            up, down = e01[name], e10[name]
+            if up <= 0.0 and down <= 0.0:
+                return None
+            mask = patterns.zeros(len(computed))
+            if up > 0.0:
+                rise = patterns.bernoulli_words(up, len(computed), rng,
+                                                noise_precision)
+                np.bitwise_or(mask,
+                              np.bitwise_and(rise,
+                                             np.bitwise_not(computed)),
+                              out=mask)
+            if down > 0.0:
+                fall = patterns.bernoulli_words(down, len(computed), rng,
+                                                noise_precision)
+                np.bitwise_or(mask, np.bitwise_and(fall, computed),
+                              out=mask)
+            return mask
+
+        noisy = compiled.run(input_pack, value_noise=value_noise)
+        any_diff = np.zeros(n_words, dtype=np.uint64)
+        for name, slot in compiled.output_slots:
+            diff = np.bitwise_xor(clean[slot], noisy[slot])
+            diff_counts[name] += patterns.masked_popcount(diff,
+                                                          batch_patterns)
+            np.bitwise_or(any_diff, diff, out=any_diff)
+        any_count += patterns.masked_popcount(any_diff, batch_patterns)
+        remaining -= batch_patterns
+
+    per_output = {name: count / n_patterns
+                  for name, count in diff_counts.items()}
+    return MonteCarloResult(per_output=per_output,
+                            any_output=any_count / n_patterns,
+                            n_patterns=n_patterns)
+
+
+def noisy_observabilities(circuit: Circuit,
+                          eps: EpsilonSpec,
+                          output: Optional[str] = None,
+                          n_patterns: int = 1 << 14,
+                          seed: int = 0,
+                          noise_precision: int = 24) -> Dict[str, float]:
+    """Observability of each gate measured *in the presence of noise*.
+
+    Sec. 3.1(ii) of the paper: noiseless observabilities assume sensitized
+    paths stay sensitized, but failures at other gates perturb them.  Here
+    the rest of the circuit runs noisy (two common replicas differing only
+    in the forced flip at the probed gate), so the returned values are the
+    effective propagation probabilities under failure rate ``eps`` — their
+    deviation from :func:`monte_carlo_observabilities` quantifies the
+    distortion the paper describes (ablation benchmark).
+    """
+    validate_epsilon(eps, circuit)
+    if output is None:
+        if len(circuit.outputs) != 1:
+            raise ValueError("output name required for multi-output circuit")
+        output = circuit.outputs[0]
+    rng = np.random.default_rng(seed)
+    compiled = CompiledCircuit(circuit)
+    n_words = patterns.words_for_patterns(n_patterns)
+    input_pack = patterns.random_pack(circuit.inputs, n_words, rng)
+    out_slot = dict(compiled.output_slots)[output]
+    all_ones = patterns.ones(n_words)
+    result: Dict[str, float] = {}
+    for probe, _ in compiled.gate_slots:
+        # One shared noise realization for both replicas.
+        noise_masks = {
+            name: patterns.bernoulli_words(
+                epsilon_of(eps, name), n_words, rng, noise_precision)
+            for name, _ in compiled.gate_slots}
+
+        def base_noise(name: str, words: int) -> Optional[np.ndarray]:
+            return noise_masks[name]
+
+        def probed_noise(name: str, words: int) -> Optional[np.ndarray]:
+            if name == probe:
+                return np.bitwise_xor(noise_masks[name], all_ones)
+            return noise_masks[name]
+
+        base = compiled.run(input_pack, noise=base_noise)
+        probed = compiled.run(input_pack, noise=probed_noise)
+        diff = np.bitwise_xor(base[out_slot], probed[out_slot])
+        result[probe] = patterns.masked_popcount(diff, n_patterns) / n_patterns
+    return result
+
+
+def monte_carlo_observabilities(circuit: Circuit,
+                                output: Optional[str] = None,
+                                n_patterns: int = 1 << 14,
+                                rng: Optional[np.random.Generator] = None,
+                                seed: int = 0) -> Dict[str, float]:
+    """Sampled noiseless observability of every gate at one output.
+
+    Observability of gate ``g`` = Pr[a forced flip of g's output changes the
+    primary output] over random input vectors (all other gates noise-free).
+    This is the simulation estimator the closed-form analysis of Sec. 3 can
+    use when BDDs are too large.
+    """
+    if output is None:
+        if len(circuit.outputs) != 1:
+            raise ValueError("output name required for multi-output circuit")
+        output = circuit.outputs[0]
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    compiled = CompiledCircuit(circuit)
+    n_words = patterns.words_for_patterns(n_patterns)
+    input_pack = patterns.random_pack(circuit.inputs, n_words, rng)
+    clean = compiled.run(input_pack)
+    out_slot = dict(compiled.output_slots)[output]
+    observabilities: Dict[str, float] = {}
+    all_ones = patterns.ones(n_words)
+    for gate_name, _ in compiled.gate_slots:
+
+        def noise(name: str, words: int) -> Optional[np.ndarray]:
+            return all_ones if name == gate_name else None
+
+        flipped = compiled.run(input_pack, noise=noise)
+        diff = np.bitwise_xor(clean[out_slot], flipped[out_slot])
+        observabilities[gate_name] = (
+            patterns.masked_popcount(diff, n_patterns) / n_patterns)
+    return observabilities

@@ -1,0 +1,177 @@
+"""Packed-pattern utilities for 64-bit parallel logic simulation.
+
+A *pattern pack* assigns one value per simulated input vector to a signal,
+packed 64 patterns per ``numpy.uint64`` word — the same representation as
+the paper's "64-bit parallel pattern simulator".  Pattern ``k`` lives in bit
+``k % 64`` of word ``k // 64``.
+
+Highlights:
+
+* :func:`bernoulli_words` draws Bernoulli(p) bits using the binary-expansion
+  trick: combining ``precision`` uniform random words with AND/OR according
+  to the binary digits of ``p``.  This costs O(precision) word operations
+  per word instead of one floating-point comparison per *bit*, which is what
+  makes Monte Carlo noise injection tractable in pure numpy.
+* :func:`exhaustive_words` builds the counting patterns that enumerate all
+  ``2**n`` input vectors for exact (non-sampled) simulation of small cones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+
+_ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+#: Byte-wise popcount table for :func:`popcount`.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+# The first six exhaustive-pattern words are constants (periods 2,4,...,64).
+_EXHAUSTIVE_WORD = [
+    np.uint64(0xAAAA_AAAA_AAAA_AAAA),
+    np.uint64(0xCCCC_CCCC_CCCC_CCCC),
+    np.uint64(0xF0F0_F0F0_F0F0_F0F0),
+    np.uint64(0xFF00_FF00_FF00_FF00),
+    np.uint64(0xFFFF_0000_FFFF_0000),
+    np.uint64(0xFFFF_FFFF_0000_0000),
+]
+
+
+def words_for_patterns(n_patterns: int) -> int:
+    """Number of 64-bit words needed to hold ``n_patterns`` patterns."""
+    if n_patterns <= 0:
+        raise ValueError("n_patterns must be positive")
+    return -(-n_patterns // WORD_BITS)
+
+
+def tail_mask(n_patterns: int) -> np.uint64:
+    """Mask selecting the valid bits of the final (possibly partial) word."""
+    rem = n_patterns % WORD_BITS
+    if rem == 0:
+        return _ALL_ONES
+    return np.uint64((1 << rem) - 1)
+
+
+def zeros(n_words: int) -> np.ndarray:
+    """An all-zero pattern pack."""
+    return np.zeros(n_words, dtype=np.uint64)
+
+
+def ones(n_words: int) -> np.ndarray:
+    """An all-one pattern pack."""
+    return np.full(n_words, _ALL_ONES, dtype=np.uint64)
+
+
+def random_words(n_words: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random 64-bit words (fair-coin bits)."""
+    return rng.integers(0, _ALL_ONES, size=n_words, dtype=np.uint64,
+                        endpoint=True)
+
+
+def bernoulli_words(p: float, n_words: int, rng: np.random.Generator,
+                    precision: int = 24) -> np.ndarray:
+    """Pattern pack whose bits are independent Bernoulli(p) draws.
+
+    ``p`` is rounded to ``precision`` binary digits (default 2**-24 ≈ 6e-8
+    resolution, far below Monte Carlo sampling error).  Runs in
+    O(precision * n_words) word operations.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability {p} outside [0, 1]")
+    scaled = round(p * (1 << precision))
+    if scaled <= 0:
+        return zeros(n_words)
+    if scaled >= 1 << precision:
+        return ones(n_words)
+    # Skip trailing zero digits: AND-ing into an all-zero accumulator is a
+    # no-op, so start at the lowest set digit (an OR).
+    start = (scaled & -scaled).bit_length() - 1
+    n_draws = precision - start
+    draws = rng.integers(0, _ALL_ONES, size=(n_draws, n_words),
+                         dtype=np.uint64, endpoint=True)
+    acc = draws[0].copy()
+    for row, j in zip(draws[1:], range(start + 1, precision)):
+        if (scaled >> j) & 1:
+            np.bitwise_or(acc, row, out=acc)
+        else:
+            np.bitwise_and(acc, row, out=acc)
+    return acc
+
+
+def exhaustive_words(var_index: int, n_vars: int) -> np.ndarray:
+    """Counting pattern for input ``var_index`` enumerating all 2**n vectors.
+
+    Pattern ``k`` assigns bit ``(k >> var_index) & 1`` to the input, so the
+    full set of packs over all inputs enumerates every input vector exactly
+    once.  Requires ``n_vars >= 6`` patterns to fill whole words; smaller
+    spaces are padded by wrap-around (callers mask with :func:`tail_mask` or
+    simply exploit the periodicity, which keeps counts proportional).
+    """
+    if not 0 <= var_index < n_vars:
+        raise ValueError("var_index out of range")
+    n_words = max(1, 1 << max(0, n_vars - 6))
+    if var_index < 6:
+        return np.full(n_words, _EXHAUSTIVE_WORD[var_index], dtype=np.uint64)
+    word_ids = np.arange(n_words, dtype=np.uint64)
+    bit = (word_ids >> np.uint64(var_index - 6)) & np.uint64(1)
+    return np.where(bit.astype(bool), _ALL_ONES, np.uint64(0))
+
+
+def exhaustive_pack(input_names: Sequence[str]) -> Dict[str, np.ndarray]:
+    """Exhaustive pattern packs for a full input list, keyed by name."""
+    n = len(input_names)
+    return {name: exhaustive_words(i, n) for i, name in enumerate(input_names)}
+
+
+def random_pack(input_names: Sequence[str], n_words: int,
+                rng: np.random.Generator,
+                input_probs: Optional[Dict[str, float]] = None
+                ) -> Dict[str, np.ndarray]:
+    """Random pattern packs for each input, fair coins by default.
+
+    ``input_probs`` overrides the 1-probability of selected inputs (for
+    non-uniform input distributions).
+    """
+    pack = {}
+    for name in input_names:
+        p = (input_probs or {}).get(name)
+        if p is None:
+            pack[name] = random_words(n_words, rng)
+        else:
+            pack[name] = bernoulli_words(p, n_words, rng)
+    return pack
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits in a pattern pack."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return int(np.bitwise_count(words).sum())
+    return int(_POPCOUNT8[words.view(np.uint8)].sum(dtype=np.int64))
+
+
+def masked_popcount(words: np.ndarray, n_patterns: int) -> int:
+    """Set bits among the first ``n_patterns`` patterns only."""
+    n_words = words_for_patterns(n_patterns)
+    if n_words > len(words):
+        raise ValueError("pattern pack shorter than n_patterns")
+    full = popcount(words[:n_words - 1])
+    last = int(words[n_words - 1] & tail_mask(n_patterns))
+    return full + bin(last).count("1")
+
+
+def unpack_bits(words: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Expand a pattern pack into an array of 0/1 uint8 values."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return bits[:n_patterns]
+
+
+def pack_bits(bits: Sequence[int]) -> np.ndarray:
+    """Pack a 0/1 sequence into a pattern pack (final word zero-padded)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    n_words = words_for_patterns(len(arr)) if len(arr) else 1
+    padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+    padded[:len(arr)] = arr & 1
+    return np.packbits(padded, bitorder="little").view(np.uint64)

@@ -1,0 +1,138 @@
+"""Stuck-at fault model: fault lists and structural collapsing.
+
+The paper builds its observability machinery on "concepts from testing";
+this subpackage provides the testing substrate itself: single stuck-at
+faults, equivalence collapsing, parallel-pattern fault simulation, and
+random-pattern testability measures.  The bridge back to reliability:
+a gate's noiseless *observability* equals the detection probability of a
+flip at its output, which in turn bounds the detection probabilities of
+the stuck-at faults there (``o_g = Pr(SA0 detected) + Pr(SA1 detected)``
+for the output-value partition).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..circuit import Circuit, GateType
+
+
+class StuckAt(enum.Enum):
+    """Fault polarity: signal permanently 0 or permanently 1."""
+
+    ZERO = 0
+    ONE = 1
+
+    @property
+    def value_bit(self) -> int:
+        return 0 if self is StuckAt.ZERO else 1
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault on a node's *output* wire.
+
+    Input-pin faults are modeled by fault collapsing onto driver outputs
+    for the gate library used here (see :func:`collapse_faults`); output
+    faults are the canonical representatives.
+    """
+
+    node: str
+    stuck_at: StuckAt
+
+    def __str__(self) -> str:
+        return f"{self.node}/SA{self.stuck_at.value_bit}"
+
+
+def full_fault_list(circuit: Circuit,
+                    include_inputs: bool = True) -> List[Fault]:
+    """Both stuck-at faults on every node output (optionally inputs too)."""
+    faults = []
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type.is_constant:
+            continue
+        if node.gate_type.is_input and not include_inputs:
+            continue
+        faults.append(Fault(name, StuckAt.ZERO))
+        faults.append(Fault(name, StuckAt.ONE))
+    return faults
+
+
+_CONTROLLING = {
+    GateType.AND: 0, GateType.NAND: 0,
+    GateType.OR: 1, GateType.NOR: 1,
+}
+
+_INVERTS = {GateType.NAND, GateType.NOR, GateType.NOT}
+
+
+def collapse_faults(circuit: Circuit,
+                    include_inputs: bool = True) -> List[Fault]:
+    """Equivalence-collapse the fault list (classic gate-level rules).
+
+    For an AND gate, any input SA-controlling (SA0) is equivalent to the
+    output SA-controlled (SA0); dually for OR/NOR/NAND with the output
+    polarity flipped through inversion.  Since this library models faults
+    on node outputs, the collapse removes a *fanout-free* driver's
+    redundant fault when its single consumer makes it equivalent to the
+    consumer's output fault.  XOR/XNOR faults never collapse.
+
+    Returns a reduced list that still covers every equivalence class.
+    """
+    faults = set(full_fault_list(circuit, include_inputs=include_inputs))
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type not in _CONTROLLING and \
+                node.gate_type not in (GateType.NOT, GateType.BUF):
+            continue
+        for fi in node.fanins:
+            if circuit.fanout_count(fi) != 1:
+                continue  # fanout stems keep their own faults
+            driver = circuit.node(fi)
+            if driver.gate_type.is_constant:
+                continue
+            if node.gate_type in (GateType.NOT, GateType.BUF):
+                # driver SA-v  ==  output SA-(v ^ inverted)
+                inv = node.gate_type is GateType.NOT
+                for sa in (StuckAt.ZERO, StuckAt.ONE):
+                    faults.discard(Fault(fi, sa))
+                del inv
+                continue
+            c = _CONTROLLING[node.gate_type]
+            # input SA-c is equivalent to output SA-(c ^ inverts): drop the
+            # input-side fault, keep the canonical output fault.
+            faults.discard(Fault(fi, StuckAt.ZERO if c == 0 else StuckAt.ONE))
+    return sorted(faults, key=lambda f: (f.node, f.stuck_at.value_bit))
+
+
+@dataclass
+class FaultSimulationResult:
+    """Detection statistics from random-pattern fault simulation."""
+
+    #: Patterns each fault was detected on (count), keyed by fault.
+    detections: Dict[Fault, int]
+    #: Number of patterns simulated.
+    n_patterns: int
+    #: Which primary output first exposes each detected fault (any one).
+    detecting_output: Dict[Fault, str]
+
+    def detection_probability(self, fault: Fault) -> float:
+        """Fraction of random patterns that detect the fault."""
+        return self.detections.get(fault, 0) / self.n_patterns
+
+    @property
+    def detected_faults(self) -> List[Fault]:
+        return [f for f, c in self.detections.items() if c > 0]
+
+    @property
+    def undetected_faults(self) -> List[Fault]:
+        return [f for f, c in self.detections.items() if c == 0]
+
+    def coverage(self) -> float:
+        """Fault coverage: detected / total simulated faults."""
+        if not self.detections:
+            return 1.0
+        return len(self.detected_faults) / len(self.detections)

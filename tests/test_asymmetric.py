@@ -1,0 +1,110 @@
+"""Tests for the asymmetric gate-noise extension.
+
+The paper's model is the symmetric BSC; the natural generalization lets a
+gate's computed output flip 0→1 and 1→0 with different probabilities
+(real SEU mechanisms are value-dependent).  The single pass, the frontier
+oracle, and Monte Carlo all support it; the symmetric case must reduce
+exactly to the original algorithms.
+"""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import fig2_circuit, parity_tree
+from repro.reliability import SinglePassAnalyzer, frontier_exact_reliability
+from repro.sim import monte_carlo_asymmetric_reliability
+
+
+class TestSymmetricReduction:
+    def test_single_pass_equivalence(self):
+        circuit = fig2_circuit()
+        analyzer = SinglePassAnalyzer(circuit)
+        assert analyzer.run(0.07).delta() == pytest.approx(
+            analyzer.run(0.07, eps10=0.07).delta(), abs=1e-15)
+
+    def test_frontier_equivalence(self, reconvergent_circuit):
+        a = frontier_exact_reliability(reconvergent_circuit, 0.1).delta()
+        b = frontier_exact_reliability(reconvergent_circuit, 0.1,
+                                       eps10=0.1).delta()
+        assert a == pytest.approx(b, abs=1e-15)
+
+    def test_mc_matches_symmetric_mc(self, reconvergent_circuit):
+        from repro.sim import monte_carlo_reliability
+        sym = monte_carlo_reliability(reconvergent_circuit, 0.1,
+                                      n_patterns=1 << 16, seed=4)
+        asym = monte_carlo_asymmetric_reliability(
+            reconvergent_circuit, 0.1, 0.1, n_patterns=1 << 16, seed=4)
+        assert asym.delta() == pytest.approx(sym.delta(), abs=0.01)
+
+
+class TestAsymmetric:
+    def test_exact_on_trees(self):
+        b = CircuitBuilder("t")
+        x = b.inputs(*"abcd")
+        top = b.nor(b.and_(x[0], x[1]), b.or_(x[2], x[3]))
+        b.outputs(top)
+        circuit = b.build()
+        sp = SinglePassAnalyzer(circuit).run(0.1, eps10=0.03).delta()
+        exact = frontier_exact_reliability(circuit, 0.1,
+                                           eps10=0.03).delta()
+        assert sp == pytest.approx(exact, abs=1e-12)
+
+    def test_against_monte_carlo(self):
+        circuit = fig2_circuit()
+        sp = SinglePassAnalyzer(circuit).run(0.08, eps10=0.02).delta()
+        mc = monte_carlo_asymmetric_reliability(circuit, 0.08, 0.02,
+                                                n_patterns=1 << 17,
+                                                seed=3)
+        assert sp == pytest.approx(mc.delta(), abs=0.01)
+
+    def test_one_sided_noise_on_inverter_chain(self):
+        # Single buffer, only 0->1 noise: output errs iff value is 0 and
+        # the flip fires: delta = P(0) * e01.
+        b = CircuitBuilder("wire")
+        a = b.input("a")
+        b.outputs(b.buf(a, name="y"))
+        circuit = b.build()
+        sp = SinglePassAnalyzer(circuit).run(0.2, eps10=0.0)
+        assert sp.delta() == pytest.approx(0.5 * 0.2)
+        assert sp.node_errors["y"].p01 == pytest.approx(0.2)
+        assert sp.node_errors["y"].p10 == pytest.approx(0.0)
+
+    def test_direction_matters_on_skewed_signals(self):
+        # AND of four inputs: output is 1 only 1/16 of the time, so 0->1
+        # noise dominates the error probability.
+        b = CircuitBuilder("skew")
+        xs = b.input_bus("x", 4)
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = b.and_(acc, x)
+        b.outputs(acc)
+        circuit = b.build()
+        analyzer = SinglePassAnalyzer(circuit)
+        up_noise = analyzer.run(0.1, eps10=0.0).delta()
+        down_noise = analyzer.run(0.0, eps10=0.1).delta()
+        assert up_noise > down_noise
+        # Both exact (tree):
+        for e01, e10 in ((0.1, 0.0), (0.0, 0.1), (0.07, 0.21)):
+            sp = analyzer.run(e01, eps10=e10).delta()
+            exact = frontier_exact_reliability(circuit, e01,
+                                               eps10=e10).delta()
+            assert sp == pytest.approx(exact, abs=1e-12)
+
+    def test_eps10_validated(self):
+        circuit = parity_tree(4)
+        analyzer = SinglePassAnalyzer(circuit)
+        with pytest.raises(ValueError):
+            analyzer.run(0.1, eps10=0.9)
+        with pytest.raises(ValueError):
+            monte_carlo_asymmetric_reliability(circuit, 0.1, 0.9,
+                                               n_patterns=64)
+
+    def test_per_gate_asymmetric_specs(self):
+        circuit = fig2_circuit()
+        gates = circuit.topological_gates()
+        e01 = {g: 0.02 * (i + 1) for i, g in enumerate(gates)}
+        e10 = {g: 0.01 for g in gates}
+        sp = SinglePassAnalyzer(circuit).run(e01, eps10=e10).delta()
+        exact = frontier_exact_reliability(circuit, e01,
+                                           eps10=e10).delta()
+        assert sp == pytest.approx(exact, abs=0.02)

@@ -1,0 +1,193 @@
+"""Tests for the ROBDD engine."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import Bdd, BddManager, BddSizeLimitError
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+@pytest.fixture
+def abc(mgr):
+    return mgr.new_var("a"), mgr.new_var("b"), mgr.new_var("c")
+
+
+def brute_force_equal(f: Bdd, expected_fn, n_vars: int) -> bool:
+    for bits in itertools.product((0, 1), repeat=n_vars):
+        if f.evaluate(list(bits)) != expected_fn(*bits):
+            return False
+    return True
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.false.is_false and not mgr.false.is_true
+        assert mgr.true.is_true
+
+    def test_var_identity(self, mgr):
+        a = mgr.new_var("a")
+        assert mgr.var(0) == a
+        assert mgr.var_name(0) == "a"
+
+    def test_var_out_of_range(self, mgr):
+        with pytest.raises(IndexError):
+            mgr.var(0)
+
+    def test_hash_consing(self, abc, mgr):
+        a, b, _ = abc
+        f1 = a & b
+        f2 = a & b
+        assert f1.node == f2.node
+        assert f1 == f2 and hash(f1) == hash(f2)
+
+    def test_cross_manager_rejected(self, abc):
+        other = BddManager()
+        x = other.new_var()
+        with pytest.raises(ValueError):
+            _ = abc[0] & x
+
+
+class TestBooleanOps:
+    def test_and(self, abc):
+        a, b, _ = abc
+        assert brute_force_equal(a & b, lambda x, y, z: x & y, 3)
+
+    def test_or(self, abc):
+        a, b, _ = abc
+        assert brute_force_equal(a | b, lambda x, y, z: x | y, 3)
+
+    def test_xor(self, abc):
+        a, b, c = abc
+        assert brute_force_equal(a ^ b ^ c, lambda x, y, z: x ^ y ^ z, 3)
+
+    def test_not(self, abc):
+        a, _, _ = abc
+        assert brute_force_equal(~a, lambda x, y, z: 1 - x, 3)
+
+    def test_double_negation(self, abc):
+        a, b, _ = abc
+        f = a & b
+        assert (~~f) == f
+
+    def test_ite(self, abc):
+        a, b, c = abc
+        f = a.ite(b, c)
+        assert brute_force_equal(f, lambda x, y, z: y if x else z, 3)
+
+    def test_demorgan(self, abc):
+        a, b, _ = abc
+        assert ~(a & b) == (~a | ~b)
+
+    def test_complex_identity(self, abc):
+        a, b, c = abc
+        lhs = (a & b) | (a & c)
+        rhs = a & (b | c)
+        assert lhs == rhs
+
+    def test_tautology_and_contradiction(self, abc):
+        a, _, _ = abc
+        assert (a | ~a).is_true
+        assert (a & ~a).is_false
+
+
+class TestStructuralOps:
+    def test_restrict(self, abc):
+        a, b, c = abc
+        f = (a & b) | c
+        assert f.restrict(0, 1) == (b | c)
+        assert f.restrict(0, 0) == c
+
+    def test_compose(self, abc):
+        a, b, c = abc
+        f = a & b
+        composed = f.compose(0, b | c)  # a := b | c
+        assert brute_force_equal(composed, lambda x, y, z: (y | z) & y, 3)
+
+    def test_exists(self, abc):
+        a, b, _ = abc
+        f = a & b
+        assert f.exists([0]) == b
+        assert f.exists([0, 1]).is_true
+
+    def test_forall(self, abc):
+        a, b, _ = abc
+        f = a | b
+        assert f.forall([0]) == b
+
+    def test_support(self, abc):
+        a, b, c = abc
+        assert (a & c).support() == frozenset({0, 2})
+        assert ((a & b) ^ (a & b)).support() == frozenset()
+
+    def test_size(self, abc):
+        a, b, _ = abc
+        assert (a & b).size() == 4  # two internal + two terminals
+        assert a.size() == 3
+
+
+class TestCounting:
+    def test_sat_count_simple(self, abc):
+        a, b, c = abc
+        assert (a & b).sat_count() == 2  # c free
+        assert (a | b).sat_count() == 6
+        assert (a ^ b ^ c).sat_count() == 4
+
+    def test_sat_count_n_vars_override(self, abc):
+        a, b, _ = abc
+        assert (a & b).sat_count(n_vars=2) == 1
+        assert (a & b).sat_count(n_vars=5) == 8
+
+    def test_sat_count_rejects_undersized(self, abc):
+        _, _, c = abc
+        with pytest.raises(ValueError):
+            c.sat_count(n_vars=1)
+
+    def test_probability_uniform(self, abc):
+        a, b, c = abc
+        assert (a & b).probability() == pytest.approx(0.25)
+        assert (a | b | c).probability() == pytest.approx(7 / 8)
+
+    def test_probability_weighted(self, abc):
+        a, b, _ = abc
+        p = (a & b).probability([0.9, 0.5, 0.5])
+        assert p == pytest.approx(0.45)
+
+    def test_probability_terminals(self, mgr):
+        assert mgr.true.probability() == 1.0
+        assert mgr.false.probability() == 0.0
+
+    def test_pick_assignment(self, abc):
+        a, b, c = abc
+        f = (~a) & b & c
+        assignment = f.pick_assignment()
+        full = [assignment.get(i, 0) for i in range(3)]
+        assert f.evaluate(full) == 1
+        assert (a & ~a).pick_assignment() is None
+
+    def test_evaluate(self, abc):
+        a, b, c = abc
+        f = (a | b) & ~c
+        assert f.evaluate([1, 0, 0]) == 1
+        assert f.evaluate([1, 0, 1]) == 0
+
+
+class TestNodeLimit:
+    def test_limit_enforced(self):
+        mgr = BddManager(node_limit=16)
+        vars_ = [mgr.new_var() for _ in range(8)]
+        with pytest.raises(BddSizeLimitError):
+            acc = vars_[0]
+            for v in vars_[1:]:
+                acc = acc ^ v  # XOR chains grow linearly but exceed 16
+
+    def test_clear_caches_preserves_functions(self, abc):
+        a, b, _ = abc
+        f = a & b
+        a.manager.clear_caches()
+        g = a & b
+        assert f == g

@@ -1,0 +1,102 @@
+"""Tests for the circuit-to-BDD bridge."""
+
+import pytest
+
+from repro.bdd import BddManager, build_node_bdds, joint_probability
+from repro.circuits import c17, parity_tree
+from repro.sim.simulator import signal_probabilities
+from tests.conftest import all_assignments
+
+
+class TestBuildNodeBdds:
+    def test_matches_evaluation(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        for assignment in all_assignments(full_adder_circuit):
+            values = full_adder_circuit.evaluate(assignment)
+            vec = [assignment[name] for name in full_adder_circuit.inputs]
+            for node, expected in values.items():
+                assert bdds[node].evaluate(vec) == expected
+
+    def test_c17(self):
+        circuit = c17()
+        bdds = build_node_bdds(circuit)
+        for assignment in all_assignments(circuit):
+            vec = [assignment[n] for n in circuit.inputs]
+            for out in circuit.outputs:
+                assert (bdds[out].evaluate(vec)
+                        == circuit.evaluate(assignment)[out])
+
+    def test_contains(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        assert "s" in bdds and "nope" not in bdds
+
+    def test_custom_var_order(self, full_adder_circuit):
+        order = list(reversed(full_adder_circuit.inputs))
+        bdds = build_node_bdds(full_adder_circuit, var_order=order)
+        assert bdds.var_index[order[0]] == 0
+        for assignment in all_assignments(full_adder_circuit):
+            vec = [0] * len(order)
+            for name, value in assignment.items():
+                vec[bdds.var_index[name]] = value
+            assert (bdds["s"].evaluate(vec)
+                    == full_adder_circuit.evaluate(assignment)["s"])
+
+    def test_bad_var_order_rejected(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            build_node_bdds(full_adder_circuit, var_order=["a", "b"])
+
+    def test_constants(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_const("one", 1)
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.set_output("y")
+        bdds = build_node_bdds(c)
+        assert bdds["one"].is_true
+        assert bdds["y"] == bdds["a"]
+
+
+class TestSignalProbability:
+    def test_uniform_inputs(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        # s = a xor b xor cin: probability 1/2; cout = majority: 1/2.
+        assert bdds.signal_probability("s") == pytest.approx(0.5)
+        assert bdds.signal_probability("cout") == pytest.approx(0.5)
+        assert bdds.signal_probability("c1") == pytest.approx(0.25)
+
+    def test_biased_inputs(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        p = bdds.signal_probability("c1", {"a": 1.0, "b": 1.0})
+        assert p == pytest.approx(1.0)
+
+    def test_matches_exhaustive_simulation(self):
+        circuit = parity_tree(8)
+        bdds = build_node_bdds(circuit)
+        sim = signal_probabilities(circuit)
+        for node in circuit.topological_order():
+            assert bdds.signal_probability(node) == pytest.approx(sim[node])
+
+
+class TestJointProbability:
+    def test_joint_of_independent(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        a = bdds["a"]
+        b = bdds["b"]
+        assert joint_probability([a, b], [1, 1]) == pytest.approx(0.25)
+
+    def test_joint_of_correlated(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        # t = a xor b, c1 = a and b: t=1 and c1=1 is impossible.
+        assert joint_probability(
+            [bdds["t"], bdds["c1"]], [1, 1]) == pytest.approx(0.0)
+
+    def test_joint_sums_to_one(self, full_adder_circuit):
+        bdds = build_node_bdds(full_adder_circuit)
+        fns = [bdds["t"], bdds["cin"]]
+        total = sum(joint_probability(fns, [v & 1, (v >> 1) & 1])
+                    for v in range(4))
+        assert total == pytest.approx(1.0)
+
+    def test_empty_joint(self):
+        assert joint_probability([], []) == 1.0

@@ -1,0 +1,100 @@
+"""Tests for the guaranteed signal-probability bounds."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuits import c17, parity_tree, random_circuit
+from repro.probability import (
+    Interval,
+    bound_report,
+    exact_signal_probabilities,
+    signal_probability_bounds,
+)
+from tests.test_properties import random_dag_circuit
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interval(0.7, 0.3)
+        with pytest.raises(ValueError):
+            Interval(-0.1, 0.5)
+
+    def test_complement(self):
+        iv = Interval(0.2, 0.6).complement()
+        assert iv.lo == pytest.approx(0.4)
+        assert iv.hi == pytest.approx(0.8)
+
+    def test_width_and_point(self):
+        assert Interval(0.25, 0.75).width == 0.5
+        assert Interval(0.5, 0.5).is_point
+
+    def test_contains(self):
+        assert Interval(0.2, 0.4).contains(0.3)
+        assert not Interval(0.2, 0.4).contains(0.5)
+
+
+class TestSoundness:
+    def test_contains_exact_on_c17(self):
+        circuit = c17()
+        bounds = signal_probability_bounds(circuit)
+        exact = exact_signal_probabilities(circuit)
+        for node, p in exact.items():
+            assert bounds[node].contains(p), node
+
+    def test_point_intervals_on_trees(self, tree_circuit):
+        bounds = signal_probability_bounds(tree_circuit)
+        exact = exact_signal_probabilities(tree_circuit)
+        for node, p in exact.items():
+            assert bounds[node].is_point
+            assert bounds[node].lo == pytest.approx(p)
+
+    def test_parity_tree_exact(self):
+        circuit = parity_tree(8)
+        bounds = signal_probability_bounds(circuit)
+        assert bounds[circuit.outputs[0]].is_point
+
+    def test_reconvergence_widens(self, reconvergent_circuit):
+        bounds = signal_probability_bounds(reconvergent_circuit)
+        assert bounds["g6"].width > 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits_sound(self, seed):
+        circuit = random_circuit(6, 25, 3, seed=seed)
+        bounds = signal_probability_bounds(circuit)
+        exact = exact_signal_probabilities(circuit)
+        for node, p in exact.items():
+            assert bounds[node].contains(p), (seed, node)
+
+    def test_input_probs_respected(self, full_adder_circuit):
+        bounds = signal_probability_bounds(full_adder_circuit,
+                                           input_probs={"a": 1.0, "b": 1.0})
+        assert bounds["c1"].lo == pytest.approx(1.0)
+
+    def test_constants(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit("k")
+        c.add_const("one", 1)
+        c.add_input("a")
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.set_output("y")
+        bounds = signal_probability_bounds(c)
+        assert bounds["y"].lo == pytest.approx(0.5)
+        assert bounds["y"].hi == pytest.approx(0.5)
+
+    def test_report(self, two_output_circuit):
+        report = bound_report(two_output_circuit)
+        assert set(report) == {"y1", "y2"}
+        for lo, hi, width in report.values():
+            assert 0 <= lo <= hi <= 1
+            assert width == pytest.approx(hi - lo)
+
+
+@given(random_dag_circuit(max_gates=12))
+@settings(max_examples=50, deadline=None)
+def test_bounds_always_contain_exact(circuit):
+    """Property: on arbitrary DAGs the interval brackets the truth."""
+    bounds = signal_probability_bounds(circuit)
+    exact = exact_signal_probabilities(circuit)
+    for node, p in exact.items():
+        assert bounds[node].contains(p), node

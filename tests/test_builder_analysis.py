@@ -1,0 +1,136 @@
+"""Tests for CircuitBuilder and the structural analysis helpers."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    CircuitError,
+    GateType,
+    circuit_stats,
+    cone_size,
+    fanout_stems,
+    input_support,
+    is_tree,
+    node_index,
+    reconvergent_gates,
+    support_bitsets,
+)
+
+
+class TestBuilder:
+    def test_inputs_and_bus(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        bus = b.input_bus("d", 3)
+        assert (a, c) == ("a", "c")
+        assert bus == ["d0", "d1", "d2"]
+
+    def test_gate_conveniences_produce_expected_types(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        pairs = [
+            (b.and_(a, c), GateType.AND), (b.nand(a, c), GateType.NAND),
+            (b.or_(a, c), GateType.OR), (b.nor(a, c), GateType.NOR),
+            (b.xor(a, c), GateType.XOR), (b.xnor(a, c), GateType.XNOR),
+            (b.not_(a), GateType.NOT), (b.buf(c), GateType.BUF),
+        ]
+        for name, expected in pairs:
+            assert b.circuit.node(name).gate_type is expected
+
+    def test_fresh_names_unique(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        n1 = b.and_(a, c)
+        n2 = b.and_(a, c)
+        assert n1 != n2
+
+    def test_named_gate(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        assert b.and_(a, c, name="myand") == "myand"
+
+    def test_output_alias_adds_buffer(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        g = b.and_(a, c)
+        b.outputs(result=g)
+        circuit = b.build()
+        assert circuit.outputs == ["result"]
+        assert circuit.node("result").gate_type is GateType.BUF
+
+    def test_const(self):
+        b = CircuitBuilder()
+        one = b.const(1)
+        a = b.input("a")
+        b.outputs(b.and_(one, a))
+        circuit = b.build()
+        assert circuit.evaluate_outputs({"a": 1}).popitem()[1] == 1
+
+    def test_build_validates(self):
+        b = CircuitBuilder()
+        b.input("a")
+        with pytest.raises(CircuitError):
+            b.build()
+
+
+class TestSupports:
+    def test_node_index_is_topological(self, full_adder_circuit):
+        idx = node_index(full_adder_circuit)
+        for name in full_adder_circuit.topological_order():
+            for fi in full_adder_circuit.fanins(name):
+                assert idx[fi] < idx[name]
+
+    def test_support_bitsets_include_self(self, full_adder_circuit):
+        idx = node_index(full_adder_circuit)
+        bits = support_bitsets(full_adder_circuit)
+        for name in full_adder_circuit.topological_order():
+            assert bits[name] & (1 << idx[name])
+
+    def test_support_bitsets_union_of_fanins(self, full_adder_circuit):
+        bits = support_bitsets(full_adder_circuit)
+        idx = node_index(full_adder_circuit)
+        s = bits["s"]
+        assert s & (1 << idx["t"]) and s & (1 << idx["cin"])
+        assert not (bits["c1"] & (1 << idx["cin"]))
+
+    def test_input_support(self, full_adder_circuit):
+        supp = input_support(full_adder_circuit)
+        assert supp["s"] == {"a", "b", "cin"}
+        assert supp["c1"] == {"a", "b"}
+        assert supp["a"] == {"a"}
+
+
+class TestStructure:
+    def test_cone_size(self, full_adder_circuit):
+        assert cone_size(full_adder_circuit, "s") == 2  # t and s
+        assert cone_size(full_adder_circuit, "cout") == 4
+
+    def test_fanout_stems(self, full_adder_circuit):
+        stems = fanout_stems(full_adder_circuit)
+        assert "t" in stems  # feeds s and c2
+        assert "a" in stems and "b" in stems
+
+    def test_reconvergent_gates(self, reconvergent_circuit):
+        rec = reconvergent_gates(reconvergent_circuit)
+        assert "g6" in rec  # g2 reconverges via g4/g5
+        assert "g5" in rec  # i0 reaches g5 via g1->g2 and directly
+
+    def test_is_tree(self, tree_circuit, reconvergent_circuit):
+        assert is_tree(tree_circuit)
+        assert not is_tree(reconvergent_circuit)
+
+    def test_stats(self, full_adder_circuit):
+        stats = circuit_stats(full_adder_circuit)
+        assert stats.num_inputs == 3
+        assert stats.num_outputs == 2
+        assert stats.num_gates == 5
+        assert stats.depth == 3
+        assert stats.max_fanout == 2
+        assert stats.num_fanout_stems > 0
+        assert "fa" in stats.as_row()
+
+    def test_total_output_levels(self, full_adder_circuit):
+        stats = circuit_stats(full_adder_circuit)
+        expected = (full_adder_circuit.level("s")
+                    + full_adder_circuit.level("cout"))
+        assert stats.total_output_levels == expected

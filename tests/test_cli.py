@@ -1,0 +1,126 @@
+"""Tests for the command-line interface (run in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_bench
+from repro.circuits import c17
+
+
+class TestInfoAndBench:
+    def test_info_benchmark(self, capsys):
+        assert main(["info", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "gates=    6" in out
+        assert "22, 23" in out
+
+    def test_bench_listing(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "c499" in out and "i10" in out
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["info", "not_a_circuit"])
+
+    def test_info_from_file(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        save_bench(c17(), path)
+        assert main(["info", str(path)]) == 0
+        assert "gates=    6" in capsys.readouterr().out
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "c.xyz"
+        path.write_text("junk")
+        with pytest.raises(SystemExit):
+            main(["info", str(path)])
+
+
+class TestAnalysisCommands:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "c17", "--eps", "0.05,0.1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("eps=") == 2
+        assert "delta[22]" in out and "delta[23]" in out
+
+    def test_analyze_no_correlation(self, capsys):
+        assert main(["analyze", "c17", "--eps", "0.1",
+                     "--no-correlation"]) == 0
+        assert "0 corr pairs" in capsys.readouterr().out
+
+    def test_analyze_bad_eps(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "c17", "--eps", "0.7"])
+
+    def test_mc(self, capsys):
+        assert main(["mc", "c17", "--eps", "0.1",
+                     "--patterns", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "any-output" in out
+
+    def test_closed(self, capsys):
+        assert main(["closed", "fig1a", "--eps", "0.05"]) == 0
+        assert "delta[y]" in capsys.readouterr().out
+
+    def test_curve(self, capsys):
+        assert main(["curve", "fig1a", "--points", "3",
+                     "--patterns", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "single-pass" in out and "monte-carlo" in out
+
+    def test_analyze_and_mc_agree(self, capsys):
+        main(["analyze", "c17", "--eps", "0.1"])
+        sp_out = capsys.readouterr().out
+        main(["mc", "c17", "--eps", "0.1", "--patterns", "65536"])
+        mc_out = capsys.readouterr().out
+
+        def grab(text, key):
+            for line in text.splitlines():
+                if key in line:
+                    return float(line.split("=")[-1])
+            raise AssertionError(key)
+
+        assert grab(sp_out, "delta[22]") == pytest.approx(
+            grab(mc_out, "delta[22]"), abs=0.01)
+
+
+class TestExtendedCommands:
+    def test_testability(self, capsys):
+        assert main(["testability", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage 100.0%" in out
+        assert "SA" in out
+
+    def test_stratified(self, capsys):
+        assert main(["stratified", "c17", "--eps", "1e-6",
+                     "--samples", "20", "--patterns", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "any-output" in out and "e-0" in out
+
+    def test_harden(self, capsys):
+        assert main(["harden", "fig2", "--budget", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "better" in out and "upgraded" in out
+
+    def test_stratified_bad_eps(self):
+        with pytest.raises(SystemExit):
+            main(["stratified", "c17", "--eps", "0.9"])
+
+
+class TestConvert:
+    def test_bench_to_blif_and_verilog(self, tmp_path, capsys):
+        blif = tmp_path / "c17.blif"
+        assert main(["convert", "c17", str(blif)]) == 0
+        assert blif.read_text().startswith(".model")
+        v = tmp_path / "c17.v"
+        assert main(["convert", "c17", str(v)]) == 0
+        assert "module" in v.read_text()
+
+    def test_blif_reload(self, tmp_path, capsys):
+        blif = tmp_path / "c17.blif"
+        main(["convert", "c17", str(blif)])
+        assert main(["info", str(blif)]) == 0
+
+    def test_unsupported_output(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["convert", "c17", str(tmp_path / "c.json")])

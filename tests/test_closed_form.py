@@ -1,0 +1,119 @@
+"""Tests for the observability-based closed form (paper Eqn. 3)."""
+
+import math
+
+import pytest
+
+from repro.reliability import (
+    ObservabilityModel,
+    closed_form_delta,
+    exhaustive_exact_reliability,
+)
+
+
+class TestClosedFormDelta:
+    def test_matches_manual_product(self):
+        obs = {"g1": 0.5, "g2": 1.0, "g3": 0.25}
+        eps = 0.1
+        expected = 0.5 * (1 - (1 - 2 * eps * 0.5) * (1 - 2 * eps * 1.0)
+                          * (1 - 2 * eps * 0.25))
+        assert closed_form_delta(eps, obs) == pytest.approx(expected)
+
+    def test_single_fully_observable_noisy_gate(self):
+        # One gate, o = 1: delta = eps exactly.
+        assert closed_form_delta(0.17, {"g": 1.0}) == pytest.approx(0.17)
+
+    def test_zero_eps(self):
+        assert closed_form_delta(0.0, {"g": 0.7, "h": 0.4}) == 0.0
+
+    def test_saturates_at_half(self):
+        assert closed_form_delta(0.5, {"g": 1.0, "h": 0.5}) == pytest.approx(
+            0.5)
+
+    def test_tiny_eps_no_underflow(self):
+        # The soft-error regime: eps ~ 1e-20 must not round to zero.
+        obs = {f"g{i}": 0.5 for i in range(100)}
+        delta = closed_form_delta(1e-20, obs)
+        assert delta == pytest.approx(100 * 1e-20 * 0.5, rel=1e-6)
+
+    def test_per_gate_eps(self):
+        obs = {"g1": 1.0, "g2": 1.0}
+        delta = closed_form_delta({"g1": 0.1}, obs)  # g2 noise-free
+        assert delta == pytest.approx(0.1)
+
+
+class TestObservabilityModel:
+    def test_first_order_accuracy(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        eps = 1e-4
+        exact = exhaustive_exact_reliability(reconvergent_circuit, eps).delta()
+        assert model.delta(eps) == pytest.approx(exact, rel=1e-2)
+
+    def test_exact_on_single_gate(self):
+        from repro.circuit import CircuitBuilder
+        b = CircuitBuilder("one")
+        a, c = b.inputs("a", "c")
+        b.outputs(b.and_(a, c, name="y"))
+        circuit = b.build()
+        model = ObservabilityModel(circuit)
+        for eps in (0.05, 0.2, 0.4):
+            exact = exhaustive_exact_reliability(circuit, eps).delta()
+            assert model.delta(eps) == pytest.approx(exact)
+
+    def test_curve(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        curve = model.curve([0.0, 0.1, 0.2])
+        assert curve[0.0] == 0.0
+        assert curve[0.1] < curve[0.2]
+
+    def test_eps_validated(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        with pytest.raises(ValueError):
+            model.delta(0.8)
+
+    def test_multi_output_needs_name(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            ObservabilityModel(full_adder_circuit)
+        model = ObservabilityModel(full_adder_circuit, output="s")
+        assert 0 < model.delta(0.1) <= 0.5
+
+    def test_precomputed_observabilities(self):
+        model_obs = {"g": 1.0}
+        from repro.circuit import CircuitBuilder
+        b = CircuitBuilder("one")
+        a, c = b.inputs("a", "c")
+        b.outputs(b.and_(a, c, name="g"))
+        model = ObservabilityModel(b.build(), observabilities=model_obs)
+        assert model.delta(0.3) == pytest.approx(0.3)
+
+
+class TestGradient:
+    def test_derivative_matches_finite_difference(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        eps = {g: 0.1 for g in reconvergent_circuit.topological_gates()}
+        h = 1e-7
+        for gate in reconvergent_circuit.topological_gates():
+            up = dict(eps)
+            up[gate] = eps[gate] + h
+            fd = (model.delta(up) - model.delta(eps)) / h
+            assert model.derivative(eps, gate) == pytest.approx(fd, rel=1e-4)
+
+    def test_gradient_matches_derivative(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        eps = 0.15
+        grad = model.gradient(eps)
+        for gate in reconvergent_circuit.topological_gates():
+            assert grad[gate] == pytest.approx(model.derivative(eps, gate))
+
+    def test_unknown_gate_rejected(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        with pytest.raises(KeyError):
+            model.derivative(0.1, "ghost")
+
+    def test_critical_gates_ranked_by_observability_at_uniform_eps(
+            self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        top = model.critical_gates(0.05, top_k=1)[0]
+        # At uniform small eps the most critical gate is the most observable.
+        best = max(model.observabilities, key=model.observabilities.get)
+        assert top == best

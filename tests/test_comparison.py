@@ -1,0 +1,63 @@
+"""Tests for the estimator-comparison harness."""
+
+import pytest
+
+from repro.circuits import c17, get_benchmark
+from repro.reliability import compare_methods
+
+
+@pytest.fixture(scope="module")
+def c17_comparison():
+    return compare_methods(c17(), 0.05, mc_patterns=1 << 15, seed=0)
+
+
+class TestCompareMethods:
+    def test_exact_reference_on_small_circuits(self, c17_comparison):
+        assert c17_comparison.reference == "exact (exhaustive)"
+        methods = {r.method for r in c17_comparison.rows}
+        assert {"monte carlo", "single-pass (corr)", "single-pass (indep)",
+                "closed form", "compositional",
+                "stratified MC"} <= methods
+
+    def test_all_rows_have_all_outputs(self, c17_comparison):
+        for row in c17_comparison.rows:
+            assert set(row.per_output) == {"22", "23"}
+
+    def test_accuracy_ordering(self, c17_comparison):
+        errors = c17_comparison.errors_vs_reference()
+        # The paper's central claim on a small circuit: the single pass
+        # with correlations beats the compositional baseline.
+        assert errors["single-pass (corr)"] < errors["compositional"]
+
+    def test_mc_reference_on_larger_circuits(self):
+        comparison = compare_methods(get_benchmark("x2"), 0.1,
+                                     mc_patterns=1 << 13, seed=1)
+        assert comparison.reference == "monte carlo"
+        assert "exact (exhaustive)" not in {r.method
+                                            for r in comparison.rows}
+
+    def test_stratified_skipped_at_large_eps(self):
+        comparison = compare_methods(c17(), 0.3, mc_patterns=1 << 12)
+        assert "stratified MC" not in {r.method for r in comparison.rows}
+
+    def test_table_rendering(self, c17_comparison):
+        text = c17_comparison.as_table()
+        assert "method comparison — c17" in text
+        assert "mean % error vs exact" in text
+
+    def test_row_lookup(self, c17_comparison):
+        row = c17_comparison.row("monte carlo")
+        assert row.seconds >= 0
+        with pytest.raises(KeyError):
+            c17_comparison.row("astrology")
+
+    def test_timings_recorded(self, c17_comparison):
+        for row in c17_comparison.rows:
+            assert row.seconds >= 0.0
+
+    def test_cli_compare(self, capsys):
+        from repro.cli import main
+        assert main(["compare", "c17", "--eps", "0.05",
+                     "--patterns", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "single-pass (corr)" in out

@@ -1,0 +1,100 @@
+"""Tests for consolidated multi-output error (paper Sec. 5.1, Figs. 5/8)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c17
+from repro.reliability import (
+    ConsolidatedAnalyzer,
+    consolidated_curve,
+    exhaustive_exact_reliability,
+    output_joint_distributions,
+)
+from repro.sim import monte_carlo_reliability
+
+
+class TestOutputJointDistributions:
+    def test_sums_to_one(self, two_output_circuit):
+        joint = output_joint_distributions(two_output_circuit)
+        for dist in joint.values():
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_matches_enumeration(self, two_output_circuit):
+        joint = output_joint_distributions(two_output_circuit)
+        dist = joint[("y1", "y2")]
+        counts = np.zeros(4)
+        for k in range(8):
+            assignment = {"a": k & 1, "b": (k >> 1) & 1, "c": (k >> 2) & 1}
+            out = two_output_circuit.evaluate_outputs(assignment)
+            counts[out["y1"] + 2 * out["y2"]] += 1 / 8
+        np.testing.assert_allclose(dist, counts, atol=1e-12)
+
+    def test_sampled_close_to_exact(self, two_output_circuit):
+        exact = output_joint_distributions(two_output_circuit)
+        sampled = output_joint_distributions(two_output_circuit,
+                                             n_patterns=1 << 15)
+        np.testing.assert_allclose(sampled[("y1", "y2")],
+                                   exact[("y1", "y2")], atol=0.02)
+
+    def test_all_pairs_present(self):
+        circuit = c17()
+        joint = output_joint_distributions(circuit)
+        assert len(joint) == 1  # c17 has 2 outputs -> one pair
+
+
+class TestConsolidation:
+    def test_two_outputs_vs_exact(self, two_output_circuit):
+        analyzer = ConsolidatedAnalyzer(two_output_circuit)
+        for eps in (0.05, 0.1, 0.2):
+            exact = exhaustive_exact_reliability(two_output_circuit, eps)
+            result = analyzer.run(eps)
+            assert result.any_output == pytest.approx(exact.any_output,
+                                                      abs=0.03)
+
+    def test_c17_vs_exact(self):
+        circuit = c17()
+        analyzer = ConsolidatedAnalyzer(circuit)
+        for eps in (0.05, 0.15):
+            exact = exhaustive_exact_reliability(circuit, eps)
+            result = analyzer.run(eps)
+            assert result.any_output == pytest.approx(exact.any_output,
+                                                      abs=0.03)
+
+    def test_bounds(self, two_output_circuit):
+        analyzer = ConsolidatedAnalyzer(two_output_circuit)
+        result = analyzer.run(0.1)
+        assert result.any_output >= max(result.per_output.values()) - 0.02
+        assert result.any_output <= sum(result.per_output.values()) + 1e-9
+        assert 0.0 <= result.any_output <= 1.0
+
+    def test_correlated_outputs_below_independence(self):
+        """With heavily shared logic, correlation-aware consolidation should
+        be at most the independence estimate (errors co-occur)."""
+        from repro.circuit import CircuitBuilder
+        b = CircuitBuilder("share")
+        a, c, d = b.inputs("a", "c", "d")
+        stem = b.and_(a, c, name="stem")
+        b.outputs(b.or_(stem, d, name="o1"), b.xor(stem, d, name="o2"))
+        circuit = b.build()
+        analyzer = ConsolidatedAnalyzer(circuit)
+        result = analyzer.run(0.1)
+        assert result.any_output <= result.any_output_independent + 1e-9
+
+    def test_pairwise_joint_error_reported(self, two_output_circuit):
+        analyzer = ConsolidatedAnalyzer(two_output_circuit)
+        result = analyzer.run(0.1)
+        assert ("y1", "y2") in result.pairwise_joint_error
+        j = result.pairwise_joint_error[("y1", "y2")]
+        assert 0.0 <= j <= min(result.per_output.values()) + 1e-9
+
+    def test_curve_increases(self, two_output_circuit):
+        curve = consolidated_curve(two_output_circuit, [0.0, 0.05, 0.15])
+        assert curve[0.0] == pytest.approx(0.0)
+        assert curve[0.05] < curve[0.15]
+
+    def test_against_monte_carlo(self, two_output_circuit):
+        analyzer = ConsolidatedAnalyzer(two_output_circuit)
+        mc = monte_carlo_reliability(two_output_circuit, 0.1,
+                                     n_patterns=1 << 16, seed=9)
+        result = analyzer.run(0.1)
+        assert result.any_output == pytest.approx(mc.any_output, abs=0.03)

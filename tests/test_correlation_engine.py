@@ -1,0 +1,111 @@
+"""Tests for the Sec. 4.1 error-event correlation engine."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.probability import (
+    EVENT_0TO1,
+    EVENT_1TO0,
+    ErrorCorrelationEngine,
+    IndependentCorrelations,
+)
+from repro.reliability import SinglePassAnalyzer, exhaustive_exact_reliability
+
+
+def run_with_engine(circuit, eps):
+    analyzer = SinglePassAnalyzer(circuit, use_correlation=True)
+    result = analyzer.run(eps)
+    return result, result.correlation_engine
+
+
+class TestBaseCases:
+    def test_same_wire_same_event(self, reconvergent_circuit):
+        result, engine = run_with_engine(reconvergent_circuit, 0.1)
+        p = result.node_errors["g2"].of_event(EVENT_0TO1)
+        assert engine("g2", EVENT_0TO1, "g2", EVENT_0TO1) == pytest.approx(
+            1.0 / p)
+
+    def test_same_wire_cross_event_is_zero(self, reconvergent_circuit):
+        _, engine = run_with_engine(reconvergent_circuit, 0.1)
+        assert engine("g2", EVENT_0TO1, "g2", EVENT_1TO0) == 0.0
+
+    def test_disjoint_supports_independent(self, tree_circuit):
+        analyzer = SinglePassAnalyzer(tree_circuit, use_correlation=True)
+        result = analyzer.run(0.1)
+        engine = result.correlation_engine
+        # a1 and n1 live in disjoint halves of the tree.
+        gates = tree_circuit.topological_gates()
+        assert engine(gates[0], EVENT_0TO1, gates[2], EVENT_0TO1) == 1.0
+
+    def test_symmetry_in_argument_order(self, reconvergent_circuit):
+        _, engine = run_with_engine(reconvergent_circuit, 0.1)
+        c1 = engine("g4", EVENT_0TO1, "g5", EVENT_1TO0)
+        c2 = engine("g5", EVENT_1TO0, "g4", EVENT_0TO1)
+        assert c1 == pytest.approx(c2)
+
+    def test_coefficients_nonnegative_and_feasible(self, reconvergent_circuit):
+        result, engine = run_with_engine(reconvergent_circuit, 0.15)
+        for a in ("g4", "g5"):
+            for ea in (EVENT_0TO1, EVENT_1TO0):
+                for eb in (EVENT_0TO1, EVENT_1TO0):
+                    c = engine(a, ea, "g2", eb)
+                    assert c >= 0.0
+                    pa = result.node_errors[a].of_event(ea)
+                    pb = result.node_errors["g2"].of_event(eb)
+                    if pa > 0 and pb > 0:
+                        assert c <= 1.0 / max(pa, pb) + 1e-9
+
+
+class TestEngineEffects:
+    def test_correlation_improves_accuracy(self, reconvergent_circuit):
+        eps = 0.08
+        exact = exhaustive_exact_reliability(reconvergent_circuit, eps).delta()
+        with_corr = SinglePassAnalyzer(
+            reconvergent_circuit, use_correlation=True).run(eps).delta()
+        without = SinglePassAnalyzer(
+            reconvergent_circuit, use_correlation=False).run(eps).delta()
+        assert abs(with_corr - exact) < abs(without - exact)
+
+    def test_pairs_counted(self, reconvergent_circuit):
+        result, engine = run_with_engine(reconvergent_circuit, 0.1)
+        assert result.correlation_pairs == engine.pairs_computed
+        assert result.correlation_pairs > 0
+
+    def test_budget_degrades_gracefully(self, reconvergent_circuit):
+        analyzer = SinglePassAnalyzer(reconvergent_circuit,
+                                      use_correlation=True,
+                                      max_correlation_pairs=1)
+        result = analyzer.run(0.1)
+        assert result.correlation_engine.budget_exceeded
+        assert 0.0 <= result.delta() <= 0.5 + 1e-9
+
+    def test_level_gap_truncation(self):
+        b = CircuitBuilder("deepchain")
+        a, c = b.inputs("a", "c")
+        stem = b.and_(a, c, name="stem")
+        left = stem
+        for _ in range(8):
+            left = b.not_(left)
+        top = b.or_(left, stem, name="top")
+        b.outputs(top)
+        circuit = b.build()
+        full = SinglePassAnalyzer(circuit, use_correlation=True).run(0.1)
+        gapped = SinglePassAnalyzer(circuit, use_correlation=True,
+                                    max_correlation_level_gap=2).run(0.1)
+        # The reconvergence spans 9 levels, so the gap cap must prune pairs.
+        assert gapped.correlation_pairs < full.correlation_pairs
+
+    def test_independent_correlations_stub(self):
+        stub = IndependentCorrelations()
+        assert stub("x", EVENT_0TO1, "y", EVENT_1TO0) == 1.0
+        assert stub.pairs_computed == 0
+
+
+class TestTmrStructures:
+    def test_no_probability_explosion_on_voters(self, full_adder_circuit):
+        from repro.circuit import triplicate_gates
+        hardened = triplicate_gates(full_adder_circuit,
+                                    full_adder_circuit.gates[:2])
+        result = SinglePassAnalyzer(hardened, use_correlation=True).run(0.05)
+        for out, delta in result.per_output.items():
+            assert 0.0 <= delta <= 0.5 + 1e-9, (out, delta)

@@ -1,0 +1,144 @@
+"""Edge-case and robustness tests across the library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit, CircuitBuilder, GateType
+from repro.reliability import (
+    ObservabilityModel,
+    SinglePassAnalyzer,
+    exhaustive_exact_reliability,
+    single_pass_reliability,
+)
+from repro.sim import monte_carlo_reliability
+from tests.test_properties import random_tree_circuit
+
+
+def single_gate_circuit(gate_type=GateType.AND):
+    b = CircuitBuilder("one")
+    a, c = b.inputs("a", "c")
+    b.outputs(b.gate(gate_type, a, c, name="y"))
+    return b.build()
+
+
+class TestDegenerateCircuits:
+    def test_single_buffer(self):
+        b = CircuitBuilder("wire")
+        a = b.input("a")
+        b.outputs(b.buf(a, name="y"))
+        circuit = b.build()
+        for eps in (0.0, 0.25, 0.5):
+            assert single_pass_reliability(circuit, eps).delta() == \
+                pytest.approx(eps)
+
+    def test_constant_output_circuit(self):
+        c = Circuit("const")
+        c.add_input("a")
+        c.add_const("one", 1)
+        c.add_gate("y", GateType.OR, ["a", "one"])  # always 1
+        c.set_output("y")
+        result = single_pass_reliability(c, 0.1)
+        # Error-free value is always 1: delta = Pr(1->0) = eps.
+        assert result.delta() == pytest.approx(0.1)
+        exact = exhaustive_exact_reliability(c, 0.1)
+        assert result.delta() == pytest.approx(exact.delta(), abs=1e-12)
+
+    def test_duplicate_fanin_gate(self):
+        c = Circuit("dup")
+        c.add_input("a")
+        c.add_gate("y", GateType.XOR, ["a", "a"])  # always 0
+        c.set_output("y")
+        result = single_pass_reliability(c, 0.2)
+        exact = exhaustive_exact_reliability(c, 0.2)
+        assert result.delta() == pytest.approx(exact.delta(), abs=1e-9)
+
+    def test_output_is_also_internal_node(self, full_adder_circuit):
+        # 't' feeds other logic; also declare it an output.
+        circuit = full_adder_circuit.copy()
+        circuit.set_output("t")
+        result = single_pass_reliability(circuit, 0.1)
+        assert set(result.per_output) == {"s", "cout", "t"}
+        mc = monte_carlo_reliability(circuit, 0.1, n_patterns=1 << 15)
+        assert result.per_output["t"] == pytest.approx(
+            mc.per_output["t"], abs=0.02)
+
+    def test_deep_inverter_chain_saturates(self):
+        b = CircuitBuilder("chain")
+        a = b.input("a")
+        node = a
+        for _ in range(100):
+            node = b.not_(node)
+        b.outputs(b.buf(node, name="y"))
+        circuit = b.build()
+        # Long noisy chain: delta -> 1/2 from any per-gate eps.
+        delta = single_pass_reliability(circuit, 0.1).delta()
+        assert delta == pytest.approx(0.5, abs=1e-6)
+
+    def test_wide_gate_in_single_pass(self):
+        c = Circuit("wide")
+        for pi in "abcde":
+            c.add_input(pi)
+        c.add_gate("y", GateType.NOR, list("abcde"))
+        c.set_output("y")
+        sp = single_pass_reliability(c, 0.15).delta()
+        exact = exhaustive_exact_reliability(c, 0.15).delta()
+        assert sp == pytest.approx(exact, abs=1e-12)
+
+
+class TestEpsilonBoundaries:
+    @pytest.mark.parametrize("gate_type", [GateType.AND, GateType.XOR,
+                                           GateType.NOR])
+    def test_fully_noisy_single_gate(self, gate_type):
+        circuit = single_gate_circuit(gate_type)
+        assert single_pass_reliability(circuit, 0.5).delta() == \
+            pytest.approx(0.5)
+
+    def test_eps_exactly_half_everywhere(self, reconvergent_circuit):
+        result = single_pass_reliability(reconvergent_circuit, 0.5)
+        assert result.delta() == pytest.approx(0.5, abs=1e-9)
+
+    def test_observability_model_at_bounds(self, reconvergent_circuit):
+        model = ObservabilityModel(reconvergent_circuit)
+        assert model.delta(0.0) == 0.0
+        assert 0.0 < model.delta(0.5) <= 0.5
+
+
+class TestMonotonicity:
+    @given(random_tree_circuit(max_leaves=6))
+    @settings(max_examples=20, deadline=None)
+    def test_delta_nondecreasing_in_eps_on_trees(self, circuit):
+        analyzer = SinglePassAnalyzer(circuit)
+        values = [analyzer.run(e).delta()
+                  for e in (0.0, 0.05, 0.15, 0.3, 0.5)]
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 1e-12
+
+    @given(st.floats(0.001, 0.4))
+    @settings(max_examples=20, deadline=None)
+    def test_hardening_one_gate_never_hurts_on_a_tree(self, eps):
+        b = CircuitBuilder("t")
+        xs = b.inputs(*"abcd")
+        top = b.or_(b.and_(xs[0], xs[1]), b.nand(xs[2], xs[3]), name="top")
+        b.outputs("top")
+        circuit = b.build()
+        analyzer = SinglePassAnalyzer(circuit)
+        base_eps = {g: eps for g in circuit.topological_gates()}
+        base = analyzer.run(base_eps).delta()
+        for gate in circuit.topological_gates():
+            hardened = dict(base_eps)
+            hardened[gate] = eps / 2
+            assert analyzer.run(hardened).delta() <= base + 1e-12
+
+
+class TestAnalyzerReuse:
+    def test_analyzer_runs_are_independent(self, reconvergent_circuit):
+        analyzer = SinglePassAnalyzer(reconvergent_circuit)
+        first = analyzer.run(0.1).delta()
+        analyzer.run(0.4)
+        again = analyzer.run(0.1).delta()
+        assert first == pytest.approx(again, abs=1e-15)
+
+    def test_independent_analyzers_agree(self, reconvergent_circuit):
+        a = SinglePassAnalyzer(reconvergent_circuit, seed=0)
+        b = SinglePassAnalyzer(reconvergent_circuit, seed=0)
+        assert a.run(0.2).delta() == pytest.approx(b.run(0.2).delta())

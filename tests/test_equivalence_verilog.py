@@ -1,0 +1,142 @@
+"""Tests for the equivalence checker and the Verilog reader."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import (
+    CircuitBuilder,
+    are_equivalent,
+    expand_xor,
+    map_to_nand,
+    rebalance_chains,
+    strip_buffers,
+    triplicate_gates,
+)
+from repro.circuits import get_benchmark, random_circuit
+from repro.io import (
+    VerilogFormatError,
+    dumps_verilog,
+    load_verilog,
+    loads_verilog,
+    save_verilog,
+)
+from tests.test_properties import random_dag_circuit
+
+
+class TestEquivalence:
+    def test_identical_circuits(self, full_adder_circuit):
+        assert are_equivalent(full_adder_circuit, full_adder_circuit)
+
+    def test_transforms_proved_equivalent(self, full_adder_circuit):
+        for transform in (expand_xor, map_to_nand, rebalance_chains):
+            other = transform(full_adder_circuit)
+            result = are_equivalent(full_adder_circuit, other)
+            assert result, transform.__name__
+
+    def test_tmr_equivalent(self, full_adder_circuit):
+        hardened = triplicate_gates(full_adder_circuit, ["t"])
+        assert are_equivalent(full_adder_circuit, hardened)
+
+    def test_c499_c1355_pair_proved(self):
+        """The catalog's headline equivalence, proved rather than sampled."""
+        assert are_equivalent(get_benchmark("c499"), get_benchmark("c1355"))
+
+    def test_counterexample_is_real(self):
+        b1 = CircuitBuilder("a1")
+        a, c = b1.inputs("a", "c")
+        b1.outputs(b1.and_(a, c, name="y"))
+        c1 = b1.build()
+        b2 = CircuitBuilder("a2")
+        a, c = b2.inputs("a", "c")
+        b2.outputs(b2.or_(a, c, name="y"))
+        c2 = b2.build()
+        result = are_equivalent(c1, c2)
+        assert not result
+        assert result.failing_output == "y"
+        cex = result.counterexample
+        assert (c1.evaluate_outputs(cex)["y"]
+                != c2.evaluate_outputs(cex)["y"])
+
+    def test_mismatched_inputs_rejected(self, full_adder_circuit,
+                                        tree_circuit):
+        with pytest.raises(ValueError):
+            are_equivalent(full_adder_circuit, tree_circuit)
+
+    def test_output_subset(self, full_adder_circuit):
+        other = expand_xor(full_adder_circuit)
+        assert are_equivalent(full_adder_circuit, other, outputs=["s"])
+
+    def test_missing_output_rejected(self, full_adder_circuit):
+        other = full_adder_circuit.cone("s")
+        with pytest.raises(ValueError):
+            are_equivalent(full_adder_circuit, other)
+
+
+class TestVerilogReader:
+    def test_writer_output_round_trips(self, full_adder_circuit):
+        reloaded = loads_verilog(dumps_verilog(full_adder_circuit))
+        assert are_equivalent(full_adder_circuit, reloaded)
+
+    def test_file_round_trip(self, tmp_path, reconvergent_circuit):
+        path = tmp_path / "c.v"
+        save_verilog(reconvergent_circuit, path)
+        reloaded = load_verilog(path)
+        assert are_equivalent(reconvergent_circuit, reloaded)
+
+    def test_constants_and_escapes(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit("k")
+        c.add_input("1weird")
+        c.add_const("one", 1)
+        c.add_gate("y", GateType.AND, ["1weird", "one"])
+        c.set_output("y")
+        reloaded = loads_verilog(dumps_verilog(c))
+        assert set(reloaded.inputs) == {"1weird"}
+        assert reloaded.evaluate_outputs({"1weird": 1})["y"] == 1
+
+    def test_comments_stripped(self):
+        text = """
+        // a comment
+        module m (a, y); /* block
+        comment */
+        input a;
+        output y;
+        assign y = ~(a);
+        endmodule
+        """
+        c = loads_verilog(text)
+        assert c.evaluate_outputs({"a": 1}) == {"y": 0}
+
+    def test_mixed_operators_rejected(self):
+        text = ("module m (a, b, y);\ninput a;\ninput b;\noutput y;\n"
+                "assign y = a & b | a;\nendmodule\n")
+        with pytest.raises(VerilogFormatError, match="mixed"):
+            loads_verilog(text)
+
+    def test_missing_endmodule(self):
+        with pytest.raises(VerilogFormatError, match="endmodule"):
+            loads_verilog("module m (a); input a;")
+
+    def test_no_module(self):
+        with pytest.raises(VerilogFormatError, match="module"):
+            loads_verilog("assign y = a;")
+
+    def test_undefined_reference(self):
+        text = ("module m (a, y);\ninput a;\noutput y;\n"
+                "assign y = a & ghost;\nendmodule\n")
+        with pytest.raises(VerilogFormatError, match="ghost"):
+            loads_verilog(text)
+
+
+@given(random_dag_circuit(max_inputs=4, max_gates=10))
+@settings(max_examples=30, deadline=None)
+def test_verilog_round_trip_property(circuit):
+    """Property: our Verilog writer/reader round-trips any circuit."""
+    reloaded = loads_verilog(dumps_verilog(circuit))
+    assert are_equivalent(circuit, reloaded)
+
+
+@given(random_dag_circuit(max_inputs=4, max_gates=10))
+@settings(max_examples=30, deadline=None)
+def test_equivalence_reflexive_property(circuit):
+    assert are_equivalent(circuit, circuit.copy())

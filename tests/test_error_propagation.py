@@ -1,0 +1,146 @@
+"""Tests for the Table-1 error-propagation math (paper Sec. 4)."""
+
+import pytest
+
+from repro.circuit import GateType, truth_table
+from repro.probability import (
+    EVENT_0TO1,
+    EVENT_1TO0,
+    ErrorProbability,
+    combine_with_local_failure,
+    transition_probability,
+    weighted_error_components,
+)
+
+
+def and_truth():
+    return truth_table(GateType.AND, 2)
+
+
+class TestErrorProbability:
+    def test_event_access(self):
+        ep = ErrorProbability(0.1, 0.2)
+        assert ep.of_event(EVENT_0TO1) == 0.1
+        assert ep.of_event(EVENT_1TO0) == 0.2
+
+    def test_total(self):
+        ep = ErrorProbability(0.1, 0.3)
+        assert ep.total(0.25) == pytest.approx(0.75 * 0.1 + 0.25 * 0.3)
+
+
+class TestTable1ForAnd:
+    """Reproduce the paper's Table 1 expressions entry by entry."""
+
+    def setup_method(self):
+        self.pi = ErrorProbability(p01=0.10, p10=0.20)  # input i
+        self.pj = ErrorProbability(p01=0.05, p10=0.15)  # input j
+        self.errors = {"i": self.pi, "j": self.pj}
+        # Weight vector indexed by (j, i)? No: bit t = fanin t; order (i, j).
+        self.weights = [0.4, 0.3, 0.2, 0.1]  # W00, W10, W01, W11 as bits i,j
+
+    def test_pw0_matches_table1(self):
+        pw0, w0, pw1, w1 = weighted_error_components(
+            and_truth(), self.weights, ("i", "j"), self.errors)
+        w00, w10, w01, w11 = self.weights
+        expected = (
+            w00 * self.pi.p01 * self.pj.p01
+            + w10 * self.pi.p01 * (1 - self.pj.p10)  # wait: bit0=i
+        )
+        # Careful with ordering: index v has bit0 = i, bit1 = j.
+        # v=1 means i=1, j=0 (paper's "10" row with order ij reversed).
+        expected = (
+            w00 * self.pi.p01 * self.pj.p01            # v=0: both flip
+            + w10 * (1 - self.pi.p10) * self.pj.p01    # v=1: i=1 stays, j flips
+            + w01 * self.pi.p01 * (1 - self.pj.p10)    # v=2: i flips, j=1 stays
+        )
+        assert pw0 == pytest.approx(expected)
+        assert w0 == pytest.approx(w00 + w10 + w01)
+
+    def test_pw1_matches_table1(self):
+        pw0, w0, pw1, w1 = weighted_error_components(
+            and_truth(), self.weights, ("i", "j"), self.errors)
+        w11 = self.weights[3]
+        expected = w11 * (self.pi.p10 + self.pj.p10
+                          - self.pi.p10 * self.pj.p10)
+        assert pw1 == pytest.approx(expected)
+        assert w1 == pytest.approx(w11)
+
+    def test_or_gate_symmetry(self):
+        # For OR, the single-row side is the 0 side (only 00 gives 0).
+        or_truth = truth_table(GateType.OR, 2)
+        pw0, w0, pw1, w1 = weighted_error_components(
+            or_truth, self.weights, ("i", "j"), self.errors)
+        w00 = self.weights[0]
+        expected_pw0 = w00 * (self.pi.p01 + self.pj.p01
+                              - self.pi.p01 * self.pj.p01)
+        assert pw0 == pytest.approx(expected_pw0)
+        assert w0 == pytest.approx(w00)
+
+    def test_inverter(self):
+        not_truth = truth_table(GateType.NOT, 1)
+        errors = {"i": self.pi}
+        pw0, w0, pw1, w1 = weighted_error_components(
+            not_truth, [0.7, 0.3], ("i",), errors)
+        # Output 0 <=> input 1 (weight 0.3): 0->1 error at output needs the
+        # input to fall 1->0.
+        assert pw0 == pytest.approx(0.3 * self.pi.p10)
+        assert pw1 == pytest.approx(0.7 * self.pi.p01)
+
+    def test_error_free_inputs_give_zero(self):
+        errors = {"i": ErrorProbability(), "j": ErrorProbability()}
+        pw0, _, pw1, _ = weighted_error_components(
+            and_truth(), self.weights, ("i", "j"), errors)
+        assert pw0 == 0.0 and pw1 == 0.0
+
+
+class TestTransitionProbability:
+    def test_single_flip(self):
+        errors = {"i": ErrorProbability(0.1, 0.2),
+                  "j": ErrorProbability(0.05, 0.15)}
+        # v=01 (i=1,j=0) -> v'=11: j flips 0->1, i stays 1.
+        p = transition_probability(0b01, 0b11, ("i", "j"), errors)
+        assert p == pytest.approx((1 - 0.2) * 0.05)
+
+    def test_double_flip(self):
+        errors = {"i": ErrorProbability(0.1, 0.2),
+                  "j": ErrorProbability(0.05, 0.15)}
+        p = transition_probability(0b00, 0b11, ("i", "j"), errors)
+        assert p == pytest.approx(0.1 * 0.05)
+
+    def test_identity_transition(self):
+        errors = {"i": ErrorProbability(0.1, 0.2)}
+        p = transition_probability(0b1, 0b1, ("i",), errors)
+        assert p == pytest.approx(1 - 0.2)
+
+
+class TestCombineWithLocalFailure:
+    def test_paper_formula(self):
+        # Pr(g01) = (1-e) r0 + e (1 - r0)
+        ep = combine_with_local_failure(pw0=0.06, w0=0.3, pw1=0.02, w1=0.7,
+                                        eps=0.1)
+        r0, r1 = 0.06 / 0.3, 0.02 / 0.7
+        assert ep.p01 == pytest.approx(0.9 * r0 + 0.1 * (1 - r0))
+        assert ep.p10 == pytest.approx(0.9 * r1 + 0.1 * (1 - r1))
+
+    def test_noise_free_gate(self):
+        ep = combine_with_local_failure(0.06, 0.3, 0.02, 0.7, eps=0.0)
+        assert ep.p01 == pytest.approx(0.2)
+        assert ep.p10 == pytest.approx(0.02 / 0.7)
+
+    def test_pure_local_noise(self):
+        ep = combine_with_local_failure(0.0, 0.5, 0.0, 0.5, eps=0.25)
+        assert ep.p01 == 0.25 and ep.p10 == 0.25
+
+    def test_degenerate_side(self):
+        # Output never 0 error-free: the 0-side defaults to pure eps.
+        ep = combine_with_local_failure(0.0, 0.0, 0.1, 1.0, eps=0.2)
+        assert ep.p01 == pytest.approx(0.2)
+
+    def test_fully_noisy_gate_is_half(self):
+        ep = combine_with_local_failure(0.1, 0.5, 0.1, 0.5, eps=0.5)
+        assert ep.p01 == pytest.approx(0.5)
+        assert ep.p10 == pytest.approx(0.5)
+
+    def test_ratio_clamped(self):
+        ep = combine_with_local_failure(0.9, 0.3, 0.0, 0.7, eps=0.0)
+        assert ep.p01 == 1.0

@@ -1,0 +1,150 @@
+"""Tests for the BDD-exact engine, reliability polynomial, and
+noisy-observability measurement."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, fig2_circuit, parity_tree
+from repro.reliability import (
+    bdd_exact_reliability,
+    evaluate_polynomial,
+    exhaustive_exact_reliability,
+    reliability_polynomial,
+)
+from repro.sim import monte_carlo_observabilities, noisy_observabilities
+
+
+class TestBddExact:
+    @pytest.mark.parametrize("eps", [0.0, 0.02, 0.1, 0.3, 0.5])
+    def test_matches_exhaustive(self, reconvergent_circuit, eps):
+        a = bdd_exact_reliability(reconvergent_circuit, eps)
+        b = exhaustive_exact_reliability(reconvergent_circuit, eps).delta()
+        assert a == pytest.approx(b, abs=1e-12)
+
+    def test_per_gate_eps(self, reconvergent_circuit):
+        eps = {g: 0.02 * (i + 1) for i, g in enumerate(
+            reconvergent_circuit.topological_gates())}
+        a = bdd_exact_reliability(reconvergent_circuit, eps)
+        b = exhaustive_exact_reliability(reconvergent_circuit, eps).delta()
+        assert a == pytest.approx(b, abs=1e-12)
+
+    def test_deep_chain_beyond_enumeration(self):
+        """60 gates: 2**60 subsets is hopeless; the fault-variable BDD is
+        linear, and the tree-exact closed form pins the answer."""
+        b = CircuitBuilder("chain")
+        x, y = b.inputs("x", "y")
+        acc = b.and_(x, y)
+        for _ in range(59):
+            acc = b.not_(acc)
+        b.outputs(acc)
+        circuit = b.build()
+        eps = 0.01
+        got = bdd_exact_reliability(circuit, eps)
+        expected = 0.5 * (1 - (1 - 2 * eps) ** 60)
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    def test_multi_output_needs_name(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            bdd_exact_reliability(full_adder_circuit, 0.1)
+        value = bdd_exact_reliability(full_adder_circuit, 0.1, output="s")
+        exact = exhaustive_exact_reliability(full_adder_circuit, 0.1)
+        assert value == pytest.approx(exact.per_output["s"], abs=1e-12)
+
+    def test_parity_tree_formula(self):
+        circuit = parity_tree(8)
+        eps = 0.07
+        got = bdd_exact_reliability(circuit, eps)
+        n = circuit.num_gates
+        assert got == pytest.approx(0.5 * (1 - (1 - 2 * eps) ** n))
+
+    def test_eps_validation(self, reconvergent_circuit):
+        with pytest.raises(ValueError):
+            bdd_exact_reliability(reconvergent_circuit, 0.7)
+
+
+class TestReliabilityPolynomial:
+    def test_matches_exhaustive_everywhere(self):
+        circuit = fig2_circuit()
+        poly = reliability_polynomial(circuit)
+        for eps in (0.01, 0.1, 0.25, 0.4):
+            value = evaluate_polynomial(poly, circuit.num_gates, eps)
+            exact = exhaustive_exact_reliability(circuit, eps).any_output
+            assert value == pytest.approx(exact, abs=1e-10)
+
+    def test_endpoints(self):
+        circuit = fig2_circuit()
+        poly = reliability_polynomial(circuit)
+        assert poly[0] == 0.0  # no failures, no error
+        assert 0.0 < poly[1] <= 1.0
+        assert evaluate_polynomial(poly, circuit.num_gates, 0.0) == 0.0
+
+    def test_stratum_one_is_mean_observability(self):
+        circuit = fig2_circuit()
+        poly = reliability_polynomial(circuit)
+        from repro.reliability import MultiOutputObservabilityModel
+        multi = MultiOutputObservabilityModel(circuit)
+        mean_any = (sum(multi.any_output_observabilities.values())
+                    / circuit.num_gates)
+        assert poly[1] == pytest.approx(mean_any, abs=1e-12)
+
+    def test_guard_rails(self):
+        from repro.circuits import random_circuit
+        big = random_circuit(4, 25, 2, seed=0)
+        with pytest.raises(ValueError):
+            reliability_polynomial(big, max_gates=20)
+
+
+class TestNoisyObservabilities:
+    def test_matches_noiseless_at_zero_eps(self, reconvergent_circuit):
+        noiseless = monte_carlo_observabilities(
+            reconvergent_circuit, n_patterns=1 << 13, seed=2)
+        at_zero = noisy_observabilities(
+            reconvergent_circuit, 0.0, n_patterns=1 << 13, seed=2)
+        for gate, o in noiseless.items():
+            assert at_zero[gate] == pytest.approx(o, abs=0.03)
+
+    def test_noise_distorts_observability(self):
+        """Sec. 3.1(ii): sensitized paths are perturbed by other failures;
+        deep gates' effective observability shrinks toward 1/2-mixing."""
+        circuit = fig2_circuit()
+        noiseless = monte_carlo_observabilities(circuit,
+                                                n_patterns=1 << 14, seed=1)
+        noisy = noisy_observabilities(circuit, 0.15,
+                                      n_patterns=1 << 14, seed=1)
+        # The first-level gate n1 is several levels from the output: its
+        # flip must now survive noisy downstream gates.
+        assert noisy["n1"] < noiseless["n1"] - 0.05
+
+    def test_output_gate_stays_fully_observable(self):
+        circuit = fig2_circuit()
+        noisy = noisy_observabilities(circuit, 0.2, n_patterns=1 << 12)
+        # A flip at the output gate itself always reaches the output.
+        assert noisy["n6"] == pytest.approx(1.0)
+
+    def test_multi_output_needs_name(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            noisy_observabilities(full_adder_circuit, 0.1)
+
+
+class TestInputProbPlumbing:
+    def test_single_pass_with_biased_inputs(self):
+        from repro.reliability import SinglePassAnalyzer
+        b = CircuitBuilder("biased")
+        x, y = b.inputs("x", "y")
+        b.outputs(b.and_(x, y, name="z"))
+        circuit = b.build()
+        # With x always 1, delta = P(z=0)*p01 + P(z=1)*p10; signal prob of
+        # z is P(y)=0.5; a single gate at eps: delta = eps regardless, but
+        # signal_prob must reflect the bias.
+        analyzer = SinglePassAnalyzer(circuit, input_probs={"x": 1.0},
+                                      weight_method="bdd")
+        assert analyzer.weights.signal_prob["z"] == pytest.approx(0.5)
+        result = analyzer.run(0.1)
+        assert result.delta() == pytest.approx(0.1)
+
+    def test_exhaustive_rejects_bias(self):
+        from repro.probability import compute_weights
+        circuit = fig2_circuit()
+        with pytest.raises(ValueError):
+            compute_weights(circuit, method="exhaustive",
+                            input_probs={"a": 0.9})

@@ -1,0 +1,153 @@
+"""Tests for the exact engines (exhaustive, frontier, PTM) against each other.
+
+Three independent implementations of the same quantity must agree to
+floating-point precision; they anchor every approximate analysis in the
+library.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, fig1_circuit, random_circuit
+from repro.reliability import (
+    PtmWidthError,
+    exhaustive_exact_reliability,
+    fixed_failure_error_probability,
+    frontier_exact_reliability,
+    ptm_reliability,
+)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("eps", [0.02, 0.1, 0.3])
+    def test_three_engines_agree_on_c17(self, eps):
+        circuit = c17()
+        a = exhaustive_exact_reliability(circuit, eps)
+        b = frontier_exact_reliability(circuit, eps)
+        c = ptm_reliability(circuit, eps)
+        for out in circuit.outputs:
+            assert a.per_output[out] == pytest.approx(b.per_output[out],
+                                                      abs=1e-12)
+            assert a.per_output[out] == pytest.approx(c.per_output[out],
+                                                      abs=1e-12)
+        assert a.any_output == pytest.approx(b.any_output, abs=1e-12)
+        assert a.any_output == pytest.approx(c.any_output, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuits(self, seed):
+        circuit = random_circuit(4, 8, 2, seed=seed)
+        eps = 0.07
+        a = exhaustive_exact_reliability(circuit, eps)
+        b = frontier_exact_reliability(circuit, eps)
+        c = ptm_reliability(circuit, eps)
+        for out in circuit.outputs:
+            assert a.per_output[out] == pytest.approx(b.per_output[out],
+                                                      abs=1e-12)
+            assert a.per_output[out] == pytest.approx(c.per_output[out],
+                                                      abs=1e-12)
+
+    def test_per_gate_eps(self, reconvergent_circuit):
+        eps = {g: 0.03 * (i + 1) for i, g in
+               enumerate(reconvergent_circuit.topological_gates())}
+        a = exhaustive_exact_reliability(reconvergent_circuit, eps)
+        b = frontier_exact_reliability(reconvergent_circuit, eps)
+        c = ptm_reliability(reconvergent_circuit, eps)
+        assert a.delta() == pytest.approx(b.delta(), abs=1e-12)
+        assert a.delta() == pytest.approx(c.delta(), abs=1e-12)
+
+    def test_any_output_bounds(self, full_adder_circuit):
+        r = exhaustive_exact_reliability(full_adder_circuit, 0.1)
+        assert r.any_output >= max(r.per_output.values()) - 1e-12
+        assert r.any_output <= sum(r.per_output.values()) + 1e-12
+
+
+class TestGuards:
+    def test_exhaustive_gate_limit(self):
+        circuit = random_circuit(4, 25, 2, seed=0)
+        with pytest.raises(ValueError, match="max_gates"):
+            exhaustive_exact_reliability(circuit, 0.1, max_gates=20)
+
+    def test_exhaustive_input_limit(self):
+        circuit = random_circuit(20, 4, 2, seed=0)
+        with pytest.raises(ValueError, match="max_inputs"):
+            exhaustive_exact_reliability(circuit, 0.1, max_inputs=16)
+
+    def test_frontier_input_limit(self):
+        circuit = random_circuit(14, 4, 2, seed=0)
+        with pytest.raises(ValueError):
+            frontier_exact_reliability(circuit, 0.1, max_inputs=12)
+
+    def test_ptm_width_guard(self):
+        circuit = random_circuit(14, 30, 6, seed=1)
+        with pytest.raises(PtmWidthError):
+            ptm_reliability(circuit, 0.1, max_inputs=12)
+
+    def test_frontier_handles_deep_narrow_circuits(self):
+        # 30 gates is far beyond the subset enumerator; the frontier engine
+        # handles it because the live set stays tiny.
+        b = CircuitBuilder("chain")
+        a, c = b.inputs("a", "c")
+        acc = b.and_(a, c)
+        for _ in range(29):
+            acc = b.not_(acc)
+        b.outputs(acc)
+        circuit = b.build()
+        r = frontier_exact_reliability(circuit, 0.1)
+        assert 0.0 < r.delta() <= 0.5 + 1e-12
+
+
+class TestFixedFailure:
+    def test_returns_exact_fraction(self):
+        circuit = fig1_circuit()
+        frac = fixed_failure_error_probability(circuit, ["Gx", "Gz"])
+        assert isinstance(frac, Fraction)
+        assert 0 <= frac <= 1
+        assert frac.denominator in (1, 2, 4, 8, 16)
+
+    def test_flip_of_output_gate_always_propagates(self):
+        circuit = fig1_circuit()
+        frac = fixed_failure_error_probability(circuit, ["y"])
+        assert frac == 1
+
+    def test_two_flips_on_same_path_can_cancel(self):
+        b = CircuitBuilder("cancel")
+        a = b.input("a")
+        g1 = b.buf(a, name="g1")
+        b.outputs(b.buf(g1, name="g2"))
+        circuit = b.build()
+        assert fixed_failure_error_probability(circuit, ["g1", "g2"]) == 0
+
+    def test_matches_exhaustive_limit(self, reconvergent_circuit):
+        # Pinning both gates to always-fail equals exhaustive with eps=1
+        # restricted... verified via direct construction: flipping g4 only.
+        frac = fixed_failure_error_probability(reconvergent_circuit, ["g4"])
+        from repro.reliability import bdd_observabilities
+        obs = bdd_observabilities(reconvergent_circuit)
+        assert float(frac) == pytest.approx(obs["g4"])
+
+    def test_non_gate_rejected(self, reconvergent_circuit):
+        with pytest.raises(ValueError):
+            fixed_failure_error_probability(reconvergent_circuit, ["i0"])
+
+
+class TestFig1Discussion:
+    """Sec. 3.1: the closed form misestimates joint Gx/Gz failures."""
+
+    def test_joint_failure_differs_from_independence_estimate(self):
+        circuit = fig1_circuit()
+        from repro.reliability import bdd_observabilities
+        obs = bdd_observabilities(circuit)
+        joint = float(fixed_failure_error_probability(circuit, ["Gx", "Gz"]))
+        # Closed-form reasoning: error iff exactly one observable — with
+        # independence this is ox(1-oz) + oz(1-ox).
+        independent = (obs["Gx"] * (1 - obs["Gz"])
+                       + obs["Gz"] * (1 - obs["Gx"]))
+        assert joint != pytest.approx(independent, abs=1e-3)
+
+    def test_gx_observable_only_if_gy(self):
+        circuit = fig1_circuit()
+        # Flipping Gx changes y only on vectors where flipping Gy would too?
+        # Structurally: Gx's only path to y runs through Gy.
+        assert circuit.fanouts("Gx") == ("Gy",)

@@ -1,0 +1,184 @@
+"""Unit tests for the gate primitive layer."""
+
+import pytest
+
+from repro.circuit.gate import (
+    GateArityError,
+    GateType,
+    base_type,
+    check_arity,
+    evaluate_gate,
+    inverted_type,
+    parse_gate_type,
+    truth_table,
+)
+
+
+class TestGateTypeProperties:
+    def test_input_flags(self):
+        assert GateType.INPUT.is_input
+        assert not GateType.INPUT.is_logic
+        assert not GateType.INPUT.is_constant
+
+    def test_constant_flags(self):
+        for t in (GateType.CONST0, GateType.CONST1):
+            assert t.is_constant
+            assert not t.is_logic
+            assert not t.is_input
+
+    def test_logic_flags(self):
+        for t in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                  GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+            assert t.is_logic
+
+
+class TestArity:
+    def test_unary_accepts_one(self):
+        check_arity(GateType.NOT, 1)
+        check_arity(GateType.BUF, 1)
+
+    @pytest.mark.parametrize("arity", [0, 2, 3])
+    def test_unary_rejects_other(self, arity):
+        with pytest.raises(GateArityError):
+            check_arity(GateType.NOT, arity)
+
+    @pytest.mark.parametrize("gate_type", [
+        GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+        GateType.XOR, GateType.XNOR])
+    def test_multi_input_needs_two(self, gate_type):
+        with pytest.raises(GateArityError):
+            check_arity(gate_type, 1)
+        check_arity(gate_type, 2)
+        check_arity(gate_type, 5)
+
+    def test_input_and_const_take_no_fanins(self):
+        check_arity(GateType.INPUT, 0)
+        check_arity(GateType.CONST0, 0)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.INPUT, 1)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.CONST1, 2)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)])
+    def test_and(self, a, b, expected):
+        assert evaluate_gate(GateType.AND, [a, b]) == expected
+        assert evaluate_gate(GateType.NAND, [a, b]) == expected ^ 1
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)])
+    def test_or(self, a, b, expected):
+        assert evaluate_gate(GateType.OR, [a, b]) == expected
+        assert evaluate_gate(GateType.NOR, [a, b]) == expected ^ 1
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_xor(self, a, b, expected):
+        assert evaluate_gate(GateType.XOR, [a, b]) == expected
+        assert evaluate_gate(GateType.XNOR, [a, b]) == expected ^ 1
+
+    def test_not_and_buf(self):
+        assert evaluate_gate(GateType.NOT, [0]) == 1
+        assert evaluate_gate(GateType.NOT, [1]) == 0
+        assert evaluate_gate(GateType.BUF, [0]) == 0
+        assert evaluate_gate(GateType.BUF, [1]) == 1
+
+    def test_constants(self):
+        assert evaluate_gate(GateType.CONST0, []) == 0
+        assert evaluate_gate(GateType.CONST1, []) == 1
+
+    def test_wide_gates(self):
+        assert evaluate_gate(GateType.AND, [1, 1, 1]) == 1
+        assert evaluate_gate(GateType.AND, [1, 0, 1]) == 0
+        assert evaluate_gate(GateType.OR, [0, 0, 0, 0]) == 0
+        assert evaluate_gate(GateType.OR, [0, 0, 1, 0]) == 1
+
+    def test_xor_is_parity_for_wide_gates(self):
+        assert evaluate_gate(GateType.XOR, [1, 1, 1]) == 1
+        assert evaluate_gate(GateType.XOR, [1, 1, 0]) == 0
+        assert evaluate_gate(GateType.XNOR, [1, 1, 1]) == 0
+
+    def test_input_evaluation_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+
+class TestTruthTable:
+    def test_and2(self):
+        assert truth_table(GateType.AND, 2) == (0, 0, 0, 1)
+
+    def test_or2(self):
+        assert truth_table(GateType.OR, 2) == (0, 1, 1, 1)
+
+    def test_nand2(self):
+        assert truth_table(GateType.NAND, 2) == (1, 1, 1, 0)
+
+    def test_xor3_parity(self):
+        tt = truth_table(GateType.XOR, 3)
+        for k in range(8):
+            assert tt[k] == bin(k).count("1") % 2
+
+    def test_not(self):
+        assert truth_table(GateType.NOT, 1) == (1, 0)
+
+    def test_bit_order_is_lsb_fanin0(self):
+        # index 1 means fanin 0 = 1, fanin 1 = 0.
+        tt = truth_table(GateType.AND, 2)
+        assert tt[1] == 0 and tt[3] == 1
+
+    def test_constant_tables(self):
+        assert truth_table(GateType.CONST0, 0) == (0,)
+        assert truth_table(GateType.CONST1, 0) == (1,)
+
+    def test_arity_validated(self):
+        with pytest.raises(GateArityError):
+            truth_table(GateType.NOT, 2)
+
+
+class TestInversionHelpers:
+    @pytest.mark.parametrize("a,b", [
+        (GateType.AND, GateType.NAND),
+        (GateType.OR, GateType.NOR),
+        (GateType.XOR, GateType.XNOR),
+        (GateType.BUF, GateType.NOT),
+        (GateType.CONST0, GateType.CONST1),
+    ])
+    def test_inverted_pairs(self, a, b):
+        assert inverted_type(a) is b
+        assert inverted_type(b) is a
+
+    def test_input_has_no_complement(self):
+        with pytest.raises(ValueError):
+            inverted_type(GateType.INPUT)
+
+    def test_base_type(self):
+        assert base_type(GateType.NAND) == (GateType.AND, True)
+        assert base_type(GateType.AND) == (GateType.AND, False)
+        assert base_type(GateType.NOT) == (GateType.BUF, True)
+
+    def test_inverted_type_truth_tables_complement(self):
+        for t in (GateType.AND, GateType.OR, GateType.XOR):
+            tt = truth_table(t, 2)
+            inv = truth_table(inverted_type(t), 2)
+            assert all(a ^ b == 1 for a, b in zip(tt, inv))
+
+
+class TestParseGateType:
+    @pytest.mark.parametrize("name,expected", [
+        ("AND", GateType.AND), ("nand", GateType.NAND),
+        ("Or", GateType.OR), ("NOT", GateType.NOT),
+        ("inv", GateType.NOT), ("buff", GateType.BUF),
+        ("BUF", GateType.BUF), ("xnor", GateType.XNOR),
+        ("vdd", GateType.CONST1), ("gnd", GateType.CONST0),
+    ])
+    def test_known_names(self, name, expected):
+        assert parse_gate_type(name) is expected
+
+    def test_whitespace_tolerated(self):
+        assert parse_gate_type("  nor ") is GateType.NOR
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            parse_gate_type("mystery")

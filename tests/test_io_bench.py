@@ -1,0 +1,148 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.circuit import GateType
+from repro.io import (
+    BenchFormatError,
+    dumps_bench,
+    load_bench,
+    loads_bench,
+    save_bench,
+)
+from repro.circuits import c17
+from tests.conftest import all_assignments
+
+C17_TEXT = """
+# c17 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestParse:
+    def test_c17_matches_builtin(self):
+        parsed = loads_bench(C17_TEXT, "c17")
+        builtin = c17()
+        for assignment in all_assignments(builtin):
+            assert (parsed.evaluate_outputs(assignment)
+                    == builtin.evaluate_outputs(assignment))
+
+    def test_structure(self):
+        c = loads_bench(C17_TEXT)
+        assert len(c.inputs) == 5
+        assert c.outputs == ["22", "23"]
+        assert c.num_gates == 6
+        assert c.node("10").gate_type is GateType.NAND
+
+    def test_forward_references_resolved(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        y = NOT(mid)
+        mid = BUF(a)
+        """
+        c = loads_bench(text)
+        assert c.evaluate_outputs({"a": 1}) == {"y": 0}
+
+    def test_comments_and_blank_lines(self):
+        text = "# hi\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n"
+        assert loads_bench(text).num_gates == 1
+
+    def test_all_gate_types(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(g6)
+        g0 = AND(a, b)
+        g1 = OR(a, b)
+        g2 = NAND(a, b)
+        g3 = NOR(a, b)
+        g4 = XOR(g0, g1)
+        g5 = XNOR(g2, g3)
+        g6 = AND(g4, g5)
+        """
+        c = loads_bench(text)
+        assert c.num_gates == 7
+
+
+class TestParseErrors:
+    def test_cycle_detected(self):
+        text = """
+        INPUT(a)
+        OUTPUT(x)
+        x = AND(a, y)
+        y = NOT(x)
+        """
+        with pytest.raises(BenchFormatError, match="cycle"):
+            loads_bench(text)
+
+    def test_undefined_fanin(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"
+        with pytest.raises(BenchFormatError, match="ghost"):
+            loads_bench(text)
+
+    def test_undefined_output(self):
+        text = "INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n"
+        with pytest.raises(BenchFormatError):
+            loads_bench(text)
+
+    def test_dff_rejected(self):
+        text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+        with pytest.raises(BenchFormatError, match="sequential"):
+            loads_bench(text)
+
+    def test_duplicate_definition(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"
+        with pytest.raises(BenchFormatError, match="twice"):
+            loads_bench(text)
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            loads_bench("INPUT(a)\nOUTPUT(a)\nthis is not bench\n")
+
+    def test_unknown_gate(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = FROB(a, b)\n"
+        with pytest.raises(BenchFormatError):
+            loads_bench(text)
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self, full_adder_circuit):
+        text = dumps_bench(full_adder_circuit)
+        reloaded = loads_bench(text, "fa2")
+        for assignment in all_assignments(full_adder_circuit):
+            assert (reloaded.evaluate_outputs(assignment)
+                    == full_adder_circuit.evaluate_outputs(assignment))
+
+    def test_file_round_trip(self, tmp_path, tree_circuit):
+        path = tmp_path / "tree.bench"
+        save_bench(tree_circuit, path)
+        reloaded = load_bench(path)
+        assert reloaded.name == "tree"
+        assert reloaded.num_gates == tree_circuit.num_gates
+
+    def test_constants_not_representable(self):
+        from repro.circuit import Circuit
+        c = Circuit("k")
+        c.add_const("one", 1)
+        c.add_input("a")
+        c.add_gate("y", GateType.AND, ["one", "a"])
+        c.set_output("y")
+        with pytest.raises(BenchFormatError):
+            dumps_bench(c)
+
+    def test_header_contains_counts(self, full_adder_circuit):
+        text = dumps_bench(full_adder_circuit)
+        assert "# 3 inputs, 2 outputs, 5 gates" in text

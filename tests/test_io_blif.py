@@ -1,0 +1,157 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.circuit import GateType
+from repro.io import BlifFormatError, dumps_blif, load_blif, loads_blif, save_blif
+from tests.conftest import all_assignments
+
+
+class TestStandardGateRecognition:
+    def _single(self, cover, n_in=2):
+        ins = " ".join(f"i{t}" for t in range(n_in))
+        text = (f".model m\n.inputs {ins}\n.outputs y\n"
+                f".names {ins} y\n{cover}\n.end\n")
+        return loads_blif(text)
+
+    def test_and(self):
+        c = self._single("11 1")
+        assert c.node("y").gate_type is GateType.AND
+
+    def test_nand(self):
+        c = self._single("11 0")
+        assert c.node("y").gate_type is GateType.NAND
+
+    def test_or(self):
+        c = self._single("1- 1\n-1 1")
+        assert c.node("y").gate_type is GateType.OR
+
+    def test_nor(self):
+        c = self._single("1- 0\n-1 0")
+        assert c.node("y").gate_type is GateType.NOR
+
+    def test_xor_parity_cover(self):
+        c = self._single("10 1\n01 1")
+        assert c.node("y").gate_type is GateType.XOR
+
+    def test_xnor_parity_cover(self):
+        c = self._single("00 1\n11 1")
+        assert c.node("y").gate_type is GateType.XNOR
+
+    def test_buffer_and_inverter(self):
+        text = (".model m\n.inputs a\n.outputs y z\n"
+                ".names a y\n1 1\n.names a z\n0 1\n.end\n")
+        c = loads_blif(text)
+        assert c.node("y").gate_type is GateType.BUF
+        assert c.node("z").gate_type is GateType.NOT
+
+    def test_and_with_complemented_literal(self):
+        c = self._single("10 1")  # i0 AND NOT i1
+        assert c.evaluate_outputs({"i0": 1, "i1": 0}) == {"y": 1}
+        assert c.evaluate_outputs({"i0": 1, "i1": 1}) == {"y": 0}
+
+    def test_constants(self):
+        text = (".model m\n.inputs a\n.outputs one zero y\n"
+                ".names one\n1\n.names zero\n.names a y\n1 1\n.end\n")
+        c = loads_blif(text)
+        out = c.evaluate_outputs({"a": 0})
+        assert out["one"] == 1 and out["zero"] == 0
+
+
+class TestGeneralCovers:
+    def test_arbitrary_sop_synthesized(self):
+        # f = a'bc + ab'c + abc' (exactly-two-of-three), not a standard gate.
+        text = (".model m\n.inputs a b c\n.outputs y\n"
+                ".names a b c y\n011 1\n101 1\n110 1\n.end\n")
+        c = loads_blif(text)
+        for assignment in all_assignments(c):
+            ones = sum(assignment.values())
+            assert c.evaluate_outputs(assignment)["y"] == int(ones == 2)
+
+    def test_off_set_cover(self):
+        # Output defined by its 0-set: y = 0 iff a=1,b=0.
+        text = (".model m\n.inputs a b\n.outputs y\n"
+                ".names a b y\n10 0\n.end\n")
+        c = loads_blif(text)
+        for assignment in all_assignments(c):
+            expected = 0 if (assignment["a"], assignment["b"]) == (1, 0) else 1
+            assert c.evaluate_outputs(assignment)["y"] == expected
+
+    def test_dont_cares_in_cubes(self):
+        text = (".model m\n.inputs a b c\n.outputs y\n"
+                ".names a b c y\n1-- 1\n-11 1\n.end\n")
+        c = loads_blif(text)
+        for assignment in all_assignments(c):
+            expected = assignment["a"] | (assignment["b"] & assignment["c"])
+            assert c.evaluate_outputs(assignment)["y"] == expected
+
+    def test_continuation_lines(self):
+        text = (".model m\n.inputs a \\\nb\n.outputs y\n"
+                ".names a b y\n11 1\n.end\n")
+        c = loads_blif(text)
+        assert set(c.inputs) == {"a", "b"}
+
+
+class TestErrors:
+    def test_latch_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n"
+        with pytest.raises(BlifFormatError, match="latch"):
+            loads_blif(text)
+
+    def test_subckt_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.subckt foo x=a y=y\n.end\n"
+        with pytest.raises(BlifFormatError):
+            loads_blif(text)
+
+    def test_no_model(self):
+        with pytest.raises(BlifFormatError, match="model"):
+            loads_blif(".inputs a\n")
+
+    def test_undefined_output(self):
+        text = ".model m\n.inputs a\n.outputs ghost\n.names a y\n1 1\n.end\n"
+        with pytest.raises(BlifFormatError):
+            loads_blif(text)
+
+    def test_cycle(self):
+        text = (".model m\n.inputs a\n.outputs x\n"
+                ".names a y x\n11 1\n.names x y\n1 1\n.end\n")
+        with pytest.raises(BlifFormatError, match="cycle"):
+            loads_blif(text)
+
+    def test_double_definition(self):
+        text = (".model m\n.inputs a\n.outputs y\n"
+                ".names a y\n1 1\n.names a y\n0 1\n.end\n")
+        with pytest.raises(BlifFormatError, match="twice"):
+            loads_blif(text)
+
+    def test_bad_cube_width(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n"
+        with pytest.raises(BlifFormatError):
+            loads_blif(text)
+
+
+class TestRoundTrip:
+    def test_full_adder(self, full_adder_circuit):
+        reloaded = loads_blif(dumps_blif(full_adder_circuit))
+        for assignment in all_assignments(full_adder_circuit):
+            assert (reloaded.evaluate_outputs(assignment)
+                    == full_adder_circuit.evaluate_outputs(assignment))
+
+    def test_file_round_trip(self, tmp_path, reconvergent_circuit):
+        path = tmp_path / "c.blif"
+        save_blif(reconvergent_circuit, path)
+        reloaded = load_blif(path)
+        for assignment in all_assignments(reconvergent_circuit):
+            assert (reloaded.evaluate_outputs(assignment)
+                    == reconvergent_circuit.evaluate_outputs(assignment))
+
+    def test_wide_xor_round_trip(self):
+        from repro.circuit import CircuitBuilder
+        b = CircuitBuilder("wx")
+        a, c, d = b.inputs("a", "c", "d")
+        b.outputs(b.gate(GateType.XOR, a, c, d, name="y"))
+        circuit = b.build()
+        reloaded = loads_blif(dumps_blif(circuit))
+        for assignment in all_assignments(circuit):
+            assert (reloaded.evaluate_outputs(assignment)
+                    == circuit.evaluate_outputs(assignment))

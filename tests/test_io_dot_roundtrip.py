@@ -1,0 +1,97 @@
+"""Tests for the DOT writer plus property-based netlist round trips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.io import (
+    dumps_bench,
+    dumps_blif,
+    dumps_dot,
+    loads_bench,
+    loads_blif,
+    save_dot,
+)
+from tests.test_properties import random_dag_circuit
+
+
+class TestDotWriter:
+    def test_structure(self, full_adder_circuit):
+        text = dumps_dot(full_adder_circuit)
+        assert text.startswith('digraph "fa" {')
+        assert text.rstrip().endswith("}")
+        assert '"a" [shape=diamond' in text
+        assert 'label="t\\nXOR"' in text
+        assert '"a" -> "t";' in text
+
+    def test_outputs_double_circled(self, full_adder_circuit):
+        text = dumps_dot(full_adder_circuit)
+        assert "peripheries=2" in text
+
+    def test_heat_coloring(self, full_adder_circuit):
+        heat = {"t": 0.5, "s": 1.0}
+        text = dumps_dot(full_adder_circuit, heat=heat, heat_label="delta")
+        assert "style=filled" in text
+        assert "delta=0.5" in text
+        assert "fillcolor=" in text
+
+    def test_heat_single_value(self, full_adder_circuit):
+        text = dumps_dot(full_adder_circuit, heat={"t": 0.25})
+        assert "fillcolor=" in text  # degenerate range handled
+
+    def test_names_escaped(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit('we"ird')
+        c.add_input('in"put')
+        c.add_gate("y", GateType.NOT, ['in"put'])
+        c.set_output("y")
+        text = dumps_dot(c)
+        assert '\\"' in text
+
+    def test_save(self, tmp_path, tree_circuit):
+        path = tmp_path / "t.dot"
+        save_dot(tree_circuit, path)
+        assert path.read_text().startswith("digraph")
+
+    def test_constants_rendered(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit("k")
+        c.add_const("one", 1)
+        c.add_input("a")
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.set_output("y")
+        assert "shape=plaintext" in dumps_dot(c)
+
+
+def _equivalent(c1, c2) -> bool:
+    n = len(c1.inputs)
+    for k in range(1 << n):
+        assignment = {name: (k >> i) & 1
+                      for i, name in enumerate(c1.inputs)}
+        if c1.evaluate_outputs(assignment) != c2.evaluate_outputs(assignment):
+            return False
+    return True
+
+
+@given(random_dag_circuit(max_inputs=4, max_gates=10))
+@settings(max_examples=40, deadline=None)
+def test_bench_round_trip_property(circuit):
+    """Property: .bench serialization round-trips any gate-level circuit."""
+    reloaded = loads_bench(dumps_bench(circuit), circuit.name)
+    assert set(reloaded.outputs) == set(circuit.outputs)
+    assert _equivalent(circuit, reloaded)
+
+
+@given(random_dag_circuit(max_inputs=4, max_gates=10))
+@settings(max_examples=40, deadline=None)
+def test_blif_round_trip_property(circuit):
+    """Property: BLIF serialization round-trips any gate-level circuit."""
+    reloaded = loads_blif(dumps_blif(circuit))
+    assert set(reloaded.outputs) == set(circuit.outputs)
+    assert _equivalent(circuit, reloaded)
+
+
+@given(random_dag_circuit(max_inputs=4, max_gates=8))
+@settings(max_examples=25, deadline=None)
+def test_dot_always_renders(circuit):
+    text = dumps_dot(circuit)
+    assert text.count("->") >= circuit.num_gates  # at least one edge per gate

@@ -1,0 +1,57 @@
+"""Tests for the structural Verilog writer."""
+
+from repro.circuit import Circuit, CircuitBuilder, GateType
+from repro.io import dumps_verilog, save_verilog
+
+
+class TestVerilogWriter:
+    def test_module_structure(self, full_adder_circuit):
+        text = dumps_verilog(full_adder_circuit)
+        assert text.startswith("module fa (")
+        assert text.rstrip().endswith("endmodule")
+        assert "input a;" in text
+        assert "output s;" in text
+        assert "output cout;" in text
+
+    def test_gate_expressions(self, full_adder_circuit):
+        text = dumps_verilog(full_adder_circuit)
+        assert "assign t = a ^ b;" in text
+        assert "assign cout = c1 | c2;" in text
+
+    def test_inverting_gates_wrapped(self):
+        b = CircuitBuilder("inv")
+        a, c = b.inputs("a", "c")
+        b.outputs(b.nand(a, c, name="y"), b.not_(a, name="z"))
+        text = dumps_verilog(b.build())
+        assert "assign y = ~(a & c);" in text
+        assert "assign z = ~(a);" in text
+
+    def test_constants(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_const("one", 1)
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.set_output("y")
+        text = dumps_verilog(c)
+        assert "assign one = 1'b1;" in text
+
+    def test_nonstandard_names_escaped(self):
+        c = Circuit("esc")
+        c.add_input("1")
+        c.add_gate("2[0]", GateType.NOT, ["1"])
+        c.set_output("2[0]")
+        text = dumps_verilog(c)
+        assert "\\1 " in text
+        assert "\\2[0] " in text
+
+    def test_save(self, tmp_path, tree_circuit):
+        path = tmp_path / "tree.v"
+        save_verilog(tree_circuit, path)
+        assert path.read_text().startswith("module tree")
+
+    def test_module_name_sanitized(self):
+        c = Circuit("weird name!")
+        c.add_input("a")
+        c.add_gate("y", GateType.BUF, ["a"])
+        c.set_output("y")
+        assert "module weird_name_ (" in dumps_verilog(c)

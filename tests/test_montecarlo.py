@@ -1,0 +1,125 @@
+"""Tests for the Monte Carlo fault-injection framework."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import exhaustive_exact_reliability, bdd_observabilities
+from repro.sim import (
+    monte_carlo_delta_curve,
+    monte_carlo_observabilities,
+    monte_carlo_reliability,
+    validate_epsilon,
+)
+
+
+class TestValidation:
+    def test_scalar_range(self, full_adder_circuit):
+        validate_epsilon(0.3, full_adder_circuit)
+        with pytest.raises(ValueError):
+            validate_epsilon(0.6, full_adder_circuit)
+        with pytest.raises(ValueError):
+            validate_epsilon(-0.1, full_adder_circuit)
+
+    def test_mapping_unknown_gate(self, full_adder_circuit):
+        with pytest.raises(ValueError, match="unknown gate"):
+            validate_epsilon({"ghost": 0.1}, full_adder_circuit)
+
+    def test_mapping_non_gate(self, full_adder_circuit):
+        with pytest.raises(ValueError, match="non-gate"):
+            validate_epsilon({"a": 0.1}, full_adder_circuit)
+
+    def test_mapping_range(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            validate_epsilon({"t": 0.7}, full_adder_circuit)
+
+
+class TestEstimates:
+    def test_matches_exact_small_circuit(self, reconvergent_circuit):
+        eps = 0.1
+        exact = exhaustive_exact_reliability(reconvergent_circuit, eps)
+        mc = monte_carlo_reliability(reconvergent_circuit, eps,
+                                     n_patterns=1 << 18, seed=1)
+        for out in reconvergent_circuit.outputs:
+            se = 3 * mc.standard_error(out) + 1e-3
+            assert mc.per_output[out] == pytest.approx(
+                exact.per_output[out], abs=se)
+
+    def test_any_output_at_least_max_per_output(self, two_output_circuit):
+        mc = monte_carlo_reliability(two_output_circuit, 0.1,
+                                     n_patterns=1 << 15, seed=2)
+        assert mc.any_output >= max(mc.per_output.values()) - 1e-9
+        assert mc.any_output <= sum(mc.per_output.values()) + 1e-9
+
+    def test_zero_eps_is_error_free(self, full_adder_circuit):
+        mc = monte_carlo_reliability(full_adder_circuit, 0.0,
+                                     n_patterns=1 << 12)
+        assert all(v == 0.0 for v in mc.per_output.values())
+        assert mc.any_output == 0.0
+
+    def test_per_gate_epsilon(self, full_adder_circuit):
+        # Only the final XOR is noisy: s errs with probability eps, cout never.
+        mc = monte_carlo_reliability(full_adder_circuit, {"s": 0.25},
+                                     n_patterns=1 << 16, seed=0)
+        assert mc.per_output["s"] == pytest.approx(0.25, abs=0.01)
+        assert mc.per_output["cout"] == 0.0
+
+    def test_batching_equivalence(self, full_adder_circuit):
+        a = monte_carlo_reliability(full_adder_circuit, 0.1,
+                                    n_patterns=1 << 12, seed=5,
+                                    batch_words=4)
+        b = monte_carlo_reliability(full_adder_circuit, 0.1,
+                                    n_patterns=1 << 12, seed=5,
+                                    batch_words=1 << 10)
+        # Different batching consumes the RNG differently, but the estimates
+        # must agree statistically.
+        assert a.per_output["s"] == pytest.approx(b.per_output["s"], abs=0.03)
+
+    def test_reproducible_with_seed(self, full_adder_circuit):
+        a = monte_carlo_reliability(full_adder_circuit, 0.1,
+                                    n_patterns=1 << 12, seed=7)
+        b = monte_carlo_reliability(full_adder_circuit, 0.1,
+                                    n_patterns=1 << 12, seed=7)
+        assert a.per_output == b.per_output
+
+    def test_delta_accessor(self, full_adder_circuit, tree_circuit):
+        mc = monte_carlo_reliability(tree_circuit, 0.1, n_patterns=1 << 12)
+        assert mc.delta() == mc.per_output["top"]
+        multi = monte_carlo_reliability(full_adder_circuit, 0.1,
+                                        n_patterns=1 << 12)
+        with pytest.raises(ValueError):
+            multi.delta()
+        assert multi.delta("s") == multi.per_output["s"]
+
+    def test_standard_error_positive(self, tree_circuit):
+        mc = monte_carlo_reliability(tree_circuit, 0.1, n_patterns=1 << 12)
+        assert 0 < mc.standard_error("top") < 0.05
+
+
+class TestCurve:
+    def test_monotone_start(self, tree_circuit):
+        curve = monte_carlo_delta_curve(tree_circuit, [0.0, 0.1, 0.3],
+                                        n_patterns=1 << 14)
+        assert curve[0.0] == 0.0
+        assert curve[0.1] < curve[0.3]
+
+    def test_any_output_curve(self, two_output_circuit):
+        curve = monte_carlo_delta_curve(two_output_circuit, [0.1],
+                                        output="*", n_patterns=1 << 13)
+        assert 0 < curve[0.1] < 1
+
+
+class TestObservabilities:
+    def test_matches_bdd(self, reconvergent_circuit):
+        exact = bdd_observabilities(reconvergent_circuit)
+        sampled = monte_carlo_observabilities(reconvergent_circuit,
+                                              n_patterns=1 << 15, seed=4)
+        for gate, o in exact.items():
+            assert sampled[gate] == pytest.approx(o, abs=0.02)
+
+    def test_output_required_for_multi_output(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            monte_carlo_observabilities(full_adder_circuit)
+
+    def test_output_gate_fully_observable(self, tree_circuit):
+        obs = monte_carlo_observabilities(tree_circuit, n_patterns=1 << 12)
+        assert obs["top"] == 1.0

@@ -1,0 +1,109 @@
+"""Tests for noiseless observability computation (paper Sec. 3)."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17
+from repro.reliability import (
+    bdd_observabilities,
+    compute_observabilities,
+    sampled_observabilities,
+)
+from tests.conftest import all_assignments
+
+
+def brute_force_observability(circuit, gate, output):
+    """Fraction of input vectors on which flipping `gate` changes `output`."""
+    count = 0
+    total = 0
+    for assignment in all_assignments(circuit):
+        clean = circuit.evaluate(assignment)
+        # Re-evaluate with the gate flipped.
+        flipped = dict(clean)
+        flipped[gate] ^= 1
+        order = circuit.topological_order()
+        for name in order[order.index(gate) + 1:]:
+            node = circuit.node(name)
+            if node.gate_type.is_logic:
+                from repro.circuit import evaluate_gate
+                flipped[name] = evaluate_gate(
+                    node.gate_type, [flipped[f] for f in node.fanins])
+        total += 1
+        if flipped[output] != clean[output]:
+            count += 1
+    return count / total
+
+
+class TestBddObservabilities:
+    def test_matches_brute_force(self, reconvergent_circuit):
+        obs = bdd_observabilities(reconvergent_circuit)
+        for gate in reconvergent_circuit.topological_gates():
+            expected = brute_force_observability(
+                reconvergent_circuit, gate, "g6")
+            assert obs[gate] == pytest.approx(expected), gate
+
+    def test_output_gate_is_fully_observable(self, tree_circuit):
+        obs = bdd_observabilities(tree_circuit)
+        assert obs["top"] == pytest.approx(1.0)
+
+    def test_c17_per_output(self):
+        circuit = c17()
+        for out in circuit.outputs:
+            obs = bdd_observabilities(circuit, output=out)
+            for gate, o in obs.items():
+                expected = brute_force_observability(circuit, gate, out)
+                assert o == pytest.approx(expected), (gate, out)
+
+    def test_gate_outside_cone_zero(self):
+        b = CircuitBuilder("two")
+        a, c = b.inputs("a", "c")
+        g1 = b.not_(a, name="g1")
+        g2 = b.not_(c, name="g2")
+        b.outputs(g1, g2)
+        circuit = b.build()
+        obs = bdd_observabilities(circuit, output="g1", gates=["g1", "g2"])
+        assert obs["g2"] == 0.0
+        assert obs["g1"] == 1.0
+
+    def test_multi_output_requires_name(self, full_adder_circuit):
+        with pytest.raises(ValueError):
+            bdd_observabilities(full_adder_circuit)
+
+    def test_xor_gates_always_observable_through_xor_path(self):
+        b = CircuitBuilder("xchain")
+        a, c, d = b.inputs("a", "c", "d")
+        g1 = b.xor(a, c, name="g1")
+        top = b.xor(g1, d, name="top")
+        b.outputs(top)
+        obs = bdd_observabilities(b.build())
+        assert obs["g1"] == pytest.approx(1.0)
+        assert obs["top"] == pytest.approx(1.0)
+
+    def test_masked_gate_low_observability(self):
+        b = CircuitBuilder("mask")
+        a, c, d = b.inputs("a", "c", "d")
+        g1 = b.and_(a, c, name="g1")
+        top = b.and_(g1, d, name="top")
+        b.outputs(top)
+        obs = bdd_observabilities(b.build())
+        # g1 observable only when d = 1: probability 1/2.
+        assert obs["g1"] == pytest.approx(0.5)
+
+
+class TestSampledAndDispatch:
+    def test_sampled_close_to_exact(self, reconvergent_circuit):
+        exact = bdd_observabilities(reconvergent_circuit)
+        sampled = sampled_observabilities(reconvergent_circuit,
+                                          n_patterns=1 << 15)
+        for gate, o in exact.items():
+            assert sampled[gate] == pytest.approx(o, abs=0.02)
+
+    def test_auto_small_uses_bdd(self, reconvergent_circuit):
+        auto = compute_observabilities(reconvergent_circuit, method="auto")
+        exact = bdd_observabilities(reconvergent_circuit)
+        for gate, o in exact.items():
+            assert auto[gate] == pytest.approx(o)
+
+    def test_bad_method_rejected(self, tree_circuit):
+        with pytest.raises(ValueError):
+            compute_observabilities(tree_circuit, method="tarot")

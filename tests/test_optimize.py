@@ -1,0 +1,79 @@
+"""Tests for reliability-driven hardening allocation."""
+
+import pytest
+
+from repro.apps import (
+    DEFAULT_LADDER,
+    HardeningOption,
+    allocate_hardening,
+    hardening_frontier,
+)
+from repro.circuits import fig2_circuit, ripple_carry_adder
+from repro.reliability import ObservabilityModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ObservabilityModel(fig2_circuit())
+
+
+class TestHardeningOption:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardeningOption(eps_factor=1.0, cost=1.0)
+        with pytest.raises(ValueError):
+            HardeningOption(eps_factor=0.5, cost=0.0)
+
+    def test_default_ladder_monotone(self):
+        factors = [o.eps_factor for o in DEFAULT_LADDER]
+        costs = [o.cost for o in DEFAULT_LADDER]
+        assert factors == sorted(factors, reverse=True)
+        assert costs == sorted(costs)
+
+
+class TestAllocation:
+    def test_zero_budget_is_identity(self, model):
+        result = allocate_hardening(model, 0.01, budget=0.0)
+        assert result.spent == 0.0
+        assert result.delta_after == result.delta_before
+        assert all(u is None for u in result.upgrades.values())
+
+    def test_budget_respected(self, model):
+        result = allocate_hardening(model, 0.01, budget=3.0)
+        assert result.spent <= 3.0 + 1e-12
+
+    def test_delta_monotone_in_budget(self, model):
+        frontier = hardening_frontier(model, 0.01, [0.0, 1.0, 3.0, 8.0, 50.0])
+        deltas = [r.delta_after for _, r in frontier]
+        assert all(a >= b - 1e-15 for a, b in zip(deltas, deltas[1:]))
+
+    def test_first_upgrade_goes_to_most_observable_gate(self, model):
+        result = allocate_hardening(model, 0.01, budget=1.0)
+        upgraded = [g for g, u in result.upgrades.items() if u is not None]
+        assert len(upgraded) == 1
+        best = max(model.observabilities, key=model.observabilities.get)
+        assert upgraded[0] == best
+
+    def test_unlimited_budget_maxes_ladder(self, model):
+        result = allocate_hardening(model, 0.01, budget=1e6)
+        strongest = min(DEFAULT_LADDER, key=lambda o: o.eps_factor)
+        assert all(u == strongest for u in result.upgrades.values())
+        for g, e in result.final_eps.items():
+            assert e == pytest.approx(0.01 * strongest.eps_factor)
+
+    def test_improvement_metric(self, model):
+        result = allocate_hardening(model, 0.01, budget=10.0)
+        assert 0.0 < result.improvement < 1.0
+        expected = 1.0 - result.delta_after / result.delta_before
+        assert result.improvement == pytest.approx(expected)
+
+    def test_negative_budget_rejected(self, model):
+        with pytest.raises(ValueError):
+            allocate_hardening(model, 0.01, budget=-1.0)
+
+    def test_per_gate_base_eps(self):
+        circuit = ripple_carry_adder(2)
+        model = ObservabilityModel(circuit, output="cout")
+        base = {g: 0.02 for g in circuit.topological_gates()}
+        result = allocate_hardening(model, base, budget=5.0)
+        assert result.delta_after < result.delta_before

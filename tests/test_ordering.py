@@ -1,0 +1,88 @@
+"""Tests for BDD variable-ordering heuristics."""
+
+import pytest
+
+from repro.bdd import (
+    BddSizeLimitError,
+    best_order,
+    build_with_best_order,
+    declaration_order,
+    dfs_order,
+    fanin_level_order,
+    total_bdd_size,
+)
+from repro.circuits import mux_tree, ripple_carry_adder
+from tests.conftest import all_assignments
+
+
+class TestHeuristics:
+    def test_all_orders_are_permutations(self, full_adder_circuit):
+        inputs = set(full_adder_circuit.inputs)
+        for heuristic in (declaration_order, dfs_order, fanin_level_order):
+            order = heuristic(full_adder_circuit)
+            assert set(order) == inputs
+            assert len(order) == len(inputs)
+
+    def test_dfs_interleaves_adder_buses(self):
+        circuit = ripple_carry_adder(6)
+        order = dfs_order(circuit)
+        # a0 and b0 must be adjacent near the front (they feed bit 0).
+        ia, ib = order.index("a0"), order.index("b0")
+        assert abs(ia - ib) == 1
+
+    def test_dfs_covers_dangling_inputs(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit("dangle")
+        c.add_input("used")
+        c.add_input("unused")
+        c.add_gate("y", GateType.NOT, ["used"])
+        c.set_output("y")
+        order = dfs_order(c)
+        assert set(order) == {"used", "unused"}
+
+
+class TestSizes:
+    def test_dfs_shrinks_adder_bdds_dramatically(self):
+        circuit = ripple_carry_adder(8)
+        naive = total_bdd_size(circuit, declaration_order(circuit))
+        smart = total_bdd_size(circuit, dfs_order(circuit))
+        assert smart * 5 < naive  # 13x in practice; demand at least 5x
+
+    def test_best_order_picks_the_smallest(self):
+        circuit = ripple_carry_adder(6)
+        order, name, size = best_order(circuit)
+        for heuristic in ("declaration", "dfs", "fanin-level"):
+            assert size <= total_bdd_size(
+                circuit,
+                __import__("repro.bdd.ordering",
+                           fromlist=["HEURISTICS"]).HEURISTICS[heuristic](
+                               circuit))
+
+    def test_node_limit_skips_blown_heuristics(self):
+        circuit = ripple_carry_adder(10)
+        # The declaration order blows past a small limit; dfs fits.
+        order, name, size = best_order(circuit, node_limit=5_000)
+        assert name in ("dfs", "fanin-level")
+
+    def test_all_heuristics_blown_raises(self):
+        circuit = ripple_carry_adder(8)
+        with pytest.raises(BddSizeLimitError):
+            best_order(circuit, node_limit=16)
+
+
+class TestBuildWithBestOrder:
+    def test_functions_correct_under_reorder(self, full_adder_circuit):
+        bdds = build_with_best_order(full_adder_circuit)
+        for assignment in all_assignments(full_adder_circuit):
+            vec = [0] * len(full_adder_circuit.inputs)
+            for name, value in assignment.items():
+                vec[bdds.var_index[name]] = value
+            values = full_adder_circuit.evaluate(assignment)
+            for out in full_adder_circuit.outputs:
+                assert bdds[out].evaluate(vec) == values[out]
+
+    def test_mux_tree_order(self):
+        circuit = mux_tree(3)
+        bdds = build_with_best_order(circuit)
+        assert bdds.manager.num_nodes < total_bdd_size(
+            circuit, declaration_order(circuit)) + 1

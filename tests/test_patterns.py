@@ -1,0 +1,117 @@
+"""Tests for packed-pattern utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sim import patterns
+
+
+class TestSizing:
+    def test_words_for_patterns(self):
+        assert patterns.words_for_patterns(1) == 1
+        assert patterns.words_for_patterns(64) == 1
+        assert patterns.words_for_patterns(65) == 2
+        assert patterns.words_for_patterns(1 << 16) == 1 << 10
+
+    def test_words_for_patterns_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            patterns.words_for_patterns(0)
+
+    def test_tail_mask(self):
+        assert patterns.tail_mask(64) == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert patterns.tail_mask(1) == np.uint64(1)
+        assert patterns.tail_mask(65) == np.uint64(1)
+        assert patterns.tail_mask(70) == np.uint64(0x3F)
+
+
+class TestBasicPacks:
+    def test_zeros_and_ones(self):
+        assert patterns.popcount(patterns.zeros(10)) == 0
+        assert patterns.popcount(patterns.ones(10)) == 640
+
+    def test_random_words_are_fair(self):
+        rng = np.random.default_rng(0)
+        words = patterns.random_words(4096, rng)
+        density = patterns.popcount(words) / (4096 * 64)
+        assert abs(density - 0.5) < 0.01
+
+
+class TestBernoulli:
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.25, 0.3333, 0.5, 0.9])
+    def test_density_matches_p(self, p):
+        rng = np.random.default_rng(42)
+        words = patterns.bernoulli_words(p, 8192, rng)
+        density = patterns.popcount(words) / (8192 * 64)
+        assert density == pytest.approx(p, abs=0.005)
+
+    def test_degenerate_probabilities(self):
+        rng = np.random.default_rng(0)
+        assert patterns.popcount(patterns.bernoulli_words(0.0, 16, rng)) == 0
+        assert patterns.popcount(
+            patterns.bernoulli_words(1.0, 16, rng)) == 16 * 64
+
+    def test_below_precision_rounds_to_zero(self):
+        rng = np.random.default_rng(0)
+        words = patterns.bernoulli_words(1e-12, 64, rng, precision=24)
+        assert patterns.popcount(words) == 0
+
+    def test_out_of_range_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            patterns.bernoulli_words(1.5, 4, rng)
+
+    def test_independent_draws_differ(self):
+        rng = np.random.default_rng(1)
+        w1 = patterns.bernoulli_words(0.3, 64, rng)
+        w2 = patterns.bernoulli_words(0.3, 64, rng)
+        assert not np.array_equal(w1, w2)
+
+
+class TestExhaustive:
+    def test_enumerates_all_vectors(self):
+        n = 8
+        packs = [patterns.exhaustive_words(i, n) for i in range(n)]
+        seen = set()
+        for k in range(1 << n):
+            word, bit = divmod(k, 64)
+            vector = tuple(int(packs[i][word] >> np.uint64(bit)) & 1
+                           for i in range(n))
+            seen.add(vector)
+        assert len(seen) == 1 << n
+
+    def test_small_spaces_cycle(self):
+        pack = patterns.exhaustive_words(0, 3)
+        bits = patterns.unpack_bits(pack, 64)
+        assert list(bits[:8]) == list(bits[8:16])
+
+    def test_var_index_validated(self):
+        with pytest.raises(ValueError):
+            patterns.exhaustive_words(5, 3)
+
+    def test_exhaustive_pack_keys(self):
+        pack = patterns.exhaustive_pack(["x", "y"])
+        assert set(pack) == {"x", "y"}
+
+
+class TestCounting:
+    def test_popcount(self):
+        words = np.array([0b1011, 0], dtype=np.uint64)
+        assert patterns.popcount(words) == 3
+
+    def test_masked_popcount_ignores_tail(self):
+        words = patterns.ones(2)
+        assert patterns.masked_popcount(words, 70) == 70
+
+    def test_masked_popcount_bounds(self):
+        words = patterns.ones(1)
+        with pytest.raises(ValueError):
+            patterns.masked_popcount(words, 65)
+
+    def test_pack_unpack_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1] * 23
+        packed = patterns.pack_bits(bits)
+        assert list(patterns.unpack_bits(packed, len(bits))) == bits
+
+    def test_pack_bits_pads_with_zeros(self):
+        packed = patterns.pack_bits([1, 1, 1])
+        assert patterns.popcount(packed) == 3

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These encode the load-bearing mathematical claims:
+
+* the BDD engine agrees with truth-table semantics for arbitrary
+  expressions;
+* the bit-parallel simulator agrees with the interpreted evaluator on
+  arbitrary circuits;
+* the single-pass analysis is *exact* on arbitrary fanout-free circuits
+  (the paper's Sec. 4 exactness claim);
+* probabilities stay in range and exact oracles stay consistent under
+  arbitrary eps vectors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+from repro.circuit import Circuit, CircuitBuilder, GateType, is_tree
+from repro.reliability import (
+    exhaustive_exact_reliability,
+    frontier_exact_reliability,
+    single_pass_reliability,
+)
+from repro.sim import patterns
+from repro.sim.simulator import exhaustive_simulate
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+_BINARY_TYPES = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                 GateType.XOR, GateType.XNOR]
+_ALL_TYPES = _BINARY_TYPES + [GateType.NOT, GateType.BUF]
+
+
+@st.composite
+def random_dag_circuit(draw, max_inputs=5, max_gates=12):
+    """An arbitrary small circuit (fanout allowed)."""
+    n_inputs = draw(st.integers(2, max_inputs))
+    n_gates = draw(st.integers(1, max_gates))
+    circuit = Circuit("hyp")
+    nodes = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
+    for k in range(n_gates):
+        gate_type = draw(st.sampled_from(_ALL_TYPES))
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanins = [nodes[draw(st.integers(0, len(nodes) - 1))]]
+        else:
+            i = draw(st.integers(0, len(nodes) - 1))
+            j = draw(st.integers(0, len(nodes) - 2))
+            if j >= i:
+                j += 1
+            fanins = [nodes[i], nodes[j]]
+        nodes.append(circuit.add_gate(f"g{k}", gate_type, fanins))
+    circuit.set_output(nodes[-1])
+    return circuit
+
+
+@st.composite
+def random_tree_circuit(draw, max_leaves=8):
+    """A fanout-free circuit over fresh inputs (every node used once)."""
+    n_leaves = draw(st.integers(2, max_leaves))
+    builder = CircuitBuilder("hyptree")
+    layer = list(builder.inputs(*[f"x{i}" for i in range(n_leaves)]))
+    while len(layer) > 1:
+        gate_type = draw(st.sampled_from(_BINARY_TYPES))
+        a = layer.pop(draw(st.integers(0, len(layer) - 1)))
+        b = layer.pop(draw(st.integers(0, len(layer) - 1)))
+        if draw(st.booleans()):
+            a = builder.not_(a)
+        layer.append(builder.gate(gate_type, a, b))
+    builder.outputs(layer[0])
+    return builder.build()
+
+
+# --------------------------------------------------------------------------
+# BDD engine vs truth tables
+# --------------------------------------------------------------------------
+
+@given(random_dag_circuit())
+@settings(max_examples=60, deadline=None)
+def test_bdd_matches_evaluator(circuit):
+    from repro.bdd import build_node_bdds
+    bdds = build_node_bdds(circuit)
+    out = circuit.outputs[0]
+    n = len(circuit.inputs)
+    for k in range(1 << n):
+        assignment = {f"x{i}": (k >> i) & 1 for i in range(n)}
+        vec = [assignment[name] for name in circuit.inputs]
+        assert bdds[out].evaluate(vec) == circuit.evaluate(assignment)[out]
+
+
+@given(random_dag_circuit())
+@settings(max_examples=40, deadline=None)
+def test_bdd_sat_count_matches_probability(circuit):
+    from repro.bdd import build_node_bdds
+    bdds = build_node_bdds(circuit)
+    out = circuit.outputs[0]
+    n = bdds.manager.num_vars
+    count = bdds[out].sat_count()
+    assert bdds[out].probability() == pytest.approx(count / (1 << n))
+
+
+# --------------------------------------------------------------------------
+# Simulator vs evaluator
+# --------------------------------------------------------------------------
+
+@given(random_dag_circuit())
+@settings(max_examples=60, deadline=None)
+def test_simulator_matches_evaluator(circuit):
+    values = exhaustive_simulate(circuit)
+    n = len(circuit.inputs)
+    out = circuit.outputs[0]
+    for k in range(1 << n):
+        assignment = {f"x{i}": (k >> i) & 1 for i in range(n)}
+        word, bit = divmod(k, 64)
+        got = (int(values[out][word]) >> bit) & 1
+        assert got == circuit.evaluate(assignment)[out]
+
+
+# --------------------------------------------------------------------------
+# Single-pass exactness on trees (paper Sec. 4)
+# --------------------------------------------------------------------------
+
+@given(random_tree_circuit(), st.floats(0.0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_single_pass_exact_on_trees(circuit, eps):
+    assert is_tree(circuit)
+    sp = single_pass_reliability(circuit, eps).delta()
+    exact = exhaustive_exact_reliability(circuit, eps).delta()
+    assert sp == pytest.approx(exact, abs=1e-9)
+
+
+@given(random_tree_circuit(),
+       st.lists(st.floats(0.0, 0.5), min_size=20, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_single_pass_exact_on_trees_per_gate_eps(circuit, eps_values):
+    gates = circuit.topological_gates()
+    eps = {g: eps_values[i % len(eps_values)] for i, g in enumerate(gates)}
+    sp = single_pass_reliability(circuit, eps).delta()
+    exact = exhaustive_exact_reliability(circuit, eps).delta()
+    assert sp == pytest.approx(exact, abs=1e-9)
+
+
+# --------------------------------------------------------------------------
+# Probabilistic range and oracle agreement on DAGs
+# --------------------------------------------------------------------------
+
+@given(random_dag_circuit(max_gates=10), st.floats(0.0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_delta_stays_in_range(circuit, eps):
+    result = single_pass_reliability(circuit, eps)
+    for value in result.per_output.values():
+        assert 0.0 <= value <= 1.0
+    node_errors = result.node_errors
+    for ep in node_errors.values():
+        assert 0.0 <= ep.p01 <= 1.0
+        assert 0.0 <= ep.p10 <= 1.0
+
+
+@given(random_dag_circuit(max_gates=9), st.floats(0.01, 0.4))
+@settings(max_examples=25, deadline=None)
+def test_exact_oracles_agree(circuit, eps):
+    a = exhaustive_exact_reliability(circuit, eps).delta()
+    b = frontier_exact_reliability(circuit, eps).delta()
+    assert a == pytest.approx(b, abs=1e-10)
+
+
+@given(random_dag_circuit(max_gates=10), st.floats(0.01, 0.35))
+@settings(max_examples=25, deadline=None)
+def test_single_pass_reasonably_close_to_exact(circuit, eps):
+    """Soft accuracy bound on arbitrary small DAGs (not just trees)."""
+    sp = single_pass_reliability(circuit, eps).delta()
+    exact = exhaustive_exact_reliability(circuit, eps).delta()
+    assert sp == pytest.approx(exact, abs=0.12)
+
+
+# --------------------------------------------------------------------------
+# Pattern utilities
+# --------------------------------------------------------------------------
+
+@given(st.floats(0.0, 1.0), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_bernoulli_density(p, seed):
+    rng = np.random.default_rng(seed)
+    words = patterns.bernoulli_words(p, 2048, rng)
+    density = patterns.popcount(words) / (2048 * 64)
+    assert density == pytest.approx(p, abs=0.02)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=500))
+@settings(max_examples=50, deadline=None)
+def test_pack_unpack_roundtrip(bits):
+    packed = patterns.pack_bits(bits)
+    assert list(patterns.unpack_bits(packed, len(bits))) == bits
+
+
+@given(st.integers(1, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_masked_popcount_of_ones(n_patterns):
+    words = patterns.ones(patterns.words_for_patterns(n_patterns))
+    assert patterns.masked_popcount(words, n_patterns) == n_patterns

@@ -1,0 +1,138 @@
+"""Tests for the function-preserving restructuring transforms."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    GateType,
+    map_to_nand,
+    rebalance_chains,
+)
+from repro.circuits import random_circuit, ripple_carry_adder
+from repro.reliability import exhaustive_exact_reliability
+from tests.conftest import all_assignments
+
+
+def equivalent(c1, c2, n_random=0) -> bool:
+    if set(c1.outputs) != set(c2.outputs):
+        return False
+    if n_random:
+        rng = np.random.default_rng(0)
+        for _ in range(n_random):
+            assignment = {name: int(rng.integers(2)) for name in c1.inputs}
+            if c1.evaluate_outputs(assignment) != c2.evaluate_outputs(
+                    assignment):
+                return False
+        return True
+    for assignment in all_assignments(c1):
+        if c1.evaluate_outputs(assignment) != c2.evaluate_outputs(assignment):
+            return False
+    return True
+
+
+def chain_circuit(n_leaves, op="and_"):
+    b = CircuitBuilder(f"chain_{op}{n_leaves}")
+    xs = b.input_bus("x", n_leaves)
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = getattr(b, op)(acc, x)
+    b.outputs(acc)
+    return b.build()
+
+
+class TestRebalanceChains:
+    @pytest.mark.parametrize("op", ["and_", "or_", "xor"])
+    def test_function_preserved(self, op):
+        circuit = chain_circuit(7, op)
+        balanced = rebalance_chains(circuit)
+        assert equivalent(circuit, balanced)
+
+    def test_depth_reduced_gate_count_unchanged(self):
+        circuit = chain_circuit(8)
+        balanced = rebalance_chains(circuit)
+        assert balanced.num_gates == circuit.num_gates
+        assert balanced.depth == 3
+        assert circuit.depth == 7
+
+    def test_fanout_stems_not_absorbed(self):
+        b = CircuitBuilder("stem")
+        xs = b.input_bus("x", 4)
+        mid = b.and_(b.and_(xs[0], xs[1]), xs[2])  # chain candidate
+        top = b.and_(mid, xs[3])
+        side = b.not_(mid)  # mid has fanout 2: must not be absorbed
+        b.outputs(top, side)
+        circuit = b.build()
+        balanced = rebalance_chains(circuit)
+        assert equivalent(circuit, balanced)
+        assert mid in balanced  # preserved as a named node
+
+    def test_mixed_types_not_merged(self):
+        b = CircuitBuilder("mixed")
+        xs = b.input_bus("x", 4)
+        acc = b.and_(b.or_(xs[0], xs[1]), b.or_(xs[2], xs[3]))
+        b.outputs(acc)
+        circuit = b.build()
+        balanced = rebalance_chains(circuit)
+        assert equivalent(circuit, balanced)
+        assert balanced.num_gates == circuit.num_gates
+
+    def test_random_circuits_preserved(self):
+        for seed in range(3):
+            circuit = random_circuit(6, 25, 3, seed=seed)
+            balanced = rebalance_chains(circuit)
+            assert equivalent(circuit, balanced)
+
+    def test_improves_reliability_of_chains(self):
+        # The Fig. 8 effect as a transform: balanced == more reliable.
+        circuit = chain_circuit(8)
+        balanced = rebalance_chains(circuit)
+        eps = 0.05
+        deep = exhaustive_exact_reliability(circuit, eps).delta()
+        shallow = exhaustive_exact_reliability(balanced, eps).delta()
+        assert shallow < deep
+
+
+class TestMapToNand:
+    def test_function_preserved_small(self, full_adder_circuit):
+        mapped = map_to_nand(full_adder_circuit)
+        assert equivalent(full_adder_circuit, mapped)
+
+    def test_only_nand_gates(self, full_adder_circuit):
+        mapped = map_to_nand(full_adder_circuit)
+        for gate in mapped.gates:
+            node = mapped.node(gate)
+            if node.gate_type is GateType.BUF:
+                continue  # output-name buffers survive stripping
+            assert node.gate_type is GateType.NAND
+            assert node.arity == 2
+
+    def test_wide_gates(self):
+        b = CircuitBuilder("wide")
+        xs = b.input_bus("x", 5)
+        b.outputs(b.gate(GateType.NOR, *xs, name="y"),
+                  b.gate(GateType.XNOR, xs[0], xs[1], xs[2], name="z"))
+        circuit = b.build()
+        mapped = map_to_nand(circuit)
+        assert equivalent(circuit, mapped)
+
+    def test_random_circuits(self):
+        for seed in range(3):
+            circuit = random_circuit(5, 20, 3, seed=seed + 10)
+            mapped = map_to_nand(circuit)
+            assert equivalent(circuit, mapped)
+
+    def test_adder_roundtrip(self):
+        circuit = ripple_carry_adder(3)
+        mapped = map_to_nand(circuit)
+        assert equivalent(circuit, mapped, n_random=40)
+
+    def test_reliability_cost_of_mapping(self, full_adder_circuit):
+        # More (noisy) gates computing the same function: delta grows.
+        mapped = map_to_nand(full_adder_circuit)
+        assert mapped.num_gates > full_adder_circuit.num_gates
+        eps = 0.02
+        base = exhaustive_exact_reliability(full_adder_circuit, eps)
+        cost = exhaustive_exact_reliability(mapped, eps)
+        for out in full_adder_circuit.outputs:
+            assert cost.per_output[out] > base.per_output[out]

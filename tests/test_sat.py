@@ -1,0 +1,212 @@
+"""Tests for the SAT substrate: CNF encoding, CDCL solver, SAT ATPG."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, are_equivalent
+from repro.circuits import c17, fig2_circuit, random_circuit
+from repro.sat import (
+    Cnf,
+    SatAtpg,
+    SatSolver,
+    encode_circuit,
+    miter,
+    sat_equivalent,
+    solve_cnf,
+)
+from repro.testing import AtpgEngine, Fault, StuckAt, full_fault_list
+from tests.conftest import all_assignments
+
+
+class TestCnf:
+    def test_clause_validation(self):
+        cnf = Cnf(num_vars=2)
+        with pytest.raises(ValueError):
+            cnf.add_clause([])
+        with pytest.raises(ValueError):
+            cnf.add_clause([3])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_evaluate(self):
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, -2])
+        assert cnf.evaluate([False, True, True])
+        assert not cnf.evaluate([False, False, True])
+
+    def test_dimacs(self):
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, -2])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf 2 1")
+        assert "1 -2 0" in text
+
+
+class TestEncoding:
+    def test_circuit_encoding_semantics(self, full_adder_circuit):
+        cnf, var = encode_circuit(full_adder_circuit)
+        for assignment in all_assignments(full_adder_circuit):
+            values = full_adder_circuit.evaluate(assignment)
+            assumptions = [var[pi] if assignment[pi] else -var[pi]
+                           for pi in full_adder_circuit.inputs]
+            model = SatSolver(cnf).solve(assumptions)
+            assert model is not None
+            for node, expected in values.items():
+                assert model[var[node]] == bool(expected), node
+
+    def test_all_gate_types_encode(self):
+        b = CircuitBuilder("zoo")
+        a, c, d = b.inputs("a", "c", "d")
+        g = b.xnor(b.nor(a, c), b.nand(c, d))
+        g = b.xor(g, b.or_(a, d))
+        g = b.and_(g, b.not_(c))
+        b.outputs(b.buf(g, name="y"))
+        circuit = b.build()
+        cnf, var = encode_circuit(circuit)
+        for assignment in all_assignments(circuit):
+            expected = circuit.evaluate(assignment)["y"]
+            assumptions = [var[pi] if assignment[pi] else -var[pi]
+                           for pi in circuit.inputs]
+            model = SatSolver(cnf).solve(assumptions)
+            assert model is not None and model[var["y"]] == bool(expected)
+
+    def test_wide_gates_encode(self):
+        from repro.circuit import Circuit, GateType
+        c = Circuit("wide")
+        for pi in "abcd":
+            c.add_input(pi)
+        c.add_gate("y", GateType.XOR, ["a", "b", "c", "d"])
+        c.set_output("y")
+        cnf, var = encode_circuit(c)
+        for assignment in all_assignments(c):
+            expected = c.evaluate(assignment)["y"]
+            assumptions = [var[pi] if assignment[pi] else -var[pi]
+                           for pi in c.inputs]
+            model = SatSolver(cnf).solve(assumptions)
+            assert model[var["y"]] == bool(expected)
+
+
+class TestSolver:
+    def test_trivially_sat(self):
+        cnf = Cnf(num_vars=1)
+        cnf.add_clause([1])
+        assert solve_cnf(cnf) == {1: True}
+
+    def test_trivially_unsat(self):
+        cnf = Cnf(num_vars=1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert solve_cnf(cnf) is None
+
+    def test_pigeonhole_unsat(self):
+        # PHP(4, 3): 4 pigeons into 3 holes.
+        pigeons, holes = 4, 3
+        cnf = Cnf(num_vars=pigeons * holes)
+
+        def var(i, j):
+            return i * holes + j + 1
+
+        for i in range(pigeons):
+            cnf.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(pigeons):
+                for i2 in range(i1 + 1, pigeons):
+                    cnf.add_clause([-var(i1, j), -var(i2, j)])
+        assert solve_cnf(cnf) is None
+
+    def test_reusable_with_assumptions(self):
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, 2])
+        solver = SatSolver(cnf)
+        assert solver.solve([-1]) is not None
+        assert solver.solve([-2]) is not None
+        assert solver.solve([-1, -2]) is None
+        assert solver.solve() is not None
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_brute_force(self, data):
+        n = data.draw(st.integers(1, 6))
+        m = data.draw(st.integers(1, 18))
+        cnf = Cnf(num_vars=n)
+        for _ in range(m):
+            k = data.draw(st.integers(1, 3))
+            clause = []
+            for _ in range(k):
+                v = data.draw(st.integers(1, n))
+                clause.append(v if data.draw(st.booleans()) else -v)
+            cnf.add_clause(clause)
+        brute = any(
+            cnf.evaluate([False] + list(bits))
+            for bits in itertools.product([False, True], repeat=n))
+        model = solve_cnf(cnf)
+        if brute:
+            assert model is not None
+            assert cnf.evaluate([False] + [model[v]
+                                           for v in range(1, n + 1)])
+        else:
+            assert model is None
+
+
+class TestSatAtpg:
+    def test_agrees_with_bdd_atpg_on_c17(self):
+        circuit = c17()
+        sat_engine = SatAtpg(circuit)
+        bdd_engine = AtpgEngine(circuit)
+        for fault in full_fault_list(circuit):
+            sat_test = sat_engine.generate_test(fault)
+            bdd_redundant = bdd_engine.is_redundant(fault)
+            assert (sat_test is None) == bdd_redundant, str(fault)
+
+    def test_generated_vectors_detect(self):
+        circuit = fig2_circuit()
+        engine = SatAtpg(circuit)
+        from repro.sat.atpg import _detects
+        for fault in full_fault_list(circuit):
+            vector = engine.generate_test(fault)
+            if vector is not None:
+                assert _detects(circuit, vector, fault), str(fault)
+
+    def test_redundancy_proved(self):
+        b = CircuitBuilder("red")
+        a = b.input("a")
+        b.outputs(b.and_(a, b.not_(a), name="y"))
+        circuit = b.build()
+        engine = SatAtpg(circuit)
+        assert engine.is_redundant(Fault("y", StuckAt.ZERO))
+        assert not engine.is_redundant(Fault("y", StuckAt.ONE))
+
+    def test_test_set_compaction(self):
+        circuit = c17()
+        tests, redundant = SatAtpg(circuit).generate_test_set()
+        assert not redundant
+        assert 0 < len(tests) < len(full_fault_list(circuit))
+
+
+class TestSatEquivalence:
+    def test_agrees_with_bdd_checker(self):
+        for seed in range(3):
+            c1 = random_circuit(5, 15, 2, seed=seed)
+            c2_same = c1.copy("copy")
+            assert sat_equivalent(c1, c2_same) is None
+            assert are_equivalent(c1, c2_same)
+
+    def test_counterexample_real(self):
+        b1 = CircuitBuilder("x1")
+        a, c = b1.inputs("a", "c")
+        b1.outputs(b1.and_(a, c, name="y"))
+        c1 = b1.build()
+        b2 = CircuitBuilder("x2")
+        a, c = b2.inputs("a", "c")
+        b2.outputs(b2.or_(a, c, name="y"))
+        c2 = b2.build()
+        cex = sat_equivalent(c1, c2)
+        assert cex is not None
+        assert c1.evaluate_outputs(cex) != c2.evaluate_outputs(cex)
+
+    def test_transform_equivalences_via_sat(self, full_adder_circuit):
+        from repro.circuit import map_to_nand
+        assert sat_equivalent(full_adder_circuit,
+                              map_to_nand(full_adder_circuit)) is None

@@ -1,0 +1,140 @@
+"""Tests for the bit-parallel logic simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GateType
+from repro.circuits import c17, parity_tree, random_circuit
+from repro.sim import patterns
+from repro.sim.simulator import (
+    CompiledCircuit,
+    evaluate_gate_words,
+    exhaustive_simulate,
+    signal_probabilities,
+    simulate,
+    simulate_outputs,
+)
+from tests.conftest import all_assignments
+
+
+class TestGateWordEvaluation:
+    def test_all_types_match_scalar(self):
+        from repro.circuit import evaluate_gate
+        a = np.array([0b0011], dtype=np.uint64)
+        b = np.array([0b0101], dtype=np.uint64)
+        for gate_type in (GateType.AND, GateType.NAND, GateType.OR,
+                          GateType.NOR, GateType.XOR, GateType.XNOR):
+            out = evaluate_gate_words(gate_type, [a, b], 1)
+            for bit in range(4):
+                expected = evaluate_gate(
+                    gate_type, [(int(a[0]) >> bit) & 1,
+                                (int(b[0]) >> bit) & 1])
+                assert (int(out[0]) >> bit) & 1 == expected
+
+    def test_unary(self):
+        a = np.array([0b01], dtype=np.uint64)
+        assert int(evaluate_gate_words(GateType.NOT, [a], 1)[0]) & 0b11 == 0b10
+        assert int(evaluate_gate_words(GateType.BUF, [a], 1)[0]) & 0b11 == 0b01
+
+    def test_constants(self):
+        assert patterns.popcount(
+            evaluate_gate_words(GateType.CONST0, [], 2)) == 0
+        assert patterns.popcount(
+            evaluate_gate_words(GateType.CONST1, [], 2)) == 128
+
+    def test_wide_gates(self):
+        rows = [np.array([0b1100], dtype=np.uint64),
+                np.array([0b1010], dtype=np.uint64),
+                np.array([0b1111], dtype=np.uint64)]
+        out = evaluate_gate_words(GateType.AND, rows, 1)
+        assert int(out[0]) & 0b1111 == 0b1000
+
+
+class TestSimulate:
+    def test_matches_reference_evaluator(self, full_adder_circuit):
+        values = exhaustive_simulate(full_adder_circuit)
+        for k, assignment in enumerate(all_assignments(full_adder_circuit)):
+            expected = full_adder_circuit.evaluate(assignment)
+            for node, pack in values.items():
+                got = (int(pack[0]) >> k) & 1
+                assert got == expected[node], (node, assignment)
+
+    def test_random_circuits_match_evaluator(self):
+        rng = np.random.default_rng(9)
+        for seed in range(3):
+            circuit = random_circuit(5, 20, 3, seed=seed)
+            values = exhaustive_simulate(circuit)
+            for k, assignment in enumerate(all_assignments(circuit)):
+                expected = circuit.evaluate(assignment)
+                for out in circuit.outputs:
+                    word, bit = divmod(k, 64)
+                    got = (int(values[out][word]) >> bit) & 1
+                    assert got == expected[out]
+
+    def test_simulate_outputs_subset(self, full_adder_circuit):
+        pack = patterns.exhaustive_pack(full_adder_circuit.inputs)
+        outs = simulate_outputs(full_adder_circuit, pack)
+        assert set(outs) == {"s", "cout"}
+
+    def test_pack_length_mismatch_rejected(self, full_adder_circuit):
+        pack = patterns.exhaustive_pack(full_adder_circuit.inputs)
+        pack["a"] = patterns.zeros(7)
+        with pytest.raises(ValueError):
+            simulate(full_adder_circuit, pack)
+
+    def test_exhaustive_input_limit(self):
+        circuit = random_circuit(30, 5, 2, seed=0)
+        with pytest.raises(ValueError):
+            exhaustive_simulate(circuit)
+
+
+class TestNoiseInjection:
+    def test_forced_flip_changes_everything_downstream(self,
+                                                       full_adder_circuit):
+        compiled = CompiledCircuit(full_adder_circuit)
+        pack = patterns.exhaustive_pack(full_adder_circuit.inputs)
+        n_words = len(pack["a"])
+        clean = compiled.run(pack)
+        flip_all = patterns.ones(n_words)
+
+        def noise(name, words):
+            return flip_all if name == "t" else None
+
+        noisy = compiled.run(pack, noise=noise)
+        t_slot = compiled.index["t"]
+        assert np.array_equal(clean[t_slot] ^ flip_all, noisy[t_slot])
+        # s = t xor cin flips everywhere too.
+        s_slot = compiled.index["s"]
+        assert np.array_equal(clean[s_slot] ^ flip_all, noisy[s_slot])
+
+    def test_no_noise_matches_plain_run(self, full_adder_circuit):
+        compiled = CompiledCircuit(full_adder_circuit)
+        pack = patterns.exhaustive_pack(full_adder_circuit.inputs)
+        r1 = compiled.run(pack)
+        r2 = compiled.run(pack, noise=lambda name, words: None)
+        for a, b in zip(r1, r2):
+            assert np.array_equal(a, b)
+
+
+class TestSignalProbabilities:
+    def test_exact_small_circuit(self, full_adder_circuit):
+        probs = signal_probabilities(full_adder_circuit)
+        assert probs["s"] == pytest.approx(0.5)
+        assert probs["c1"] == pytest.approx(0.25)
+
+    def test_sampled_close_to_exact(self):
+        circuit = parity_tree(6)
+        exact = signal_probabilities(circuit)
+        sampled = signal_probabilities(circuit, n_patterns=1 << 15,
+                                       rng=np.random.default_rng(3))
+        for node in circuit.topological_order():
+            assert sampled[node] == pytest.approx(exact[node], abs=0.02)
+
+    def test_biased_inputs(self):
+        circuit = c17()
+        probs = signal_probabilities(
+            circuit, n_patterns=1 << 15,
+            input_probs={name: 1.0 for name in circuit.inputs})
+        values = circuit.evaluate({name: 1 for name in circuit.inputs})
+        for out in circuit.outputs:
+            assert probs[out] == pytest.approx(values[out])

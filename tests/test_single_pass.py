@@ -1,0 +1,171 @@
+"""Tests for the single-pass reliability analysis (paper Sec. 4)."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, fig2_circuit, parity_tree
+from repro.probability import ErrorProbability
+from repro.reliability import (
+    SinglePassAnalyzer,
+    exhaustive_exact_reliability,
+    single_pass_reliability,
+)
+
+
+class TestExactnessOnTrees:
+    """Paper Sec. 4: 'single-pass reliability analysis gives the exact
+    values of probability of error at the output in the absence of
+    reconvergent fanout'."""
+
+    @pytest.mark.parametrize("eps", [0.0, 0.01, 0.1, 0.25, 0.5])
+    def test_fixture_tree(self, tree_circuit, eps):
+        sp = single_pass_reliability(tree_circuit, eps).delta()
+        exact = exhaustive_exact_reliability(tree_circuit, eps).delta()
+        assert sp == pytest.approx(exact, abs=1e-12)
+
+    @pytest.mark.parametrize("eps", [0.05, 0.2])
+    def test_parity_tree(self, eps):
+        circuit = parity_tree(8)
+        sp = single_pass_reliability(circuit, eps).delta()
+        # XOR tree: every gate fully observable; delta = (1-(1-2e)^n)/2.
+        n = circuit.num_gates
+        expected = 0.5 * (1 - (1 - 2 * eps) ** n)
+        assert sp == pytest.approx(expected, abs=1e-12)
+
+    def test_per_gate_eps_on_tree(self, tree_circuit):
+        eps = {g: 0.02 * (i + 1)
+               for i, g in enumerate(tree_circuit.topological_gates())}
+        sp = single_pass_reliability(tree_circuit, eps).delta()
+        exact = exhaustive_exact_reliability(tree_circuit, eps).delta()
+        assert sp == pytest.approx(exact, abs=1e-12)
+
+
+class TestWorkedExample:
+    """Fig. 2-style worked example: hand-checkable intermediate values."""
+
+    def test_first_gate_uniform_weights(self):
+        circuit = fig2_circuit()
+        analyzer = SinglePassAnalyzer(circuit, weight_method="exhaustive")
+        import numpy as np
+        np.testing.assert_allclose(analyzer.weights.weights["n1"],
+                                   [0.25] * 4)
+
+    def test_first_level_gate_error_probability(self):
+        # n1 = AND(a, b), noise-free inputs: Pr(n1_any) = eps both ways.
+        circuit = fig2_circuit()
+        result = single_pass_reliability(circuit, 0.1,
+                                         weight_method="exhaustive")
+        ep = result.node_errors["n1"]
+        assert ep.p01 == pytest.approx(0.1)
+        assert ep.p10 == pytest.approx(0.1)
+
+    def test_delta_against_exact(self):
+        circuit = fig2_circuit()
+        for eps in (0.05, 0.1, 0.2):
+            exact = exhaustive_exact_reliability(circuit, eps).delta()
+            sp = single_pass_reliability(circuit, eps).delta()
+            assert sp == pytest.approx(exact, abs=0.02)
+
+    def test_node_delta_accessor(self):
+        circuit = fig2_circuit()
+        result = single_pass_reliability(circuit, 0.1)
+        d = result.node_delta("n1")
+        assert d == pytest.approx(0.1)
+
+
+class TestReconvergence:
+    def test_correlation_beats_independence(self, reconvergent_circuit):
+        for eps in (0.05, 0.15):
+            exact = exhaustive_exact_reliability(
+                reconvergent_circuit, eps).delta()
+            corr = single_pass_reliability(
+                reconvergent_circuit, eps, use_correlation=True).delta()
+            indep = single_pass_reliability(
+                reconvergent_circuit, eps, use_correlation=False).delta()
+            assert abs(corr - exact) <= abs(indep - exact)
+
+    def test_c17_accuracy(self):
+        circuit = c17()
+        analyzer = SinglePassAnalyzer(circuit)
+        for eps in (0.05, 0.15, 0.3):
+            exact = exhaustive_exact_reliability(circuit, eps)
+            result = analyzer.run(eps)
+            for out in circuit.outputs:
+                assert result.per_output[out] == pytest.approx(
+                    exact.per_output[out], abs=0.02)
+
+
+class TestInterface:
+    def test_multi_output(self, full_adder_circuit):
+        result = single_pass_reliability(full_adder_circuit, 0.1)
+        assert set(result.per_output) == {"s", "cout"}
+        with pytest.raises(ValueError):
+            result.delta()
+        assert result.delta("s") == result.per_output["s"]
+
+    def test_zero_eps_gives_zero_delta(self, full_adder_circuit):
+        result = single_pass_reliability(full_adder_circuit, 0.0)
+        assert all(v == 0.0 for v in result.per_output.values())
+
+    def test_eps_validation(self, tree_circuit):
+        analyzer = SinglePassAnalyzer(tree_circuit)
+        with pytest.raises(ValueError):
+            analyzer.run(0.9)
+
+    def test_weights_reused_across_runs(self, full_adder_circuit):
+        analyzer = SinglePassAnalyzer(full_adder_circuit)
+        weights_id = id(analyzer.weights)
+        analyzer.run(0.1)
+        analyzer.run(0.2)
+        assert id(analyzer.weights) == weights_id
+
+    def test_curve_monotone_near_zero(self, tree_circuit):
+        analyzer = SinglePassAnalyzer(tree_circuit)
+        curve = analyzer.curve([0.0, 0.05, 0.1])
+        assert curve[0.0] == 0.0 < curve[0.05] < curve[0.1]
+
+    def test_input_errors_initial_conditions(self):
+        # A single buffer with a noisy input: delta equals the input error.
+        b = CircuitBuilder("wire")
+        a = b.input("a")
+        b.outputs(b.buf(a, name="y"))
+        circuit = b.build()
+        result = single_pass_reliability(
+            circuit, 0.0,
+            input_errors={"a": ErrorProbability(p01=0.2, p10=0.1)})
+        # P(a=1) = 0.5: delta = 0.5*0.2 + 0.5*0.1
+        assert result.delta() == pytest.approx(0.15)
+
+    def test_input_errors_combine_with_gate_noise(self):
+        b = CircuitBuilder("wire2")
+        a = b.input("a")
+        b.outputs(b.buf(a, name="y"))
+        circuit = b.build()
+        result = single_pass_reliability(
+            circuit, 0.1,
+            input_errors={"a": ErrorProbability(p01=0.2, p10=0.2)})
+        # error iff exactly one of {input error, gate flip}: 0.2*0.9+0.8*0.1
+        assert result.delta() == pytest.approx(0.2 * 0.9 + 0.8 * 0.1)
+
+    def test_all_gate_types_run(self):
+        b = CircuitBuilder("zoo")
+        a, c, d = b.inputs("a", "c", "d")
+        g = b.xnor(b.nor(a, c), b.nand(c, d))
+        g = b.xor(g, b.or_(a, d))
+        g = b.and_(g, b.not_(c))
+        b.outputs(b.buf(g, name="y"))
+        circuit = b.build()
+        result = single_pass_reliability(circuit, 0.1)
+        exact = exhaustive_exact_reliability(circuit, 0.1)
+        assert result.delta() == pytest.approx(exact.delta(), abs=0.03)
+
+    def test_delta_in_unit_interval(self, reconvergent_circuit):
+        for eps in (0.0, 0.1, 0.3, 0.5):
+            result = single_pass_reliability(reconvergent_circuit, eps)
+            for v in result.per_output.values():
+                assert 0.0 <= v <= 1.0
+
+    def test_saturation_at_half_for_noisy_observable_chain(self):
+        circuit = parity_tree(16)
+        result = single_pass_reliability(circuit, 0.5)
+        assert result.delta() == pytest.approx(0.5)

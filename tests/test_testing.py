@@ -1,0 +1,202 @@
+"""Tests for the stuck-at testing substrate (faults, fault sim, ATPG)."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuits import c17, parity_tree
+from repro.reliability import bdd_observabilities
+from repro.testing import (
+    AtpgEngine,
+    Fault,
+    StuckAt,
+    collapse_faults,
+    full_fault_list,
+    hard_faults,
+    random_pattern_testability,
+    redundant_faults,
+    simulate_faults,
+)
+
+
+class TestFaultLists:
+    def test_full_list_counts(self, full_adder_circuit):
+        faults = full_fault_list(full_adder_circuit)
+        # 3 inputs + 5 gates, two faults each.
+        assert len(faults) == 16
+
+    def test_exclude_inputs(self, full_adder_circuit):
+        faults = full_fault_list(full_adder_circuit, include_inputs=False)
+        assert len(faults) == 10
+        assert all(f.node not in full_adder_circuit.inputs for f in faults)
+
+    def test_collapse_reduces(self):
+        circuit = c17()
+        full = full_fault_list(circuit)
+        collapsed = collapse_faults(circuit)
+        assert len(collapsed) < len(full)
+        assert set(collapsed) <= set(full)
+
+    def test_collapse_keeps_fanout_stems(self):
+        circuit = c17()
+        collapsed = set(collapse_faults(circuit))
+        # Node 11 fans out to gates 16 and 19: both its faults must stay.
+        assert Fault("11", StuckAt.ZERO) in collapsed
+        assert Fault("11", StuckAt.ONE) in collapsed
+
+    def test_fault_str(self):
+        assert str(Fault("g1", StuckAt.ZERO)) == "g1/SA0"
+        assert str(Fault("g1", StuckAt.ONE)) == "g1/SA1"
+
+
+class TestFaultSimulation:
+    def test_exhaustive_detection_probabilities_sum_to_observability(
+            self, reconvergent_circuit):
+        sim = simulate_faults(reconvergent_circuit, exhaustive=True)
+        obs = bdd_observabilities(reconvergent_circuit)
+        for gate, o in obs.items():
+            sa0 = sim.detection_probability(Fault(gate, StuckAt.ZERO))
+            sa1 = sim.detection_probability(Fault(gate, StuckAt.ONE))
+            assert sa0 + sa1 == pytest.approx(o), gate
+
+    def test_full_coverage_on_c17(self):
+        # c17 is fully testable: every fault detectable.
+        sim = simulate_faults(c17(), exhaustive=True)
+        assert sim.coverage() == 1.0
+        assert not sim.undetected_faults
+
+    def test_detecting_output_recorded(self):
+        sim = simulate_faults(c17(), exhaustive=True)
+        for fault in sim.detected_faults:
+            assert sim.detecting_output[fault] in c17().outputs
+
+    def test_redundant_fault_never_detected(self):
+        # y = a AND (NOT a) == 0: the output SA0 is undetectable.
+        b = CircuitBuilder("red")
+        a = b.input("a")
+        b.outputs(b.and_(a, b.not_(a), name="y"))
+        circuit = b.build()
+        sim = simulate_faults(circuit, exhaustive=True)
+        assert sim.detection_probability(Fault("y", StuckAt.ZERO)) == 0.0
+        assert sim.detection_probability(Fault("y", StuckAt.ONE)) == 1.0
+
+    def test_random_close_to_exhaustive(self, full_adder_circuit):
+        exact = simulate_faults(full_adder_circuit, exhaustive=True)
+        sampled = simulate_faults(full_adder_circuit, n_patterns=1 << 14,
+                                  seed=3)
+        for fault in full_fault_list(full_adder_circuit):
+            assert sampled.detection_probability(fault) == pytest.approx(
+                exact.detection_probability(fault), abs=0.02)
+
+    def test_input_fault_simulation(self):
+        circuit = parity_tree(4)
+        sim = simulate_faults(circuit, exhaustive=True)
+        # Parity tree: every line fully observable; input SA faults detected
+        # whenever the input carries the complementary value: prob 1/2.
+        assert sim.detection_probability(
+            Fault("x0", StuckAt.ZERO)) == pytest.approx(0.5)
+        assert sim.detection_probability(
+            Fault("x0", StuckAt.ONE)) == pytest.approx(0.5)
+
+
+class TestTestability:
+    def test_profile_fields(self, reconvergent_circuit):
+        profile = random_pattern_testability(reconvergent_circuit,
+                                             exhaustive=True)
+        for name, entry in profile.items():
+            assert set(entry) == {"controllability", "sa0", "sa1",
+                                  "observability"}
+            assert 0 <= entry["controllability"] <= 1
+            assert entry["observability"] == pytest.approx(
+                entry["sa0"] + entry["sa1"])
+
+    def test_observability_matches_reliability_observability(
+            self, reconvergent_circuit):
+        profile = random_pattern_testability(reconvergent_circuit,
+                                             exhaustive=True)
+        obs = bdd_observabilities(reconvergent_circuit)
+        for gate, o in obs.items():
+            assert profile[gate]["observability"] == pytest.approx(o)
+
+    def test_hard_faults_on_wide_and(self):
+        # Deep AND cone: SA0 at the root needs all-ones side inputs.
+        b = CircuitBuilder("wideand")
+        xs = b.input_bus("x", 8)
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = b.and_(acc, x)
+        b.outputs(acc)
+        circuit = b.build()
+        hard = hard_faults(circuit, threshold=0.02, n_patterns=1 << 12)
+        assert any(f.stuck_at is StuckAt.ZERO for f in hard)
+
+
+class TestAtpg:
+    def test_generated_tests_actually_detect(self):
+        circuit = c17()
+        engine = AtpgEngine(circuit)
+        for fault in full_fault_list(circuit):
+            vector = engine.generate_test(fault)
+            assert vector is not None
+            # Verify by evaluation: faulty circuit differs at some output.
+            clean = circuit.evaluate_outputs(vector)
+            faulty_val = fault.stuck_at.value_bit
+            values = dict(vector)
+            all_values = circuit.evaluate(values)
+            all_values[fault.node] = faulty_val
+            order = circuit.topological_order()
+            from repro.circuit import evaluate_gate
+            for name in order[order.index(fault.node) + 1:]:
+                node = circuit.node(name)
+                if node.gate_type.is_logic:
+                    all_values[name] = evaluate_gate(
+                        node.gate_type,
+                        [all_values[f] for f in node.fanins])
+            assert any(all_values[o] != clean[o] for o in circuit.outputs)
+
+    def test_detection_probability_matches_fault_sim(self,
+                                                     reconvergent_circuit):
+        engine = AtpgEngine(reconvergent_circuit)
+        sim = simulate_faults(reconvergent_circuit, exhaustive=True)
+        for fault in full_fault_list(reconvergent_circuit):
+            assert engine.detection_probability(fault) == pytest.approx(
+                sim.detection_probability(fault))
+
+    def test_redundancy_proved(self):
+        b = CircuitBuilder("red")
+        a = b.input("a")
+        b.outputs(b.and_(a, b.not_(a), name="y"))
+        circuit = b.build()
+        engine = AtpgEngine(circuit)
+        assert engine.is_redundant(Fault("y", StuckAt.ZERO))
+        assert not engine.is_redundant(Fault("y", StuckAt.ONE))
+        assert engine.generate_test(Fault("y", StuckAt.ZERO)) is None
+
+    def test_redundant_faults_listing(self):
+        b = CircuitBuilder("red2")
+        a, c = b.inputs("a", "c")
+        tied = b.or_(a, b.not_(a))  # constant 1
+        b.outputs(b.and_(tied, c, name="y"))
+        circuit = b.build()
+        redundant = redundant_faults(circuit)
+        assert Fault(tied, StuckAt.ONE) in redundant
+
+    def test_test_set_covers_everything(self):
+        circuit = c17()
+        engine = AtpgEngine(circuit)
+        tests, redundant = engine.generate_test_set()
+        assert not redundant
+        # Replay the compacted test set through the fault simulator.
+        from repro.sim import patterns as pat
+        import numpy as np
+        faults = full_fault_list(circuit)
+        undetected = set(faults)
+        for vector in tests:
+            for fault in list(undetected):
+                diff = engine.difference(fault)
+                vec = [vector[n] for n in sorted(
+                    engine.bdds.var_index, key=engine.bdds.var_index.get)]
+                if diff.evaluate(vec):
+                    undetected.discard(fault)
+        assert not undetected
+        # Compaction: far fewer tests than faults.
+        assert len(tests) < len(faults)

@@ -1,0 +1,147 @@
+"""Tests for structural circuit transforms."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    CircuitError,
+    GateType,
+    expand_xor,
+    limit_fanout,
+    strip_buffers,
+    triplicate_gates,
+)
+from tests.conftest import all_assignments
+
+
+def equivalent(c1, c2) -> bool:
+    if set(c1.outputs) != set(c2.outputs):
+        return False
+    for assignment in all_assignments(c1):
+        if c1.evaluate_outputs(assignment) != c2.evaluate_outputs(assignment):
+            return False
+    return True
+
+
+class TestExpandXor:
+    def test_functionally_equivalent(self, full_adder_circuit):
+        expanded = expand_xor(full_adder_circuit)
+        assert equivalent(full_adder_circuit, expanded)
+
+    def test_no_xor_left(self, full_adder_circuit):
+        expanded = expand_xor(full_adder_circuit)
+        kinds = {expanded.node(g).gate_type for g in expanded.gates}
+        assert GateType.XOR not in kinds
+        assert GateType.XNOR not in kinds
+
+    def test_xnor_expansion(self):
+        b = CircuitBuilder("x")
+        a, c = b.inputs("a", "c")
+        b.outputs(b.xnor(a, c, name="y"))
+        circuit = b.build()
+        expanded = expand_xor(circuit)
+        assert equivalent(circuit, expanded)
+
+    def test_wide_xor_expansion(self):
+        b = CircuitBuilder("w")
+        a, c, d = b.inputs("a", "c", "d")
+        b.outputs(b.gate(GateType.XOR, a, c, d, name="y"))
+        circuit = b.build()
+        assert equivalent(circuit, expand_xor(circuit))
+
+    def test_gate_count_grows(self, full_adder_circuit):
+        assert expand_xor(full_adder_circuit).num_gates > \
+            full_adder_circuit.num_gates
+
+    def test_untouched_circuit_passthrough(self):
+        b = CircuitBuilder("plain")
+        a, c = b.inputs("a", "c")
+        b.outputs(b.nand(a, c, name="y"))
+        circuit = b.build()
+        expanded = expand_xor(circuit)
+        assert equivalent(circuit, expanded)
+        assert expanded.num_gates == 1
+
+
+class TestTriplicate:
+    def test_function_preserved(self, full_adder_circuit):
+        hardened = triplicate_gates(full_adder_circuit, ["t", "c1"])
+        assert equivalent(full_adder_circuit, hardened)
+
+    def test_gate_overhead_is_six_per_gate(self, full_adder_circuit):
+        hardened = triplicate_gates(full_adder_circuit, ["t"])
+        assert hardened.num_gates == full_adder_circuit.num_gates + 6
+
+    def test_roles_reported(self, full_adder_circuit):
+        roles = {}
+        triplicate_gates(full_adder_circuit, ["t"], roles=roles)
+        kinds = [role for role, _ in roles.values()]
+        assert kinds.count("copy") == 3
+        assert kinds.count("voter") == 4
+        assert all(protected == "t" for _, protected in roles.values())
+        assert roles["t"] == ("voter", "t")  # final voter keeps the name
+
+    def test_non_gate_rejected(self, full_adder_circuit):
+        with pytest.raises(CircuitError):
+            triplicate_gates(full_adder_circuit, ["a"])
+
+
+class TestLimitFanout:
+    def _wide_fanout_circuit(self):
+        b = CircuitBuilder("wide")
+        a, c = b.inputs("a", "c")
+        stem = b.and_(a, c, name="stem")
+        outs = [b.not_(stem) for _ in range(5)]
+        acc = outs[0]
+        for o in outs[1:]:
+            acc = b.or_(acc, o)
+        b.outputs(acc)
+        return b.build()
+
+    def test_function_preserved(self):
+        circuit = self._wide_fanout_circuit()
+        limited = limit_fanout(circuit, 2)
+        assert equivalent(circuit, limited)
+
+    def test_fanout_bound_respected(self):
+        circuit = self._wide_fanout_circuit()
+        limited = limit_fanout(circuit, 2)
+        for gate in limited.gates:
+            assert limited.fanout_count(gate) <= 2
+
+    def test_inputs_never_duplicated(self):
+        circuit = self._wide_fanout_circuit()
+        limited = limit_fanout(circuit, 2)
+        assert limited.inputs == circuit.inputs
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            limit_fanout(self._wide_fanout_circuit(), 0)
+
+    def test_noop_below_bound(self, tree_circuit):
+        limited = limit_fanout(tree_circuit, 4)
+        assert limited.num_gates == tree_circuit.num_gates
+
+
+class TestStripBuffers:
+    def test_buffers_removed(self):
+        b = CircuitBuilder("buffy")
+        a, c = b.inputs("a", "c")
+        g = b.and_(a, c)
+        buf1 = b.buf(g)
+        buf2 = b.buf(buf1)
+        b.outputs(b.not_(buf2, name="y"))
+        circuit = b.build()
+        stripped = strip_buffers(circuit)
+        assert equivalent(circuit, stripped)
+        assert stripped.num_gates == 2  # and + not
+
+    def test_output_buffers_kept(self):
+        b = CircuitBuilder("obuf")
+        a, c = b.inputs("a", "c")
+        g = b.and_(a, c)
+        b.outputs(y=g)  # adds a named output buffer
+        circuit = b.build()
+        stripped = strip_buffers(circuit)
+        assert stripped.outputs == ["y"]
+        assert equivalent(circuit, stripped)
