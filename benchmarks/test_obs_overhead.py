@@ -1,0 +1,102 @@
+"""Guard: disabled observability must not slow the single-pass hot path.
+
+The instrumentation contract (docs/observability.md) is *zero cost when
+disabled*: every span/counter entry point checks one module flag before
+doing any work, and hot loops batch their reporting at phase granularity.
+This benchmark enforces the contract so instrumentation can never silently
+regress the paper's headline O(n) claim: it times the instrumented
+single-pass analysis with observability disabled (the shipped default)
+against the same analysis with the instrumentation hooks stubbed out to
+literal no-ops (reconstructing the pre-instrumentation hot path), and
+asserts the difference is within 10%.
+
+Min-of-N timing is used (robust against scheduler noise); the comparison
+is relative, on the same interpreter, same circuit, same weights.
+"""
+
+import contextlib
+import time
+
+from repro import obs
+from repro.circuit import circuit_stats
+from repro.circuits import get_benchmark
+from repro.reliability import SinglePassAnalyzer
+from repro.reliability import single_pass as sp_module
+
+from conftest import LEVEL_GAP, write_result
+
+#: Allowed slowdown of instrumented-but-disabled vs stripped hot path.
+MAX_OVERHEAD = 1.10
+
+_REPEATS = 9
+
+
+def _best_seconds(fn, repeats=_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class _StubMetrics:
+    """Stand-in for repro.obs.metrics with collection permanently off."""
+
+    @staticmethod
+    def is_enabled():
+        return False
+
+
+def test_disabled_obs_overhead_single_pass(monkeypatch):
+    assert not obs.is_enabled(), "observability must default to off"
+    circuit = get_benchmark("b9")  # mid-size: 210-gate Table 2 stand-in
+    analyzer = SinglePassAnalyzer(circuit, weight_method="sampled",
+                                  n_patterns=1 << 14,
+                                  max_correlation_level_gap=LEVEL_GAP,
+                                  seed=0)
+    analyzer.run(0.1)  # warm caches (truth tables, allocator)
+
+    # Instrumented, observability disabled — the shipped default.
+    instrumented = _best_seconds(lambda: analyzer.run(0.1))
+
+    # Strip the hooks to literal no-ops: this is the pre-instrumentation
+    # hot path, reconstructed in-place.
+    monkeypatch.setattr(sp_module, "trace_span",
+                        lambda *a, **k: contextlib.nullcontext())
+    monkeypatch.setattr(sp_module, "obs_metrics", _StubMetrics)
+    stripped = _best_seconds(lambda: analyzer.run(0.1))
+    monkeypatch.undo()
+
+    overhead = instrumented / stripped if stripped > 0 else 1.0
+    write_result(
+        "obs_overhead.txt",
+        "Instrumentation overhead guard (single-pass, b9, eps=0.1)\n"
+        f"instrumented (obs disabled)  {instrumented * 1000:8.3f} ms\n"
+        f"stripped no-op hooks         {stripped * 1000:8.3f} ms\n"
+        f"overhead factor              {overhead:8.3f}x "
+        f"(limit {MAX_OVERHEAD:.2f}x)")
+    assert overhead <= MAX_OVERHEAD, (
+        f"disabled-mode instrumentation overhead {overhead:.3f}x exceeds "
+        f"{MAX_OVERHEAD:.2f}x: a span/counter hook is doing work while "
+        f"observability is off")
+
+
+def test_enabled_obs_actually_collects():
+    """Sanity: the same path produces spans + metrics when enabled."""
+    circuit = get_benchmark("b9")
+    analyzer = SinglePassAnalyzer(circuit, weight_method="sampled",
+                                  n_patterns=1 << 12,
+                                  max_correlation_level_gap=LEVEL_GAP,
+                                  seed=0)
+    obs.enable()
+    try:
+        obs.reset()
+        analyzer.run(0.1)
+        assert obs.get_tracer().find("single_pass.run")
+        assert obs.metrics.get_registry().value(
+            "single_pass.gates_processed",
+            circuit=circuit.name) == circuit_stats(circuit).num_gates
+    finally:
+        obs.disable()
+        obs.reset()

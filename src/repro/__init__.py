@@ -18,6 +18,7 @@ Quick start::
     print(result.per_output)                     # delta_y per output
 """
 
+from . import obs
 from .circuit import (
     Circuit,
     CircuitBuilder,
@@ -49,5 +50,6 @@ __all__ = [
     "SinglePassResult", "exhaustive_exact_reliability", "ptm_reliability",
     "single_pass_reliability", "monte_carlo_reliability",
     "get_benchmark", "list_benchmarks", "TABLE2_BENCHMARKS",
+    "obs",
     "__version__",
 ]

@@ -311,6 +311,36 @@ class BddManager:
         """Drop the operation cache (unique table is kept)."""
         self._ite_cache.clear()
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Structural counters, all derived from live tables (O(1)).
+
+        The hot ``_mk``/``_ite`` paths carry no dedicated counters — node
+        and cache totals fall out of the table sizes for free, keeping the
+        engine's per-operation cost identical with observability enabled.
+        """
+        return {
+            "nodes_allocated": len(self._var),
+            "unique_entries": len(self._unique),
+            "ite_cache_entries": len(self._ite_cache),
+            "num_vars": self.num_vars,
+            "node_limit": self.node_limit,
+        }
+
+    def publish_metrics(self, **labels) -> None:
+        """Push :meth:`stats` into the global registry as ``bdd.*`` gauges.
+
+        No-op while metrics are disabled; call after a build phase (the
+        weight-vector and observability constructors do).
+        """
+        from ..obs import metrics as obs_metrics
+        if not obs_metrics.is_enabled():
+            return
+        for key, value in self.stats().items():
+            obs_metrics.set_gauge(f"bdd.{key}", value, **labels)
+
 
 class Bdd:
     """A Boolean function handle: a node id bound to its manager."""

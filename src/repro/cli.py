@@ -15,41 +15,135 @@ Commands
 
 Circuits are referenced either by a file path (``.bench`` or ``.blif``) or
 by a built-in catalog name (``repro bench`` lists them).
+
+Every subcommand also accepts the observability flags (see
+docs/observability.md): ``-v/-vv`` for structured logging,
+``--metrics-out FILE`` for a JSON-lines run report with per-phase span
+timings and engine metrics, and ``--trace-out FILE`` for a Chrome
+``chrome://tracing`` timeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from . import obs
 from .circuit import Circuit, circuit_stats
 from .circuits import get_benchmark, list_benchmarks, benchmark_entry
 from .io import load_bench, load_blif, save_bench, save_blif, save_verilog
+from .obs import runlog as obs_runlog
+from .obs import trace_span
 from .reliability import ObservabilityModel, SinglePassAnalyzer
 from .sim import monte_carlo_reliability
+
+log = obs.get_logger("cli")
+
+
+class _ObsSession:
+    """Per-invocation observability plumbing shared by every subcommand.
+
+    Created by :func:`main` from the common ``-v`` / ``--metrics-out`` /
+    ``--trace-out`` flags; stored on the parsed namespace so command
+    handlers can emit one runlog record per unit of work (e.g. per eps
+    point).  ``finish`` writes a catch-all record for commands that never
+    emitted and dumps the Chrome trace.
+    """
+
+    def __init__(self, command: str,
+                 metrics_out: Optional[str],
+                 trace_out: Optional[str],
+                 verbose: int):
+        self.command = command
+        self.metrics_out = metrics_out
+        self.trace_out = trace_out
+        self.records_emitted = 0
+        self._prev_phases: Dict[str, float] = {}
+        self.enabled = bool(metrics_out or trace_out)
+        if verbose:
+            obs.configure_logging(verbose)
+        if self.enabled:
+            obs.reset()
+            obs.enable()
+            # Fail fast on unwritable paths before any analysis runs
+            # (--trace-out is only written at the very end of the run).
+            for label, out in (("--metrics-out", metrics_out),
+                               ("--trace-out", trace_out)):
+                if not out:
+                    continue
+                try:  # also truncates, so one file holds exactly one run
+                    Path(out).write_text("")
+                except OSError as exc:
+                    raise SystemExit(f"cannot write {label} file "
+                                     f"{out!r}: {exc}") from exc
+
+    def emit(self, circuit=None,
+             params: Optional[Dict[str, Any]] = None,
+             results: Optional[Dict[str, Any]] = None) -> None:
+        """Append one runlog record covering the work since the last emit."""
+        if not self.metrics_out:
+            return
+        record = obs_runlog.build_record(self.command, circuit=circuit,
+                                         params=params, results=results)
+        # Phase entries are tracer totals; report this record's share only.
+        now = {p["name"]: p["duration_s"] for p in record.phases}
+        record.phases = [
+            {"name": name, "duration_s": duration - self._prev_phases.get(
+                name, 0.0)}
+            for name, duration in sorted(now.items())
+            if duration - self._prev_phases.get(name, 0.0) > 0.0]
+        self._prev_phases = now
+        obs_runlog.append_record(self.metrics_out, record)
+        self.records_emitted += 1
+
+    def finish(self) -> None:
+        if not self.enabled:
+            return
+        if self.metrics_out and self.records_emitted == 0:
+            self.emit()
+        if self.trace_out:
+            obs.get_tracer().write_chrome_trace(self.trace_out)
+            log.info("wrote Chrome trace to %s", self.trace_out)
+        if self.metrics_out:
+            log.info("wrote %d runlog record(s) to %s",
+                     self.records_emitted, self.metrics_out)
+        obs.disable()
 
 
 def _load_circuit(ref: str) -> Circuit:
     path = Path(ref)
-    if path.exists():
-        if path.suffix == ".bench":
-            return load_bench(path)
-        if path.suffix == ".blif":
-            return load_blif(path)
-        raise SystemExit(f"unsupported netlist extension: {path.suffix}")
-    try:
-        return get_benchmark(ref)
-    except KeyError:
-        raise SystemExit(
-            f"{ref!r} is neither a file nor a known benchmark "
-            f"(try: repro bench)") from None
+    with trace_span("cli.load_circuit", ref=ref):
+        if path.exists():
+            if path.suffix == ".bench":
+                return load_bench(path)
+            if path.suffix == ".blif":
+                return load_blif(path)
+            raise SystemExit(f"unsupported netlist extension: {path.suffix}")
+        try:
+            circuit = get_benchmark(ref)
+        except KeyError:
+            raise SystemExit(
+                f"{ref!r} is neither a file nor a known benchmark "
+                f"(try: repro bench)") from None
+        log.info("loaded benchmark %s (%d nodes)", ref, len(circuit))
+        return circuit
 
 
 def _eps_list(spec: str) -> List[float]:
-    values = [float(tok) for tok in spec.split(",") if tok.strip()]
+    try:
+        values = [float(tok) for tok in spec.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"invalid eps spec {spec!r}: expected comma-separated "
+            f"probabilities (e.g. 0.01,0.05)") from None
+    if not values:
+        raise SystemExit(
+            f"empty eps spec {spec!r}: expected at least one probability "
+            f"(e.g. --eps 0.05 or --eps 0.01,0.05)")
     for v in values:
         if not 0.0 <= v <= 0.5:
             raise SystemExit(f"eps {v} outside [0, 0.5]")
@@ -74,19 +168,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .report import single_pass_result_to_dict
     circuit = _load_circuit(args.circuit)
     analyzer = SinglePassAnalyzer(
         circuit, use_correlation=not args.no_correlation,
         weight_method=args.weights, seed=args.seed,
         max_correlation_level_gap=args.level_gap)
+    log.info("analyzer ready (weights: %s)", analyzer.weights.source)
+    json_points = []
     for eps in _eps_list(args.eps):
         t0 = time.perf_counter()
         result = analyzer.run(eps)
         elapsed = time.perf_counter() - t0
-        print(f"eps={eps}: ({elapsed * 1000:.1f} ms, "
-              f"{result.correlation_pairs} corr pairs)")
-        for out, delta in result.per_output.items():
-            print(f"  delta[{out}] = {delta:.6f}")
+        result_dict = single_pass_result_to_dict(result)
+        if args.json:
+            json_points.append({"eps": eps, "elapsed_s": elapsed,
+                                **result_dict})
+        else:
+            print(f"eps={eps}: ({elapsed * 1000:.1f} ms, "
+                  f"{result.correlation_pairs} corr pairs)")
+            for out, delta in result.per_output.items():
+                print(f"  delta[{out}] = {delta:.6f}")
+        args.obs_session.emit(
+            circuit=circuit,
+            params={"eps": eps, "seed": args.seed,
+                    "weights": args.weights,
+                    "no_correlation": args.no_correlation,
+                    "level_gap": args.level_gap},
+            results=result_dict)
+    if args.json:
+        print(json.dumps({"circuit": circuit.name, "command": "analyze",
+                          "points": json_points}, indent=2))
     return 0
 
 
@@ -102,6 +214,14 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         for out, delta in result.per_output.items():
             print(f"  delta[{out}] = {delta:.6f}")
         print(f"  any-output = {result.any_output:.6f}")
+        args.obs_session.emit(
+            circuit=circuit,
+            params={"eps": eps, "patterns": args.patterns,
+                    "seed": args.seed},
+            results={"per_output": {o: float(d) for o, d
+                                    in result.per_output.items()},
+                     "any_output": float(result.any_output),
+                     "n_patterns": result.n_patterns})
     return 0
 
 
@@ -161,6 +281,15 @@ def _cmd_stratified(args: argparse.Namespace) -> int:
               f"(tail bound {result.tail_bound:.1e})")
         for out, delta in result.per_output.items():
             print(f"  delta[{out}] = {delta:.3e}")
+        args.obs_session.emit(
+            circuit=circuit,
+            params={"eps": eps, "max_failures": args.max_failures,
+                    "patterns": args.patterns, "samples": args.samples,
+                    "seed": args.seed},
+            results={"per_output": {o: float(d) for o, d
+                                    in result.per_output.items()},
+                     "any_output": float(result.any_output),
+                     "tail_bound": float(result.tail_bound)})
     return 0
 
 
@@ -197,11 +326,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .report import ReportConfig, reliability_report
+    from .report import ReportConfig, build_report
     circuit = _load_circuit(args.circuit)
     config = ReportConfig(mc_patterns=args.patterns, seed=args.seed,
                           include_testability=not args.no_testability)
-    text = reliability_report(circuit, config)
+    report = build_report(circuit, config)
+    text = report.to_json() if args.json else report.to_markdown()
+    args.obs_session.emit(circuit=circuit,
+                          params={"patterns": args.patterns,
+                                  "seed": args.seed},
+                          results=report.to_dict())
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")
@@ -232,15 +366,26 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="structured logging (-v info, -vv debug)")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write a JSON-lines run report (enables "
+                            "metrics + tracing)")
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write a Chrome chrome://tracing JSON timeline")
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("circuit", help="netlist path or benchmark name")
         p.add_argument("--seed", type=int, default=0)
+        add_obs(p)
 
     p = sub.add_parser("info", help="circuit structure statistics")
     add_common(p)
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser("bench", help="list built-in benchmarks")
+    add_obs(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("analyze", help="single-pass reliability analysis")
@@ -253,6 +398,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "bdd", "exhaustive", "sampled"])
     p.add_argument("--level-gap", type=int, default=None,
                    help="locality cap for correlation pairs")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("mc", help="Monte Carlo fault-injection baseline")
@@ -317,6 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write to file")
     p.add_argument("--patterns", type=int, default=1 << 14)
     p.add_argument("--no-testability", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of markdown")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("convert", help="convert netlist formats")
@@ -329,7 +478,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    session = _ObsSession(
+        command=args.command,
+        metrics_out=getattr(args, "metrics_out", None),
+        trace_out=getattr(args, "trace_out", None),
+        verbose=getattr(args, "verbose", 0))
+    args.obs_session = session
+    try:
+        with trace_span(f"cli.{args.command}"):
+            return args.func(args)
+    finally:
+        session.finish()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,251 @@
+"""Process-local metrics registry: counters, gauges, and histograms.
+
+Engines report *what happened* through named instruments —
+``single_pass.gates_processed``, ``correlation.pairs_tracked``,
+``mc.samples``, ``bdd.nodes_allocated``, ``sat.calls`` — optionally
+labeled with dimensions (``counter("mc.samples", circuit="b9")``).  A
+snapshot of the registry is embedded in every run report (see
+``repro.obs.runlog``) so a run's behaviour is reproducible as data, not
+just as a log line.
+
+Like tracing, the registry is **off by default and zero-cost when
+disabled**: the module-level convenience functions (:func:`inc`,
+:func:`set_gauge`, :func:`observe`) check one flag and return.  Hot loops
+should additionally batch — accumulate plain ints locally and report a
+total per phase — rather than call per item; see docs/observability.md
+for the conventions.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "reset",
+    "set_enabled",
+    "is_enabled",
+]
+
+_ENABLED = False
+
+#: A metric series key: (name, sorted label items).
+SeriesKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+_DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+                    1.0, 10.0, 100.0, 1000.0)
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> SeriesKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+class Counter:
+    """Monotonically increasing count (events, items, calls)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "name": self.name,
+                "labels": self.labels, "value": self.value}
+
+
+class Gauge:
+    """Last-observed value (running stderr, cache size, node count)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: Optional[float] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def add(self, delta: Union[int, float]) -> None:
+        self.value = (self.value or 0) + delta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "name": self.name,
+                "labels": self.labels, "value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution of observations (durations, sizes).
+
+    Buckets are upper-bound-inclusive, cumulative on export (Prometheus
+    convention); count/sum/min/max come for free.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, name: str, labels: Mapping[str, Any],
+                 buckets: Tuple[float, ...] = _DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        # First bucket whose upper bound is >= value; past-the-end is the
+        # overflow slot.
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        cumulative = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            cumulative.append({"le": bound, "count": running})
+        return {"type": "histogram", "name": self.name, "labels": self.labels,
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max, "mean": self.mean(),
+                "buckets": cumulative}
+
+
+class MetricsRegistry:
+    """Named instrument series, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: Dict[SeriesKey, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, cls, name: str, labels: Mapping[str, Any], **kwargs):
+        key = _series_key(name, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = cls(name, labels, **kwargs)
+                self._series[key] = series
+            elif not isinstance(series, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(series).__name__}, not {cls.__name__}")
+            return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Tuple[float, ...] = _DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Serializable dump of every series, sorted by (name, labels)."""
+        with self._lock:
+            series = list(self._series.values())
+        return [s.to_dict() for s in sorted(
+            series, key=lambda s: (s.name, sorted(s.labels.items())))]
+
+    def value(self, name: str, **labels) -> Any:
+        """Current value of one counter/gauge series (KeyError if absent)."""
+        with self._lock:
+            series = self._series[_series_key(name, labels)]
+        return series.value
+
+    def reset(self) -> None:
+        """Drop every series."""
+        with self._lock:
+            self._series.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def counter(name: str, **labels) -> Counter:
+    return _REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    return _REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels) -> Histogram:
+    return _REGISTRY.histogram(name, **labels)
+
+
+def inc(name: str, n: Union[int, float] = 1, **labels) -> None:
+    """Increment a counter; no-op while metrics are disabled."""
+    if not _ENABLED:
+        return
+    _REGISTRY.counter(name, **labels).inc(n)
+
+
+def set_gauge(name: str, value: Union[int, float], **labels) -> None:
+    """Set a gauge; no-op while metrics are disabled."""
+    if not _ENABLED:
+        return
+    _REGISTRY.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: Union[int, float], **labels) -> None:
+    """Record a histogram observation; no-op while metrics are disabled."""
+    if not _ENABLED:
+        return
+    _REGISTRY.histogram(name, **labels).observe(value)
+
+
+def snapshot() -> List[Dict[str, Any]]:
+    """Snapshot the global registry (works even while disabled)."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Clear the global registry (keeps the enabled flag)."""
+    _REGISTRY.reset()
+
+
+def set_enabled(on: bool) -> None:
+    """Globally enable or disable metric collection."""
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+def is_enabled() -> bool:
+    return _ENABLED

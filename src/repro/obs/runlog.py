@@ -1,0 +1,177 @@
+"""Structured JSON-lines run reports.
+
+A *runlog* is the durable artifact of one analysis run: what circuit, what
+parameters, how long each phase took, what the metrics registry counted,
+and what the engine produced — one JSON object per line, append-friendly,
+trivially greppable and loadable into pandas.  The CLI writes one record
+per eps point via ``--metrics-out FILE``.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "timestamp": 1754460000.0,          # wall clock, seconds since epoch
+      "command": "analyze",               # CLI subcommand or API caller tag
+      "circuit": {"name": ..., "inputs": n, "outputs": n, "gates": n,
+                  "depth": n},
+      "params": {...},                    # eps, seed, estimator knobs
+      "phases": [{"name": ..., "duration_s": ...}, ...],
+      "metrics": [...],                   # repro.obs.metrics snapshot
+      "results": {...},                   # engine output, e.g. per-output delta
+      "library": {"version": "1.0.0", "git": "..." | null},
+    }
+
+``timestamp`` is the one deliberate wall-clock field (it labels the run;
+it never measures an interval — all durations come from the
+``perf_counter``-based tracer).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from . import metrics as _metrics
+from . import trace as _trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunRecord",
+    "build_record",
+    "append_record",
+    "read_runlog",
+    "git_describe",
+    "library_version",
+]
+
+SCHEMA_VERSION = 1
+
+
+def library_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+def git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the installed tree, or None.
+
+    Never raises: reports are written in environments without git, without
+    a checkout, or with subprocess disabled.
+    """
+    try:
+        root = Path(__file__).resolve().parents[3]
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=root, capture_output=True, text=True, timeout=5)
+        if out.returncode == 0:
+            return out.stdout.strip() or None
+    except Exception:
+        pass
+    return None
+
+
+@dataclass
+class RunRecord:
+    """One structured run report (one JSON line)."""
+
+    command: str
+    circuit: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+    results: Dict[str, Any] = field(default_factory=dict)
+    library: Dict[str, Any] = field(default_factory=dict)
+    timestamp: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "timestamp": self.timestamp,
+            "command": self.command,
+            "circuit": self.circuit,
+            "params": self.params,
+            "phases": self.phases,
+            "metrics": self.metrics,
+            "results": self.results,
+            "library": self.library,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False, default=_jsonable)
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback serializer: numpy scalars, paths, sets."""
+    for attr in ("item",):  # numpy scalar -> python scalar
+        if hasattr(value, attr):
+            return value.item()
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) \
+            else list(value)
+    return str(value)
+
+
+def _circuit_summary(circuit) -> Dict[str, Any]:
+    """Structure header for a :class:`repro.circuit.Circuit`."""
+    from ..circuit import circuit_stats
+    stats = circuit_stats(circuit)
+    return {
+        "name": circuit.name,
+        "inputs": stats.num_inputs,
+        "outputs": stats.num_outputs,
+        "gates": stats.num_gates,
+        "depth": stats.depth,
+        "max_fanout": stats.max_fanout,
+        "fanout_stems": stats.num_fanout_stems,
+        "reconvergent_gates": stats.num_reconvergent_gates,
+    }
+
+
+def build_record(command: str,
+                 circuit=None,
+                 params: Optional[Dict[str, Any]] = None,
+                 results: Optional[Dict[str, Any]] = None,
+                 tracer: Optional[_trace.Tracer] = None,
+                 include_metrics: bool = True) -> RunRecord:
+    """Assemble a :class:`RunRecord` from the live tracer and registry.
+
+    Phase entries are the tracer's per-span-name duration totals; the
+    metrics section is the registry snapshot.  Both are empty when the
+    respective subsystem is disabled — the record is still valid.
+    """
+    tracer = tracer or _trace.get_tracer()
+    phases = [{"name": name, "duration_s": duration}
+              for name, duration in sorted(tracer.phase_timings().items())]
+    return RunRecord(
+        command=command,
+        circuit=_circuit_summary(circuit) if circuit is not None else {},
+        params=dict(params or {}),
+        phases=phases,
+        metrics=_metrics.snapshot() if include_metrics else [],
+        results=dict(results or {}),
+        library={"version": library_version(), "git": git_describe()},
+        timestamp=time.time(),
+    )
+
+
+def append_record(path: Union[str, Path], record: RunRecord) -> None:
+    """Append one record to a JSON-lines runlog file."""
+    with open(path, "a") as fh:
+        fh.write(record.to_json() + "\n")
+
+
+def read_runlog(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines runlog back into dicts (blank lines skipped)."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

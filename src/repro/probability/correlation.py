@@ -86,6 +86,17 @@ class ErrorCorrelationEngine:
         self._truth_cache: Dict[str, tuple] = {}
         #: Set when the pair budget was exhausted at least once.
         self.budget_exceeded = False
+        # Observability tallies (plain ints so the hot path stays cheap;
+        # the single pass publishes them to repro.obs.metrics after a run).
+        #: Lookups answered from the memo table.
+        self.cache_hits = 0
+        #: Pairs returned as independent because their fanin cones are
+        #: disjoint (no correlation possible).
+        self.pairs_independent = 0
+        #: Pairs dropped to independence by the level-gap locality cap.
+        self.pairs_dropped_level_gap = 0
+        #: Pairs dropped to independence by the memo budget.
+        self.pairs_dropped_budget = 0
 
     # ------------------------------------------------------------------
     def __call__(self, a: str, ea: int, b: str, eb: int) -> float:
@@ -99,18 +110,22 @@ class ErrorCorrelationEngine:
             # caps keep downstream float products overflow-free.
             return min(1.0 / p, 1e9) if p > 1e-9 else 1e9 if p > 0 else 1.0
         if not (self._support[a] & self._support[b]):
+            self.pairs_independent += 1
             return 1.0
         if self._topo_pos[a] < self._topo_pos[b]:
             a, b, ea, eb = b, a, eb, ea
         if (self.max_level_gap is not None
                 and self._level[a] - self._level[b] > self.max_level_gap):
+            self.pairs_dropped_level_gap += 1
             return 1.0
         key = (a, ea, b, eb)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
         if len(self._cache) >= self.max_pairs:
             self.budget_exceeded = True
+            self.pairs_dropped_budget += 1
             return 1.0
         self._cache[key] = 1.0  # cycle guard; overwritten below
         result = self._expand(a, ea, b, eb)
@@ -179,6 +194,10 @@ class IndependentCorrelations:
 
     budget_exceeded = False
     pairs_computed = 0
+    cache_hits = 0
+    pairs_independent = 0
+    pairs_dropped_level_gap = 0
+    pairs_dropped_budget = 0
 
     def __call__(self, a: str, ea: int, b: str, eb: int) -> float:
         return 1.0

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..bdd import BddSizeLimitError, CircuitBdds, build_node_bdds
 from ..circuit import Circuit
+from ..obs import trace_span
 from ..sim import patterns
 from ..sim.simulator import exhaustive_simulate, simulate
 
@@ -68,28 +69,32 @@ def bdd_weight_vectors(circuit: Circuit,
     May raise :class:`~repro.bdd.BddSizeLimitError` on circuits whose BDDs
     blow up; callers then fall back to :func:`sampled_weight_vectors`.
     """
-    if bdds is None:
-        bdds = build_node_bdds(circuit)
-    probs = [0.5] * bdds.manager.num_vars
-    if input_probs:
-        for name, p in input_probs.items():
-            probs[bdds.var_index[name]] = p
+    with trace_span("weights.bdd", circuit=circuit.name):
+        if bdds is None:
+            with trace_span("weights.bdd.build"):
+                bdds = build_node_bdds(circuit)
+        probs = [0.5] * bdds.manager.num_vars
+        if input_probs:
+            for name, p in input_probs.items():
+                probs[bdds.var_index[name]] = p
 
-    signal_prob = {name: bdds[name].probability(probs)
-                   for name in circuit.topological_order()}
-    weights: Dict[str, np.ndarray] = {}
-    for gate in circuit.topological_gates():
-        fanins = circuit.fanins(gate)
-        k = len(fanins)
-        vec = np.zeros(1 << k)
-        for v in range(1 << k):
-            acc = None
-            for t, fi in enumerate(fanins):
-                lit = bdds[fi] if (v >> t) & 1 else ~bdds[fi]
-                acc = lit if acc is None else acc & lit
-            vec[v] = acc.probability(probs) if acc is not None else 1.0
-        weights[gate] = vec
-    return WeightData(weights=weights, signal_prob=signal_prob, source="bdd")
+        signal_prob = {name: bdds[name].probability(probs)
+                       for name in circuit.topological_order()}
+        weights: Dict[str, np.ndarray] = {}
+        for gate in circuit.topological_gates():
+            fanins = circuit.fanins(gate)
+            k = len(fanins)
+            vec = np.zeros(1 << k)
+            for v in range(1 << k):
+                acc = None
+                for t, fi in enumerate(fanins):
+                    lit = bdds[fi] if (v >> t) & 1 else ~bdds[fi]
+                    acc = lit if acc is None else acc & lit
+                vec[v] = acc.probability(probs) if acc is not None else 1.0
+            weights[gate] = vec
+        bdds.manager.publish_metrics()
+        return WeightData(weights=weights, signal_prob=signal_prob,
+                          source="bdd")
 
 
 def _weights_from_packs(circuit: Circuit,
@@ -119,9 +124,10 @@ def _weights_from_packs(circuit: Circuit,
 
 def exhaustive_weight_vectors(circuit: Circuit) -> WeightData:
     """Exact weight vectors by enumerating all input vectors (<= 26 inputs)."""
-    values = exhaustive_simulate(circuit)
-    n_patterns = max(64, 1 << len(circuit.inputs))
-    return _weights_from_packs(circuit, values, n_patterns, "exhaustive")
+    with trace_span("weights.exhaustive", circuit=circuit.name):
+        values = exhaustive_simulate(circuit)
+        n_patterns = max(64, 1 << len(circuit.inputs))
+        return _weights_from_packs(circuit, values, n_patterns, "exhaustive")
 
 
 def sampled_weight_vectors(circuit: Circuit,
@@ -131,11 +137,13 @@ def sampled_weight_vectors(circuit: Circuit,
                            input_probs: Optional[Dict[str, float]] = None
                            ) -> WeightData:
     """Weight vectors estimated from random-pattern simulation."""
-    rng = rng if rng is not None else np.random.default_rng(seed)
-    n_words = patterns.words_for_patterns(n_patterns)
-    pack = patterns.random_pack(circuit.inputs, n_words, rng, input_probs)
-    values = simulate(circuit, pack)
-    return _weights_from_packs(circuit, values, n_patterns, "sampled")
+    with trace_span("weights.sampled", circuit=circuit.name,
+                    n_patterns=n_patterns):
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        n_words = patterns.words_for_patterns(n_patterns)
+        pack = patterns.random_pack(circuit.inputs, n_words, rng, input_probs)
+        values = simulate(circuit, pack)
+        return _weights_from_packs(circuit, values, n_patterns, "sampled")
 
 
 def compute_weights(circuit: Circuit,

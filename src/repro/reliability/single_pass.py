@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
 from ..circuit import Circuit, truth_table
+from ..obs import metrics as obs_metrics
+from ..obs import trace_span
 from ..probability.correlation import ErrorCorrelationEngine
 from ..probability.error_propagation import (
     ERROR_FREE,
@@ -110,9 +112,15 @@ class SinglePassAnalyzer:
                  input_probs: Optional[Mapping[str, float]] = None):
         circuit.validate()
         self.circuit = circuit
-        self.weights = weights if weights is not None else compute_weights(
-            circuit, method=weight_method, n_patterns=n_patterns, seed=seed,
-            input_probs=dict(input_probs) if input_probs else None)
+        if weights is not None:
+            self.weights = weights
+        else:
+            with trace_span("single_pass.weights", circuit=circuit.name,
+                            method=weight_method):
+                self.weights = compute_weights(
+                    circuit, method=weight_method, n_patterns=n_patterns,
+                    seed=seed,
+                    input_probs=dict(input_probs) if input_probs else None)
         self.use_correlation = use_correlation
         self.input_errors = dict(input_errors or {})
         self.max_correlation_pairs = max_correlation_pairs
@@ -133,6 +141,11 @@ class SinglePassAnalyzer:
         validate_epsilon(eps, self.circuit)
         if eps10 is not None:
             validate_epsilon(eps10, self.circuit)
+        with trace_span("single_pass.run", circuit=self.circuit.name):
+            return self._run(eps, eps10)
+
+    def _run(self, eps: EpsilonSpec,
+             eps10: Optional[EpsilonSpec]) -> SinglePassResult:
         circuit = self.circuit
         errors: Dict[str, ErrorProbability] = {}
         for name in circuit.topological_order():
@@ -157,19 +170,38 @@ class SinglePassAnalyzer:
                 eps10_of=(None if eps10_map is None
                           else (lambda g: eps10_map[g])))
 
-        for gate in gates:
-            node = circuit.node(gate)
-            pw0, w0, pw1, w1 = weighted_error_components(
-                self._truth[gate], self.weights.weights[gate],
-                node.fanins, errors, corr=corr)
-            errors[gate] = combine_with_local_failure(
-                pw0, w0, pw1, w1, eps_map[gate],
-                eps10=None if eps10_map is None else eps10_map[gate])
+        with trace_span("single_pass.topological_pass", gates=len(gates)):
+            for gate in gates:
+                node = circuit.node(gate)
+                pw0, w0, pw1, w1 = weighted_error_components(
+                    self._truth[gate], self.weights.weights[gate],
+                    node.fanins, errors, corr=corr)
+                errors[gate] = combine_with_local_failure(
+                    pw0, w0, pw1, w1, eps_map[gate],
+                    eps10=None if eps10_map is None else eps10_map[gate])
 
-        per_output = {}
-        for out in circuit.outputs:
-            p1 = self.weights.signal_prob[out]
-            per_output[out] = errors[out].total(p1)
+        with trace_span("single_pass.per_output_delta",
+                        outputs=len(circuit.outputs)):
+            per_output = {}
+            for out in circuit.outputs:
+                p1 = self.weights.signal_prob[out]
+                per_output[out] = errors[out].total(p1)
+        if obs_metrics.is_enabled():
+            labels = {"circuit": circuit.name}
+            obs_metrics.inc("single_pass.runs", **labels)
+            obs_metrics.inc("single_pass.gates_processed", len(gates),
+                            **labels)
+            if corr is not None:
+                obs_metrics.inc("correlation.pairs_tracked",
+                                corr.pairs_computed, **labels)
+                obs_metrics.inc("correlation.pairs_dropped_budget",
+                                corr.pairs_dropped_budget, **labels)
+                obs_metrics.inc("correlation.pairs_dropped_level_gap",
+                                corr.pairs_dropped_level_gap, **labels)
+                obs_metrics.inc("correlation.pairs_independent",
+                                corr.pairs_independent, **labels)
+                obs_metrics.inc("correlation.cache_hits",
+                                corr.cache_hits, **labels)
         return SinglePassResult(
             per_output=per_output,
             node_errors=errors,

@@ -1,26 +1,32 @@
-"""Markdown reliability report generation.
+"""Reliability report generation: one structured artifact per circuit.
 
-Bundles the library's analyses into one human-readable document per
-circuit: structure statistics, a delta(eps) table (single-pass vs Monte
-Carlo), the most critical gates, the per-node error asymmetry, and a
-random-pattern testability summary.  Used by ``python -m repro report``.
+Bundles the library's analyses into a :class:`ReliabilityReport` — circuit
+structure statistics, a delta(eps) table (single-pass vs Monte Carlo), the
+most critical gates, the per-node error asymmetry, and a random-pattern
+testability summary — which renders as markdown (``python -m repro
+report``) or serializes as JSON (``to_dict()`` / ``to_json()``) so the
+``repro.obs.runlog`` run reports and ``repro analyze --json`` can embed
+results without re-deriving them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .circuit import Circuit, circuit_stats
+from .obs import trace_span
 from .reliability import ObservabilityModel, SinglePassAnalyzer
+from .reliability.single_pass import SinglePassResult
 from .sim import monte_carlo_reliability
 
 
 @dataclass
 class ReportConfig:
-    """Knobs for :func:`reliability_report`."""
+    """Knobs for :func:`build_report` / :func:`reliability_report`."""
 
     eps_values: Sequence[float] = (0.001, 0.01, 0.05, 0.1, 0.2)
     mc_patterns: int = 1 << 14
@@ -31,104 +37,231 @@ class ReportConfig:
     seed: int = 0
 
 
-def reliability_report(circuit: Circuit,
-                       config: Optional[ReportConfig] = None) -> str:
-    """Build the markdown reliability report for one circuit."""
+def single_pass_result_to_dict(result: SinglePassResult,
+                               include_nodes: bool = False) -> Dict[str, Any]:
+    """Serialize one :class:`SinglePassResult` (for ``--json`` / runlogs).
+
+    ``include_nodes`` adds every internal node's propagated (p01, p10)
+    pair — large on big circuits, so off by default.
+    """
+    data: Dict[str, Any] = {
+        "per_output": {out: float(d) for out, d in result.per_output.items()},
+        "used_correlation": result.used_correlation,
+        "correlation_pairs": result.correlation_pairs,
+    }
+    if include_nodes:
+        data["node_errors"] = {
+            node: {"p01": float(ep.p01), "p10": float(ep.p10)}
+            for node, ep in result.node_errors.items()}
+        data["signal_prob"] = {node: float(p)
+                               for node, p in result.signal_prob.items()}
+    return data
+
+
+@dataclass
+class ReliabilityReport:
+    """The full analysis bundle for one circuit, in serializable form."""
+
+    circuit: str
+    structure: Dict[str, Any]
+    #: Rows {eps, single_pass, monte_carlo} (mean delta over all outputs).
+    delta_table: List[Dict[str, float]]
+    #: The output the critical-gate / asymmetry sections analyze.
+    focus_output: str
+    #: eps the focus sections were evaluated at.
+    focus_eps: float
+    #: Rows {gate, observability, gradient}, most critical first.
+    critical_gates: List[Dict[str, Any]]
+    #: Rows {gate, p01, p10}, largest |p01 - p10| first.
+    asymmetry: List[Dict[str, Any]]
+    #: Random-pattern testability summary, or None when skipped.
+    testability: Optional[Dict[str, Any]] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "structure": self.structure,
+            "delta_table": self.delta_table,
+            "focus_output": self.focus_output,
+            "focus_eps": self.focus_eps,
+            "critical_gates": self.critical_gates,
+            "asymmetry": self.asymmetry,
+            "testability": self.testability,
+            "config": self.config,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_markdown(self) -> str:
+        """Render the human-readable markdown document."""
+        s = self.structure
+        lines: List[str] = [
+            f"# Reliability report — {self.circuit}",
+            "",
+            "## Structure",
+            "",
+            f"| inputs | outputs | gates | depth | max fanout | "
+            f"fanout stems | reconvergent gates |",
+            f"|---|---|---|---|---|---|---|",
+            f"| {s['inputs']} | {s['outputs']} | {s['gates']} | "
+            f"{s['depth']} | {s['max_fanout']} | {s['fanout_stems']} | "
+            f"{s['reconvergent_gates']} |",
+            "",
+            "## Output error probability delta(eps)",
+            "",
+            "Mean over all outputs; single-pass analysis (Sec. 4, with "
+            "correlation coefficients) vs Monte Carlo fault injection "
+            f"({self.config.get('mc_patterns', '?')} patterns).",
+            "",
+            "| eps | single-pass | monte carlo |",
+            "|---|---|---|",
+        ]
+        for row in self.delta_table:
+            lines.append(f"| {row['eps']:g} | {row['single_pass']:.5f} "
+                         f"| {row['monte_carlo']:.5f} |")
+        lines += [
+            "",
+            f"## Critical gates (output {self.focus_output}, "
+            f"eps = {self.focus_eps:g})",
+            "",
+            "Ranked by the closed-form derivative d delta / d eps_g — where "
+            "hardening buys the most.",
+            "",
+            "| gate | observability | d delta / d eps |",
+            "|---|---|---|",
+        ]
+        for row in self.critical_gates:
+            lines.append(f"| {row['gate']} | {row['observability']:.4f} "
+                         f"| {row['gradient']:.4f} |")
+        lines += [
+            "",
+            f"## Error asymmetry (eps = {self.focus_eps:g})",
+            "",
+            "Gates whose 0->1 and 1->0 error probabilities differ most — "
+            "targets for one-sided (quadded-style) redundancy.",
+            "",
+            "| gate | Pr(0->1) | Pr(1->0) |",
+            "|---|---|---|",
+        ]
+        for row in self.asymmetry:
+            lines.append(f"| {row['gate']} | {row['p01']:.4f} "
+                         f"| {row['p10']:.4f} |")
+        if self.testability is not None:
+            t = self.testability
+            lines += [
+                "",
+                "## Random-pattern testability",
+                "",
+                f"Fault coverage at {t['n_patterns']} patterns: "
+                f"{t['coverage'] * 100:.1f}% "
+                f"({t['undetected']} undetected of {t['total_faults']}).",
+                "",
+                "Hardest faults:",
+                "",
+            ]
+            for fault in t["hardest"]:
+                lines.append(f"- `{fault['fault']}` — detection probability "
+                             f"{fault['detection_probability']:.5f}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def build_report(circuit: Circuit,
+                 config: Optional[ReportConfig] = None) -> ReliabilityReport:
+    """Run every analysis and assemble a :class:`ReliabilityReport`."""
     cfg = config or ReportConfig()
     stats = circuit_stats(circuit)
-    lines: List[str] = [
-        f"# Reliability report — {circuit.name}",
-        "",
-        "## Structure",
-        "",
-        f"| inputs | outputs | gates | depth | max fanout | "
-        f"fanout stems | reconvergent gates |",
-        f"|---|---|---|---|---|---|---|",
-        f"| {stats.num_inputs} | {stats.num_outputs} | {stats.num_gates} | "
-        f"{stats.depth} | {stats.max_fanout} | {stats.num_fanout_stems} | "
-        f"{stats.num_reconvergent_gates} |",
-        "",
-        "## Output error probability delta(eps)",
-        "",
-        "Mean over all outputs; single-pass analysis (Sec. 4, with "
-        "correlation coefficients) vs Monte Carlo fault injection "
-        f"({cfg.mc_patterns} patterns).",
-        "",
-        "| eps | single-pass | monte carlo |",
-        "|---|---|---|",
-    ]
-    analyzer = SinglePassAnalyzer(
-        circuit, seed=cfg.seed,
-        max_correlation_level_gap=cfg.correlation_level_gap)
-    for i, eps in enumerate(cfg.eps_values):
-        sp = analyzer.run(eps)
-        mc = monte_carlo_reliability(circuit, eps,
-                                     n_patterns=cfg.mc_patterns,
-                                     seed=cfg.seed + 17 * i + 1)
-        sp_mean = float(np.mean(list(sp.per_output.values())))
-        mc_mean = float(np.mean(list(mc.per_output.values())))
-        lines.append(f"| {eps:g} | {sp_mean:.5f} | {mc_mean:.5f} |")
+    structure = {
+        "inputs": stats.num_inputs,
+        "outputs": stats.num_outputs,
+        "gates": stats.num_gates,
+        "depth": stats.depth,
+        "max_fanout": stats.max_fanout,
+        "fanout_stems": stats.num_fanout_stems,
+        "reconvergent_gates": stats.num_reconvergent_gates,
+    }
+
+    with trace_span("report.delta_table", circuit=circuit.name):
+        analyzer = SinglePassAnalyzer(
+            circuit, seed=cfg.seed,
+            max_correlation_level_gap=cfg.correlation_level_gap)
+        delta_table = []
+        for i, eps in enumerate(cfg.eps_values):
+            sp = analyzer.run(eps)
+            mc = monte_carlo_reliability(circuit, eps,
+                                         n_patterns=cfg.mc_patterns,
+                                         seed=cfg.seed + 17 * i + 1)
+            delta_table.append({
+                "eps": float(eps),
+                "single_pass": float(np.mean(list(sp.per_output.values()))),
+                "monte_carlo": float(np.mean(list(mc.per_output.values()))),
+            })
 
     mid_eps = cfg.eps_values[len(cfg.eps_values) // 2]
     output = circuit.outputs[0]
-    model = ObservabilityModel(circuit, output=output, method="sampled",
-                               n_patterns=cfg.mc_patterns, seed=cfg.seed)
-    grad = model.gradient(mid_eps)
-    ranked = sorted(grad, key=grad.get, reverse=True)[:cfg.top_critical]
-    lines += [
-        "",
-        f"## Critical gates (output {output}, eps = {mid_eps:g})",
-        "",
-        "Ranked by the closed-form derivative d delta / d eps_g — where "
-        "hardening buys the most.",
-        "",
-        "| gate | observability | d delta / d eps |",
-        "|---|---|---|",
-    ]
-    for gate in ranked:
-        lines.append(f"| {gate} | {model.observabilities[gate]:.4f} "
-                     f"| {grad[gate]:.4f} |")
+    with trace_span("report.critical_gates", circuit=circuit.name):
+        model = ObservabilityModel(circuit, output=output, method="sampled",
+                                   n_patterns=cfg.mc_patterns, seed=cfg.seed)
+        grad = model.gradient(mid_eps)
+        ranked = sorted(grad, key=grad.get, reverse=True)[:cfg.top_critical]
+        critical = [{"gate": gate,
+                     "observability": float(model.observabilities[gate]),
+                     "gradient": float(grad[gate])}
+                    for gate in ranked]
 
-    result = analyzer.run(mid_eps)
-    asym = []
-    for gate in circuit.topological_gates():
-        ep = result.node_errors[gate]
-        asym.append((abs(ep.p01 - ep.p10), gate, ep))
-    asym.sort(reverse=True)
-    lines += [
-        "",
-        f"## Error asymmetry (eps = {mid_eps:g})",
-        "",
-        "Gates whose 0->1 and 1->0 error probabilities differ most — "
-        "targets for one-sided (quadded-style) redundancy.",
-        "",
-        "| gate | Pr(0->1) | Pr(1->0) |",
-        "|---|---|---|",
-    ]
-    for _, gate, ep in asym[:cfg.top_critical]:
-        lines.append(f"| {gate} | {ep.p01:.4f} | {ep.p10:.4f} |")
+    with trace_span("report.asymmetry", circuit=circuit.name):
+        result = analyzer.run(mid_eps)
+        asym = []
+        for gate in circuit.topological_gates():
+            ep = result.node_errors[gate]
+            asym.append((abs(ep.p01 - ep.p10), gate, ep))
+        asym.sort(reverse=True)
+        asymmetry = [{"gate": gate, "p01": float(ep.p01), "p10": float(ep.p10)}
+                     for _, gate, ep in asym[:cfg.top_critical]]
 
+    testability = None
     if cfg.include_testability:
         from .testing import full_fault_list, simulate_faults
-        sim = simulate_faults(circuit, full_fault_list(circuit),
-                              n_patterns=cfg.testability_patterns,
-                              seed=cfg.seed,
-                              exhaustive=len(circuit.inputs) <= 16)
-        hard = sorted(sim.detections, key=sim.detections.get)[:5]
-        lines += [
-            "",
-            "## Random-pattern testability",
-            "",
-            f"Fault coverage at {sim.n_patterns} patterns: "
-            f"{sim.coverage() * 100:.1f}% "
-            f"({len(sim.undetected_faults)} undetected of "
-            f"{len(sim.detections)}).",
-            "",
-            "Hardest faults:",
-            "",
-        ]
-        for fault in hard:
-            lines.append(f"- `{fault}` — detection probability "
-                         f"{sim.detection_probability(fault):.5f}")
-    lines.append("")
-    return "\n".join(lines)
+        with trace_span("report.testability", circuit=circuit.name):
+            sim = simulate_faults(circuit, full_fault_list(circuit),
+                                  n_patterns=cfg.testability_patterns,
+                                  seed=cfg.seed,
+                                  exhaustive=len(circuit.inputs) <= 16)
+            hard = sorted(sim.detections, key=sim.detections.get)[:5]
+            testability = {
+                "n_patterns": sim.n_patterns,
+                "coverage": float(sim.coverage()),
+                "undetected": len(sim.undetected_faults),
+                "total_faults": len(sim.detections),
+                "hardest": [
+                    {"fault": str(fault),
+                     "detection_probability":
+                         float(sim.detection_probability(fault))}
+                    for fault in hard],
+            }
+
+    return ReliabilityReport(
+        circuit=circuit.name,
+        structure=structure,
+        delta_table=delta_table,
+        focus_output=output,
+        focus_eps=float(mid_eps),
+        critical_gates=critical,
+        asymmetry=asymmetry,
+        testability=testability,
+        config={"eps_values": [float(e) for e in cfg.eps_values],
+                "mc_patterns": cfg.mc_patterns,
+                "top_critical": cfg.top_critical,
+                "testability_patterns": cfg.testability_patterns,
+                "correlation_level_gap": cfg.correlation_level_gap,
+                "seed": cfg.seed},
+    )
+
+
+def reliability_report(circuit: Circuit,
+                       config: Optional[ReportConfig] = None) -> str:
+    """Build the markdown reliability report for one circuit."""
+    return build_report(circuit, config).to_markdown()

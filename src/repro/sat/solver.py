@@ -39,6 +39,12 @@ class SatSolver:
         self.qhead = 0
         # watches[lit] = clause indices watching literal `lit`.
         self.watches: Dict[int, List[int]] = {}
+        # Observability tallies (plain ints; published to repro.obs.metrics
+        # at the end of each solve() call when metrics are enabled).
+        self.num_solve_calls = 0
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_learned = 0
         self._ok = True
         for idx, clause in enumerate(self.clauses):
             if not self._attach(idx, clause):
@@ -198,11 +204,16 @@ class SatSolver:
         ``assumptions`` are literals asserted at decision level 1+; the
         solver state is reset afterwards so the instance is reusable.
         """
+        self.num_solve_calls += 1
+        tallies_at_entry = (self.num_conflicts, self.num_decisions,
+                            self.num_learned)
         if not self._ok:
+            self._publish_metrics(tallies_at_entry)
             return None
         self._cancel_until(0)
         if self._propagate() is not None:
             self._ok = False
+            self._publish_metrics(tallies_at_entry)
             return None
         root_trail = len(self.trail)
         conflicts_budget = 100
@@ -225,6 +236,7 @@ class SatSolver:
                 conflict = self._propagate()
                 if conflict is not None:
                     total_conflicts += 1
+                    self.num_conflicts += 1
                     if len(self.trail_lim) <= assumption_level:
                         return None  # conflict at (or below) assumptions
                     learnt, back_level = self._analyze(conflict)
@@ -232,6 +244,7 @@ class SatSolver:
                     self._cancel_until(back_level)
                     idx = len(self.clauses)
                     self.clauses.append(learnt)
+                    self.num_learned += 1
                     if len(learnt) > 1:
                         self.watches.setdefault(learnt[0], []).append(idx)
                         self.watches.setdefault(learnt[1], []).append(idx)
@@ -245,11 +258,24 @@ class SatSolver:
                 if lit is None:
                     return {v: bool(self.assign[v])
                             for v in range(1, self.num_vars + 1)}
+                self.num_decisions += 1
                 self.trail_lim.append(len(self.trail))
                 self._enqueue(lit, None)
         finally:
             self._cancel_until(0)
             del root_trail
+            self._publish_metrics(tallies_at_entry)
+
+    def _publish_metrics(self, tallies_at_entry) -> None:
+        """Push this call's tally deltas as ``sat.*`` counters (if enabled)."""
+        from ..obs import metrics as obs_metrics
+        if not obs_metrics.is_enabled():
+            return
+        c0, d0, l0 = tallies_at_entry
+        obs_metrics.inc("sat.calls")
+        obs_metrics.inc("sat.conflicts", self.num_conflicts - c0)
+        obs_metrics.inc("sat.decisions", self.num_decisions - d0)
+        obs_metrics.inc("sat.learned_clauses", self.num_learned - l0)
 
 
 def solve_cnf(cnf: Cnf,

@@ -18,6 +18,8 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..circuit import Circuit
+from ..obs import metrics as obs_metrics
+from ..obs import trace_span
 from . import patterns
 from .simulator import CompiledCircuit
 
@@ -106,34 +108,51 @@ def monte_carlo_reliability(circuit: Circuit,
     """
     validate_epsilon(eps, circuit)
     rng = rng if rng is not None else np.random.default_rng(seed)
-    compiled = CompiledCircuit(circuit)
-    gate_eps = {name: epsilon_of(eps, name)
-                for name, _ in compiled.gate_slots}
+    with trace_span("mc.run", circuit=circuit.name, n_patterns=n_patterns):
+        with trace_span("mc.compile"):
+            compiled = CompiledCircuit(circuit)
+        gate_eps = {name: epsilon_of(eps, name)
+                    for name, _ in compiled.gate_slots}
 
-    diff_counts = {name: 0 for name, _ in compiled.output_slots}
-    any_count = 0
-    remaining = n_patterns
-    while remaining > 0:
-        batch_patterns = min(remaining, batch_words * patterns.WORD_BITS)
-        n_words = patterns.words_for_patterns(batch_patterns)
-        input_pack = patterns.random_pack(
-            circuit.inputs, n_words, rng, input_probs)
-        clean = compiled.run(input_pack)
+        diff_counts = {name: 0 for name, _ in compiled.output_slots}
+        any_count = 0
+        remaining = n_patterns
+        while remaining > 0:
+            batch_patterns = min(remaining, batch_words * patterns.WORD_BITS)
+            n_words = patterns.words_for_patterns(batch_patterns)
+            input_pack = patterns.random_pack(
+                circuit.inputs, n_words, rng, input_probs)
+            clean = compiled.run(input_pack)
 
-        def noise(name: str, words: int) -> Optional[np.ndarray]:
-            e = gate_eps[name]
-            if e <= 0.0:
-                return None
-            return patterns.bernoulli_words(e, words, rng, noise_precision)
+            def noise(name: str, words: int) -> Optional[np.ndarray]:
+                e = gate_eps[name]
+                if e <= 0.0:
+                    return None
+                return patterns.bernoulli_words(e, words, rng,
+                                                noise_precision)
 
-        noisy = compiled.run(input_pack, noise=noise)
-        any_diff = np.zeros(n_words, dtype=np.uint64)
-        for name, slot in compiled.output_slots:
-            diff = np.bitwise_xor(clean[slot], noisy[slot])
-            diff_counts[name] += patterns.masked_popcount(diff, batch_patterns)
-            np.bitwise_or(any_diff, diff, out=any_diff)
-        any_count += patterns.masked_popcount(any_diff, batch_patterns)
-        remaining -= batch_patterns
+            noisy = compiled.run(input_pack, noise=noise)
+            any_diff = np.zeros(n_words, dtype=np.uint64)
+            for name, slot in compiled.output_slots:
+                diff = np.bitwise_xor(clean[slot], noisy[slot])
+                diff_counts[name] += patterns.masked_popcount(diff,
+                                                              batch_patterns)
+                np.bitwise_or(any_diff, diff, out=any_diff)
+            any_count += patterns.masked_popcount(any_diff, batch_patterns)
+            remaining -= batch_patterns
+            if obs_metrics.is_enabled():
+                # Batch-granular reporting: the per-pattern hot loop above
+                # stays untouched.
+                done = n_patterns - remaining
+                labels = {"circuit": circuit.name}
+                obs_metrics.inc("mc.samples", batch_patterns, **labels)
+                obs_metrics.inc("mc.batches", **labels)
+                p = any_count / done
+                stderr = float(np.sqrt(max(p * (1.0 - p), 0.0) / done))
+                obs_metrics.set_gauge("mc.stderr", stderr, **labels)
+                if p > 0.0:
+                    obs_metrics.set_gauge("mc.rel_stderr", stderr / p,
+                                          **labels)
 
     per_output = {name: count / n_patterns
                   for name, count in diff_counts.items()}
@@ -225,6 +244,10 @@ def monte_carlo_asymmetric_reliability(circuit: Circuit,
             np.bitwise_or(any_diff, diff, out=any_diff)
         any_count += patterns.masked_popcount(any_diff, batch_patterns)
         remaining -= batch_patterns
+        if obs_metrics.is_enabled():
+            labels = {"circuit": circuit.name, "mode": "asymmetric"}
+            obs_metrics.inc("mc.samples", batch_patterns, **labels)
+            obs_metrics.inc("mc.batches", **labels)
 
     per_output = {name: count / n_patterns
                   for name, count in diff_counts.items()}

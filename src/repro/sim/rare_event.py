@@ -24,6 +24,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..circuit import Circuit
+from ..obs import metrics as obs_metrics
+from ..obs import trace_span
 from . import patterns
 from .simulator import CompiledCircuit
 
@@ -94,32 +96,45 @@ class StratifiedEstimator:
         #: p_k per output name ("*" = any output), per stratum k.
         self.conditional: Dict[int, Dict[str, float]] = {}
         # k = 1: exact sweep over every single-gate flip.
-        acc = {out: 0.0 for out in circuit.outputs}
-        acc["*"] = 0.0
-        for gate in gate_names:
-            fr = error_fractions({gate})
-            for key in acc:
-                acc[key] += fr[key] / n
-        self.conditional[1] = acc
+        with trace_span("rare_event.stratum", circuit=circuit.name, k=1):
+            acc = {out: 0.0 for out in circuit.outputs}
+            acc["*"] = 0.0
+            for gate in gate_names:
+                fr = error_fractions({gate})
+                for key in acc:
+                    acc[key] += fr[key] / n
+            self.conditional[1] = acc
+        if obs_metrics.is_enabled():
+            obs_metrics.inc("rare_event.exact_sweeps", n,
+                            circuit=circuit.name)
         # k >= 2: sample failure sets uniformly without replacement.
         for k in range(2, max_failures + 1):
             if k > n:
                 self.conditional[k] = {key: acc["*"] * 0 for key in acc}
                 continue
-            sums = {key: 0.0 for key in acc}
-            for _ in range(samples_per_stratum):
-                chosen = rng.choice(n, size=k, replace=False)
-                fr = error_fractions({gate_names[int(c)] for c in chosen})
-                for key in sums:
-                    sums[key] += fr[key]
-            self.conditional[k] = {key: v / samples_per_stratum
-                                   for key, v in sums.items()}
+            with trace_span("rare_event.stratum", circuit=circuit.name, k=k):
+                sums = {key: 0.0 for key in acc}
+                for _ in range(samples_per_stratum):
+                    chosen = rng.choice(n, size=k, replace=False)
+                    fr = error_fractions({gate_names[int(c)] for c in chosen})
+                    for key in sums:
+                        sums[key] += fr[key]
+                self.conditional[k] = {key: v / samples_per_stratum
+                                       for key, v in sums.items()}
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("rare_event.stratum_samples",
+                                samples_per_stratum,
+                                circuit=circuit.name, k=k)
         self._n_gates = n
 
     def evaluate(self, eps: float) -> StratifiedResult:
         """Reweight the strata for one uniform gate failure probability."""
         if not 0.0 <= eps <= 0.5:
             raise ValueError(f"eps {eps} outside [0, 0.5]")
+        with trace_span("rare_event.evaluate", eps=eps):
+            return self._evaluate(eps)
+
+    def _evaluate(self, eps: float) -> StratifiedResult:
         n = self._n_gates
         per_output = {out: 0.0 for out in self.circuit.outputs}
         any_output = 0.0

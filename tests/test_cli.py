@@ -1,5 +1,7 @@
 """Tests for the command-line interface (run in-process)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -51,6 +53,25 @@ class TestAnalysisCommands:
     def test_analyze_bad_eps(self):
         with pytest.raises(SystemExit):
             main(["analyze", "c17", "--eps", "0.7"])
+
+    def test_analyze_empty_eps_rejected(self):
+        for spec in (",", "", " , "):
+            with pytest.raises(SystemExit, match="empty eps spec"):
+                main(["analyze", "c17", "--eps", spec])
+
+    def test_analyze_malformed_eps_rejected(self):
+        with pytest.raises(SystemExit, match="invalid eps spec"):
+            main(["analyze", "c17", "--eps", "0.1,zap"])
+
+    def test_analyze_json(self, capsys):
+        assert main(["analyze", "c17", "--eps", "0.05,0.1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["circuit"] == "c17"
+        assert [p["eps"] for p in doc["points"]] == [0.05, 0.1]
+        for point in doc["points"]:
+            assert set(point["per_output"]) == {"22", "23"}
+            assert point["correlation_pairs"] > 0
+            assert point["elapsed_s"] > 0
 
     def test_mc(self, capsys):
         assert main(["mc", "c17", "--eps", "0.1",
@@ -105,6 +126,104 @@ class TestExtendedCommands:
     def test_stratified_bad_eps(self):
         with pytest.raises(SystemExit):
             main(["stratified", "c17", "--eps", "0.9"])
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_runlog(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(["analyze", "c17", "--eps", "0.01,0.05",
+                     "--metrics-out", str(out)]) == 0
+        records = [json.loads(line) for line in
+                   out.read_text().splitlines() if line.strip()]
+        assert len(records) == 2  # one per eps point
+        for record, eps in zip(records, (0.01, 0.05)):
+            assert record["schema_version"] == 1
+            assert record["command"] == "analyze"
+            assert record["circuit"]["name"] == "c17"
+            assert record["circuit"]["gates"] == 6
+            assert record["params"]["eps"] == eps
+            assert set(record["results"]["per_output"]) == {"22", "23"}
+            assert record["library"]["version"]
+            phase_names = {p["name"] for p in record["phases"]}
+            assert "single_pass.run" in phase_names
+            assert all(p["duration_s"] > 0 for p in record["phases"])
+            metric_names = {m["name"] for m in record["metrics"]}
+            assert "single_pass.gates_processed" in metric_names
+            assert "correlation.pairs_tracked" in metric_names
+        # Weights are computed once: only the first record has that phase.
+        assert "single_pass.weights" in {p["name"]
+                                         for p in records[0]["phases"]}
+        assert "single_pass.weights" not in {p["name"]
+                                             for p in records[1]["phases"]}
+
+    def test_trace_out_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["analyze", "c17", "--eps", "0.05",
+                     "--trace-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "cli.analyze" in names
+        assert "single_pass.run" in names
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
+    def test_mc_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "mc.jsonl"
+        assert main(["mc", "c17", "--eps", "0.1", "--patterns", "4096",
+                     "--metrics-out", str(out)]) == 0
+        (record,) = [json.loads(line) for line in
+                     out.read_text().splitlines() if line.strip()]
+        metric = {m["name"]: m for m in record["metrics"]}
+        assert metric["mc.samples"]["value"] == 4096
+        assert 0 < metric["mc.rel_stderr"]["value"] < 1
+        assert record["results"]["any_output"] > 0
+
+    def test_command_without_emit_writes_catchall(self, tmp_path, capsys):
+        out = tmp_path / "info.jsonl"
+        assert main(["info", "c17", "--metrics-out", str(out)]) == 0
+        (record,) = [json.loads(line) for line in
+                     out.read_text().splitlines() if line.strip()]
+        assert record["command"] == "info"
+
+    def test_metrics_out_truncates_previous_run(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(["analyze", "c17", "--eps", "0.05", "--metrics-out", str(out)])
+        main(["analyze", "c17", "--eps", "0.05", "--metrics-out", str(out)])
+        records = [line for line in out.read_text().splitlines()
+                   if line.strip()]
+        assert len(records) == 1
+
+    def test_unwritable_obs_paths_fail_fast(self, tmp_path):
+        missing = tmp_path / "no_such_dir" / "out"
+        with pytest.raises(SystemExit, match="cannot write --metrics-out"):
+            main(["analyze", "c17", "--eps", "0.05",
+                  "--metrics-out", str(missing)])
+        with pytest.raises(SystemExit, match="cannot write --trace-out"):
+            main(["analyze", "c17", "--eps", "0.05",
+                  "--trace-out", str(missing)])
+
+    def test_obs_disabled_after_run(self, tmp_path, capsys):
+        from repro import obs
+        main(["analyze", "c17", "--eps", "0.05",
+              "--metrics-out", str(tmp_path / "r.jsonl")])
+        assert not obs.is_enabled()
+
+    def test_verbose_logging(self, tmp_path, capsys, caplog):
+        import logging
+        with caplog.at_level(logging.INFO, logger="repro"):
+            assert main(["analyze", "c17", "--eps", "0.05", "-v"]) == 0
+        assert any("loaded benchmark c17" in r.message
+                   for r in caplog.records)
+
+    def test_report_json(self, capsys):
+        assert main(["report", "c17", "--patterns", "1024",
+                     "--no-testability", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["circuit"] == "c17"
+        assert doc["structure"]["gates"] == 6
+        assert doc["delta_table"]
+        assert doc["testability"] is None
 
 
 class TestConvert:
