@@ -10,6 +10,7 @@ Environment knobs:
   (more Monte Carlo patterns, more eps points, more random-eps runs).
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -17,6 +18,37 @@ import numpy as np
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable single-pass perf trajectory (see test_compiled_perf.py).
+BENCH_SINGLEPASS = RESULTS_DIR / "BENCH_singlepass.json"
+
+_singlepass_records = []
+
+
+def record_singlepass(circuit: str, variant: str, mean_s: float,
+                      speedup_vs_scalar=None) -> None:
+    """Queue one timing row for ``BENCH_singlepass.json``.
+
+    Rows follow the fixed schema
+    ``{circuit, variant, mean_s, speedup_vs_scalar}`` so successive runs
+    can be diffed/plotted as a perf trajectory; ``speedup_vs_scalar`` is
+    null for the scalar baselines themselves.
+    """
+    _singlepass_records.append({
+        "circuit": str(circuit),
+        "variant": str(variant),
+        "mean_s": float(mean_s),
+        "speedup_vs_scalar": (None if speedup_vs_scalar is None
+                              else float(speedup_vs_scalar)),
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush queued single-pass timings once the benchmark session ends."""
+    if _singlepass_records:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BENCH_SINGLEPASS.write_text(
+            json.dumps(_singlepass_records, indent=2) + "\n")
 
 #: Scale factor: full mode uses paper-like sampling, default is CI-sized.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"

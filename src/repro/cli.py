@@ -173,13 +173,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     analyzer = SinglePassAnalyzer(
         circuit, use_correlation=not args.no_correlation,
         weight_method=args.weights, seed=args.seed,
-        max_correlation_level_gap=args.level_gap)
+        max_correlation_level_gap=args.level_gap,
+        weights_cache_dir=args.weights_cache)
     log.info("analyzer ready (weights: %s)", analyzer.weights.source)
+    eps_values = _eps_list(args.eps)
     json_points = []
-    for eps in _eps_list(args.eps):
-        t0 = time.perf_counter()
-        result = analyzer.run(eps)
-        elapsed = time.perf_counter() - t0
+
+    def report_point(eps: float, result, elapsed: float) -> None:
         result_dict = single_pass_result_to_dict(result)
         if args.json:
             json_points.append({"eps": eps, "elapsed_s": elapsed,
@@ -194,8 +194,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             params={"eps": eps, "seed": args.seed,
                     "weights": args.weights,
                     "no_correlation": args.no_correlation,
-                    "level_gap": args.level_gap},
+                    "level_gap": args.level_gap,
+                    "jobs": args.jobs},
             results=result_dict)
+
+    # One batched sweep when the compiled kernel handles it (or when the
+    # scalar points fan out over a process pool); otherwise per-point runs
+    # so each point's timing and phases are individually attributable.
+    if analyzer.uses_compiled or args.jobs > 1:
+        t0 = time.perf_counter()
+        sweep = analyzer.sweep(eps_values, jobs=args.jobs)
+        elapsed = (time.perf_counter() - t0) / len(eps_values)
+        for j, eps in enumerate(eps_values):
+            report_point(eps, sweep.point(j), elapsed)
+    else:
+        for eps in eps_values:
+            t0 = time.perf_counter()
+            result = analyzer.run(eps)
+            report_point(eps, result, time.perf_counter() - t0)
     if args.json:
         print(json.dumps({"circuit": circuit.name, "command": "analyze",
                           "points": json_points}, indent=2))
@@ -238,16 +254,19 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     output = args.output or circuit.outputs[0]
     analyzer = SinglePassAnalyzer(circuit, seed=args.seed,
-                                  max_correlation_level_gap=args.level_gap)
+                                  max_correlation_level_gap=args.level_gap,
+                                  weights_cache_dir=args.weights_cache)
     eps_values = [args.max_eps * i / (args.points - 1)
                   for i in range(args.points)]
+    # The whole single-pass column is one sweep: a single vectorized pass
+    # on the compiled path, a process-pool fan-out with --jobs otherwise.
+    sp_curve = analyzer.curve(eps_values, output=output, jobs=args.jobs)
     print(f"# {circuit.name} output={output}")
     print(f"{'eps':>8s} {'single-pass':>12s} {'monte-carlo':>12s}")
     for i, eps in enumerate(eps_values):
-        sp = analyzer.run(eps).per_output[output]
         mc = monte_carlo_reliability(circuit, eps, n_patterns=args.patterns,
                                      seed=args.seed + i).per_output[output]
-        print(f"{eps:8.4f} {sp:12.6f} {mc:12.6f}")
+        print(f"{eps:8.4f} {sp_curve[eps]:12.6f} {mc:12.6f}")
     return 0
 
 
@@ -329,7 +348,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .report import ReportConfig, build_report
     circuit = _load_circuit(args.circuit)
     config = ReportConfig(mc_patterns=args.patterns, seed=args.seed,
-                          include_testability=not args.no_testability)
+                          include_testability=not args.no_testability,
+                          weights_cache_dir=args.weights_cache)
     report = build_report(circuit, config)
     text = report.to_json() if args.json else report.to_markdown()
     args.obs_session.emit(circuit=circuit,
@@ -388,6 +408,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs(p)
     p.set_defaults(func=_cmd_bench)
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for scalar eps sweeps "
+                            "(ignored on the vectorized no-correlation "
+                            "path, which is faster single-process)")
+
+    def add_weights_cache(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--weights-cache", default=None, metavar="DIR",
+                       help="persistent weight-vector cache directory "
+                            "(keyed by circuit structure + estimator "
+                            "parameters)")
+
     p = sub.add_parser("analyze", help="single-pass reliability analysis")
     add_common(p)
     p.add_argument("--eps", default="0.05",
@@ -400,6 +432,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="locality cap for correlation pairs")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of text")
+    add_jobs(p)
+    add_weights_cache(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("mc", help="Monte Carlo fault-injection baseline")
@@ -421,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-eps", type=float, default=0.5)
     p.add_argument("--patterns", type=int, default=1 << 14)
     p.add_argument("--level-gap", type=int, default=8)
+    add_jobs(p)
+    add_weights_cache(p)
     p.set_defaults(func=_cmd_curve)
 
     p = sub.add_parser("testability",
@@ -466,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-testability", action="store_true")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of markdown")
+    add_weights_cache(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("convert", help="convert netlist formats")

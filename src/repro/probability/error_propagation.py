@@ -17,8 +17,11 @@ every fanin flip probability by its coefficient with that event (the
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 #: Error-event codes: a 0→1 flip and a 1→0 flip.
 EVENT_0TO1 = 0
@@ -62,12 +65,47 @@ def _clamp01(x: float) -> float:
     return x
 
 
+class _LruCache:
+    """A small bounded mapping with least-recently-used eviction.
+
+    The transition structures below are keyed by (truth table, arity);
+    distinct gate *functions* are few in any one netlist, but a process
+    analyzing many circuits (library characterization, random-circuit
+    sweeps) would otherwise accumulate entries without bound.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+#: Cap on memoized per-truth-table structures (LRU-evicted beyond this).
+TRANSITION_CACHE_MAX = 512
+
 # Per-truth-table transition structure, shared by every gate with the same
 # function: for each error-free input vector v, the tuple
 # (output bit, per-position flip events, perturbations) where perturbations
 # lists, for each output-flipping perturbed vector, the positions that flip.
 _TransitionTable = Tuple[Tuple[int, Tuple[int, ...], Tuple[Tuple[int, ...], ...]], ...]
-_TRANSITION_CACHE: dict = {}
+_TRANSITION_CACHE = _LruCache(TRANSITION_CACHE_MAX)
 
 
 def _transition_table(truth: Tuple[int, ...], k: int) -> _TransitionTable:
@@ -85,8 +123,46 @@ def _transition_table(truth: Tuple[int, ...], k: int) -> _TransitionTable:
             for vp in range(1 << k) if truth[vp] != b)
         rows.append((b, events, perturbations))
     table = tuple(rows)
-    _TRANSITION_CACHE[key] = table
+    _TRANSITION_CACHE.put(key, table)
     return table
+
+
+#: Lowered (array-form) transition structures for the compiled kernel.
+_LOWERING_CACHE = _LruCache(TRANSITION_CACHE_MAX)
+
+
+def transition_lowering(truth: Sequence[int], k: int
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lower one truth table into the arrays the compiled kernel consumes.
+
+    Returns ``(bits, flip_mask, truth_arr)`` for a ``k``-input gate with
+    ``V = 2**k`` input vectors:
+
+    * ``bits[v, t]`` — value of fanin ``t`` in error-free vector ``v``
+      (selects whether that fanin's flip probability is its ``p01`` or its
+      ``p10``, i.e. the per-position error *event* of the scalar pass);
+    * ``flip_mask[v, u]`` — 1.0 when perturbing vector ``v`` by the flip
+      set ``u`` (bit ``t`` of ``u`` flips fanin ``t``) changes the gate
+      output, i.e. ``truth[v ^ u] != truth[v]``; this is the dense form of
+      the scalar pass's per-``v`` perturbation lists;
+    * ``truth_arr[v]`` — the error-free output bit.
+
+    The arrays depend only on the gate *function*, so they are shared by
+    every gate with the same (truth, arity) and cached under the same LRU
+    policy as the scalar transition tables.
+    """
+    key = (tuple(truth), k)
+    cached = _LOWERING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    v = np.arange(1 << k)
+    bits = ((v[:, None] >> np.arange(k)[None, :]) & 1).astype(bool)
+    truth_arr = np.asarray(truth, dtype=np.int8)
+    flip_mask = (truth_arr[v[:, None] ^ v[None, :]]
+                 != truth_arr[:, None]).astype(np.float64)
+    lowered = (bits, flip_mask, truth_arr)
+    _LOWERING_CACHE.put(key, lowered)
+    return lowered
 
 
 def transition_probability(v: int, v_perturbed: int,

@@ -1,0 +1,176 @@
+"""Persistent disk cache for weight vectors.
+
+Weight vectors depend only on circuit structure and the estimator
+parameters — never on gate failure probabilities — which makes them ideal
+to cache across processes: an eps sweep, a Monte Carlo cross-check and a
+report over the same netlist can all reuse one weight computation.
+
+Entries are ``.npz`` files under a user-supplied directory, keyed by a
+SHA-256 digest over
+
+* the circuit's *structural hash* (topological ``name|type|fanins`` lines
+  plus the input/output interface — see :func:`structural_hash`), and
+* the estimator parameters ``(method, seed, n_patterns, input_probs)``.
+
+Every entry embeds its full key manifest; :func:`load_weights` re-verifies
+it on read, so a stale file (e.g. a netlist edited in place under the same
+name), a truncated write, or a corrupt archive is treated as a miss and
+recomputed — never an exception.  Writes go through a temp file +
+``os.replace`` so concurrent readers cannot observe partial entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..obs import metrics as obs_metrics
+from ..obs import trace_span
+from .weights import WeightData
+
+#: Bump when the on-disk layout changes; old entries become misses.
+CACHE_FORMAT_VERSION = 1
+
+
+def structural_hash(circuit: Circuit) -> str:
+    """SHA-256 digest of the circuit's structure (not its name).
+
+    Two circuits hash equal iff they have the same inputs (in order), the
+    same outputs (in order), and the same gates — name, type and ordered
+    fanin list — in topological order.  Gate failure probabilities, weight
+    sources and other analysis state do not participate.
+    """
+    h = hashlib.sha256()
+    h.update(("inputs:" + ",".join(circuit.inputs) + "\n").encode())
+    h.update(("outputs:" + ",".join(circuit.outputs) + "\n").encode())
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        line = f"{name}|{node.gate_type.value}|{','.join(node.fanins)}\n"
+        h.update(line.encode())
+    return h.hexdigest()
+
+
+def cache_key(circuit: Circuit, method: str, n_patterns: int, seed: int,
+              input_probs: Optional[Dict[str, float]] = None) -> str:
+    """Digest naming the cache entry for one (circuit, parameters) pair."""
+    manifest = _manifest(structural_hash(circuit), method, n_patterns, seed,
+                         input_probs)
+    return hashlib.sha256(manifest.encode()).hexdigest()
+
+
+def _manifest(circuit_hash: str, method: str, n_patterns: int, seed: int,
+              input_probs: Optional[Dict[str, float]]) -> str:
+    return json.dumps({
+        "format": CACHE_FORMAT_VERSION,
+        "circuit_hash": circuit_hash,
+        "method": method,
+        "n_patterns": int(n_patterns),
+        "seed": int(seed),
+        "input_probs": sorted((input_probs or {}).items()),
+    }, sort_keys=True)
+
+
+def _entry_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"weights-{key}.npz")
+
+
+def load_weights(cache_dir: str, circuit: Circuit, method: str,
+                 n_patterns: int, seed: int,
+                 input_probs: Optional[Dict[str, float]] = None
+                 ) -> Optional[WeightData]:
+    """Return the cached :class:`WeightData`, or None on miss.
+
+    Corrupt archives, layout-version skew, and manifest mismatches all
+    read as misses (the caller recomputes and overwrites); only the
+    file-system errors of an *existing, healthy* directory propagate.
+    """
+    expected = _manifest(structural_hash(circuit), method, n_patterns,
+                         seed, input_probs)
+    key = hashlib.sha256(expected.encode()).hexdigest()
+    path = _entry_path(cache_dir, key)
+    if not os.path.exists(path):
+        _note("weights_cache.misses", circuit)
+        return None
+    with trace_span("weights_cache.load", circuit=circuit.name):
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if bytes(archive["manifest"].tobytes()).decode() != expected:
+                    raise ValueError("manifest mismatch")
+                names = [str(n) for n in archive["gate_names"]]
+                nodes = [str(n) for n in archive["node_names"]]
+                signal = archive["signal_prob"].astype(np.float64)
+                if len(nodes) != len(signal):
+                    raise ValueError("signal_prob length mismatch")
+                flat = archive["weights_flat"].astype(np.float64)
+                lengths = archive["weights_len"].astype(np.int64)
+                if len(lengths) != len(names) or lengths.sum() != len(flat):
+                    raise ValueError("weight vector layout mismatch")
+                offsets = np.concatenate(([0], np.cumsum(lengths)))
+                weights = {}
+                for i, gate in enumerate(names):
+                    vec = flat[offsets[i]:offsets[i + 1]].copy()
+                    if len(vec) == 0 or len(vec) & (len(vec) - 1):
+                        raise ValueError("weight vector not 2**k long")
+                    weights[gate] = vec
+                source = str(archive["source"][()])
+        except Exception:
+            # Anything unreadable is a stale/corrupt entry: miss, not crash.
+            _note("weights_cache.corrupt", circuit)
+            return None
+    _note("weights_cache.hits", circuit)
+    return WeightData(
+        weights=weights,
+        signal_prob={n: float(p) for n, p in zip(nodes, signal)},
+        source=source,
+    )
+
+
+def store_weights(cache_dir: str, circuit: Circuit, method: str,
+                  n_patterns: int, seed: int,
+                  input_probs: Optional[Dict[str, float]],
+                  data: WeightData) -> None:
+    """Atomically persist one weight computation."""
+    manifest = _manifest(structural_hash(circuit), method, n_patterns, seed,
+                         input_probs)
+    key = hashlib.sha256(manifest.encode()).hexdigest()
+    os.makedirs(cache_dir, exist_ok=True)
+    gate_names = list(data.weights)
+    node_names = list(data.signal_prob)
+    vectors = [np.asarray(data.weights[g], dtype=np.float64)
+               for g in gate_names]
+    arrays = {
+        "manifest": np.frombuffer(manifest.encode(), dtype=np.uint8),
+        "gate_names": np.asarray(gate_names),
+        "node_names": np.asarray(node_names),
+        "signal_prob": np.asarray(
+            [data.signal_prob[n] for n in node_names], dtype=np.float64),
+        "source": np.asarray(data.source),
+        "weights_flat": (np.concatenate(vectors) if vectors
+                         else np.empty(0, dtype=np.float64)),
+        "weights_len": np.asarray([len(v) for v in vectors],
+                                  dtype=np.int64),
+    }
+    with trace_span("weights_cache.store", circuit=circuit.name):
+        fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=cache_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, _entry_path(cache_dir, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    _note("weights_cache.stores", circuit)
+
+
+def _note(counter: str, circuit: Circuit) -> None:
+    if obs_metrics.is_enabled():
+        obs_metrics.inc(counter, circuit=circuit.name)

@@ -57,7 +57,8 @@ class WeightData:
     def output_side_weight(self, gate: str, truth: tuple, side: int) -> float:
         """Total weight W(side) of input vectors producing output ``side``."""
         w = self.weights[gate]
-        return float(sum(w[v] for v in range(len(w)) if truth[v] == side))
+        mask = np.asarray(truth, dtype=np.int8) == side
+        return float(np.dot(w, mask))
 
 
 def bdd_weight_vectors(circuit: Circuit,
@@ -97,28 +98,83 @@ def bdd_weight_vectors(circuit: Circuit,
                           source="bdd")
 
 
+#: Soft cap on elements of one ``(2**k, k, words)`` selection tensor in
+#: :func:`_weights_from_packs`; the word axis is chunked beyond it.
+_PACK_CHUNK_ELEMENTS = 1 << 22
+
+
 def _weights_from_packs(circuit: Circuit,
                         values: Dict[str, np.ndarray],
                         n_patterns: int,
                         source: str) -> WeightData:
-    """Count joint input combinations per gate from simulated packs."""
-    signal_prob = {
-        name: patterns.masked_popcount(pack, n_patterns) / n_patterns
-        for name, pack in values.items()}
-    weights: Dict[str, np.ndarray] = {}
+    """Count joint input combinations per gate from simulated packs.
+
+    All ``2**k`` joint counts of a gate are produced by one vectorized
+    popcount over the stacked (and complemented) fanin packs, with the
+    partial tail word pre-masked on both stacks so plain row popcounts are
+    exact — no per-vector Python loop.
+    """
+    n_words = patterns.words_for_patterns(n_patterns)
+    tmask = patterns.tail_mask(n_patterns)
+
+    names = list(values)
+    row = {name: i for i, name in enumerate(names)}
+    masked = np.stack([values[name][:n_words] for name in names])
+    masked[:, -1] &= tmask
+
+    counts = np.zeros(len(names), dtype=np.int64)
+    rows = max(1, _PACK_CHUNK_ELEMENTS // max(1, n_words))
+    for start in range(0, len(names), rows):
+        counts[start:start + rows] = patterns.rowwise_popcount(
+            masked[start:start + rows])
+    signal_prob = {name: int(counts[i]) / n_patterns
+                   for i, name in enumerate(names)}
+
+    # Batch gates by arity; for each subset S of fanins count the patterns
+    # where every fanin in S is 1 (one AND-reduce + row popcount across the
+    # whole gate batch), then recover the exact joint counts with an
+    # integer superset Möbius transform:
+    #   joint[v] = sum_{S >= v} (-1)^{|S|-|v|} m[S].
+    by_arity: Dict[int, list] = {}
     for gate in circuit.topological_gates():
-        fanins = circuit.fanins(gate)
-        k = len(fanins)
-        vec = np.zeros(1 << k)
-        for v in range(1 << k):
-            acc = None
-            for t, fi in enumerate(fanins):
-                pack = values[fi]
-                word = pack if (v >> t) & 1 else np.bitwise_not(pack)
-                acc = word.copy() if acc is None else np.bitwise_and(acc, word)
-            count = patterns.masked_popcount(acc, n_patterns)
-            vec[v] = count / n_patterns
-        weights[gate] = vec
+        by_arity.setdefault(len(circuit.fanins(gate)), []).append(gate)
+
+    weights: Dict[str, np.ndarray] = {}
+    for k, gates in by_arity.items():
+        n_vec = 1 << k
+        fanin_rows = np.asarray(
+            [[row[fi] for fi in circuit.fanins(g)] for g in gates])
+        chunk = max(1, _PACK_CHUNK_ELEMENTS // max(1, n_vec * n_words))
+        for start in range(0, len(gates), chunk):
+            batch = gates[start:start + chunk]
+            rows_sl = fanin_rows[start:start + chunk]
+            fan = masked[rows_sl]                            # (m, k, W)
+            m = np.empty((len(batch), n_vec), dtype=np.int64)
+            m[:, 0] = n_patterns
+            # Subset-AND packs built by peeling the lowest set bit, so
+            # each multi-bit subset costs one AND + one popcount; the
+            # single-bit counts were already computed for signal_prob.
+            and_packs: Dict[int, np.ndarray] = {}
+            for subset in range(1, n_vec):
+                low_bit = subset & -subset
+                t = low_bit.bit_length() - 1
+                rest = subset ^ low_bit
+                if rest == 0:
+                    m[:, subset] = counts[rows_sl[:, t]]
+                    if n_vec > 2:
+                        and_packs[subset] = fan[:, t, :]
+                else:
+                    p = np.bitwise_and(and_packs[rest], fan[:, t, :])
+                    and_packs[subset] = p
+                    m[:, subset] = patterns.rowwise_popcount(p)
+            joint = m
+            for t in range(k):
+                bit = 1 << t
+                low = [v for v in range(n_vec) if not v & bit]
+                joint[:, low] -= joint[:, [v | bit for v in low]]
+            vecs = joint / n_patterns
+            for i, gate in enumerate(batch):
+                weights[gate] = vecs[i]
     return WeightData(weights=weights, signal_prob=signal_prob, source=source)
 
 
@@ -151,8 +207,8 @@ def compute_weights(circuit: Circuit,
                     n_patterns: int = 1 << 16,
                     seed: int = 0,
                     bdd_node_limit: int = 500_000,
-                    input_probs: Optional[Dict[str, float]] = None
-                    ) -> WeightData:
+                    input_probs: Optional[Dict[str, float]] = None,
+                    cache_dir: Optional[str] = None) -> WeightData:
     """Pick a weight-vector estimator suited to the circuit size.
 
     ``method`` is one of ``"auto"``, ``"bdd"``, ``"exhaustive"``,
@@ -160,7 +216,30 @@ def compute_weights(circuit: Circuit,
     then BDDs (abandoning them if they exceed ``bdd_node_limit`` nodes),
     then sampling.  A non-uniform ``input_probs`` distribution rules out
     the exhaustive (uniform-enumeration) route.
+
+    ``cache_dir``, when given, consults a persistent disk cache first
+    (see :mod:`repro.probability.weight_cache`) keyed by the circuit's
+    structural hash plus ``(method, seed, n_patterns, input_probs)``;
+    stale or corrupt entries are recomputed and overwritten.
     """
+    if cache_dir is not None:
+        from . import weight_cache
+        cached = weight_cache.load_weights(
+            cache_dir, circuit, method, n_patterns, seed, input_probs)
+        if cached is not None:
+            return cached
+        data = _compute_weights(circuit, method, n_patterns, seed,
+                                bdd_node_limit, input_probs)
+        weight_cache.store_weights(cache_dir, circuit, method, n_patterns,
+                                   seed, input_probs, data)
+        return data
+    return _compute_weights(circuit, method, n_patterns, seed,
+                            bdd_node_limit, input_probs)
+
+
+def _compute_weights(circuit: Circuit, method: str, n_patterns: int,
+                     seed: int, bdd_node_limit: int,
+                     input_probs: Optional[Dict[str, float]]) -> WeightData:
     if method == "bdd":
         return bdd_weight_vectors(circuit, input_probs=input_probs)
     if method == "exhaustive":

@@ -10,6 +10,11 @@ from .closed_form import (
     ObservabilityModel,
     closed_form_delta,
 )
+from .compiled_pass import (
+    CompiledPassUnsupported,
+    CompiledSinglePass,
+    SweepResult,
+)
 from .single_pass import (
     SinglePassAnalyzer,
     SinglePassResult,
@@ -51,6 +56,7 @@ __all__ = [
     "sampled_observabilities",
     "MultiOutputObservabilityModel", "ObservabilityModel",
     "closed_form_delta",
+    "CompiledPassUnsupported", "CompiledSinglePass", "SweepResult",
     "SinglePassAnalyzer", "SinglePassResult", "single_pass_reliability",
     "ExactResult", "bdd_exact_reliability", "evaluate_polynomial",
     "exhaustive_exact_reliability", "fixed_failure_error_probability",

@@ -1,0 +1,391 @@
+"""Compiled single-pass kernel: vectorized error propagation with an eps axis.
+
+The paper's scalability argument (Sec. 4, Table 2) is that weight vectors
+are computed once and the O(n) propagation pass is re-run cheaply for every
+failure-probability vector — eps sweeps, SER estimation, design-space
+exploration.  The scalar pass in :mod:`repro.reliability.single_pass`
+honors the split but spends its time in per-gate Python loops over ``2**k``
+truth rows and perturbation tuples, and repeats all of it per eps point.
+
+:class:`CompiledSinglePass` removes both costs.  It lowers a circuit plus
+its :class:`~repro.probability.weights.WeightData` into integer-indexed
+numpy arrays **once** (mirroring how :class:`repro.sim.simulator.
+CompiledCircuit` compiles for bit-parallel simulation):
+
+* node error state lives in two dense ``(nodes, E)`` matrices ``P01`` /
+  ``P10`` indexed by topological slot, where ``E`` is the number of eps
+  points — the *trailing eps axis*;
+* gates are grouped by topological level and, within a level, by
+  ``(truth table, arity)`` class; each group carries its fanin slot matrix,
+  its stacked weight vectors, and the class's shared transition lowering
+  (:func:`repro.probability.error_propagation.transition_lowering`);
+* evaluating a group is a handful of vectorized tensor ops over
+  ``(2**k, gates, 2**k, E)`` — every gate of the class, every error-free
+  vector, every perturbation, and every eps point at once.
+
+:meth:`CompiledSinglePass.run_sweep` therefore computes the entire
+delta(eps) curve — including asymmetric ``eps10`` channels and per-gate
+eps maps, broadcast to ``(gates, E)`` — in one pass instead of ``E``
+Python passes.  The kernel implements the plain Sec. 4 independence
+algorithm; :class:`~repro.reliability.single_pass.SinglePassAnalyzer`
+dispatches to it only when the Sec. 4.1 correlation correction is disabled
+or structurally irrelevant, and parity with the scalar pass is pinned to
+<= 1e-12 by ``tests/test_compiled_pass.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit, truth_table
+from ..obs import metrics as obs_metrics
+from ..obs import trace_span
+from ..probability.error_propagation import (
+    ErrorProbability,
+    transition_lowering,
+)
+from ..probability.weights import WeightData
+from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+
+
+class CompiledPassUnsupported(ValueError):
+    """The circuit cannot be lowered into the vectorized kernel.
+
+    Raised at plan-construction time (e.g. a gate arity whose ``4**k``
+    transition tensors would not fit in memory); callers fall back to the
+    scalar pass.
+    """
+
+
+#: Widest gate the kernel lowers; the per-class tensors scale as ``4**k``.
+MAX_COMPILED_ARITY = 12
+
+#: Soft cap on elements of one ``(V, gates, V, E)`` intermediate; gate
+#: batches are chunked so each slice stays under roughly this many floats
+#: (~128 MB at 8 bytes/element for the default).
+_CHUNK_ELEMENTS = 1 << 24
+
+
+@dataclass
+class _OpGroup:
+    """All same-level gates sharing one (truth, arity) class."""
+
+    arity: int
+    #: Node slots written by this group, shape (m,).
+    slots: np.ndarray
+    #: Rows into the (gates, E) local-failure matrices, shape (m,).
+    eps_rows: np.ndarray
+    #: Fanin node slots, shape (m, k).
+    fanin_slots: np.ndarray
+    #: bits[v, t] = value of fanin t in error-free vector v, shape (V, k).
+    bits: np.ndarray
+    #: flip_mask[v, u] = 1.0 iff flip set u changes the output, (V, V).
+    flip_mask: np.ndarray
+    #: Weight vectors masked by output side: w_masked[b][v, m] is gate m's
+    #: weight of vector v when truth[v] == b, else 0.
+    w_masked0: np.ndarray
+    w_masked1: np.ndarray
+    #: Total weight per side W(b), shape (m,).
+    w_side0: np.ndarray = field(default=None)
+    w_side1: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        if self.w_side0 is None:
+            self.w_side0 = self.w_masked0.sum(axis=0)
+        if self.w_side1 is None:
+            self.w_side1 = self.w_masked1.sum(axis=0)
+
+
+@dataclass
+class SweepResult:
+    """A full eps sweep from the compiled (or batched scalar) pass.
+
+    Node error state is kept in dense ``(nodes, E)`` matrices rather than
+    ``E`` dicts of :class:`ErrorProbability`; :meth:`point` materializes
+    the classic :class:`~repro.reliability.single_pass.SinglePassResult`
+    view of one sweep point on demand.
+    """
+
+    circuit_name: str
+    #: The eps specs the sweep evaluated, in order (scalars or per-gate maps).
+    eps_specs: List[EpsilonSpec]
+    eps10_specs: Optional[List[EpsilonSpec]]
+    #: Topological node order; row i of p01/p10 is node_names[i].
+    node_names: List[str]
+    outputs: List[str]
+    #: delta per output per eps point, shape (outputs, E).
+    per_output: np.ndarray
+    #: Propagated conditional error probabilities, shape (nodes, E).
+    p01: np.ndarray
+    p10: np.ndarray
+    signal_prob: Dict[str, float]
+    used_correlation: bool = False
+    #: Correlation pairs per point (all zero on the compiled path).
+    correlation_pairs: Optional[np.ndarray] = None
+
+    @property
+    def n_points(self) -> int:
+        return len(self.eps_specs)
+
+    def delta(self, output: Optional[str] = None) -> np.ndarray:
+        """delta(eps) of one output over the sweep, shape (E,)."""
+        if output is None:
+            if len(self.outputs) != 1:
+                raise ValueError("output name required for multi-output result")
+            return self.per_output[0].copy()
+        return self.per_output[self.outputs.index(output)].copy()
+
+    def curve(self, output: Optional[str] = None) -> Dict[float, float]:
+        """``{eps: delta}`` for scalar eps sweeps (the classic curve API)."""
+        for spec in self.eps_specs:
+            if isinstance(spec, Mapping):
+                raise TypeError(
+                    "curve() requires scalar eps specs; use delta() for "
+                    "per-gate sweeps")
+        values = self.delta(output)
+        return {float(e): float(v) for e, v in zip(self.eps_specs, values)}
+
+    def point(self, j: int):
+        """Materialize sweep point ``j`` as a :class:`SinglePassResult`."""
+        from .single_pass import SinglePassResult
+        node_errors = {
+            name: ErrorProbability(p01=float(self.p01[i, j]),
+                                   p10=float(self.p10[i, j]))
+            for i, name in enumerate(self.node_names)}
+        per_output = {out: float(self.per_output[o, j])
+                      for o, out in enumerate(self.outputs)}
+        pairs = (0 if self.correlation_pairs is None
+                 else int(self.correlation_pairs[j]))
+        return SinglePassResult(
+            per_output=per_output,
+            node_errors=node_errors,
+            signal_prob=dict(self.signal_prob),
+            used_correlation=self.used_correlation,
+            correlation_pairs=pairs,
+            correlation_engine=None,
+        )
+
+
+class CompiledSinglePass:
+    """A circuit + weight data lowered for vectorized eps sweeps.
+
+    Construct once per (circuit, weights); call :meth:`run_sweep` for each
+    batch of failure-probability vectors.  The plan is read-only after
+    construction and contains only numpy arrays and plain containers, so it
+    pickles cleanly (process-pool fan-out) and is safe to share between
+    threads.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit under analysis.
+    weights:
+        Precomputed weight vectors / signal probabilities.
+    input_errors:
+        Optional error probabilities at the primary inputs (same initial
+        conditions as the scalar pass).
+    max_arity:
+        Refuse (with :class:`CompiledPassUnsupported`) gates wider than
+        this — the per-class tensors scale as ``4**k``.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 weights: WeightData,
+                 input_errors: Optional[Mapping[str, ErrorProbability]] = None,
+                 max_arity: int = MAX_COMPILED_ARITY):
+        circuit.validate()
+        self.circuit = circuit
+        self.weights = weights
+        with trace_span("compiled_pass.compile", circuit=circuit.name):
+            order = circuit.topological_order()
+            self.node_names: List[str] = order
+            self.index: Dict[str, int] = {n: i for i, n in enumerate(order)}
+            gates = circuit.topological_gates()
+            self.gate_names: List[str] = gates
+            gate_row = {g: i for i, g in enumerate(gates)}
+
+            #: (slot, ErrorProbability) rows seeded from input_errors.
+            self.input_error_rows: List[Tuple[int, ErrorProbability]] = [
+                (self.index[name], ep)
+                for name, ep in dict(input_errors or {}).items()]
+
+            grouped: Dict[Tuple[int, Tuple[int, ...], int], Dict] = {}
+            for gate in gates:
+                node = circuit.node(gate)
+                k = node.arity
+                if k > max_arity:
+                    raise CompiledPassUnsupported(
+                        f"gate {gate!r} has arity {k} > {max_arity}; "
+                        "use the scalar pass")
+                truth = truth_table(node.gate_type, k)
+                key = (circuit.level(gate), truth, k)
+                entry = grouped.setdefault(
+                    key, {"slots": [], "eps_rows": [], "fanins": [],
+                          "weights": []})
+                entry["slots"].append(self.index[gate])
+                entry["eps_rows"].append(gate_row[gate])
+                entry["fanins"].append([self.index[f] for f in node.fanins])
+                entry["weights"].append(
+                    np.asarray(weights.weights[gate], dtype=np.float64))
+
+            levels: Dict[int, List[_OpGroup]] = {}
+            for (level, truth, k), entry in sorted(grouped.items()):
+                bits, flip_mask, truth_arr = transition_lowering(truth, k)
+                w = np.stack(entry["weights"])              # (m, V)
+                side1 = truth_arr.astype(bool)              # (V,)
+                w_masked1 = np.where(side1[None, :], w, 0.0).T  # (V, m)
+                w_masked0 = np.where(side1[None, :], 0.0, w).T
+                levels.setdefault(level, []).append(_OpGroup(
+                    arity=k,
+                    slots=np.asarray(entry["slots"], dtype=np.intp),
+                    eps_rows=np.asarray(entry["eps_rows"], dtype=np.intp),
+                    fanin_slots=np.asarray(entry["fanins"], dtype=np.intp),
+                    bits=bits,
+                    flip_mask=flip_mask,
+                    w_masked0=np.ascontiguousarray(w_masked0),
+                    w_masked1=np.ascontiguousarray(w_masked1),
+                ))
+            self.levels: List[List[_OpGroup]] = [
+                levels[lv] for lv in sorted(levels)]
+            self.num_groups = sum(len(g) for g in self.levels)
+
+            self.output_slots = np.asarray(
+                [self.index[o] for o in circuit.outputs], dtype=np.intp)
+            self.output_prob1 = np.asarray(
+                [weights.signal_prob[o] for o in circuit.outputs],
+                dtype=np.float64)
+        if obs_metrics.is_enabled():
+            obs_metrics.inc("compiled_pass.compiles", circuit=circuit.name)
+            obs_metrics.set_gauge("compiled_pass.groups", self.num_groups,
+                                  circuit=circuit.name)
+
+    # ------------------------------------------------------------------
+    def _eps_matrix(self, specs: Sequence[EpsilonSpec]) -> np.ndarray:
+        """Broadcast a batch of eps specs to a dense (gates, E) matrix."""
+        mat = np.empty((len(self.gate_names), len(specs)), dtype=np.float64)
+        for j, spec in enumerate(specs):
+            if isinstance(spec, Mapping):
+                mat[:, j] = [epsilon_of(spec, g) for g in self.gate_names]
+            else:
+                mat[:, j] = float(spec)
+        return mat
+
+    def run(self, eps: EpsilonSpec,
+            eps10: Optional[EpsilonSpec] = None) -> SweepResult:
+        """One-point convenience wrapper around :meth:`run_sweep`."""
+        return self.run_sweep([eps], None if eps10 is None else [eps10])
+
+    def run_sweep(self, eps_specs: Sequence[EpsilonSpec],
+                  eps10_specs: Optional[Sequence[EpsilonSpec]] = None
+                  ) -> SweepResult:
+        """Evaluate the propagation pass for every eps point at once.
+
+        ``eps_specs`` is a sequence of failure-probability vectors (scalars
+        or per-gate maps); ``eps10_specs``, when given, must have the same
+        length and makes every gate's local channel asymmetric exactly as
+        in :meth:`SinglePassAnalyzer.run`.
+        """
+        specs = list(eps_specs)
+        if not specs:
+            raise ValueError("run_sweep needs at least one eps point")
+        eps10_list = None
+        if eps10_specs is not None:
+            eps10_list = list(eps10_specs)
+            if len(eps10_list) != len(specs):
+                raise ValueError(
+                    f"eps10 sweep length {len(eps10_list)} != eps sweep "
+                    f"length {len(specs)}")
+        for spec in specs:
+            validate_epsilon(spec, self.circuit)
+        for spec in eps10_list or ():
+            validate_epsilon(spec, self.circuit)
+
+        n_nodes = len(self.node_names)
+        n_points = len(specs)
+        with trace_span("compiled_pass.run_sweep", circuit=self.circuit.name,
+                        points=n_points):
+            e01 = self._eps_matrix(specs)
+            e10 = e01 if eps10_list is None else self._eps_matrix(eps10_list)
+            p01 = np.zeros((n_nodes, n_points), dtype=np.float64)
+            p10 = np.zeros((n_nodes, n_points), dtype=np.float64)
+            for slot, ep in self.input_error_rows:
+                p01[slot] = ep.p01
+                p10[slot] = ep.p10
+            for level_groups in self.levels:
+                for group in level_groups:
+                    _eval_group(group, p01, p10,
+                                e01[group.eps_rows], e10[group.eps_rows])
+            per_output = ((1.0 - self.output_prob1)[:, None]
+                          * p01[self.output_slots]
+                          + self.output_prob1[:, None]
+                          * p10[self.output_slots])
+        if obs_metrics.is_enabled():
+            labels = {"circuit": self.circuit.name}
+            obs_metrics.inc("compiled_pass.sweeps", **labels)
+            obs_metrics.inc("compiled_pass.points", n_points, **labels)
+            obs_metrics.inc("compiled_pass.gate_evals",
+                            len(self.gate_names) * n_points, **labels)
+        return SweepResult(
+            circuit_name=self.circuit.name,
+            eps_specs=specs,
+            eps10_specs=eps10_list,
+            node_names=list(self.node_names),
+            outputs=list(self.circuit.outputs),
+            per_output=per_output,
+            p01=p01,
+            p10=p10,
+            signal_prob=dict(self.weights.signal_prob),
+            used_correlation=False,
+            correlation_pairs=np.zeros(n_points, dtype=np.int64),
+        )
+
+
+def _eval_group(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
+                e01: np.ndarray, e10: np.ndarray) -> None:
+    """Evaluate one (level, truth, arity) gate batch over the eps axis.
+
+    Mutates ``p01`` / ``p10`` in place at ``group.slots``.  ``e01`` /
+    ``e10`` are the group's local failure probabilities, shape (m, E).
+    """
+    f01 = p01[group.fanin_slots]            # (m, k, E)
+    f10 = p10[group.fanin_slots]
+    n_vec = group.bits.shape[0]             # V = 2**k
+    m, k, n_eps = f01.shape
+
+    pw0 = np.empty((m, n_eps))
+    pw1 = np.empty((m, n_eps))
+    # Chunk the gate batch so the (V, chunk, V, E) intermediate stays small.
+    rows = max(1, _CHUNK_ELEMENTS // max(1, n_vec * n_vec * n_eps))
+    for start in range(0, m, rows):
+        sl = slice(start, min(m, start + rows))
+        # Per-fanin flip probability under each error-free vector v: the
+        # scalar pass's probs[t][events[t]] — p01 where fanin t reads 0,
+        # p10 where it reads 1.  Shape (V, mc, k, E).
+        pv = np.where(group.bits[:, None, :, None], f10[None, sl],
+                      f01[None, sl])
+        # Distribution over flip sets u by successive doubling: after step
+        # t, axis 2 enumerates all 2**(t+1) flip subsets of fanins 0..t.
+        r = np.ones((n_vec, pv.shape[1], 1, n_eps))
+        for t in range(k):
+            pt = pv[:, :, t, None, :]
+            r = np.concatenate((r * (1.0 - pt), r * pt), axis=2)
+        # Total probability that fanin errors flip the output, per v.
+        flip = np.einsum("vmue,vu->vme", r, group.flip_mask)
+        np.minimum(flip, 1.0, out=flip)
+        # Weighted components PW(b) = sum_v W[v] * flip[v] over side b.
+        pw0[sl] = np.einsum("vm,vme->me", group.w_masked0[:, sl], flip)
+        pw1[sl] = np.einsum("vm,vme->me", group.w_masked1[:, sl], flip)
+
+    # Fold in the local failure channel: item (iii) of the paper's Sec. 4,
+    # identical to combine_with_local_failure but over the whole batch.
+    w0 = group.w_side0[:, None]
+    w1 = group.w_side1[:, None]
+    r0 = np.divide(pw0, w0, out=np.zeros_like(pw0), where=w0 > 0.0)
+    r1 = np.divide(pw1, w1, out=np.zeros_like(pw1), where=w1 > 0.0)
+    np.clip(r0, 0.0, 1.0, out=r0)
+    np.clip(r1, 0.0, 1.0, out=r1)
+    p01[group.slots] = r0 * (1.0 - e10) + (1.0 - r0) * e01
+    p10[group.slots] = r1 * (1.0 - e01) + (1.0 - r1) * e10

@@ -17,7 +17,9 @@ independence assumption at reconvergent fanout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from ..circuit import Circuit, truth_table
 from ..obs import metrics as obs_metrics
@@ -31,6 +33,11 @@ from ..probability.error_propagation import (
 )
 from ..probability.weights import WeightData, compute_weights
 from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from .compiled_pass import (
+    CompiledPassUnsupported,
+    CompiledSinglePass,
+    SweepResult,
+)
 
 
 @dataclass
@@ -98,6 +105,12 @@ class SinglePassAnalyzer:
     input_errors:
         Optional error probabilities at the primary inputs (the algorithm's
         initial conditions; default: noise-free inputs).
+    compiled:
+        ``"auto"`` (default) dispatches :meth:`run`, :meth:`curve` and
+        :meth:`sweep` to the vectorized :class:`CompiledSinglePass` kernel
+        whenever correlation correction is off or structurally irrelevant
+        (tree circuits have no reconvergent fanout, so every Sec. 4.1
+        coefficient is 1).  ``"off"`` forces the scalar reference path.
     """
 
     def __init__(self, circuit: Circuit,
@@ -109,8 +122,13 @@ class SinglePassAnalyzer:
                  seed: int = 0,
                  max_correlation_pairs: int = 1_000_000,
                  max_correlation_level_gap: Optional[int] = None,
-                 input_probs: Optional[Mapping[str, float]] = None):
+                 input_probs: Optional[Mapping[str, float]] = None,
+                 compiled: str = "auto",
+                 weights_cache_dir: Optional[str] = None):
         circuit.validate()
+        if compiled not in ("auto", "off"):
+            raise ValueError(f"compiled must be 'auto' or 'off', "
+                             f"got {compiled!r}")
         self.circuit = circuit
         if weights is not None:
             self.weights = weights
@@ -120,15 +138,53 @@ class SinglePassAnalyzer:
                 self.weights = compute_weights(
                     circuit, method=weight_method, n_patterns=n_patterns,
                     seed=seed,
-                    input_probs=dict(input_probs) if input_probs else None)
+                    input_probs=dict(input_probs) if input_probs else None,
+                    cache_dir=weights_cache_dir)
         self.use_correlation = use_correlation
         self.input_errors = dict(input_errors or {})
         self.max_correlation_pairs = max_correlation_pairs
         self.max_correlation_level_gap = max_correlation_level_gap
+        self.compiled = compiled
+        self._plan: Optional[CompiledSinglePass] = None
+        self._plan_unsupported = False
         self._truth: Dict[str, tuple] = {}
         for gate in circuit.topological_gates():
             node = circuit.node(gate)
             self._truth[gate] = truth_table(node.gate_type, node.arity)
+
+    # -- compiled-kernel dispatch --------------------------------------
+    def _build_plan(self) -> Optional[CompiledSinglePass]:
+        """Build (once) the vectorized plan, or None if the circuit cannot
+        be lowered."""
+        if self.compiled == "off" or self._plan_unsupported:
+            return None
+        if self._plan is None:
+            try:
+                self._plan = CompiledSinglePass(
+                    self.circuit, self.weights,
+                    input_errors=self.input_errors)
+            except CompiledPassUnsupported:
+                self._plan_unsupported = True
+                return None
+        return self._plan
+
+    def _compiled_plan(self) -> Optional[CompiledSinglePass]:
+        """The vectorized plan, or None when the scalar path must run.
+
+        The compiled kernel implements the plain independence algorithm,
+        so unconditional dispatch requires the Sec. 4.1 correction to be
+        disabled.  (:meth:`sweep` additionally finishes a sweep on the
+        kernel when the scalar engine reports zero structurally-correlated
+        pairs — see there.)
+        """
+        if self.use_correlation:
+            return None
+        return self._build_plan()
+
+    @property
+    def uses_compiled(self) -> bool:
+        """Whether run/curve/sweep will dispatch to the vectorized kernel."""
+        return self._compiled_plan() is not None
 
     def run(self, eps: EpsilonSpec,
             eps10: Optional[EpsilonSpec] = None) -> SinglePassResult:
@@ -142,6 +198,16 @@ class SinglePassAnalyzer:
         if eps10 is not None:
             validate_epsilon(eps10, self.circuit)
         with trace_span("single_pass.run", circuit=self.circuit.name):
+            plan = self._compiled_plan()
+            if plan is not None:
+                result = plan.run(eps, None if eps10 is None
+                                  else eps10).point(0)
+                if obs_metrics.is_enabled():
+                    labels = {"circuit": self.circuit.name}
+                    obs_metrics.inc("single_pass.runs", **labels)
+                    obs_metrics.inc("single_pass.gates_processed",
+                                    len(plan.gate_names), **labels)
+                return result
             return self._run(eps, eps10)
 
     def _run(self, eps: EpsilonSpec,
@@ -211,10 +277,161 @@ class SinglePassAnalyzer:
             correlation_engine=corr,
         )
 
+    def sweep(self, eps_values: Sequence[EpsilonSpec],
+              eps10_values: Optional[Sequence[EpsilonSpec]] = None,
+              jobs: int = 1) -> SweepResult:
+        """Evaluate many failure-probability vectors in one call.
+
+        With correlation disabled the whole sweep is a single vectorized
+        pass with a trailing eps axis.  With correlation enabled the first
+        point runs through the scalar engine; if it reports zero
+        structurally-correlated pairs the correction is inert (every
+        coefficient queried was 1.0) and the remaining points finish on
+        the compiled kernel, otherwise the points are independent scalar
+        runs and ``jobs > 1`` fans them out over a process pool — the
+        analyzer is pickled once per worker, so weights and correlation
+        caches are shared per process, not per point.
+        """
+        specs = list(eps_values)
+        if not specs:
+            raise ValueError("sweep needs at least one eps point")
+        eps10_list = None
+        if eps10_values is not None:
+            eps10_list = list(eps10_values)
+            if len(eps10_list) != len(specs):
+                raise ValueError(
+                    f"eps10 sweep length {len(eps10_list)} != eps sweep "
+                    f"length {len(specs)}")
+        with trace_span("single_pass.sweep", circuit=self.circuit.name,
+                        points=len(specs), jobs=jobs):
+            plan = self._compiled_plan()
+            if plan is not None:
+                return plan.run_sweep(specs, eps10_list)
+            tasks = [(spec, None if eps10_list is None else eps10_list[j])
+                     for j, spec in enumerate(specs)]
+            first = self.run(*tasks[0])
+            rest = tasks[1:]
+            if rest and first.correlation_pairs == 0:
+                plan = self._build_plan()
+                if plan is not None:
+                    tail = plan.run_sweep(
+                        [t[0] for t in rest],
+                        None if eps10_list is None else [t[1] for t in rest])
+                    return self._prepend_point(first, tail, specs,
+                                               eps10_list)
+            if jobs > 1 and len(rest) > 1:
+                results = [first] + self._pool_run(rest, jobs)
+            else:
+                results = [first] + [self.run(eps, eps10)
+                                     for eps, eps10 in rest]
+            return self._assemble_sweep(specs, eps10_list, results)
+
+    def _prepend_point(self, first: SinglePassResult, tail: SweepResult,
+                       specs, eps10_list) -> SweepResult:
+        """Graft the scalar first point onto a compiled tail sweep."""
+        names = tail.node_names
+        p01 = np.empty((len(names), tail.n_points + 1))
+        p10 = np.empty_like(p01)
+        for i, name in enumerate(names):
+            ep = first.node_errors[name]
+            p01[i, 0] = ep.p01
+            p10[i, 0] = ep.p10
+        p01[:, 1:] = tail.p01
+        p10[:, 1:] = tail.p10
+        per_output = np.empty((len(tail.outputs), tail.n_points + 1))
+        for o, out in enumerate(tail.outputs):
+            per_output[o, 0] = first.per_output[out]
+        per_output[:, 1:] = tail.per_output
+        return SweepResult(
+            circuit_name=tail.circuit_name,
+            eps_specs=list(specs),
+            eps10_specs=eps10_list,
+            node_names=names,
+            outputs=tail.outputs,
+            per_output=per_output,
+            p01=p01,
+            p10=p10,
+            signal_prob=tail.signal_prob,
+            used_correlation=self.use_correlation,
+            correlation_pairs=np.concatenate(
+                ([first.correlation_pairs], tail.correlation_pairs)),
+        )
+
+    def _pool_run(self, tasks, jobs: int) -> List[SinglePassResult]:
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_sweep_worker_init,
+                                 initargs=(self,)) as pool:
+            results = list(pool.map(_sweep_worker_point, tasks))
+        if obs_metrics.is_enabled():
+            labels = {"circuit": self.circuit.name}
+            obs_metrics.inc("single_pass.runs", len(tasks), **labels)
+            obs_metrics.inc(
+                "single_pass.gates_processed",
+                len(self.circuit.topological_gates()) * len(tasks), **labels)
+        return results
+
+    def _assemble_sweep(self, specs, eps10_list,
+                        results: Sequence[SinglePassResult]) -> SweepResult:
+        """Stack per-point scalar results into dense sweep matrices."""
+        node_names = self.circuit.topological_order()
+        outputs = list(self.circuit.outputs)
+        n_points = len(results)
+        p01 = np.empty((len(node_names), n_points))
+        p10 = np.empty((len(node_names), n_points))
+        per_output = np.empty((len(outputs), n_points))
+        for j, res in enumerate(results):
+            for i, name in enumerate(node_names):
+                ep = res.node_errors[name]
+                p01[i, j] = ep.p01
+                p10[i, j] = ep.p10
+            for o, out in enumerate(outputs):
+                per_output[o, j] = res.per_output[out]
+        return SweepResult(
+            circuit_name=self.circuit.name,
+            eps_specs=list(specs),
+            eps10_specs=eps10_list,
+            node_names=list(node_names),
+            outputs=outputs,
+            per_output=per_output,
+            p01=p01,
+            p10=p10,
+            signal_prob=dict(self.weights.signal_prob),
+            used_correlation=self.use_correlation,
+            correlation_pairs=np.asarray(
+                [res.correlation_pairs for res in results], dtype=np.int64),
+        )
+
     def curve(self, eps_values: Iterable[float],
-              output: Optional[str] = None) -> Dict[float, float]:
+              output: Optional[str] = None,
+              jobs: int = 1) -> Dict[float, float]:
         """delta(eps) over a sweep of uniform gate failure probabilities."""
-        return {e: self.run(e).delta(output) for e in eps_values}
+        eps_list = list(eps_values)
+        if not eps_list:
+            return {}
+        result = self.sweep(eps_list, jobs=jobs)
+        values = result.delta(output)
+        return {e: float(v) for e, v in zip(eps_list, values)}
+
+
+#: Per-process analyzer for scalar sweep fan-out; set by the pool
+#: initializer so each worker unpickles the (read-only) analyzer once.
+_SWEEP_ANALYZER: Optional[SinglePassAnalyzer] = None
+
+
+def _sweep_worker_init(analyzer: SinglePassAnalyzer) -> None:
+    global _SWEEP_ANALYZER
+    _SWEEP_ANALYZER = analyzer
+
+
+def _sweep_worker_point(task) -> SinglePassResult:
+    eps, eps10 = task
+    result = _SWEEP_ANALYZER.run(eps, eps10)
+    # The engine holds closures over the eps spec and cannot cross the
+    # process boundary; drop it from the shipped result.
+    result.correlation_engine = None
+    return result
 
 
 def single_pass_reliability(circuit: Circuit, eps: EpsilonSpec,

@@ -35,6 +35,8 @@ class ReportConfig:
     testability_patterns: int = 1 << 12
     correlation_level_gap: Optional[int] = 8
     seed: int = 0
+    #: Persistent weight-vector cache directory (``--weights-cache``).
+    weights_cache_dir: Optional[str] = None
 
 
 def single_pass_result_to_dict(result: SinglePassResult,
@@ -187,7 +189,8 @@ def build_report(circuit: Circuit,
     with trace_span("report.delta_table", circuit=circuit.name):
         analyzer = SinglePassAnalyzer(
             circuit, seed=cfg.seed,
-            max_correlation_level_gap=cfg.correlation_level_gap)
+            max_correlation_level_gap=cfg.correlation_level_gap,
+            weights_cache_dir=cfg.weights_cache_dir)
         delta_table = []
         for i, eps in enumerate(cfg.eps_values):
             sp = analyzer.run(eps)

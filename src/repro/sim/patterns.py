@@ -162,6 +162,33 @@ def masked_popcount(words: np.ndarray, n_patterns: int) -> int:
     return full + bin(last).count("1")
 
 
+def rowwise_popcount(words2d: np.ndarray) -> np.ndarray:
+    """Set bits per row of a 2-D word array, shape ``(rows,)``.
+
+    One vectorized pass over the whole stack — the batched counterpart of
+    :func:`popcount` for counting many packs at once.
+    """
+    w = np.ascontiguousarray(words2d)
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(w).sum(axis=-1, dtype=np.int64)
+    bytes2d = w.view(np.uint8).reshape(w.shape[0], -1)
+    return _POPCOUNT8[bytes2d].sum(axis=-1, dtype=np.int64)
+
+
+def rowwise_masked_popcount(words2d: np.ndarray,
+                            n_patterns: int) -> np.ndarray:
+    """Per-row set bits among the first ``n_patterns`` patterns only."""
+    n_words = words_for_patterns(n_patterns)
+    if n_words > words2d.shape[-1]:
+        raise ValueError("pattern pack shorter than n_patterns")
+    mask = tail_mask(n_patterns)
+    if mask == _ALL_ONES:
+        return rowwise_popcount(words2d[:, :n_words])
+    sliced = words2d[:, :n_words].copy()
+    sliced[:, -1] &= mask
+    return rowwise_popcount(sliced)
+
+
 def unpack_bits(words: np.ndarray, n_patterns: int) -> np.ndarray:
     """Expand a pattern pack into an array of 0/1 uint8 values."""
     bits = np.unpackbits(words.view(np.uint8), bitorder="little")

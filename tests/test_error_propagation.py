@@ -144,3 +144,62 @@ class TestCombineWithLocalFailure:
     def test_ratio_clamped(self):
         ep = combine_with_local_failure(0.9, 0.3, 0.0, 0.7, eps=0.0)
         assert ep.p01 == 1.0
+
+
+class TestTransitionCacheBound:
+    """The per-truth-table memo caches must not grow without bound."""
+
+    def _distinct_truths(self, count, k=4, seed=0):
+        import random
+
+        rng = random.Random(seed)
+        seen = set()
+        while len(seen) < count:
+            seen.add(tuple(rng.randrange(2) for _ in range(1 << k)))
+        return sorted(seen)
+
+    def test_transition_table_cache_capped(self):
+        from repro.probability.error_propagation import (
+            TRANSITION_CACHE_MAX,
+            _TRANSITION_CACHE,
+            _transition_table,
+        )
+
+        truths = self._distinct_truths(TRANSITION_CACHE_MAX + 100)
+        for truth in truths:
+            _transition_table(truth, 4)
+        assert len(_TRANSITION_CACHE) <= TRANSITION_CACHE_MAX
+        # Most-recent entries survive; the oldest were evicted (LRU).
+        assert _TRANSITION_CACHE.get((truths[-1], 4)) is not None
+        assert _TRANSITION_CACHE.get((truths[0], 4)) is None
+
+    def test_lowering_cache_capped(self):
+        from repro.probability.error_propagation import (
+            TRANSITION_CACHE_MAX,
+            _LOWERING_CACHE,
+            transition_lowering,
+        )
+
+        truths = self._distinct_truths(TRANSITION_CACHE_MAX + 100, seed=1)
+        for truth in truths:
+            transition_lowering(truth, 4)
+        assert len(_LOWERING_CACHE) <= TRANSITION_CACHE_MAX
+        assert _LOWERING_CACHE.get((truths[-1], 4)) is not None
+
+    def test_repeated_analyses_do_not_grow_cache(self):
+        from repro.circuits import random_circuit
+        from repro.probability.error_propagation import (
+            TRANSITION_CACHE_MAX,
+            _TRANSITION_CACHE,
+        )
+        from repro.reliability import SinglePassAnalyzer
+
+        for seed in range(6):
+            circuit = random_circuit(n_inputs=4, n_gates=10, n_outputs=1,
+                                     seed=seed)
+            analyzer = SinglePassAnalyzer(circuit,
+                                          weight_method="exhaustive",
+                                          compiled="off",
+                                          use_correlation=False)
+            analyzer.run(0.05)
+        assert len(_TRANSITION_CACHE) <= TRANSITION_CACHE_MAX
