@@ -10,11 +10,15 @@ Commands
 ``stratified``   rare-event (small-eps) stratified estimate
 ``testability``  stuck-at fault simulation profile
 ``harden``       budgeted reliability-driven hardening allocation
+``compare``      every estimator side by side at one eps
+``report``       full markdown/JSON reliability report
 ``convert``      netlist format conversion (.bench / .blif / .v)
 ``bench``        list the built-in benchmark catalog
 
 Circuits are referenced either by a file path (``.bench`` or ``.blif``) or
-by a built-in catalog name (``repro bench`` lists them).
+by a built-in catalog name (``repro bench`` lists them).  The full
+flag-by-flag reference lives in ``docs/cli.md`` (cross-checked by
+``tests/test_docs.py``).
 
 Every subcommand also accepts the observability flags (see
 docs/observability.md): ``-v/-vv`` for structured logging,
@@ -174,6 +178,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         circuit, use_correlation=not args.no_correlation,
         weight_method=args.weights, seed=args.seed,
         max_correlation_level_gap=args.level_gap,
+        compiled=args.compiled,
         weights_cache_dir=args.weights_cache)
     log.info("analyzer ready (weights: %s)", analyzer.weights.source)
     eps_values = _eps_list(args.eps)
@@ -195,6 +200,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "weights": args.weights,
                     "no_correlation": args.no_correlation,
                     "level_gap": args.level_gap,
+                    "compiled": args.compiled,
                     "jobs": args.jobs},
             results=result_dict)
 
@@ -255,6 +261,7 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     output = args.output or circuit.outputs[0]
     analyzer = SinglePassAnalyzer(circuit, seed=args.seed,
                                   max_correlation_level_gap=args.level_gap,
+                                  compiled=args.compiled,
                                   weights_cache_dir=args.weights_cache)
     eps_values = [args.max_eps * i / (args.points - 1)
                   for i in range(args.points)]
@@ -411,8 +418,17 @@ def build_parser() -> argparse.ArgumentParser:
     def add_jobs(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for scalar eps sweeps "
-                            "(ignored on the vectorized no-correlation "
-                            "path, which is faster single-process)")
+                            "(only used when the sweep falls back to the "
+                            "scalar path, e.g. with --compiled off; the "
+                            "vectorized kernels are faster single-process)")
+
+    def add_compiled(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--compiled", default="auto",
+                       choices=["auto", "off"],
+                       help="'auto' dispatches every mode (correlation "
+                            "on or off) to the vectorized kernels; 'off' "
+                            "forces the scalar reference path (the "
+                            "parity oracle)")
 
     def add_weights_cache(p: argparse.ArgumentParser) -> None:
         p.add_argument("--weights-cache", default=None, metavar="DIR",
@@ -432,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="locality cap for correlation pairs")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of text")
+    add_compiled(p)
     add_jobs(p)
     add_weights_cache(p)
     p.set_defaults(func=_cmd_analyze)
@@ -455,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-eps", type=float, default=0.5)
     p.add_argument("--patterns", type=int, default=1 << 14)
     p.add_argument("--level-gap", type=int, default=8)
+    add_compiled(p)
     add_jobs(p)
     add_weights_cache(p)
     p.set_defaults(func=_cmd_curve)

@@ -15,11 +15,18 @@ their marginals.  The :class:`ErrorCorrelationEngine` computes them:
 All results are memoized; a configurable pair budget degrades gracefully to
 independence (coefficient 1) if a pathological circuit would otherwise
 require quadratically many pairs.
+
+The *structural* part of the analysis — which wire pairs can be correlated
+at all, and which wire of a pair is expanded — lives in
+:class:`PairStructure` so that the scalar engine and the compiled
+correlated kernel (:class:`repro.reliability.compiled_pass.
+CompiledCorrelatedPass`) share one classification and one deterministic
+pair-ordering contract and cannot diverge on iteration order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from ..circuit import Circuit, truth_table
 from ..circuit.analysis import support_bitsets
@@ -28,6 +35,54 @@ from .error_propagation import (
     conditional_error_probability,
 )
 from .weights import WeightData
+
+
+class PairStructure:
+    """Eps-independent structural facts about wire pairs (Sec. 4.1).
+
+    Bundles the transitive-fanin support bitsets, topological positions and
+    logic levels of every wire, plus the **canonical pair-ordering
+    contract**:
+
+    * a coefficient key is always stored with the *topologically later*
+      wire first — :meth:`canonical` maps both query orders
+      ``(a, ea, b, eb)`` / ``(b, eb, a, ea)`` to the same key, so a pair
+      has exactly one memo entry and one compiled coefficient row;
+    * topological position (not the wire *name*) breaks the tie because the
+      Fig. 4 expansion must recurse through the later wire's gate — its
+      fanins, and the conditioning wire, are all strictly earlier, which is
+      what makes the recursion well-founded and the resulting coefficient
+      values independent of query order.
+
+    Both the scalar :class:`ErrorCorrelationEngine` and the compiled
+    correlated kernel build their classification on this object, so the two
+    paths see the same canonical keys by construction.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 max_level_gap: Optional[int] = None):
+        self.circuit = circuit
+        self.max_level_gap = max_level_gap
+        self.support = support_bitsets(circuit)
+        order = circuit.topological_order()
+        self.topo_pos: Dict[str, int] = {n: i for i, n in enumerate(order)}
+        self.level: Dict[str, int] = {n: circuit.level(n) for n in order}
+
+    def canonical(self, a: str, ea: int, b: str, eb: int
+                  ) -> Tuple[str, int, str, int]:
+        """The unique key form of a cross-wire pair: later wire first."""
+        if self.topo_pos[a] < self.topo_pos[b]:
+            return b, eb, a, ea
+        return a, ea, b, eb
+
+    def overlaps(self, a: str, b: str) -> bool:
+        """Whether the two wires' transitive fanin cones intersect."""
+        return bool(self.support[a] & self.support[b])
+
+    def gapped(self, a: str, b: str) -> bool:
+        """Whether the level-gap locality cap drops this (canonical) pair."""
+        return (self.max_level_gap is not None
+                and self.level[a] - self.level[b] > self.max_level_gap)
 
 
 class ErrorCorrelationEngine:
@@ -77,11 +132,14 @@ class ErrorCorrelationEngine:
         self.eps10_of = eps10_of
         self.max_pairs = max_pairs
         self.max_level_gap = max_level_gap
-        self._support = support_bitsets(circuit)
-        self._topo_pos = {name: i
-                          for i, name in enumerate(circuit.topological_order())}
-        self._level = {name: circuit.level(name)
-                       for name in circuit.topological_order()}
+        #: Shared structural classification + canonical-ordering contract.
+        self.structure = PairStructure(circuit, max_level_gap=max_level_gap)
+        self._support = self.structure.support
+        self._topo_pos = self.structure.topo_pos
+        self._level = self.structure.level
+        #: Memoized coefficients, keyed in *canonical* form only (see
+        #: :meth:`PairStructure.canonical`): the topologically later wire
+        #: first, so each cross-wire pair has exactly one entry.
         self._cache: Dict[Tuple[str, int, str, int], float] = {}
         self._truth_cache: Dict[str, tuple] = {}
         #: Set when the pair budget was exhausted at least once.
@@ -112,10 +170,8 @@ class ErrorCorrelationEngine:
         if not (self._support[a] & self._support[b]):
             self.pairs_independent += 1
             return 1.0
-        if self._topo_pos[a] < self._topo_pos[b]:
-            a, b, ea, eb = b, a, eb, ea
-        if (self.max_level_gap is not None
-                and self._level[a] - self._level[b] > self.max_level_gap):
+        a, ea, b, eb = self.structure.canonical(a, ea, b, eb)
+        if self.structure.gapped(a, b):
             self.pairs_dropped_level_gap += 1
             return 1.0
         key = (a, ea, b, eb)
@@ -182,6 +238,28 @@ class ErrorCorrelationEngine:
     def pairs_computed(self) -> int:
         """Number of memoized (wire, event) pair coefficients."""
         return len(self._cache)
+
+    # -- deterministic views / seeding ---------------------------------
+    def coefficient_items(self) -> Iterator[
+            Tuple[Tuple[str, int, str, int], float]]:
+        """Memoized coefficients in a deterministic order.
+
+        Keys are canonical (later wire first); iteration is sorted by wire
+        ids — ``(a, ea, b, eb)`` lexicographically — so two engines that
+        memoized the same pairs yield identical sequences regardless of the
+        order the pairs were first queried in.
+        """
+        return iter(sorted(self._cache.items()))
+
+    def seed(self, items: Mapping[Tuple[str, int, str, int], float]) -> None:
+        """Pre-populate the memo table with already-computed coefficients.
+
+        ``items`` must be keyed in canonical form (the compiled correlated
+        kernel produces exactly that); subsequent lookups hit the memo and
+        uncached pairs still fall back to the lazy scalar expansion, so a
+        seeded engine behaves like one that already answered those queries.
+        """
+        self._cache.update(items)
 
 
 class IndependentCorrelations:

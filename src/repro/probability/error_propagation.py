@@ -165,6 +165,65 @@ def transition_lowering(truth: Sequence[int], k: int
     return lowered
 
 
+#: Lowered correlated perturbation programs, keyed on the gate function
+#: *and* the correlation-plan structure of the gate instance (which input
+#: vectors carry weight, which fanins are error-free) — see
+#: :func:`correlated_transition_lowering`.
+_CORRELATED_LOWERING_CACHE = _LruCache(TRANSITION_CACHE_MAX)
+
+
+def correlated_transition_lowering(truth: Sequence[int], k: int,
+                                   active_mask: int,
+                                   error_free_mask: int) -> tuple:
+    """Per-vector perturbation programs for the compiled correlated kernel.
+
+    Returns a tuple of rows ``(v, b, events, perts)`` — one per error-free
+    input vector ``v`` with nonzero weight (bit ``v`` of ``active_mask``)
+    that has at least one feasible perturbation — where ``b`` is the
+    error-free output, ``events[t]`` the error event by which fanin ``t``
+    leaves its value in ``v``, and ``perts`` is a tuple of
+    ``(flips, nonflips)`` position tuples in the exact iteration order of
+    the scalar :func:`_correlated_transition`.
+
+    The correlation-plan structure of the gate *instance* prunes the
+    programs without changing any value the scalar pass would compute:
+
+    * a perturbation whose flip set touches a fanin in ``error_free_mask``
+      (a noise-free primary input or a constant, whose flip probability is
+      identically 0) contributes exactly 0 and is dropped;
+    * error-free fanins are dropped from ``nonflips`` (their ``1 - p``
+      factor is exactly 1).
+
+    Unlike :func:`transition_lowering` the result is keyed on
+    ``(truth, k, active_mask, error_free_mask)`` — the per-instance plan
+    structure — under the same LRU policy, so gates with the same function
+    *and* the same weight/error-free pattern share one lowering.
+    """
+    key = (tuple(truth), k, int(active_mask), int(error_free_mask))
+    cached = _CORRELATED_LOWERING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    table = _transition_table(tuple(truth), k)
+    rows = []
+    for v in range(1 << k):
+        if not (active_mask >> v) & 1:
+            continue
+        b, events, perturbations = table[v]
+        perts = []
+        for flips in perturbations:
+            if any((error_free_mask >> t) & 1 for t in flips):
+                continue
+            nonflips = tuple(t for t in range(k)
+                             if t not in flips
+                             and not ((error_free_mask >> t) & 1))
+            perts.append((flips, nonflips))
+        if perts:
+            rows.append((v, b, events, tuple(perts)))
+    lowered = tuple(rows)
+    _CORRELATED_LOWERING_CACHE.put(key, lowered)
+    return lowered
+
+
 def transition_probability(v: int, v_perturbed: int,
                            fanins: Sequence[str],
                            errors: Mapping[str, ErrorProbability],

@@ -174,3 +174,101 @@ def store_weights(cache_dir: str, circuit: Circuit, method: str,
 def _note(counter: str, circuit: Circuit) -> None:
     if obs_metrics.is_enabled():
         obs_metrics.inc(counter, circuit=circuit.name)
+
+
+# ======================================================================
+# Correlation-plan cache
+# ======================================================================
+#
+# The compiled correlated kernel's pair-discovery walk (which wire pairs
+# get a coefficient row) depends only on circuit structure and the two
+# correlation knobs — never on eps — so its result is cached the same way
+# as weight vectors: an ``.npz`` per (structure, max_level_gap, max_pairs)
+# key holding the canonical pair table as an ``(n, 4)`` int array of
+# ``(later_slot, event, earlier_slot, event)`` rows over the topological
+# order, or an explicit "unsupported" marker when the budget was exceeded
+# (so repeat runs skip straight to the scalar fallback).
+
+#: Bump when the correlation-plan layout changes; old entries become misses.
+CORRELATION_PLAN_FORMAT_VERSION = 1
+
+
+def _corr_manifest(circuit_hash: str, max_level_gap: Optional[int],
+                   max_pairs: int) -> str:
+    return json.dumps({
+        "format": CORRELATION_PLAN_FORMAT_VERSION,
+        "kind": "correlation_plan",
+        "circuit_hash": circuit_hash,
+        "max_level_gap": max_level_gap,
+        "max_pairs": int(max_pairs),
+    }, sort_keys=True)
+
+
+def _corr_entry_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"corrplan-{key}.npz")
+
+
+def load_correlation_plan(cache_dir: str, circuit: Circuit,
+                          max_level_gap: Optional[int],
+                          max_pairs: int) -> Optional[dict]:
+    """Return ``{"unsupported": bool, "pairs": (n, 4) int array}`` or None.
+
+    Same corruption policy as :func:`load_weights`: anything unreadable or
+    with a mismatched manifest is a miss, never an exception.
+    """
+    expected = _corr_manifest(structural_hash(circuit), max_level_gap,
+                              max_pairs)
+    key = hashlib.sha256(expected.encode()).hexdigest()
+    path = _corr_entry_path(cache_dir, key)
+    if not os.path.exists(path):
+        _note("corrplan_cache.misses", circuit)
+        return None
+    with trace_span("corrplan_cache.load", circuit=circuit.name):
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if bytes(archive["manifest"].tobytes()).decode() != expected:
+                    raise ValueError("manifest mismatch")
+                unsupported = bool(archive["unsupported"][()])
+                pairs = archive["pairs"].astype(np.int64)
+                if pairs.ndim != 2 or pairs.shape[1] != 4:
+                    raise ValueError("pair table layout mismatch")
+                n_nodes = len(circuit.topological_order())
+                if len(pairs) and (pairs[:, (0, 2)].min() < 0
+                                   or pairs[:, (0, 2)].max() >= n_nodes):
+                    raise ValueError("pair slot out of range")
+        except Exception:
+            _note("corrplan_cache.corrupt", circuit)
+            return None
+    _note("corrplan_cache.hits", circuit)
+    return {"unsupported": unsupported, "pairs": pairs}
+
+
+def store_correlation_plan(cache_dir: str, circuit: Circuit,
+                           max_level_gap: Optional[int], max_pairs: int,
+                           pairs=None, unsupported: bool = False) -> None:
+    """Atomically persist one pair-discovery result (or its refusal)."""
+    manifest = _corr_manifest(structural_hash(circuit), max_level_gap,
+                              max_pairs)
+    key = hashlib.sha256(manifest.encode()).hexdigest()
+    os.makedirs(cache_dir, exist_ok=True)
+    table = (np.asarray(pairs, dtype=np.int64).reshape(-1, 4)
+             if pairs is not None and len(pairs)
+             else np.empty((0, 4), dtype=np.int64))
+    arrays = {
+        "manifest": np.frombuffer(manifest.encode(), dtype=np.uint8),
+        "unsupported": np.asarray(bool(unsupported)),
+        "pairs": table,
+    }
+    with trace_span("corrplan_cache.store", circuit=circuit.name):
+        fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=cache_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, _corr_entry_path(cache_dir, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    _note("corrplan_cache.stores", circuit)

@@ -11,6 +11,7 @@ from .closed_form import (
     closed_form_delta,
 )
 from .compiled_pass import (
+    CompiledCorrelatedPass,
     CompiledPassUnsupported,
     CompiledSinglePass,
     SweepResult,
@@ -56,7 +57,8 @@ __all__ = [
     "sampled_observabilities",
     "MultiOutputObservabilityModel", "ObservabilityModel",
     "closed_form_delta",
-    "CompiledPassUnsupported", "CompiledSinglePass", "SweepResult",
+    "CompiledCorrelatedPass", "CompiledPassUnsupported",
+    "CompiledSinglePass", "SweepResult",
     "SinglePassAnalyzer", "SinglePassResult", "single_pass_reliability",
     "ExactResult", "bdd_exact_reliability", "evaluate_polynomial",
     "exhaustive_exact_reliability", "fixed_failure_error_probability",

@@ -26,15 +26,38 @@ CompiledCircuit` compiles for bit-parallel simulation):
 :meth:`CompiledSinglePass.run_sweep` therefore computes the entire
 delta(eps) curve — including asymmetric ``eps10`` channels and per-gate
 eps maps, broadcast to ``(gates, E)`` — in one pass instead of ``E``
-Python passes.  The kernel implements the plain Sec. 4 independence
-algorithm; :class:`~repro.reliability.single_pass.SinglePassAnalyzer`
-dispatches to it only when the Sec. 4.1 correlation correction is disabled
-or structurally irrelevant, and parity with the scalar pass is pinned to
-<= 1e-12 by ``tests/test_compiled_pass.py``.
+Python passes.  That kernel implements the plain Sec. 4 independence
+algorithm; parity with the scalar pass is pinned to <= 1e-12 by
+``tests/test_compiled_pass.py``.
+
+:class:`CompiledCorrelatedPass` extends the same lowering to the Sec. 4.1
+**correlation-corrected** pass.  On top of the plain plan it compiles the
+:class:`~repro.probability.correlation.ErrorCorrelationEngine`'s lazy
+per-pair coefficient state into an integer-indexed *coefficient row table*:
+
+* structural pair discovery (a closure over the Fig. 4 expansion, using
+  the same :class:`~repro.probability.correlation.PairStructure`
+  classification and canonical pair ordering as the scalar engine) assigns
+  every reachable ``(wire, event, wire, event)`` pair a row index;
+* at run time the rows live in one dense ``(rows, E)`` matrix ``C`` —
+  same-wire rows read a wire's propagated state, expansion rows execute a
+  pre-lowered Fig. 4 program — evaluated in a level schedule that
+  guarantees every child row and every fanin state is final before use;
+* gates whose transitions reference only the constant-1 row run through
+  the batched independence kernel unchanged; the remainder execute
+  per-gate programs whose elementwise arithmetic (clamp/cap for clamp/cap)
+  mirrors the scalar ``_correlated_transition`` over the trailing eps axis.
+
+:class:`~repro.reliability.single_pass.SinglePassAnalyzer` dispatches to
+one of the two kernels in **all** modes, keeping the scalar engine as a
+parity oracle (``compiled="off"``) and as the fallback when a plan cannot
+be built (oversized arity, pair budget exceeded).  Correlated parity is
+pinned to <= 1e-10 on the full circuit catalog.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -43,9 +66,16 @@ import numpy as np
 from ..circuit import Circuit, truth_table
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
+from ..probability.correlation import PairStructure
 from ..probability.error_propagation import (
+    EVENT_1TO0,
     ErrorProbability,
+    correlated_transition_lowering,
     transition_lowering,
+)
+from ..probability.weight_cache import (
+    load_correlation_plan,
+    store_correlation_plan,
 )
 from ..probability.weights import WeightData
 from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
@@ -67,6 +97,12 @@ MAX_COMPILED_ARITY = 12
 #: batches are chunked so each slice stays under roughly this many floats
 #: (~128 MB at 8 bytes/element for the default).
 _CHUNK_ELEMENTS = 1 << 24
+
+#: Reserved coefficient rows of the correlated plan: every structurally
+#: independent (or dropped) pair reads the constant row 1.0; a same-wire
+#: cross-direction pair reads the constant row 0.0.
+ROW_ONE = 0
+ROW_ZERO = 1
 
 
 @dataclass
@@ -123,8 +159,19 @@ class SweepResult:
     p10: np.ndarray
     signal_prob: Dict[str, float]
     used_correlation: bool = False
-    #: Correlation pairs per point (all zero on the compiled path).
+    #: Correlation pairs per point (zero on the independence kernel; the
+    #: structural pair-row count on the correlated kernel).
     correlation_pairs: Optional[np.ndarray] = None
+    #: Canonical pair keys ``(a, ea, b, eb)`` of the correlated plan's
+    #: expansion rows, sorted by wire ids (the deterministic order of
+    #: ``ErrorCorrelationEngine.coefficient_items``); None when the sweep
+    #: ran the independence kernel.
+    correlation_pair_keys: Optional[List[Tuple[str, int, str, int]]] = field(
+        default=None, repr=False, compare=False)
+    #: Coefficient values aligned with ``correlation_pair_keys``, shape
+    #: ``(pairs, E)`` — used to seed a scalar engine for any sweep point.
+    correlation_coefficients: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def n_points(self) -> int:
@@ -167,6 +214,56 @@ class SweepResult:
             correlation_pairs=pairs,
             correlation_engine=None,
         )
+
+
+def _lower_plain_groups(circuit: Circuit, weights: WeightData,
+                        index: Mapping[str, int],
+                        gate_row: Mapping[str, int],
+                        gates: Sequence[str],
+                        max_arity: int) -> Dict[int, List["_OpGroup"]]:
+    """Group ``gates`` by (level, truth, arity) and lower each class.
+
+    Shared by the independence kernel (all gates) and the correlated kernel
+    (the subset of gates whose transition math references no nontrivial
+    coefficient row).  Returns ``{level: [_OpGroup, ...]}``.
+    """
+    grouped: Dict[Tuple[int, Tuple[int, ...], int], Dict] = {}
+    for gate in gates:
+        node = circuit.node(gate)
+        k = node.arity
+        if k > max_arity:
+            raise CompiledPassUnsupported(
+                f"gate {gate!r} has arity {k} > {max_arity}; "
+                "use the scalar pass")
+        truth = truth_table(node.gate_type, k)
+        key = (circuit.level(gate), truth, k)
+        entry = grouped.setdefault(
+            key, {"slots": [], "eps_rows": [], "fanins": [],
+                  "weights": []})
+        entry["slots"].append(index[gate])
+        entry["eps_rows"].append(gate_row[gate])
+        entry["fanins"].append([index[f] for f in node.fanins])
+        entry["weights"].append(
+            np.asarray(weights.weights[gate], dtype=np.float64))
+
+    levels: Dict[int, List[_OpGroup]] = {}
+    for (level, truth, k), entry in sorted(grouped.items()):
+        bits, flip_mask, truth_arr = transition_lowering(truth, k)
+        w = np.stack(entry["weights"])              # (m, V)
+        side1 = truth_arr.astype(bool)              # (V,)
+        w_masked1 = np.where(side1[None, :], w, 0.0).T  # (V, m)
+        w_masked0 = np.where(side1[None, :], 0.0, w).T
+        levels.setdefault(level, []).append(_OpGroup(
+            arity=k,
+            slots=np.asarray(entry["slots"], dtype=np.intp),
+            eps_rows=np.asarray(entry["eps_rows"], dtype=np.intp),
+            fanin_slots=np.asarray(entry["fanins"], dtype=np.intp),
+            bits=bits,
+            flip_mask=flip_mask,
+            w_masked0=np.ascontiguousarray(w_masked0),
+            w_masked1=np.ascontiguousarray(w_masked1),
+        ))
+    return levels
 
 
 class CompiledSinglePass:
@@ -212,42 +309,8 @@ class CompiledSinglePass:
                 (self.index[name], ep)
                 for name, ep in dict(input_errors or {}).items()]
 
-            grouped: Dict[Tuple[int, Tuple[int, ...], int], Dict] = {}
-            for gate in gates:
-                node = circuit.node(gate)
-                k = node.arity
-                if k > max_arity:
-                    raise CompiledPassUnsupported(
-                        f"gate {gate!r} has arity {k} > {max_arity}; "
-                        "use the scalar pass")
-                truth = truth_table(node.gate_type, k)
-                key = (circuit.level(gate), truth, k)
-                entry = grouped.setdefault(
-                    key, {"slots": [], "eps_rows": [], "fanins": [],
-                          "weights": []})
-                entry["slots"].append(self.index[gate])
-                entry["eps_rows"].append(gate_row[gate])
-                entry["fanins"].append([self.index[f] for f in node.fanins])
-                entry["weights"].append(
-                    np.asarray(weights.weights[gate], dtype=np.float64))
-
-            levels: Dict[int, List[_OpGroup]] = {}
-            for (level, truth, k), entry in sorted(grouped.items()):
-                bits, flip_mask, truth_arr = transition_lowering(truth, k)
-                w = np.stack(entry["weights"])              # (m, V)
-                side1 = truth_arr.astype(bool)              # (V,)
-                w_masked1 = np.where(side1[None, :], w, 0.0).T  # (V, m)
-                w_masked0 = np.where(side1[None, :], 0.0, w).T
-                levels.setdefault(level, []).append(_OpGroup(
-                    arity=k,
-                    slots=np.asarray(entry["slots"], dtype=np.intp),
-                    eps_rows=np.asarray(entry["eps_rows"], dtype=np.intp),
-                    fanin_slots=np.asarray(entry["fanins"], dtype=np.intp),
-                    bits=bits,
-                    flip_mask=flip_mask,
-                    w_masked0=np.ascontiguousarray(w_masked0),
-                    w_masked1=np.ascontiguousarray(w_masked1),
-                ))
+            levels = _lower_plain_groups(circuit, weights, self.index,
+                                         gate_row, gates, max_arity)
             self.levels: List[List[_OpGroup]] = [
                 levels[lv] for lv in sorted(levels)]
             self.num_groups = sum(len(g) for g in self.levels)
@@ -265,13 +328,7 @@ class CompiledSinglePass:
     # ------------------------------------------------------------------
     def _eps_matrix(self, specs: Sequence[EpsilonSpec]) -> np.ndarray:
         """Broadcast a batch of eps specs to a dense (gates, E) matrix."""
-        mat = np.empty((len(self.gate_names), len(specs)), dtype=np.float64)
-        for j, spec in enumerate(specs):
-            if isinstance(spec, Mapping):
-                mat[:, j] = [epsilon_of(spec, g) for g in self.gate_names]
-            else:
-                mat[:, j] = float(spec)
-        return mat
+        return _eps_matrix(self.gate_names, specs)
 
     def run(self, eps: EpsilonSpec,
             eps10: Optional[EpsilonSpec] = None) -> SweepResult:
@@ -288,21 +345,8 @@ class CompiledSinglePass:
         length and makes every gate's local channel asymmetric exactly as
         in :meth:`SinglePassAnalyzer.run`.
         """
-        specs = list(eps_specs)
-        if not specs:
-            raise ValueError("run_sweep needs at least one eps point")
-        eps10_list = None
-        if eps10_specs is not None:
-            eps10_list = list(eps10_specs)
-            if len(eps10_list) != len(specs):
-                raise ValueError(
-                    f"eps10 sweep length {len(eps10_list)} != eps sweep "
-                    f"length {len(specs)}")
-        for spec in specs:
-            validate_epsilon(spec, self.circuit)
-        for spec in eps10_list or ():
-            validate_epsilon(spec, self.circuit)
-
+        specs, eps10_list = _validated_specs(self.circuit, eps_specs,
+                                             eps10_specs)
         n_nodes = len(self.node_names)
         n_points = len(specs)
         with trace_span("compiled_pass.run_sweep", circuit=self.circuit.name,
@@ -389,3 +433,623 @@ def _eval_group(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
     np.clip(r1, 0.0, 1.0, out=r1)
     p01[group.slots] = r0 * (1.0 - e10) + (1.0 - r0) * e01
     p10[group.slots] = r1 * (1.0 - e01) + (1.0 - r1) * e10
+
+
+# ======================================================================
+# Correlated kernel (Sec. 4.1)
+# ======================================================================
+
+def _eps_matrix(gate_names: Sequence[str],
+                specs: Sequence[EpsilonSpec]) -> np.ndarray:
+    """Broadcast a batch of eps specs to a dense (gates, E) matrix."""
+    mat = np.empty((len(gate_names), len(specs)), dtype=np.float64)
+    for j, spec in enumerate(specs):
+        if isinstance(spec, Mapping):
+            mat[:, j] = [epsilon_of(spec, g) for g in gate_names]
+        else:
+            mat[:, j] = float(spec)
+    return mat
+
+
+def _validated_specs(circuit: Circuit,
+                     eps_specs: Sequence[EpsilonSpec],
+                     eps10_specs: Optional[Sequence[EpsilonSpec]]
+                     ) -> Tuple[List[EpsilonSpec],
+                                Optional[List[EpsilonSpec]]]:
+    """Shared sweep-argument validation of both kernels."""
+    specs = list(eps_specs)
+    if not specs:
+        raise ValueError("run_sweep needs at least one eps point")
+    eps10_list = None
+    if eps10_specs is not None:
+        eps10_list = list(eps10_specs)
+        if len(eps10_list) != len(specs):
+            raise ValueError(
+                f"eps10 sweep length {len(eps10_list)} != eps sweep "
+                f"length {len(specs)}")
+    for spec in specs:
+        validate_epsilon(spec, circuit)
+    for spec in eps10_list or ():
+        validate_epsilon(spec, circuit)
+    return specs, eps10_list
+
+
+@dataclass
+class _CorrGateProgram:
+    """One gate whose transition math references nontrivial coefficient rows.
+
+    ``vprogs`` holds one ``(weight, b, fetch, perts)`` tuple per active
+    error-free input vector, in ascending-vector order (the scalar
+    accumulation order):
+
+    * ``fetch`` — ``(position, fanin_slot, is10)`` state reads;
+    * ``perts`` — ``(flip_ops, pair_rows, nf_ops)`` per output-flipping
+      perturbation: flip positions with their conditioning coefficient row
+      (-1 when none), the capped pairwise rows among the flips, and the
+      non-flipping positions with their coefficient-row scale chains.
+    """
+
+    slot: int
+    eps_row: int
+    k: int
+    w_side0: float
+    w_side1: float
+    vprogs: List[tuple]
+
+
+@dataclass
+class _ExpandProgram:
+    """One coefficient row: the Fig. 4 expansion of pair ``(a, ea | b, eb)``.
+
+    Mirrors :meth:`ErrorCorrelationEngine._expand` elementwise: run the
+    conditioned transition programs of the side-``ea`` input vectors of
+    ``a``'s gate, fold in the local failure channel, divide by ``a``'s
+    marginal and apply the feasibility/overflow caps.
+    """
+
+    row: int
+    a_slot: int
+    ea: int
+    b_slot: int
+    eb: int
+    eps_row: int
+    k: int
+    w_side: float
+    vprogs: List[tuple]
+
+
+def _flip_probability(k: int, fetch: tuple, perts: tuple,
+                      p01: np.ndarray, p10: np.ndarray,
+                      C: np.ndarray) -> np.ndarray:
+    """Total output-flip probability of one input vector, shape (E,).
+
+    Elementwise replica of the scalar ``_correlated_transition`` summed
+    over the vector's perturbations: identical operation order, with
+    ``np.minimum``/``np.maximum`` standing in for the scalar clamps and
+    caps, so the two paths agree to float rounding.  Coefficient rows equal
+    to the constant 1.0 are dropped at plan-build time (multiplying by an
+    exact 1.0 is the identity, and every cap they could trigger is already
+    implied by the running invariants).
+    """
+    p = [None] * k
+    for t, slot, is10 in fetch:
+        p[t] = p10[slot] if is10 else p01[slot]
+    total = None
+    for flip_ops, pair_rows, nf_ops in perts:
+        term = None
+        if pair_rows:
+            min_flip = None
+            for t, cr in flip_ops:
+                pt = p[t]
+                if cr >= 0:
+                    pt = np.minimum(pt * C[cr], 1.0)
+                if term is None:
+                    term = pt
+                    min_flip = pt
+                else:
+                    term = term * pt
+                    min_flip = np.minimum(min_flip, pt)
+            for r in pair_rows:
+                term = np.minimum(term * C[r], 1e12)
+            # Feasibility: the joint of all flips cannot exceed any single
+            # flip probability (same cap as the scalar pass).
+            term = np.minimum(term, min_flip)
+        else:
+            for t, cr in flip_ops:
+                pt = p[t]
+                if cr >= 0:
+                    pt = np.minimum(pt * C[cr], 1.0)
+                term = pt if term is None else term * pt
+        for t, rows in nf_ops:
+            pt = p[t]
+            if rows:
+                scale = C[rows[0]]
+                for r in rows[1:]:
+                    scale = np.minimum(scale * C[r], 1e12)
+                pt = np.minimum(pt * scale, 1.0)
+            term = term * (1.0 - pt)
+        total = term if total is None else total + term
+    return total
+
+
+def _eval_corr_gate(gp: _CorrGateProgram, p01: np.ndarray, p10: np.ndarray,
+                    C: np.ndarray, e01g: np.ndarray,
+                    e10g: np.ndarray) -> None:
+    """Propagate one correlated gate over the eps axis (state update)."""
+    pw0 = None
+    pw1 = None
+    for wv, b, fetch, perts in gp.vprogs:
+        contrib = wv * np.minimum(
+            1.0, _flip_probability(gp.k, fetch, perts, p01, p10, C))
+        if b:
+            pw1 = contrib if pw1 is None else pw1 + contrib
+        else:
+            pw0 = contrib if pw0 is None else pw0 + contrib
+    if pw0 is not None and gp.w_side0 > 0.0:
+        r0 = np.minimum(pw0 / gp.w_side0, 1.0)
+        p01[gp.slot] = r0 * (1.0 - e10g) + (1.0 - r0) * e01g
+    else:
+        p01[gp.slot] = e01g
+    if pw1 is not None and gp.w_side1 > 0.0:
+        r1 = np.minimum(pw1 / gp.w_side1, 1.0)
+        p10[gp.slot] = r1 * (1.0 - e01g) + (1.0 - r1) * e10g
+    else:
+        p10[gp.slot] = e10g
+
+
+def _eval_expand(xp: _ExpandProgram, p01: np.ndarray, p10: np.ndarray,
+                 C: np.ndarray, e01g: np.ndarray, e10g: np.ndarray) -> None:
+    """Fill one expansion coefficient row for every eps point."""
+    pw = None
+    for wv, fetch, perts in xp.vprogs:
+        contrib = wv * np.minimum(
+            1.0, _flip_probability(xp.k, fetch, perts, p01, p10, C))
+        pw = contrib if pw is None else pw + contrib
+    local = e01g if xp.ea == 0 else e10g
+    if pw is not None and xp.w_side > 0.0:
+        r = np.minimum(pw / xp.w_side, 1.0)
+        conditional = local + r * ((1.0 - e01g) - e10g)
+        conditional = np.minimum(np.maximum(conditional, 0.0), 1.0)
+    else:
+        conditional = local
+    marginal = (p01 if xp.ea == 0 else p10)[xp.a_slot]
+    p_b = (p01 if xp.eb == 0 else p10)[xp.b_slot]
+    # Degenerate lanes (zero/denormal marginals) read 1.0 exactly as the
+    # scalar engine's early returns; `where` keeps their divisions safe.
+    valid = (marginal > 1e-300) & (p_b > 0.0)
+    coef = conditional / np.where(valid, marginal, 1.0)
+    cap = 1.0 / np.where(valid, np.maximum(marginal, p_b), 1.0)
+    coef = np.minimum(coef, cap)
+    coef = np.maximum(0.0, np.minimum(coef, 1e9))
+    C[xp.row] = np.where(valid, coef, 1.0)
+
+
+class CompiledCorrelatedPass:
+    """Circuit + weights lowered for vectorized correlation-corrected sweeps.
+
+    The Sec. 4.1 engine's state — one lazily-memoized coefficient per
+    ``(wire, event, wire, event)`` pair — is lowered at plan time into an
+    integer-indexed row table; :meth:`run_sweep` then evaluates the entire
+    corrected pass, coefficients included, with a trailing eps axis.
+
+    Plan construction discovers the structural closure of the Fig. 4
+    recursion: building each gate's transition program queries the
+    coefficient rows it needs, and each new expansion row is queued until
+    its own program is built.  The recursion is well-founded because a
+    canonical pair always expands its topologically *later* wire through
+    its gate, so every referenced pair is strictly earlier — which also
+    makes the discovered set (and the coefficient values) independent of
+    query order, the contract shared with the scalar engine via
+    :class:`~repro.probability.correlation.PairStructure`.
+
+    Parameters mirror the analyzer's correlation knobs: ``max_pairs``
+    bounds the expansion-row count (beyond it the plan refuses with
+    :class:`CompiledPassUnsupported` and the analyzer falls back to the
+    scalar engine's per-query budget degradation), ``max_level_gap`` is
+    the Sec. 4.1 locality cap, and ``cache_dir`` persists the discovered
+    pair table across processes (see
+    :func:`repro.probability.weight_cache.store_correlation_plan`).
+    """
+
+    def __init__(self, circuit: Circuit,
+                 weights: WeightData,
+                 input_errors: Optional[Mapping[str, ErrorProbability]] = None,
+                 max_arity: int = MAX_COMPILED_ARITY,
+                 max_pairs: int = 1_000_000,
+                 max_level_gap: Optional[int] = None,
+                 cache_dir: Optional[str] = None):
+        circuit.validate()
+        self.circuit = circuit
+        self.weights = weights
+        self.max_pairs = max_pairs
+        self.max_level_gap = max_level_gap
+        with trace_span("compiled_pass.compile_correlated",
+                        circuit=circuit.name):
+            self._compile(dict(input_errors or {}), max_arity, cache_dir)
+        if obs_metrics.is_enabled():
+            obs_metrics.inc("compiled_pass.correlated_compiles",
+                            circuit=circuit.name)
+            obs_metrics.set_gauge("compiled_pass.coefficient_rows",
+                                  self.n_rows, circuit=circuit.name)
+
+    # -- plan construction ---------------------------------------------
+    def _compile(self, input_errors, max_arity, cache_dir) -> None:
+        circuit = self.circuit
+        order = circuit.topological_order()
+        self.node_names: List[str] = order
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(order)}
+        gates = circuit.topological_gates()
+        self.gate_names: List[str] = gates
+        self._gate_row = {g: i for i, g in enumerate(gates)}
+        self.input_error_rows: List[Tuple[int, ErrorProbability]] = [
+            (self.index[name], ep) for name, ep in input_errors.items()]
+        self.structure = PairStructure(circuit,
+                                       max_level_gap=self.max_level_gap)
+
+        # Wires whose error probability is identically zero at every eps
+        # point: constants and noise-free primary inputs.  Their pruning in
+        # the lowering mirrors the scalar pass's zero-probability exits.
+        self._error_free = set()
+        for name in order:
+            if circuit.node(name).gate_type.is_logic:
+                continue
+            ep = input_errors.get(name)
+            if ep is None or (ep.p01 == 0.0 and ep.p10 == 0.0):
+                self._error_free.add(name)
+
+        self._same_index: Dict[Tuple[str, int], int] = {}
+        self._same_rows: List[Tuple[int, int, int, str]] = []
+        self._row_index: Dict[Tuple[str, int, str, int], int] = {}
+        self._pending = deque()
+        self.n_rows = 2  # rows 0/1 are the 1.0 / 0.0 constants
+
+        cached_plan = None
+        if cache_dir is not None:
+            cached_plan = load_correlation_plan(
+                cache_dir, circuit, self.max_level_gap, self.max_pairs)
+        if cached_plan is not None and cached_plan.get("unsupported"):
+            raise CompiledPassUnsupported(
+                f"correlated pair budget ({self.max_pairs}) exceeded for "
+                f"{circuit.name!r} (cached plan)")
+        if cached_plan is not None:
+            # Seed the row index so discovery short-circuits its structural
+            # classification; the closure below still builds every program.
+            for a_slot, ea, b_slot, eb in cached_plan["pairs"]:
+                key = (order[a_slot], int(ea), order[b_slot], int(eb))
+                self._row_index[key] = self.n_rows
+                self._pending.append((self.n_rows, key))
+                self.n_rows += 1
+
+        try:
+            plain_gates: List[str] = []
+            corr_progs: List[Tuple[int, _CorrGateProgram]] = []
+            for gate in gates:
+                node = circuit.node(gate)
+                if node.arity > max_arity:
+                    raise CompiledPassUnsupported(
+                        f"gate {gate!r} has arity {node.arity} > {max_arity};"
+                        " use the scalar pass")
+                prog = self._gate_program(gate, node)
+                if prog is None:
+                    plain_gates.append(gate)
+                else:
+                    corr_progs.append((circuit.level(gate), prog))
+            expand_progs: List[_ExpandProgram] = []
+            while self._pending:
+                row, (a, ea, b, eb) = self._pending.popleft()
+                expand_progs.append(self._expand_program(row, a, ea, b, eb))
+        except CompiledPassUnsupported:
+            if cache_dir is not None and cached_plan is None:
+                store_correlation_plan(cache_dir, circuit,
+                                       self.max_level_gap, self.max_pairs,
+                                       unsupported=True)
+            raise
+        if cache_dir is not None and cached_plan is None:
+            store_correlation_plan(
+                cache_dir, circuit, self.max_level_gap, self.max_pairs,
+                pairs=[(self.index[a], ea, self.index[b], eb)
+                       for (a, ea, b, eb) in sorted(self._row_index)])
+
+        # -- level schedule --------------------------------------------
+        # Per level: plain groups, then correlated gates (state of level L
+        # is final after these), then same-wire rows (state reads only),
+        # then expansion rows sorted child-before-parent (a child pair's
+        # canonical later wire is strictly topologically earlier).
+        st = self.structure
+        plain_levels = _lower_plain_groups(
+            circuit, self.weights, self.index, self._gate_row,
+            plain_gates, max_arity)
+        corr_by_level: Dict[int, List[_CorrGateProgram]] = {}
+        for level, prog in corr_progs:
+            corr_by_level.setdefault(level, []).append(prog)
+        same_by_level: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for row, slot, ev, wire in self._same_rows:
+            same_by_level.setdefault(st.level[wire], []).append(
+                (row, slot, ev, st.topo_pos[wire]))
+        for rows in same_by_level.values():
+            rows.sort(key=lambda r: (r[3], r[2]))
+        expand_by_level: Dict[int, List[tuple]] = {}
+        for xp in expand_progs:
+            a = self.node_names[xp.a_slot]
+            b = self.node_names[xp.b_slot]
+            lv = max(st.level[a], st.level[b])
+            expand_by_level.setdefault(lv, []).append(
+                (st.topo_pos[a], xp.ea, st.topo_pos[b], xp.eb, xp))
+        for items in expand_by_level.values():
+            items.sort(key=lambda it: it[:4])
+        self._schedule: List[tuple] = []
+        for lv in sorted(set(plain_levels) | set(corr_by_level)
+                         | set(same_by_level) | set(expand_by_level)):
+            self._schedule.append((
+                tuple(plain_levels.get(lv, ())),
+                tuple(corr_by_level.get(lv, ())),
+                tuple((r, s, e) for r, s, e, _ in same_by_level.get(lv, ())),
+                tuple(it[4] for it in expand_by_level.get(lv, ())),
+            ))
+
+        self.n_pair_rows = len(self._row_index)
+        self.num_corr_gates = len(corr_progs)
+        items = sorted(self._row_index.items())
+        #: Canonical pair keys, sorted by wire ids (the deterministic
+        #: iteration contract of ErrorCorrelationEngine.coefficient_items).
+        self.pair_keys: List[Tuple[str, int, str, int]] = [
+            key for key, _ in items]
+        self._pair_rows_order = np.asarray([row for _, row in items],
+                                           dtype=np.intp)
+
+        self.output_slots = np.asarray(
+            [self.index[o] for o in circuit.outputs], dtype=np.intp)
+        self.output_prob1 = np.asarray(
+            [self.weights.signal_prob[o] for o in circuit.outputs],
+            dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _row_of(self, a: str, ea: int, b: str, eb: int) -> int:
+        """Coefficient row index for the joint (a: ea, b: eb) events.
+
+        Mirrors the scalar engine's classification in the same order:
+        same-wire, disjoint supports, canonicalization, level gap; anything
+        left is an expansion row, created (and queued for program
+        construction) on first sight.
+        """
+        if a == b:
+            if ea != eb:
+                return ROW_ZERO
+            skey = (a, ea)
+            row = self._same_index.get(skey)
+            if row is None:
+                row = self.n_rows
+                self.n_rows += 1
+                self._same_index[skey] = row
+                self._same_rows.append((row, self.index[a], ea, a))
+            return row
+        st = self.structure
+        key = st.canonical(a, ea, b, eb)
+        row = self._row_index.get(key)
+        if row is not None:
+            return row
+        if not st.overlaps(a, b):
+            return ROW_ONE
+        if st.gapped(key[0], key[2]):
+            return ROW_ONE
+        if not self.circuit.node(key[0]).gate_type.is_logic:
+            return ROW_ONE  # cannot happen for a canonical later wire
+        if len(self._row_index) >= self.max_pairs:
+            raise CompiledPassUnsupported(
+                f"correlated pair budget ({self.max_pairs}) exceeded while "
+                f"lowering {self.circuit.name!r}; use the scalar pass")
+        row = self.n_rows
+        self.n_rows += 1
+        self._row_index[key] = row
+        self._pending.append((row, key))
+        return row
+
+    def _instance_masks(self, node, w) -> Tuple[int, int]:
+        """(active input vectors, error-free fanin positions) bitmasks."""
+        active = 0
+        for v, wv in enumerate(w):
+            if wv != 0.0:
+                active |= 1 << v
+        errfree = 0
+        for t, f in enumerate(node.fanins):
+            if f in self._error_free:
+                errfree |= 1 << t
+        return active, errfree
+
+    def _vector_program(self, fanins, events, perts,
+                        cond: Optional[Tuple[str, int]]):
+        """Lower one input vector's perturbations to row-indexed programs.
+
+        Returns ``(fetch, pert_progs, nontrivial)`` where ``nontrivial``
+        reports whether any referenced coefficient row differs from the
+        constant 1.0 (a gate whose vectors are all trivial runs on the
+        batched independence kernel instead).
+        """
+        pair_memo: Dict[Tuple[int, int], int] = {}
+
+        def prow(i: int, j: int) -> int:
+            pkey = (i, j) if i < j else (j, i)
+            r = pair_memo.get(pkey)
+            if r is None:
+                r = self._row_of(fanins[pkey[0]], events[pkey[0]],
+                                 fanins[pkey[1]], events[pkey[1]])
+                pair_memo[pkey] = r
+            return r
+
+        cond_memo: Dict[int, int] = {}
+
+        def crow(t: int) -> int:
+            r = cond_memo.get(t)
+            if r is None:
+                r = self._row_of(fanins[t], events[t], cond[0], cond[1])
+                cond_memo[t] = r
+            return r
+
+        pert_progs = []
+        positions = set()
+        for flips, nonflips in perts:
+            flip_ops = []
+            for t in flips:
+                cr = -1
+                if cond is not None:
+                    c = crow(t)
+                    if c != ROW_ONE:
+                        cr = c
+                flip_ops.append((t, cr))
+                positions.add(t)
+            pair_rows = []
+            n = len(flips)
+            for ai in range(n):
+                for bi in range(ai + 1, n):
+                    r = prow(flips[ai], flips[bi])
+                    if r != ROW_ONE:
+                        pair_rows.append(r)
+            nf_ops = []
+            for t in nonflips:
+                rows = []
+                if cond is not None:
+                    c = crow(t)
+                    if c != ROW_ONE:
+                        rows.append(c)
+                for u in flips:
+                    r = prow(t, u)
+                    if r != ROW_ONE:
+                        rows.append(r)
+                nf_ops.append((t, tuple(rows)))
+                positions.add(t)
+            pert_progs.append((tuple(flip_ops), tuple(pair_rows),
+                               tuple(nf_ops)))
+        nontrivial = (any(r != ROW_ONE for r in pair_memo.values())
+                      or any(r != ROW_ONE for r in cond_memo.values()))
+        fetch = tuple((t, self.index[fanins[t]], events[t] == EVENT_1TO0)
+                      for t in sorted(positions))
+        return fetch, tuple(pert_progs), nontrivial
+
+    def _gate_program(self, gate: str, node) -> Optional[_CorrGateProgram]:
+        """Lower one gate's correlated transition; None when vacuous."""
+        k = node.arity
+        truth = truth_table(node.gate_type, k)
+        w = [float(x) for x in self.weights.weights[gate]]
+        active, errfree = self._instance_masks(node, w)
+        lowered = correlated_transition_lowering(truth, k, active, errfree)
+        nontrivial = False
+        vprogs = []
+        for v, b, events, perts in lowered:
+            fetch, pert_progs, used = self._vector_program(
+                node.fanins, events, perts, cond=None)
+            nontrivial = nontrivial or used
+            vprogs.append((w[v], b, fetch, pert_progs))
+        if not nontrivial:
+            return None
+        w0 = 0.0
+        w1 = 0.0
+        for v, wv in enumerate(w):
+            if truth[v]:
+                w1 += wv
+            else:
+                w0 += wv
+        return _CorrGateProgram(slot=self.index[gate],
+                                eps_row=self._gate_row[gate],
+                                k=k, w_side0=w0, w_side1=w1, vprogs=vprogs)
+
+    def _expand_program(self, row: int, a: str, ea: int,
+                        b: str, eb: int) -> _ExpandProgram:
+        """Lower one coefficient row's Fig. 4 expansion program."""
+        node = self.circuit.node(a)
+        k = node.arity
+        truth = truth_table(node.gate_type, k)
+        w = [float(x) for x in self.weights.weights[a]]
+        active, errfree = self._instance_masks(node, w)
+        lowered = correlated_transition_lowering(truth, k, active, errfree)
+        side = 0 if ea == 0 else 1
+        w_side = 0.0
+        for v, wv in enumerate(w):
+            if truth[v] == side:
+                w_side += wv
+        vprogs = []
+        for v, b_out, events, perts in lowered:
+            if b_out != side:
+                continue
+            fetch, pert_progs, _ = self._vector_program(
+                node.fanins, events, perts, cond=(b, eb))
+            vprogs.append((w[v], fetch, pert_progs))
+        return _ExpandProgram(row=row, a_slot=self.index[a], ea=ea,
+                              b_slot=self.index[b], eb=eb,
+                              eps_row=self._gate_row[a], k=k,
+                              w_side=w_side, vprogs=vprogs)
+
+    # -- execution ------------------------------------------------------
+    def run(self, eps: EpsilonSpec,
+            eps10: Optional[EpsilonSpec] = None) -> SweepResult:
+        """One-point convenience wrapper around :meth:`run_sweep`."""
+        return self.run_sweep([eps], None if eps10 is None else [eps10])
+
+    def run_sweep(self, eps_specs: Sequence[EpsilonSpec],
+                  eps10_specs: Optional[Sequence[EpsilonSpec]] = None
+                  ) -> SweepResult:
+        """Evaluate the corrected pass for every eps point at once."""
+        specs, eps10_list = _validated_specs(self.circuit, eps_specs,
+                                             eps10_specs)
+        n_nodes = len(self.node_names)
+        n_points = len(specs)
+        with trace_span("compiled_pass.run_sweep_correlated",
+                        circuit=self.circuit.name, points=n_points):
+            e01 = _eps_matrix(self.gate_names, specs)
+            e10 = (e01 if eps10_list is None
+                   else _eps_matrix(self.gate_names, eps10_list))
+            p01 = np.zeros((n_nodes, n_points), dtype=np.float64)
+            p10 = np.zeros((n_nodes, n_points), dtype=np.float64)
+            for slot, ep in self.input_error_rows:
+                p01[slot] = ep.p01
+                p10[slot] = ep.p10
+            C = np.empty((self.n_rows, n_points), dtype=np.float64)
+            C[ROW_ONE] = 1.0
+            C[ROW_ZERO] = 0.0
+            for plain_groups, corr_gates, same_rows, expand_rows \
+                    in self._schedule:
+                for group in plain_groups:
+                    _eval_group(group, p01, p10,
+                                e01[group.eps_rows], e10[group.eps_rows])
+                for gp in corr_gates:
+                    _eval_corr_gate(gp, p01, p10, C,
+                                    e01[gp.eps_row], e10[gp.eps_row])
+                for row, slot, ev in same_rows:
+                    pval = (p01 if ev == 0 else p10)[slot]
+                    big = pval > 1e-9
+                    C[row] = np.where(
+                        big,
+                        np.minimum(1.0 / np.where(big, pval, 1.0), 1e9),
+                        np.where(pval > 0.0, 1e9, 1.0))
+                for xp in expand_rows:
+                    _eval_expand(xp, p01, p10, C,
+                                 e01[xp.eps_row], e10[xp.eps_row])
+            per_output = ((1.0 - self.output_prob1)[:, None]
+                          * p01[self.output_slots]
+                          + self.output_prob1[:, None]
+                          * p10[self.output_slots])
+        if obs_metrics.is_enabled():
+            labels = {"circuit": self.circuit.name}
+            obs_metrics.inc("compiled_pass.correlated_sweeps", **labels)
+            obs_metrics.inc("compiled_pass.points", n_points, **labels)
+            obs_metrics.inc("compiled_pass.gate_evals",
+                            len(self.gate_names) * n_points, **labels)
+            obs_metrics.inc("correlation.pairs_tracked",
+                            self.n_pair_rows * n_points, **labels)
+        coefficients = (C[self._pair_rows_order] if self.n_pair_rows
+                        else np.empty((0, n_points), dtype=np.float64))
+        return SweepResult(
+            circuit_name=self.circuit.name,
+            eps_specs=specs,
+            eps10_specs=eps10_list,
+            node_names=list(self.node_names),
+            outputs=list(self.circuit.outputs),
+            per_output=per_output,
+            p01=p01,
+            p10=p10,
+            signal_prob=dict(self.weights.signal_prob),
+            used_correlation=True,
+            correlation_pairs=np.full(n_points, self.n_pair_rows,
+                                      dtype=np.int64),
+            correlation_pair_keys=list(self.pair_keys),
+            correlation_coefficients=coefficients,
+        )

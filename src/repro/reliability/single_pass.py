@@ -34,6 +34,7 @@ from ..probability.error_propagation import (
 from ..probability.weights import WeightData, compute_weights
 from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
 from .compiled_pass import (
+    CompiledCorrelatedPass,
     CompiledPassUnsupported,
     CompiledSinglePass,
     SweepResult,
@@ -107,10 +108,14 @@ class SinglePassAnalyzer:
         initial conditions; default: noise-free inputs).
     compiled:
         ``"auto"`` (default) dispatches :meth:`run`, :meth:`curve` and
-        :meth:`sweep` to the vectorized :class:`CompiledSinglePass` kernel
-        whenever correlation correction is off or structurally irrelevant
-        (tree circuits have no reconvergent fanout, so every Sec. 4.1
-        coefficient is 1).  ``"off"`` forces the scalar reference path.
+        :meth:`sweep` to a vectorized kernel in **every** mode:
+        :class:`CompiledCorrelatedPass` when the Sec. 4.1 correction is on,
+        :class:`CompiledSinglePass` when it is off.  ``"off"`` forces the
+        scalar reference path (the parity oracle); the scalar path also
+        runs automatically when no plan can be built — oversized gate
+        arity, or a correlated pair count beyond
+        ``max_correlation_pairs`` (where the scalar engine degrades
+        per-query instead of refusing).
     """
 
     def __init__(self, circuit: Circuit,
@@ -145,7 +150,8 @@ class SinglePassAnalyzer:
         self.max_correlation_pairs = max_correlation_pairs
         self.max_correlation_level_gap = max_correlation_level_gap
         self.compiled = compiled
-        self._plan: Optional[CompiledSinglePass] = None
+        self.weights_cache_dir = weights_cache_dir
+        self._plan = None
         self._plan_unsupported = False
         self._truth: Dict[str, tuple] = {}
         for gate in circuit.topological_gates():
@@ -153,38 +159,62 @@ class SinglePassAnalyzer:
             self._truth[gate] = truth_table(node.gate_type, node.arity)
 
     # -- compiled-kernel dispatch --------------------------------------
-    def _build_plan(self) -> Optional[CompiledSinglePass]:
-        """Build (once) the vectorized plan, or None if the circuit cannot
-        be lowered."""
+    def _build_plan(self):
+        """Build (once) the vectorized plan matching the analysis mode, or
+        None if the circuit cannot be lowered (scalar fallback)."""
         if self.compiled == "off" or self._plan_unsupported:
             return None
         if self._plan is None:
             try:
-                self._plan = CompiledSinglePass(
-                    self.circuit, self.weights,
-                    input_errors=self.input_errors)
+                if self.use_correlation:
+                    self._plan = CompiledCorrelatedPass(
+                        self.circuit, self.weights,
+                        input_errors=self.input_errors,
+                        max_pairs=self.max_correlation_pairs,
+                        max_level_gap=self.max_correlation_level_gap,
+                        cache_dir=self.weights_cache_dir)
+                else:
+                    self._plan = CompiledSinglePass(
+                        self.circuit, self.weights,
+                        input_errors=self.input_errors)
             except CompiledPassUnsupported:
                 self._plan_unsupported = True
                 return None
         return self._plan
 
-    def _compiled_plan(self) -> Optional[CompiledSinglePass]:
-        """The vectorized plan, or None when the scalar path must run.
-
-        The compiled kernel implements the plain independence algorithm,
-        so unconditional dispatch requires the Sec. 4.1 correction to be
-        disabled.  (:meth:`sweep` additionally finishes a sweep on the
-        kernel when the scalar engine reports zero structurally-correlated
-        pairs — see there.)
-        """
-        if self.use_correlation:
-            return None
-        return self._build_plan()
-
     @property
     def uses_compiled(self) -> bool:
-        """Whether run/curve/sweep will dispatch to the vectorized kernel."""
-        return self._compiled_plan() is not None
+        """Whether run/curve/sweep will dispatch to a vectorized kernel."""
+        return self._build_plan() is not None
+
+    def _seed_engine(self, sweep: SweepResult, result: SinglePassResult,
+                     eps: EpsilonSpec,
+                     eps10: Optional[EpsilonSpec]) -> ErrorCorrelationEngine:
+        """An :class:`ErrorCorrelationEngine` equivalent to the scalar run's.
+
+        Consolidation (:mod:`repro.reliability.consolidated`) reuses the
+        run's engine for cross-output covariance terms, so a compiled run
+        must hand back one with the same memo state: it is built over the
+        compiled node errors and pre-seeded with every compiled coefficient
+        (canonically keyed, per the deterministic pair-ordering contract);
+        pairs outside the compiled closure still expand lazily.
+        """
+        gates = self.circuit.topological_gates()
+        eps_map = {g: epsilon_of(eps, g) for g in gates}
+        eps10_map = (None if eps10 is None
+                     else {g: epsilon_of(eps10, g) for g in gates})
+        engine = ErrorCorrelationEngine(
+            self.circuit, self.weights, result.node_errors,
+            eps_of=lambda g: eps_map[g],
+            max_pairs=self.max_correlation_pairs,
+            max_level_gap=self.max_correlation_level_gap,
+            eps10_of=(None if eps10_map is None
+                      else (lambda g: eps10_map[g])))
+        if sweep.correlation_pair_keys:
+            engine.seed({
+                key: float(sweep.correlation_coefficients[i, 0])
+                for i, key in enumerate(sweep.correlation_pair_keys)})
+        return engine
 
     def run(self, eps: EpsilonSpec,
             eps10: Optional[EpsilonSpec] = None) -> SinglePassResult:
@@ -198,10 +228,13 @@ class SinglePassAnalyzer:
         if eps10 is not None:
             validate_epsilon(eps10, self.circuit)
         with trace_span("single_pass.run", circuit=self.circuit.name):
-            plan = self._compiled_plan()
+            plan = self._build_plan()
             if plan is not None:
-                result = plan.run(eps, None if eps10 is None
-                                  else eps10).point(0)
+                sweep = plan.run(eps, eps10)
+                result = sweep.point(0)
+                if self.use_correlation:
+                    result.correlation_engine = self._seed_engine(
+                        sweep, result, eps, eps10)
                 if obs_metrics.is_enabled():
                     labels = {"circuit": self.circuit.name}
                     obs_metrics.inc("single_pass.runs", **labels)
@@ -282,15 +315,14 @@ class SinglePassAnalyzer:
               jobs: int = 1) -> SweepResult:
         """Evaluate many failure-probability vectors in one call.
 
-        With correlation disabled the whole sweep is a single vectorized
-        pass with a trailing eps axis.  With correlation enabled the first
-        point runs through the scalar engine; if it reports zero
-        structurally-correlated pairs the correction is inert (every
-        coefficient queried was 1.0) and the remaining points finish on
-        the compiled kernel, otherwise the points are independent scalar
-        runs and ``jobs > 1`` fans them out over a process pool — the
-        analyzer is pickled once per worker, so weights and correlation
-        caches are shared per process, not per point.
+        In every mode the sweep is normally a single vectorized pass with a
+        trailing eps axis (the correlated kernel includes the Sec. 4.1
+        coefficients in that axis).  Only when no compiled plan exists —
+        ``compiled="off"``, an unloweable gate, or a correlated pair count
+        beyond the budget — do the points run as independent scalar passes;
+        there ``jobs > 1`` fans them out over a process pool, with the
+        analyzer pickled once per worker so weights and correlation caches
+        are shared per process, not per point.
         """
         specs = list(eps_values)
         if not specs:
@@ -304,58 +336,17 @@ class SinglePassAnalyzer:
                     f"length {len(specs)}")
         with trace_span("single_pass.sweep", circuit=self.circuit.name,
                         points=len(specs), jobs=jobs):
-            plan = self._compiled_plan()
+            plan = self._build_plan()
             if plan is not None:
                 return plan.run_sweep(specs, eps10_list)
             tasks = [(spec, None if eps10_list is None else eps10_list[j])
                      for j, spec in enumerate(specs)]
-            first = self.run(*tasks[0])
-            rest = tasks[1:]
-            if rest and first.correlation_pairs == 0:
-                plan = self._build_plan()
-                if plan is not None:
-                    tail = plan.run_sweep(
-                        [t[0] for t in rest],
-                        None if eps10_list is None else [t[1] for t in rest])
-                    return self._prepend_point(first, tail, specs,
-                                               eps10_list)
-            if jobs > 1 and len(rest) > 1:
-                results = [first] + self._pool_run(rest, jobs)
+            if jobs > 1 and len(tasks) > 2:
+                results = [self.run(*tasks[0])] + self._pool_run(
+                    tasks[1:], jobs)
             else:
-                results = [first] + [self.run(eps, eps10)
-                                     for eps, eps10 in rest]
+                results = [self.run(eps, eps10) for eps, eps10 in tasks]
             return self._assemble_sweep(specs, eps10_list, results)
-
-    def _prepend_point(self, first: SinglePassResult, tail: SweepResult,
-                       specs, eps10_list) -> SweepResult:
-        """Graft the scalar first point onto a compiled tail sweep."""
-        names = tail.node_names
-        p01 = np.empty((len(names), tail.n_points + 1))
-        p10 = np.empty_like(p01)
-        for i, name in enumerate(names):
-            ep = first.node_errors[name]
-            p01[i, 0] = ep.p01
-            p10[i, 0] = ep.p10
-        p01[:, 1:] = tail.p01
-        p10[:, 1:] = tail.p10
-        per_output = np.empty((len(tail.outputs), tail.n_points + 1))
-        for o, out in enumerate(tail.outputs):
-            per_output[o, 0] = first.per_output[out]
-        per_output[:, 1:] = tail.per_output
-        return SweepResult(
-            circuit_name=tail.circuit_name,
-            eps_specs=list(specs),
-            eps10_specs=eps10_list,
-            node_names=names,
-            outputs=tail.outputs,
-            per_output=per_output,
-            p01=p01,
-            p10=p10,
-            signal_prob=tail.signal_prob,
-            used_correlation=self.use_correlation,
-            correlation_pairs=np.concatenate(
-                ([first.correlation_pairs], tail.correlation_pairs)),
-        )
 
     def _pool_run(self, tasks, jobs: int) -> List[SinglePassResult]:
         from concurrent.futures import ProcessPoolExecutor

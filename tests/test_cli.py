@@ -144,12 +144,15 @@ class TestObservabilityFlags:
             assert record["params"]["eps"] == eps
             assert set(record["results"]["per_output"]) == {"22", "23"}
             assert record["library"]["version"]
-            phase_names = {p["name"] for p in record["phases"]}
-            assert "single_pass.run" in phase_names
             assert all(p["duration_s"] > 0 for p in record["phases"])
-            metric_names = {m["name"] for m in record["metrics"]}
-            assert "single_pass.gates_processed" in metric_names
-            assert "correlation.pairs_tracked" in metric_names
+        # analyze dispatches one vectorized correlated sweep up front, so
+        # the sweep phases and kernel metrics land in the first record.
+        all_phases = {p["name"] for r in records for p in r["phases"]}
+        assert "single_pass.sweep" in all_phases
+        assert "compiled_pass.run_sweep_correlated" in all_phases
+        all_metrics = {m["name"] for r in records for m in r["metrics"]}
+        assert "compiled_pass.gate_evals" in all_metrics
+        assert "correlation.pairs_tracked" in all_metrics
         # Weights are computed once: only the first record has that phase.
         assert "single_pass.weights" in {p["name"]
                                          for p in records[0]["phases"]}
@@ -163,7 +166,8 @@ class TestObservabilityFlags:
         doc = json.loads(out.read_text())
         names = [e["name"] for e in doc["traceEvents"]]
         assert "cli.analyze" in names
-        assert "single_pass.run" in names
+        assert "single_pass.sweep" in names
+        assert "compiled_pass.run_sweep_correlated" in names
         for event in doc["traceEvents"]:
             assert event["ph"] == "X"
             assert event["dur"] >= 0

@@ -132,10 +132,22 @@ class TestDispatchAndApi:
         for out in ref.per_output:
             assert abs(ref.per_output[out] - result.per_output[out]) <= TOL
 
-    def test_correlated_analyzer_stays_scalar(self, c17, weights):
+    def test_correlated_analyzer_dispatches_compiled(self, c17, weights):
         corr = SinglePassAnalyzer(c17, weights=weights, use_correlation=True)
-        assert not corr.uses_compiled
-        assert corr.run(0.05).correlation_pairs > 0
+        assert corr.uses_compiled
+        result = corr.run(0.05)
+        assert result.used_correlation is True
+        assert result.correlation_pairs > 0
+        # Consolidation compatibility: the compiled run hands back a
+        # seeded engine that answers every query like a scalar run's (the
+        # scalar memo also holds trivially-1.0 pairs the compiled closure
+        # prunes; those recompute lazily on the seeded engine).
+        ref = SinglePassAnalyzer(c17, weights=weights, use_correlation=True,
+                                 compiled="off").run(0.05)
+        seeded = result.correlation_engine
+        for (a, ea, b, eb), value in \
+                ref.correlation_engine.coefficient_items():
+            assert abs(seeded(a, ea, b, eb) - value) <= TOL
 
     def test_compiled_off_is_honored(self, c17, weights):
         off = SinglePassAnalyzer(c17, weights=weights, use_correlation=False,
@@ -208,18 +220,17 @@ class TestDispatchAndApi:
         assert np.allclose(one.per_output, sweep.per_output)
 
 
-class TestHybridCorrelatedSweep:
-    """With correlation ON but zero structurally-correlated pairs, sweeps
-    finish on the compiled kernel after one scalar point."""
+class TestCorrelatedSweepDispatch:
+    """Correlated sweeps run entirely on the compiled correlated kernel."""
 
     def test_tree_sweep_uses_kernel_and_matches(self, tree_circuit):
         weights = compute_weights(tree_circuit, method="exhaustive")
         corr = SinglePassAnalyzer(tree_circuit, weights=weights,
                                   use_correlation=True)
-        assert not corr.uses_compiled  # run() keeps the engine available
+        assert corr.uses_compiled
         sweep = corr.sweep(EPS_POINTS)
-        assert corr._plan is not None  # kernel finished the tail
         assert sweep.used_correlation is True
+        # A fanout-free circuit has no structurally correlated pairs.
         assert not sweep.correlation_pairs.any()
         ref = SinglePassAnalyzer(tree_circuit, weights=weights,
                                  use_correlation=True, compiled="off")
@@ -229,15 +240,21 @@ class TestHybridCorrelatedSweep:
                 assert abs(res.per_output[out]
                            - sweep.per_output[o, j]) <= TOL
 
-    def test_reconvergent_sweep_stays_scalar(self, reconvergent_circuit):
+    def test_reconvergent_sweep_compiled_with_pairs(self,
+                                                    reconvergent_circuit):
         corr = SinglePassAnalyzer(reconvergent_circuit,
                                   weight_method="exhaustive",
                                   use_correlation=True)
         sweep = corr.sweep([0.01, 0.1])
-        assert corr._plan is None  # pairs > 0: no kernel involvement
+        assert corr.uses_compiled
         assert sweep.correlation_pairs.min() > 0
+        assert len(sweep.correlation_pair_keys) == \
+            sweep.correlation_pairs[0]
+        ref = SinglePassAnalyzer(reconvergent_circuit,
+                                 weight_method="exhaustive",
+                                 use_correlation=True, compiled="off")
         for j, eps in enumerate([0.01, 0.1]):
-            res = corr.run(eps)
+            res = ref.run(eps)
             for o, out in enumerate(sweep.outputs):
                 assert abs(res.per_output[out]
                            - sweep.per_output[o, j]) <= TOL
@@ -246,8 +263,10 @@ class TestHybridCorrelatedSweep:
 class TestParallelSweep:
     def test_jobs_fanout_matches_serial(self):
         circuit = get_benchmark("c17")
+        # Force the scalar path: with a compiled plan the sweep is one
+        # vectorized pass and the pool would never spin up.
         analyzer = SinglePassAnalyzer(circuit, weight_method="exhaustive",
-                                      use_correlation=True)
+                                      use_correlation=True, compiled="off")
         eps = [0.01, 0.05, 0.1, 0.2]
         serial = analyzer.sweep(eps)
         parallel = analyzer.sweep(eps, jobs=2)

@@ -101,6 +101,75 @@ class TestEngineEffects:
         assert stub.pairs_computed == 0
 
 
+class TestPairOrderingContract:
+    """The deterministic pair-ordering contract (ISSUE 3 bugfix).
+
+    Coefficient keys are canonical — topologically later wire first — so a
+    pair has exactly one memo entry no matter which argument order queried
+    it, and :meth:`coefficient_items` iterates sorted by wire ids.  The
+    compiled correlated kernel shares this contract (via
+    :class:`PairStructure`), which is what lets a compiled run seed a
+    scalar engine without order-dependent divergence.
+    """
+
+    def test_both_query_orders_share_one_memo_entry(self,
+                                                    reconvergent_circuit):
+        _, engine = run_with_engine(reconvergent_circuit, 0.1)
+        fresh = ErrorCorrelationEngine(
+            engine.circuit, engine.weights, engine.errors,
+            eps_of=engine.eps_of)
+        before = fresh.pairs_computed
+        c1 = fresh("g4", EVENT_0TO1, "g5", EVENT_1TO0)
+        after_first = fresh.pairs_computed
+        c2 = fresh("g5", EVENT_1TO0, "g4", EVENT_0TO1)
+        assert c1 == c2  # bit-identical, not approx: one entry, two reads
+        assert fresh.pairs_computed == after_first
+        assert fresh.cache_hits >= 1
+        # The single new top-level key is stored in canonical form: the
+        # topologically later wire ('g5' follows 'g4') first.
+        new_keys = dict(fresh.coefficient_items())
+        assert ("g5", EVENT_1TO0, "g4", EVENT_0TO1) in new_keys
+        assert ("g4", EVENT_0TO1, "g5", EVENT_1TO0) not in new_keys
+        assert fresh.pairs_computed > before
+
+    def test_query_order_does_not_change_values(self, reconvergent_circuit):
+        """Two engines fed the same pairs in reversed orders agree exactly."""
+        _, seeded = run_with_engine(reconvergent_circuit, 0.1)
+        queries = [(a, ea, b, eb)
+                   for (a, ea, b, eb), _ in seeded.coefficient_items()]
+
+        def replay(order):
+            engine = ErrorCorrelationEngine(
+                seeded.circuit, seeded.weights, seeded.errors,
+                eps_of=seeded.eps_of)
+            return [(q, engine(*q)) for q in order]
+
+        forward = dict(replay(queries))
+        backward = dict(replay([(b, eb, a, ea)
+                                for a, ea, b, eb in reversed(queries)]))
+        for (a, ea, b, eb), value in forward.items():
+            assert backward[(b, eb, a, ea)] == value
+
+    def test_coefficient_items_sorted(self, reconvergent_circuit):
+        _, engine = run_with_engine(reconvergent_circuit, 0.1)
+        keys = [key for key, _ in engine.coefficient_items()]
+        assert len(keys) > 1
+        assert keys == sorted(keys)
+
+    def test_seed_reproduces_memo_state(self, reconvergent_circuit):
+        _, engine = run_with_engine(reconvergent_circuit, 0.1)
+        clone = ErrorCorrelationEngine(
+            engine.circuit, engine.weights, engine.errors,
+            eps_of=engine.eps_of)
+        clone.seed(dict(engine.coefficient_items()))
+        assert list(clone.coefficient_items()) == \
+            list(engine.coefficient_items())
+        hits_before = clone.cache_hits
+        for (a, ea, b, eb), value in engine.coefficient_items():
+            assert clone(a, ea, b, eb) == value
+        assert clone.cache_hits == hits_before + clone.pairs_computed
+
+
 class TestTmrStructures:
     def test_no_probability_explosion_on_voters(self, full_adder_circuit):
         from repro.circuit import triplicate_gates

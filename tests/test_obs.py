@@ -245,14 +245,18 @@ class TestEngineInstrumentation:
         from repro.reliability import SinglePassAnalyzer
         obs.enable()
         analyzer = SinglePassAnalyzer(c17())
-        analyzer.run(0.05)
+        analyzer.run(0.05)  # default path: compiled correlated kernel
+        SinglePassAnalyzer(c17(), compiled="off").run(0.05)  # scalar oracle
         tracer = obs.get_tracer()
         names = {s.name for s in tracer.spans}
         assert {"single_pass.weights", "single_pass.run",
+                "compiled_pass.compile_correlated",
+                "compiled_pass.run_sweep_correlated",
                 "single_pass.topological_pass",
                 "single_pass.per_output_delta"} <= names
         reg = obs_metrics.get_registry()
-        assert reg.value("single_pass.gates_processed", circuit="c17") == 6
+        assert reg.value("single_pass.gates_processed",
+                         circuit="c17") == 12  # 6 compiled + 6 scalar
         assert reg.value("correlation.pairs_tracked", circuit="c17") > 0
 
     def test_disabled_single_pass_identical_result(self):
@@ -304,7 +308,10 @@ class TestEngineInstrumentation:
 
     def test_correlation_tallies(self):
         from repro.reliability import SinglePassAnalyzer
-        analyzer = SinglePassAnalyzer(c17(), max_correlation_level_gap=0)
+        # Per-query drop tallies are a scalar-engine behavior (the compiled
+        # plan resolves gapped pairs to the constant row at compile time).
+        analyzer = SinglePassAnalyzer(c17(), max_correlation_level_gap=0,
+                                      compiled="off")
         result = analyzer.run(0.05)
         engine = result.correlation_engine
         assert engine.pairs_dropped_level_gap > 0

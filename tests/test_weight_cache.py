@@ -178,9 +178,14 @@ class TestCliIntegration:
             return data
 
         first = run()
-        assert len(_entries(str(cache))) == 1
+        # One weight entry plus the compiled correlated kernel's pair-table
+        # entry (analyze dispatches correlated-compiled by default).
+        entries = _entries(str(cache))
+        assert len(entries) == 2
+        assert any(e.startswith("weights-") for e in entries)
+        assert any(e.startswith("corrplan-") for e in entries)
         assert run() == first
-        assert len(_entries(str(cache))) == 1
+        assert len(_entries(str(cache))) == 2
 
     def test_curve_weights_cache(self, tmp_path, capsys):
         cache = tmp_path / "wcache"
