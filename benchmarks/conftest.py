@@ -22,7 +22,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Machine-readable single-pass perf trajectory (see test_compiled_perf.py).
 BENCH_SINGLEPASS = RESULTS_DIR / "BENCH_singlepass.json"
 
+#: Machine-readable engine warm/cold trajectory (see test_engine_perf.py).
+BENCH_ENGINE = RESULTS_DIR / "BENCH_engine.json"
+
 _singlepass_records = []
+_engine_records = []
 
 
 def record_singlepass(circuit: str, variant: str, mean_s: float,
@@ -43,12 +47,33 @@ def record_singlepass(circuit: str, variant: str, mean_s: float,
     })
 
 
+def record_engine(circuit: str, phase: str, mean_s: float,
+                  speedup_vs_cold=None) -> None:
+    """Queue one timing row for ``BENCH_engine.json``.
+
+    Rows follow the fixed schema
+    ``{circuit, phase, mean_s, speedup_vs_cold}``; ``speedup_vs_cold``
+    is null for the cold baseline row itself.
+    """
+    _engine_records.append({
+        "circuit": str(circuit),
+        "phase": str(phase),
+        "mean_s": float(mean_s),
+        "speedup_vs_cold": (None if speedup_vs_cold is None
+                            else float(speedup_vs_cold)),
+    })
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Flush queued single-pass timings once the benchmark session ends."""
+    """Flush queued timings once the benchmark session ends."""
     if _singlepass_records:
         RESULTS_DIR.mkdir(exist_ok=True)
         BENCH_SINGLEPASS.write_text(
             json.dumps(_singlepass_records, indent=2) + "\n")
+    if _engine_records:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BENCH_ENGINE.write_text(
+            json.dumps(_engine_records, indent=2) + "\n")
 
 #: Scale factor: full mode uses paper-like sampling, default is CI-sized.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"

@@ -1,0 +1,87 @@
+"""Persistent engine: warm-session queries vs cold one-shot analysis.
+
+The engine's whole point (docs/engine.md) is that the expensive,
+eps-independent work — weight vectors, compiled plans — happens once per
+circuit session and is amortized over every later request, and that
+same-session requests coalesce into single batched kernel calls.  This
+module measures both effects on i10 (the largest Table 2 stand-in):
+
+* **cold** — a fresh engine answering its first query, exactly what a
+  one-shot ``repro analyze`` invocation pays (weights + plan + kernel);
+* **warm solo** — the same engine answering one more query from the hot
+  session, kernel time only;
+* **warm batch** — a batch of same-session queries submitted together,
+  so the scheduler coalesces them into one kernel sweep (eps is a batch
+  axis of the compiled plans); cost is reported per query.
+
+Acceptance floor: warm batched repeat queries must be >= 10x faster
+than the cold one-shot.  Timings land in ``results/engine_perf.txt``
+and, via the conftest hook, in ``results/BENCH_engine.json``
+(machine-readable trajectory: ``{circuit, phase, mean_s,
+speedup_vs_cold}`` rows).
+"""
+
+import time
+
+from repro.engine import AnalysisEngine
+
+from conftest import record_engine, write_result
+
+CIRCUIT = "i10"
+MIN_SPEEDUP = 10.0
+WARM_EPS = [0.01, 0.03, 0.05, 0.08, 0.13, 0.21, 0.26, 0.34]
+
+# The estimator configuration, pinned explicitly so the cold and warm
+# phases measure identical work.
+OPTS = {"weights": "sampled", "n_patterns": 1 << 14, "level_gap": 6}
+
+
+def test_warm_session_beats_cold_one_shot():
+    with AnalysisEngine() as engine:
+        t0 = time.perf_counter()
+        first = engine.analyze(CIRCUIT, 0.05, **OPTS)
+        cold_s = time.perf_counter() - t0
+        assert first.per_output
+
+        t0 = time.perf_counter()
+        engine.analyze(CIRCUIT, 0.02, **OPTS)
+        warm_solo_s = time.perf_counter() - t0
+
+        requests = [{"op": "analyze", "circuit": CIRCUIT, "eps": eps,
+                     "options": OPTS} for eps in WARM_EPS]
+        t0 = time.perf_counter()
+        responses = engine.submit_many(requests)
+        warm_batch_s = (time.perf_counter() - t0) / len(WARM_EPS)
+
+        assert all(r.ok for r in responses)
+        assert all(r.coalesced == len(WARM_EPS) for r in responses)
+        stats = engine.stats()
+        assert stats["session_misses"] == 1
+        assert stats["session_hits"] >= 2
+
+    solo_speedup = cold_s / warm_solo_s
+    batch_speedup = cold_s / warm_batch_s
+
+    record_engine(CIRCUIT, "cold_first_query", cold_s)
+    record_engine(CIRCUIT, "warm_solo_query", warm_solo_s, solo_speedup)
+    record_engine(CIRCUIT, "warm_batched_query", warm_batch_s,
+                  batch_speedup)
+
+    lines = [
+        "engine warm-session amortization (docs/engine.md)",
+        f"circuit: {CIRCUIT}  warm batch: {len(WARM_EPS)} queries",
+        "",
+        f"{'phase':24s} {'mean_s':>10s} {'speedup':>9s}",
+        f"{'cold first query':24s} {cold_s:10.4f} {'':>9s}",
+        f"{'warm solo query':24s} {warm_solo_s:10.4f} "
+        f"{solo_speedup:8.1f}x",
+        f"{'warm batched query':24s} {warm_batch_s:10.4f} "
+        f"{batch_speedup:8.1f}x",
+        "",
+        f"floor: warm batched >= {MIN_SPEEDUP:.0f}x faster than cold",
+    ]
+    write_result("engine_perf.txt", "\n".join(lines) + "\n")
+
+    assert batch_speedup >= MIN_SPEEDUP, (
+        f"warm batched queries only {batch_speedup:.1f}x faster than the "
+        f"cold one-shot (floor {MIN_SPEEDUP}x)")

@@ -13,11 +13,11 @@ import tempfile
 from pathlib import Path
 
 from repro import (
+    analyze,
     exhaustive_exact_reliability,
     load_bench,
     save_blif,
     save_verilog,
-    single_pass_reliability,
 )
 from repro.circuit import expand_xor, strip_buffers
 
@@ -63,7 +63,7 @@ print("functional equivalence on all 16 input vectors: OK")
 # ...different reliability: more (noisy) gates and more reconvergence.
 eps = 0.02
 for c in (circuit, nand_version):
-    sp = single_pass_reliability(c, eps)
+    sp = analyze(c, eps)
     exact = exhaustive_exact_reliability(c, eps)
     print(f"{c.name:12s} delta[diff]: single-pass={sp.per_output['diff']:.5f} "
           f"exact={exact.per_output['diff']:.5f}")

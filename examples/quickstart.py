@@ -1,37 +1,43 @@
 """Quickstart: analyze a benchmark circuit's reliability.
 
-Builds the b9 stand-in, runs the single-pass analysis for a sweep of gate
-failure probabilities, and cross-checks a few points against the Monte
-Carlo fault-injection baseline — the core comparison of the paper's
-Table 2, in ~30 lines of user code.
+Uses the two-line façade — ``repro.analyze`` / ``repro.sweep`` — which
+routes every call through a process-wide persistent engine: the first
+call on a circuit builds its session (weight vectors + compiled plans),
+every later call reuses it at kernel speed.  A few points are
+cross-checked against the Monte Carlo fault-injection baseline — the
+core comparison of the paper's Table 2, in ~30 lines of user code.
 
 Run:  python examples/quickstart.py
 """
 
 import time
 
-from repro import SinglePassAnalyzer, get_benchmark, monte_carlo_reliability
+import repro
 
-circuit = get_benchmark("b9")
+circuit = repro.get_benchmark("b9")
 print(f"circuit: {circuit}")
 
-# Weight vectors are computed once here and reused across every run —
-# sweeping eps afterwards is O(gates) per point.
+# The first analyze() call computes the weight vectors once; the engine
+# keeps them hot, so sweeping eps afterwards is O(gates) per point.
 t0 = time.perf_counter()
-analyzer = SinglePassAnalyzer(circuit, seed=0)
-print(f"weights ready in {time.perf_counter() - t0:.2f}s "
-      f"({analyzer.weights.source})")
+repro.analyze(circuit, 0.05)
+print(f"session warm in {time.perf_counter() - t0:.2f}s")
 
 output = circuit.outputs[0]
-print(f"\ndelta(eps) for output {output!r}:")
-print(f"{'eps':>6s} {'single-pass':>12s} {'monte carlo':>12s} {'sp time':>9s}")
-for i, eps in enumerate([0.02, 0.05, 0.1, 0.2, 0.3]):
-    t0 = time.perf_counter()
-    sp = analyzer.run(eps).per_output[output]
-    sp_time = time.perf_counter() - t0
-    mc = monte_carlo_reliability(circuit, eps, n_patterns=1 << 16,
-                                 seed=100 + i).per_output[output]
-    print(f"{eps:6.2f} {sp:12.6f} {mc:12.6f} {sp_time * 1000:8.1f}ms")
+eps_values = [0.02, 0.05, 0.1, 0.2, 0.3]
+
+t0 = time.perf_counter()
+sweep = repro.sweep(circuit, eps_values)
+sweep_ms = (time.perf_counter() - t0) * 1000
+
+print(f"\ndelta(eps) for output {output!r} "
+      f"(single-pass sweep: {sweep_ms:.1f}ms total):")
+print(f"{'eps':>6s} {'single-pass':>12s} {'monte carlo':>12s}")
+for i, eps in enumerate(eps_values):
+    sp = sweep.point(i).per_output[output]
+    mc = repro.monte_carlo_reliability(circuit, eps, n_patterns=1 << 16,
+                                       seed=100 + i).per_output[output]
+    print(f"{eps:6.2f} {sp:12.6f} {mc:12.6f}")
 
 # Per-gate failure probabilities are first-class: rank gates with the
 # closed-form gradient, zero out the most critical one, and watch the
@@ -41,7 +47,8 @@ from repro import ObservabilityModel
 per_gate = {g: 0.05 for g in circuit.topological_gates()}
 model = ObservabilityModel(circuit, output=output, method="sampled", seed=1)
 most_critical = model.critical_gates(per_gate, top_k=1)[0]
-baseline = analyzer.run(per_gate).per_output[output]
-hardened = analyzer.run({**per_gate, most_critical: 0.0}).per_output[output]
+baseline = repro.analyze(circuit, per_gate).per_output[output]
+hardened = repro.analyze(
+    circuit, {**per_gate, most_critical: 0.0}).per_output[output]
 print(f"\nhardening the most critical gate ({most_critical}): "
       f"delta {baseline:.6f} -> {hardened:.6f}")

@@ -10,12 +10,18 @@ applications).
 
 Quick start::
 
-    from repro import get_benchmark, SinglePassAnalyzer
+    import repro
 
-    circuit = get_benchmark("b9")
-    analyzer = SinglePassAnalyzer(circuit)       # weights computed once
-    result = analyzer.run(0.05)                  # eps for every gate
+    result = repro.analyze("b9", 0.05)           # cold: builds the session
     print(result.per_output)                     # delta_y per output
+    result = repro.analyze("b9", 0.01)           # warm: kernel time only
+    curve = repro.sweep("b9", [0.001, 0.01, 0.1])
+
+``repro.analyze`` / ``repro.sweep`` route through a process-wide
+persistent :class:`~repro.engine.AnalysisEngine` that keeps each
+circuit's eps-independent state (weight vectors, compiled plans) hot
+between calls; see ``docs/engine.md``.  The underlying classes
+(:class:`SinglePassAnalyzer` et al.) remain available for direct use.
 """
 
 from . import obs
@@ -39,6 +45,15 @@ from .reliability import (
 )
 from .sim import monte_carlo_reliability
 from .circuits import get_benchmark, list_benchmarks, TABLE2_BENCHMARKS
+from .engine import (
+    AnalysisEngine,
+    AnalysisRequest,
+    AnalysisResponse,
+    analyze,
+    default_engine,
+    set_default_engine,
+    sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -50,6 +65,8 @@ __all__ = [
     "SinglePassResult", "exhaustive_exact_reliability", "ptm_reliability",
     "single_pass_reliability", "monte_carlo_reliability",
     "get_benchmark", "list_benchmarks", "TABLE2_BENCHMARKS",
+    "AnalysisEngine", "AnalysisRequest", "AnalysisResponse",
+    "analyze", "sweep", "default_engine", "set_default_engine",
     "obs",
     "__version__",
 ]

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit import Circuit
 from ..reliability.closed_form import ObservabilityModel
-from ..sim.montecarlo import EpsilonSpec, epsilon_of
+from ..spec import EpsilonSpec, epsilon_of
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit import Circuit, triplicate_gates
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, monte_carlo_reliability
+from ..sim.montecarlo import monte_carlo_reliability
+from ..spec import EpsilonSpec, epsilon_of
 from ..reliability.single_pass import SinglePassAnalyzer
 from ..reliability.sensitivity import rank_critical_gates
 

@@ -14,6 +14,8 @@ Commands
 ``report``       full markdown/JSON reliability report
 ``convert``      netlist format conversion (.bench / .blif / .v)
 ``bench``        list the built-in benchmark catalog
+``serve``        persistent engine answering JSON requests (stdio / TCP)
+``batch``        run a requests.jsonl through the engine scheduler
 
 Circuits are referenced either by a file path (``.bench`` or ``.blif``) or
 by a built-in catalog name (``repro bench`` lists them).  The full
@@ -42,6 +44,7 @@ from .circuits import get_benchmark, list_benchmarks, benchmark_entry
 from .io import load_bench, load_blif, save_bench, save_blif, save_verilog
 from .obs import runlog as obs_runlog
 from .obs import trace_span
+from .spec import parse_eps_list
 from .reliability import ObservabilityModel, SinglePassAnalyzer
 from .sim import monte_carlo_reliability
 
@@ -138,20 +141,12 @@ def _load_circuit(ref: str) -> Circuit:
 
 
 def _eps_list(spec: str) -> List[float]:
+    # One canonical parser (repro.spec); the CLI only converts its
+    # ValueError messages into exit-status errors.
     try:
-        values = [float(tok) for tok in spec.split(",") if tok.strip()]
-    except ValueError:
-        raise SystemExit(
-            f"invalid eps spec {spec!r}: expected comma-separated "
-            f"probabilities (e.g. 0.01,0.05)") from None
-    if not values:
-        raise SystemExit(
-            f"empty eps spec {spec!r}: expected at least one probability "
-            f"(e.g. --eps 0.05 or --eps 0.01,0.05)")
-    for v in values:
-        if not 0.0 <= v <= 0.5:
-            raise SystemExit(f"eps {v} outside [0, 0.5]")
-    return values
+        return parse_eps_list(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -172,7 +167,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .report import single_pass_result_to_dict
+    from .engine.requests import analyze_payload
     circuit = _load_circuit(args.circuit)
     analyzer = SinglePassAnalyzer(
         circuit, use_correlation=not args.no_correlation,
@@ -182,14 +177,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         weights_cache_dir=args.weights_cache)
     log.info("analyzer ready (weights: %s)", analyzer.weights.source)
     eps_values = _eps_list(args.eps)
-    json_points = []
+    results = []
+    timings = []
 
     def report_point(eps: float, result, elapsed: float) -> None:
-        result_dict = single_pass_result_to_dict(result)
-        if args.json:
-            json_points.append({"eps": eps, "elapsed_s": elapsed,
-                                **result_dict})
-        else:
+        results.append(result)
+        timings.append(elapsed)
+        if not args.json:
             print(f"eps={eps}: ({elapsed * 1000:.1f} ms, "
                   f"{result.correlation_pairs} corr pairs)")
             for out, delta in result.per_output.items():
@@ -202,7 +196,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "level_gap": args.level_gap,
                     "compiled": args.compiled,
                     "jobs": args.jobs},
-            results=result_dict)
+            results=result.to_dict())
 
     # One batched sweep when the compiled kernel handles it (or when the
     # scalar points fan out over a process pool); otherwise per-point runs
@@ -219,8 +213,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             result = analyzer.run(eps)
             report_point(eps, result, time.perf_counter() - t0)
     if args.json:
-        print(json.dumps({"circuit": circuit.name, "command": "analyze",
-                          "points": json_points}, indent=2))
+        # Same payload builder `repro serve` envelopes use, so a serve
+        # "result" byte-matches this document minus the timing list.
+        doc = analyze_payload(circuit.name, eps_values, results)
+        doc["elapsed_s"] = timings
+        print(json.dumps(doc, indent=2))
     return 0
 
 
@@ -386,6 +383,62 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace) -> "AnalysisEngine":
+    from .engine import AnalysisEngine
+    return AnalysisEngine(
+        max_sessions=args.max_sessions,
+        weights_cache_dir=args.weights_cache,
+        jobs=args.jobs,
+        default_timeout_s=args.timeout)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .engine import serve_stream, serve_tcp
+    engine = _make_engine(args)
+    try:
+        if args.tcp:
+            host, _, port = args.tcp.rpartition(":")
+            if not host:
+                raise SystemExit(
+                    f"invalid --tcp address {args.tcp!r}: expected HOST:PORT")
+            try:
+                port_num = int(port)
+            except ValueError:
+                raise SystemExit(
+                    f"invalid --tcp port {port!r}: expected an integer"
+                ) from None
+            serve_tcp(engine, host, port_num)
+        else:
+            served = serve_stream(engine, sys.stdin, sys.stdout)
+            log.info("served %d request(s)", served)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        engine.close()
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .engine import run_batch
+    path = Path(args.requests)
+    if not path.exists():
+        raise SystemExit(f"no such requests file: {args.requests}")
+    lines = path.read_text().splitlines()
+    engine = _make_engine(args)
+    try:
+        if args.out:
+            with open(args.out, "w") as fh:
+                failures = run_batch(engine, lines, fh, jobs=args.jobs)
+            log.info("wrote envelopes to %s", args.out)
+        else:
+            failures = run_batch(engine, lines, sys.stdout, jobs=args.jobs)
+    finally:
+        engine.close()
+    if failures:
+        log.warning("%d request(s) failed", failures)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -527,6 +580,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("out", help="output path (.bench / .blif / .v)")
     p.set_defaults(func=_cmd_convert)
+
+    def add_engine(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--max-sessions", type=int, default=8, metavar="N",
+                       help="hot circuit sessions kept in the engine's "
+                            "LRU registry")
+        p.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="worker-process lanes for fanning independent "
+                            "circuits out (0 = in-process)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="default per-request timeout in seconds; on "
+                            "expiry the engine falls back down the "
+                            "compiled → scalar → closed-form ladder")
+        add_weights_cache(p)
+        add_obs(p)
+
+    p = sub.add_parser("serve",
+                       help="persistent engine serving JSON requests")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on TCP instead of stdio (e.g. "
+                        "127.0.0.1:7777; port 0 picks a free port)")
+    add_engine(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("batch",
+                       help="run a requests.jsonl through the engine")
+    p.add_argument("requests", help="path to a line-delimited JSON "
+                                    "request file")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write envelopes here instead of stdout")
+    add_engine(p)
+    p.set_defaults(func=_cmd_batch)
 
     return parser
 

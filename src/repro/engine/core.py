@@ -1,0 +1,639 @@
+"""The persistent analysis engine: sessions, scheduling, fallback.
+
+:class:`AnalysisEngine` owns an LRU registry of
+:class:`~repro.engine.session.CircuitSession` objects so that the Nth
+query on a circuit pays only kernel time — weights, compiled plans and
+closed-form models all stay hot in memory, with the ``weight_cache`` disk
+tier as backing store across processes.
+
+On top of the registry sits a small request scheduler:
+
+* :meth:`AnalysisEngine.submit` executes one declarative
+  :class:`~repro.engine.requests.AnalysisRequest` and returns an
+  :class:`~repro.engine.requests.AnalysisResponse` envelope;
+* :meth:`AnalysisEngine.submit_many` **coalesces** single-pass
+  analyze/sweep requests that target the same session into one batched
+  ``sweep`` kernel call (one vectorized pass answers them all), and fans
+  independent sessions out over a pool of sticky worker processes;
+* per-request ``timeout_s`` deadlines are enforced cooperatively along
+  the fallback ladder **compiled → scalar → closed-form**: a request
+  whose deadline has passed before the pass starts is answered by the
+  session's closed-form model instead, and every downgrade is recorded in
+  the envelope's ``fallbacks`` list.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuit import Circuit
+from ..obs import metrics as obs_metrics
+from ..obs import trace_span
+from ..sim.montecarlo import monte_carlo_reliability
+from ..spec import EpsilonSpec
+from .requests import (
+    AnalysisRequest,
+    AnalysisResponse,
+    analyze_payload,
+    curve_payload,
+    result_payload,
+)
+from .session import CircuitRef, CircuitSession, SessionConfig, resolve_circuit
+
+#: Analyzer kwargs that cannot key a shared session (unhashable or
+#: identity-bearing); their presence makes the session transient.
+#: ``weights`` is transient only when it carries a WeightData object —
+#: a *string* ``weights`` is the CLI's alias for ``weight_method``.
+_TRANSIENT_OPTIONS = ("weights", "input_errors")
+
+
+def _split_options(options: Dict[str, Any]
+                   ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Partition request options into (config options, transient extras)."""
+    config_opts: Dict[str, Any] = {}
+    extra: Dict[str, Any] = {}
+    for key, value in options.items():
+        if key in _TRANSIENT_OPTIONS and not (
+                key == "weights" and isinstance(value, str)):
+            extra[key] = value
+        else:
+            config_opts[key] = value
+    return config_opts, extra
+
+
+class AnalysisEngine:
+    """A long-lived, multi-circuit reliability analysis service.
+
+    Parameters
+    ----------
+    max_sessions:
+        LRU capacity of the session registry; pinned sessions don't
+        count against evictions.
+    weights_cache_dir:
+        Default disk tier for every session (overridable per request via
+        ``options={"weights_cache_dir": ...}``).
+    jobs:
+        Default process fan-out for :meth:`submit_many` (0/1 = inline).
+    default_timeout_s:
+        Deadline applied to requests that don't carry their own.
+    """
+
+    def __init__(self, max_sessions: int = 8,
+                 weights_cache_dir: Optional[str] = None,
+                 jobs: int = 0,
+                 default_timeout_s: Optional[float] = None):
+        self.max_sessions = max_sessions
+        self.weights_cache_dir = weights_cache_dir
+        self.jobs = jobs
+        self.default_timeout_s = default_timeout_s
+        self._sessions: "OrderedDict[Tuple, CircuitSession]" = OrderedDict()
+        self._pinned: set = set()
+        self.session_hits = 0
+        self.session_misses = 0
+        self.requests_served = 0
+        self._lanes: List[ProcessPoolExecutor] = []
+
+    # -- session registry ----------------------------------------------
+    def _session_key(self, ref: CircuitRef,
+                     config: SessionConfig) -> Tuple:
+        if isinstance(ref, Circuit):
+            # Structure-keyed: two equal netlists share a session even if
+            # the caller rebuilt the object.
+            from ..probability.weight_cache import structural_hash
+            return (structural_hash(ref), config)
+        return (str(ref), config)
+
+    def _config_from_options(self, options: Dict[str, Any]) -> SessionConfig:
+        opts, _ = _split_options(options)
+        if "weights_cache_dir" not in opts and self.weights_cache_dir:
+            opts["weights_cache_dir"] = self.weights_cache_dir
+        return SessionConfig.from_options(opts)
+
+    def session(self, circuit_or_name: CircuitRef,
+                **options: Any) -> CircuitSession:
+        """The hot session for one circuit (creating/evicting as needed).
+
+        Options carrying non-keyable analyzer arguments (explicit
+        ``weights=`` or ``input_errors=``) produce a transient session
+        that bypasses the registry entirely.
+        """
+        _, extra = _split_options(options)
+        config = self._config_from_options(options)
+        if extra:
+            return CircuitSession(resolve_circuit(circuit_or_name), config,
+                                  extra_analyzer_kwargs=extra)
+        key = self._session_key(circuit_or_name, config)
+        session = self._sessions.get(key)
+        label = (circuit_or_name.name
+                 if isinstance(circuit_or_name, Circuit)
+                 else str(circuit_or_name))
+        if session is not None:
+            self._sessions.move_to_end(key)
+            self.session_hits += 1
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("engine.session.hits", circuit=label)
+            return session
+        self.session_misses += 1
+        if obs_metrics.is_enabled():
+            obs_metrics.inc("engine.session.misses", circuit=label)
+        with trace_span("engine.session.create", circuit=label):
+            session = CircuitSession(resolve_circuit(circuit_or_name),
+                                     config)
+            session.pin()
+        self._sessions[key] = session
+        self._evict()
+        return session
+
+    def _evict(self) -> None:
+        while len(self._sessions) > self.max_sessions:
+            victim_key = next((k for k in self._sessions
+                               if k not in self._pinned), None)
+            if victim_key is None:
+                break
+            victim = self._sessions.pop(victim_key)
+            victim.unpin()
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("engine.session.evictions",
+                                circuit=victim.circuit.name)
+
+    def pin_session(self, circuit_or_name: CircuitRef,
+                    **options: Any) -> CircuitSession:
+        """Create (or fetch) a session and exempt it from LRU eviction."""
+        session = self.session(circuit_or_name, **options)
+        config = self._config_from_options(options)
+        self._pinned.add(self._session_key(circuit_or_name, config))
+        return session
+
+    # -- direct analysis API -------------------------------------------
+    def analyze(self, circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
+                method: str = "single-pass", correlation: bool = True,
+                eps10: Optional[EpsilonSpec] = None,
+                output: Optional[str] = None,
+                timeout_s: Optional[float] = None,
+                **opts: Any):
+        """One eps vector through the engine; returns the result object.
+
+        The return type follows the method — ``single-pass`` gives the
+        same :class:`SinglePassResult` a direct
+        ``SinglePassAnalyzer.run`` call would, ``closed-form`` a
+        :class:`ClosedFormResult`, ``mc`` a :class:`MonteCarloResult`,
+        ``consolidated`` / ``exact`` likewise — all sharing the
+        :class:`~repro.reliability.protocol.ResultProtocol` surface.
+        """
+        mc_patterns = opts.pop("mc_patterns", 1 << 16)
+        correlation = opts.pop("use_correlation", correlation)
+        session = self.session(circuit_or_name, **opts)
+        session.touch()
+        self.requests_served += 1
+        deadline = self._deadline(timeout_s)
+        with trace_span("engine.analyze", circuit=session.circuit.name,
+                        method=method):
+            if method == "single-pass":
+                result, _, _, _ = self._single_pass_with_ladder(
+                    session, correlation, [eps],
+                    None if eps10 is None else [eps10], deadline)
+                return result[0]
+            if method == "closed-form":
+                return session.closed_form(output).analyze(eps)
+            if method == "mc":
+                return monte_carlo_reliability(
+                    session.circuit, eps, n_patterns=mc_patterns,
+                    seed=session.config.seed)
+            if method == "consolidated":
+                return session.consolidated().run(eps)
+            if method == "exact":
+                from ..reliability.exact import exhaustive_exact_reliability
+                return exhaustive_exact_reliability(session.circuit, eps)
+            raise ValueError(f"unknown method {method!r}")
+
+    def sweep(self, circuit_or_name: CircuitRef,
+              eps_values: Sequence[EpsilonSpec], *,
+              method: str = "single-pass", correlation: bool = True,
+              eps10_values: Optional[Sequence[EpsilonSpec]] = None,
+              output: Optional[str] = None,
+              **opts: Any):
+        """Many eps vectors in one call.
+
+        ``single-pass`` returns the dense
+        :class:`~repro.reliability.compiled_pass.SweepResult`;
+        ``closed-form``, ``consolidated`` and ``mc`` return
+        ``{eps: delta}`` curves (matching the shapes their historical
+        free functions produced).
+        """
+        mc_patterns = opts.pop("mc_patterns", 1 << 16)
+        correlation = opts.pop("use_correlation", correlation)
+        session = self.session(circuit_or_name, **opts)
+        session.touch()
+        self.requests_served += 1
+        with trace_span("engine.sweep", circuit=session.circuit.name,
+                        method=method, points=len(list(eps_values))):
+            if method == "single-pass":
+                return session.analyzer(correlation).sweep(
+                    list(eps_values),
+                    None if eps10_values is None else list(eps10_values))
+            if method == "closed-form":
+                model = session.closed_form(output)
+                if hasattr(model, "curve"):
+                    return model.curve(eps_values)
+                return {e: model.any_output_delta(e) for e in eps_values}
+            if method == "consolidated":
+                return session.consolidated().curve(eps_values)
+            if method == "mc":
+                return {
+                    e: monte_carlo_reliability(
+                        session.circuit, e, n_patterns=mc_patterns,
+                        seed=session.config.seed + i).delta(output)
+                    for i, e in enumerate(eps_values)}
+            raise ValueError(f"unknown method {method!r}")
+
+    # -- ladder ---------------------------------------------------------
+    def _deadline(self, timeout_s: Optional[float]) -> Optional[float]:
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        if timeout_s is None:
+            return None
+        return time.monotonic() + float(timeout_s)
+
+    def _single_pass_with_ladder(self, session: CircuitSession,
+                                 correlation: bool,
+                                 specs: List[EpsilonSpec],
+                                 eps10_specs: Optional[List[EpsilonSpec]],
+                                 deadline: Optional[float]):
+        """Run eps points down the compiled → scalar → closed-form ladder.
+
+        Returns ``(results, method_used, fallbacks, timed_out)`` where
+        ``results`` has one protocol result object per point.  Deadlines
+        are cooperative: they are checked *between* rungs, never mid-pass,
+        so a pass that started in time runs to completion (and is merely
+        flagged ``timed_out`` if it overran).
+        """
+        fallbacks: List[Dict[str, str]] = []
+        analyzer = session.analyzer(correlation)
+        rung = ("single-pass-compiled" if analyzer.uses_compiled
+                else "single-pass-scalar")
+        if session.config.compiled == "auto" and not analyzer.uses_compiled:
+            fallbacks.append({"from": "single-pass-compiled",
+                              "to": "single-pass-scalar",
+                              "reason": "no compiled plan for this circuit"})
+        if deadline is not None and time.monotonic() >= deadline:
+            fallbacks.append({"from": rung, "to": "closed-form",
+                              "reason": "timeout"})
+            model = session.closed_form(None)
+            results = [model.analyze(spec) for spec in specs]
+            return results, "closed-form", fallbacks, True
+        sweep = analyzer.sweep(specs, eps10_specs)
+        results = [sweep.point(j) for j in range(len(specs))]
+        timed_out = deadline is not None and time.monotonic() > deadline
+        return results, rung, fallbacks, timed_out
+
+    # -- request scheduler ---------------------------------------------
+    def submit(self, request: Union[AnalysisRequest, Dict[str, Any]]
+               ) -> AnalysisResponse:
+        """Execute one declarative request and envelope the outcome.
+
+        Never raises for analysis-level failures: bad circuits, bad eps
+        specs, and method errors come back as ``ok=False`` envelopes so a
+        serve loop survives malformed traffic.
+        """
+        if isinstance(request, dict):
+            try:
+                request = AnalysisRequest.from_dict(request)
+            except ValueError as exc:
+                return AnalysisResponse(
+                    ok=False, op=str(request.get("op", "analyze")),
+                    circuit=str(request.get("circuit", "?")),
+                    id=request.get("id"), error=str(exc))
+        t0 = time.perf_counter()
+        try:
+            response = self._execute(request)
+        except Exception as exc:  # noqa: BLE001 - envelope, don't crash
+            response = AnalysisResponse(
+                ok=False, op=request.op, circuit=request.circuit_label(),
+                id=request.id, error=f"{type(exc).__name__}: {exc}")
+        response.elapsed_s = time.perf_counter() - t0
+        self._attach_obs(request, response)
+        return response
+
+    def submit_many(self, requests: Sequence[Union[AnalysisRequest,
+                                                   Dict[str, Any]]],
+                    jobs: Optional[int] = None) -> List[AnalysisResponse]:
+        """Execute a batch: coalesce per session, fan out across lanes.
+
+        Single-pass analyze/sweep requests sharing a session (same
+        circuit + options + correlation mode, no deadline) are answered
+        by **one** batched kernel sweep; with ``jobs > 1`` independent
+        sessions run in parallel worker processes with sticky routing
+        (the same circuit always lands on the same worker, so its
+        session stays warm across batches).  Responses come back in
+        request order.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        parsed: List[Tuple[int, Union[AnalysisRequest, Dict[str, Any]]]] = \
+            list(enumerate(requests))
+        if jobs and jobs > 1:
+            return self._fan_out(parsed, jobs)
+        return self._run_batch_local(parsed)
+
+    # -- local batch execution with coalescing -------------------------
+    def _run_batch_local(self, indexed) -> List[AnalysisResponse]:
+        responses: Dict[int, AnalysisResponse] = {}
+        groups: "OrderedDict[Tuple, List[Tuple[int, AnalysisRequest]]]" = \
+            OrderedDict()
+        for idx, raw in indexed:
+            request = raw
+            if isinstance(raw, dict):
+                try:
+                    request = AnalysisRequest.from_dict(raw)
+                except ValueError as exc:
+                    responses[idx] = AnalysisResponse(
+                        ok=False, op=str(raw.get("op", "analyze")),
+                        circuit=str(raw.get("circuit", "?")),
+                        id=raw.get("id"), error=str(exc))
+                    continue
+            key = self._coalesce_key(request)
+            if key is None:
+                responses[idx] = self.submit(request)
+            else:
+                groups.setdefault(key, []).append((idx, request))
+        for members in groups.values():
+            if len(members) == 1:
+                idx, request = members[0]
+                responses[idx] = self.submit(request)
+            else:
+                for idx, response in self._run_coalesced(members):
+                    responses[idx] = response
+        return [responses[i] for i in range(len(indexed))]
+
+    def _coalesce_key(self, request: AnalysisRequest) -> Optional[Tuple]:
+        """Group key for batchable requests, or None to run solo."""
+        if request.op not in ("analyze", "sweep"):
+            return None
+        if request.method != "single-pass" or request.timeout_s is not None:
+            return None
+        if _split_options(request.options)[1]:
+            return None
+        try:
+            config = self._config_from_options(request.options)
+        except ValueError:
+            return None
+        if isinstance(request.circuit, Circuit):
+            circuit_key: Any = id(request.circuit)
+        else:
+            circuit_key = str(request.circuit)
+        return (circuit_key, config, bool(request.correlation),
+                request.eps10 is None)
+
+    def _run_coalesced(self, members) -> List[Tuple[int, AnalysisResponse]]:
+        """Answer several same-session requests from one kernel sweep."""
+        first = members[0][1]
+        t0 = time.perf_counter()
+        try:
+            slices: List[Tuple[int, int]] = []
+            specs: List[EpsilonSpec] = []
+            eps10_specs: Optional[List[EpsilonSpec]] = (
+                None if first.eps10 is None else [])
+            for _, request in members:
+                points = request.eps_points()
+                slices.append((len(specs), len(points)))
+                specs.extend(points)
+                if eps10_specs is not None:
+                    e10 = request.eps10_points()
+                    if e10 is None or len(e10) != len(points):
+                        raise ValueError(
+                            "eps10 must cover every eps point")
+                    eps10_specs.extend(e10)
+            session = self.session(first.circuit, **first.options)
+            session.touch()
+            self.requests_served += len(members)
+            with trace_span("engine.coalesced_sweep",
+                            circuit=session.circuit.name,
+                            requests=len(members), points=len(specs)):
+                results, method, fallbacks, timed_out = \
+                    self._single_pass_with_ladder(
+                        session, first.correlation, specs, eps10_specs,
+                        None)
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("engine.coalesced_requests", len(members),
+                                circuit=session.circuit.name)
+            elapsed = (time.perf_counter() - t0) / len(members)
+            out = []
+            for (idx, request), (start, count) in zip(members, slices):
+                payload = analyze_payload(
+                    session.circuit.name, specs[start:start + count],
+                    results[start:start + count])
+                response = AnalysisResponse(
+                    ok=True, op=request.op,
+                    circuit=session.circuit.name, id=request.id,
+                    method=method, fallbacks=list(fallbacks),
+                    timed_out=timed_out, elapsed_s=elapsed,
+                    coalesced=len(members), result=payload)
+                self._attach_obs(request, response)
+                out.append((idx, response))
+            return out
+        except Exception:  # noqa: BLE001 - degrade to solo execution
+            return [(idx, self.submit(request)) for idx, request in members]
+
+    # -- single-request execution --------------------------------------
+    def _execute(self, request: AnalysisRequest) -> AnalysisResponse:
+        op = request.op
+        self.requests_served += 1
+        if obs_metrics.is_enabled():
+            obs_metrics.inc("engine.requests", op=op,
+                            circuit=request.circuit_label())
+        if op == "report":
+            return self._execute_report(request)
+        session = self.session(request.circuit, **{
+            k: v for k, v in request.options.items()
+            if k not in ("mc_patterns",)})
+        session.touch()
+        name = session.circuit.name
+        deadline = self._deadline(request.timeout_s)
+        with trace_span("engine.request", op=op, circuit=name):
+            if op in ("analyze", "sweep"):
+                return self._execute_analyze(request, session, deadline)
+            if op == "curve":
+                eps_points = [float(e) for e in request.eps_points()]
+                output = request.output or session.circuit.outputs[0]
+                sweep = session.analyzer(request.correlation).sweep(
+                    eps_points)
+                deltas = sweep.delta(output)
+                return AnalysisResponse(
+                    ok=True, op=op, circuit=name, id=request.id,
+                    method="single-pass",
+                    result=curve_payload(name, output, eps_points, deltas))
+            if op == "closed-form":
+                result = session.closed_form(request.output).analyze(
+                    request.eps_points()[0])
+                return AnalysisResponse(
+                    ok=True, op=op, circuit=name, id=request.id,
+                    method="closed-form",
+                    result=result_payload(name, "closed-form", result))
+            if op == "mc":
+                result = monte_carlo_reliability(
+                    session.circuit, request.eps_points()[0],
+                    n_patterns=request.options.get("mc_patterns", 1 << 16),
+                    seed=session.config.seed)
+                return AnalysisResponse(
+                    ok=True, op=op, circuit=name, id=request.id,
+                    method="mc", result=result_payload(name, "mc", result))
+            raise ValueError(f"unknown op {op!r}")
+
+    def _execute_analyze(self, request: AnalysisRequest,
+                         session: CircuitSession,
+                         deadline: Optional[float]) -> AnalysisResponse:
+        name = session.circuit.name
+        specs = request.eps_points()
+        method = request.method
+        if method == "single-pass":
+            results, used, fallbacks, timed_out = \
+                self._single_pass_with_ladder(
+                    session, request.correlation, specs,
+                    request.eps10_points(), deadline)
+            return AnalysisResponse(
+                ok=True, op=request.op, circuit=name, id=request.id,
+                method=used, fallbacks=fallbacks, timed_out=timed_out,
+                result=analyze_payload(name, specs, results))
+        if method == "closed-form":
+            model = session.closed_form(request.output)
+            results = [model.analyze(spec) for spec in specs]
+            return AnalysisResponse(
+                ok=True, op=request.op, circuit=name, id=request.id,
+                method="closed-form",
+                result=analyze_payload(name, specs, results))
+        if method == "mc":
+            results = [monte_carlo_reliability(
+                session.circuit, spec,
+                n_patterns=request.options.get("mc_patterns", 1 << 16),
+                seed=session.config.seed + i)
+                for i, spec in enumerate(specs)]
+            return AnalysisResponse(
+                ok=True, op=request.op, circuit=name, id=request.id,
+                method="mc", result=analyze_payload(name, specs, results))
+        if method == "consolidated":
+            results = [session.consolidated().run(spec) for spec in specs]
+            return AnalysisResponse(
+                ok=True, op=request.op, circuit=name, id=request.id,
+                method="consolidated",
+                result=analyze_payload(name, specs, results))
+        if method == "exact":
+            from ..reliability.exact import exhaustive_exact_reliability
+            results = [exhaustive_exact_reliability(session.circuit, spec)
+                       for spec in specs]
+            return AnalysisResponse(
+                ok=True, op=request.op, circuit=name, id=request.id,
+                method="exact",
+                result=analyze_payload(name, specs, results))
+        raise ValueError(f"unknown method {method!r}")
+
+    def _execute_report(self, request: AnalysisRequest) -> AnalysisResponse:
+        from ..report import ReportConfig, build_report
+        circuit = resolve_circuit(request.circuit)
+        options = dict(request.options)
+        config = ReportConfig(
+            mc_patterns=options.get("mc_patterns", 1 << 14),
+            seed=options.get("seed", 0),
+            include_testability=options.get("include_testability", True),
+            weights_cache_dir=options.get("weights_cache_dir",
+                                          self.weights_cache_dir))
+        report = build_report(circuit, config)
+        return AnalysisResponse(
+            ok=True, op="report", circuit=circuit.name, id=request.id,
+            method="report", result=report.to_dict())
+
+    # -- process-pool fan-out ------------------------------------------
+    def _lane(self, index: int, total: int) -> ProcessPoolExecutor:
+        while len(self._lanes) < total:
+            self._lanes.append(ProcessPoolExecutor(
+                max_workers=1, initializer=_lane_init,
+                initargs=(self.max_sessions, self.weights_cache_dir)))
+        return self._lanes[index]
+
+    def _fan_out(self, indexed, jobs: int) -> List[AnalysisResponse]:
+        """Distribute a batch across sticky single-process lanes.
+
+        Routing hashes the coalescing key (falling back to the circuit
+        label), so requests for one session always reach the same worker
+        — its session registry stays warm across batches.
+        """
+        by_lane: Dict[int, List[Tuple[int, Any]]] = {}
+        for idx, raw in indexed:
+            label = (raw.get("circuit", "?") if isinstance(raw, dict)
+                     else raw.circuit_label())
+            lane = hash(str(label)) % jobs
+            by_lane.setdefault(lane, []).append((idx, raw))
+        futures = []
+        for lane_idx, members in by_lane.items():
+            reqs = [raw for _, raw in members]
+            future = self._lane(lane_idx, jobs).submit(_lane_run, reqs)
+            futures.append((members, future))
+        responses: Dict[int, AnalysisResponse] = {}
+        for members, future in futures:
+            for (idx, _), response in zip(members, future.result()):
+                responses[idx] = response
+        return [responses[i] for i in range(len(indexed))]
+
+    # -- lifecycle ------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Registry and scheduler counters (for `serve` introspection)."""
+        return {
+            "sessions": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "session_hits": self.session_hits,
+            "session_misses": self.session_misses,
+            "requests_served": self.requests_served,
+            "lanes": len(self._lanes),
+        }
+
+    def close(self) -> None:
+        """Shut down worker lanes and release pinned cache entries."""
+        for lane in self._lanes:
+            lane.shutdown(wait=False, cancel_futures=True)
+        self._lanes.clear()
+        for session in self._sessions.values():
+            session.unpin()
+        self._sessions.clear()
+        self._pinned.clear()
+
+    def __enter__(self) -> "AnalysisEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- obs ------------------------------------------------------------
+    def _attach_obs(self, request, response: AnalysisResponse) -> None:
+        if not obs_metrics.is_enabled():
+            return
+        labels = {"op": response.op, "circuit": response.circuit}
+        obs_metrics.inc("engine.responses", **labels)
+        obs_metrics.observe("engine.request_seconds", response.elapsed_s,
+                            **labels)
+        response.obs = {
+            "labels": labels,
+            "session_hits": self.session_hits,
+            "session_misses": self.session_misses,
+        }
+
+
+# ----------------------------------------------------------------------
+# Sticky-lane worker plumbing: each lane is a one-process executor whose
+# worker holds its own AnalysisEngine, so a circuit routed to the same
+# lane twice finds its session (weights + compiled plans) already hot.
+# ----------------------------------------------------------------------
+
+_LANE_ENGINE: Optional[AnalysisEngine] = None
+
+
+def _lane_init(max_sessions: int,
+               weights_cache_dir: Optional[str]) -> None:
+    global _LANE_ENGINE
+    _LANE_ENGINE = AnalysisEngine(max_sessions=max_sessions,
+                                  weights_cache_dir=weights_cache_dir,
+                                  jobs=0)
+
+
+def _lane_run(requests) -> List[AnalysisResponse]:
+    return _LANE_ENGINE.submit_many(requests, jobs=0)

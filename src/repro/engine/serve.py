@@ -1,0 +1,138 @@
+"""Line-delimited JSON request serving: ``repro serve`` / ``repro batch``.
+
+The wire protocol is deliberately minimal — one JSON object per line in,
+one JSON envelope per line out, in request order:
+
+    {"id": 1, "op": "analyze", "circuit": "c17", "eps": [0.01, 0.05]}
+    {"id": 1, "ok": true, "result": {...}, "method": "...", ...}
+
+Three control ops exist alongside the analysis ops:
+
+* ``{"op": "ping"}`` — liveness probe, echoes engine stats;
+* ``{"op": "stats"}`` — session registry / scheduler counters;
+* ``{"op": "shutdown"}`` — acknowledge and close the connection (stdio
+  mode exits the loop; TCP mode closes that client's connection).
+
+``serve_stream`` drives one connection over file objects (stdio or a
+socket makefile); ``serve_tcp`` accepts many clients, each served by a
+thread against the shared engine; ``run_batch`` executes an offline
+``requests.jsonl`` through the coalescing/fan-out scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+from typing import Any, Dict, IO, List, Optional
+
+from ..obs import get_logger
+from .core import AnalysisEngine
+from .requests import AnalysisResponse
+
+log = get_logger("engine.serve")
+
+#: Ops handled by the serve loop itself, without touching the scheduler.
+CONTROL_OPS = ("ping", "stats", "shutdown")
+
+
+def handle_line(engine: AnalysisEngine, line: str) -> Dict[str, Any]:
+    """One request line → one envelope dict (never raises)."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return AnalysisResponse(ok=False, op="?", circuit="?",
+                                error=f"invalid JSON: {exc}").to_dict()
+    if isinstance(data, dict) and data.get("op") in CONTROL_OPS:
+        return {"id": data.get("id"), "ok": True, "op": data["op"],
+                "stats": engine.stats()}
+    return engine.submit(data).to_dict()
+
+
+def serve_stream(engine: AnalysisEngine, infile: IO[str],
+                 outfile: IO[str]) -> int:
+    """Serve one line-delimited connection until EOF or ``shutdown``.
+
+    Returns the number of requests answered.
+    """
+    served = 0
+    for line in infile:
+        line = line.strip()
+        if not line:
+            continue
+        envelope = handle_line(engine, line)
+        outfile.write(json.dumps(envelope) + "\n")
+        outfile.flush()
+        served += 1
+        if envelope.get("op") == "shutdown":
+            break
+    return served
+
+
+def serve_tcp(engine: AnalysisEngine, host: str, port: int,
+              ready_callback=None) -> None:
+    """Serve TCP clients forever (each connection = one stream loop).
+
+    ``ready_callback(bound_port)`` fires once the socket is listening —
+    tests use it to learn an ephemeral port.  The engine is shared, so
+    sessions warmed by one client serve the next; request handling is
+    serialized per connection by the stream loop.
+    """
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            infile = self.rfile
+            for raw in infile:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                envelope = handle_line(engine, line)
+                self.wfile.write((json.dumps(envelope) + "\n").encode())
+                if envelope.get("op") == "shutdown":
+                    break
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with Server((host, port), Handler) as server:
+        if ready_callback is not None:
+            ready_callback(server.server_address[1])
+        log.info("serving on %s:%d", *server.server_address[:2])
+        server.serve_forever()
+
+
+def run_batch(engine: AnalysisEngine, lines: List[str],
+              outfile: IO[str], jobs: Optional[int] = None) -> int:
+    """Execute a requests.jsonl offline: coalesced, fanned out, in order.
+
+    Unlike the interactive loop, the whole batch is visible up front, so
+    same-session sweep points collapse into single kernel calls and
+    independent circuits spread across worker lanes.  Returns the number
+    of failed requests (0 = clean batch).
+    """
+    requests: List[Any] = []
+    parse_errors: Dict[int, Dict[str, Any]] = {}
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            parse_errors[i] = None  # skip marker: no output line
+            continue
+        try:
+            requests.append((i, json.loads(line)))
+        except json.JSONDecodeError as exc:
+            parse_errors[i] = AnalysisResponse(
+                ok=False, op="?", circuit="?",
+                error=f"invalid JSON on line {i + 1}: {exc}").to_dict()
+    responses = engine.submit_many([req for _, req in requests], jobs=jobs)
+    by_line = dict(zip((i for i, _ in requests),
+                       (r.to_dict() for r in responses)))
+    failures = 0
+    for i in range(len(lines)):
+        envelope = by_line.get(i, parse_errors.get(i))
+        if envelope is None:
+            continue
+        if not envelope.get("ok"):
+            failures += 1
+        outfile.write(json.dumps(envelope) + "\n")
+    outfile.flush()
+    return failures

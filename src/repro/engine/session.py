@@ -1,0 +1,249 @@
+"""Per-circuit analysis sessions: everything eps-independent, kept hot.
+
+The paper's central split is between what depends on the failure
+probabilities (one cheap pass) and what does not (weights, correlation
+pair discovery, observabilities — all computable once per circuit).  A
+:class:`CircuitSession` is the in-memory embodiment of the eps-independent
+half: the parsed :class:`~repro.circuit.Circuit`, its
+:class:`~repro.probability.weights.WeightData`, the lowered compiled plans
+(independence *and* correlated), and the lazily built closed-form /
+consolidated models, all behind one object the
+:class:`~repro.engine.core.AnalysisEngine` keeps in an LRU registry.
+
+The existing ``weight_cache`` disk tier is the backing store: a session
+constructed with ``weights_cache_dir`` set loads (and pins) its weight
+entry through :mod:`repro.probability.weight_cache`, so a recycled session
+warms back up from disk instead of re-estimating.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..circuit import Circuit
+from ..circuits import get_benchmark
+from ..io import load_bench, load_blif
+from ..obs import trace_span
+from ..probability.weight_cache import (
+    memory_tier,
+    pin_weights,
+    structural_hash,
+)
+from ..probability.weights import WeightData, compute_weights
+from ..reliability.closed_form import (
+    MultiOutputObservabilityModel,
+    ObservabilityModel,
+)
+from ..reliability.consolidated import ConsolidatedAnalyzer
+from ..reliability.single_pass import SinglePassAnalyzer
+
+#: What callers may hand to the engine as "a circuit".
+CircuitRef = Union[str, Circuit]
+
+
+def resolve_circuit(ref: CircuitRef) -> Circuit:
+    """Turn a circuit reference into a :class:`Circuit`.
+
+    Accepts a ready :class:`Circuit`, a netlist path (``.bench`` /
+    ``.blif``), or a built-in benchmark name.  Raises :class:`ValueError`
+    for anything else — the serve loop converts that into an error
+    envelope instead of dying.
+    """
+    if isinstance(ref, Circuit):
+        return ref
+    path = Path(ref)
+    if path.exists():
+        if path.suffix == ".bench":
+            return load_bench(path)
+        if path.suffix == ".blif":
+            return load_blif(path)
+        raise ValueError(f"unsupported netlist extension: {path.suffix}")
+    try:
+        return get_benchmark(ref)
+    except KeyError:
+        raise ValueError(
+            f"{ref!r} is neither a file nor a known benchmark "
+            f"(try: repro bench)") from None
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """The eps-independent knobs that key a session.
+
+    Two requests with the same circuit structure and the same
+    :class:`SessionConfig` may share one session — everything here feeds
+    the weight estimator, the correlation-plan budget, or the kernel
+    choice, and nothing here varies per query.
+    """
+
+    weight_method: str = "auto"
+    n_patterns: int = 1 << 16
+    seed: int = 0
+    input_probs: Optional[Tuple[Tuple[str, float], ...]] = None
+    max_correlation_pairs: int = 1_000_000
+    max_correlation_level_gap: Optional[int] = None
+    compiled: str = "auto"
+    weights_cache_dir: Optional[str] = None
+
+    #: Option names :meth:`from_options` understands (plus aliases).
+    FIELDS = ("weight_method", "n_patterns", "seed", "input_probs",
+              "max_correlation_pairs", "max_correlation_level_gap",
+              "compiled", "weights_cache_dir")
+
+    @classmethod
+    def from_options(cls, options: Mapping[str, Any]) -> "SessionConfig":
+        """Build a config from a loose options mapping (CLI/JSON friendly).
+
+        Accepts the dataclass field names plus the CLI's historical
+        aliases ``weights`` (→ ``weight_method``) and ``level_gap``
+        (→ ``max_correlation_level_gap``).  Unknown keys raise
+        :class:`ValueError` so typos in request files surface instead of
+        silently running with defaults.
+        """
+        aliases = {"weights": "weight_method",
+                   "level_gap": "max_correlation_level_gap"}
+        kwargs: Dict[str, Any] = {}
+        for key, value in options.items():
+            name = aliases.get(key, key)
+            if name not in cls.FIELDS:
+                raise ValueError(f"unknown session option {key!r}")
+            if name == "input_probs" and value is not None:
+                value = tuple(sorted(dict(value).items()))
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def analyzer_kwargs(self) -> Dict[str, Any]:
+        return {
+            "weight_method": self.weight_method,
+            "n_patterns": self.n_patterns,
+            "seed": self.seed,
+            "input_probs": dict(self.input_probs) if self.input_probs
+            else None,
+            "max_correlation_pairs": self.max_correlation_pairs,
+            "max_correlation_level_gap": self.max_correlation_level_gap,
+            "compiled": self.compiled,
+            "weights_cache_dir": self.weights_cache_dir,
+        }
+
+
+@dataclass
+class CircuitSession:
+    """One circuit's hot analysis state (weights, plans, models).
+
+    Everything is lazy: the session costs nothing until the first query
+    needs a particular artifact, after which it stays resident for the
+    session's lifetime.  Sessions are read-mostly and safe to reuse across
+    sequential requests; the engine serializes access per session.
+    """
+
+    circuit: Circuit
+    config: SessionConfig = field(default_factory=SessionConfig)
+    #: Extra analyzer kwargs that bypass the registry (e.g. explicit
+    #: ``weights=``/``input_errors=``); sessions carrying them are
+    #: transient and never cached.
+    extra_analyzer_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.created_at = time.monotonic()
+        self.queries = 0
+        self._weights: Optional[WeightData] = None
+        self._analyzers: Dict[bool, SinglePassAnalyzer] = {}
+        self._closed: Dict[Optional[str], Any] = {}
+        self._consolidated: Optional[ConsolidatedAnalyzer] = None
+        self._pin_path: Optional[str] = None
+
+    # -- identity -------------------------------------------------------
+    @property
+    def structural_key(self) -> str:
+        if not hasattr(self, "_structural_key"):
+            self._structural_key = structural_hash(self.circuit)
+        return self._structural_key
+
+    # -- artifacts ------------------------------------------------------
+    @property
+    def weights(self) -> WeightData:
+        """The session's weight vectors (computed once, disk-backed)."""
+        if "weights" in self.extra_analyzer_kwargs:
+            return self.extra_analyzer_kwargs["weights"]
+        if self._weights is None:
+            cfg = self.config
+            with trace_span("engine.session.weights",
+                            circuit=self.circuit.name):
+                self._weights = compute_weights(
+                    self.circuit, method=cfg.weight_method,
+                    n_patterns=cfg.n_patterns, seed=cfg.seed,
+                    input_probs=dict(cfg.input_probs)
+                    if cfg.input_probs else None,
+                    cache_dir=cfg.weights_cache_dir)
+        return self._weights
+
+    def analyzer(self, use_correlation: bool = True) -> SinglePassAnalyzer:
+        """The session's single-pass analyzer for one correlation mode.
+
+        Both modes share the session's weight vectors; each holds its own
+        lowered compiled plan (correlated vs independence kernel).
+        """
+        use_correlation = bool(use_correlation)
+        analyzer = self._analyzers.get(use_correlation)
+        if analyzer is None:
+            kwargs = self.config.analyzer_kwargs()
+            kwargs.update(self.extra_analyzer_kwargs)
+            kwargs.setdefault("weights", self.weights)
+            analyzer = SinglePassAnalyzer(
+                self.circuit, use_correlation=use_correlation, **kwargs)
+            self._analyzers[use_correlation] = analyzer
+        return analyzer
+
+    def closed_form(self, output: Optional[str] = None,
+                    n_patterns: int = 1 << 12):
+        """Closed-form observability model (one output, or all outputs).
+
+        ``output=None`` on a multi-output circuit returns the
+        :class:`MultiOutputObservabilityModel`; otherwise the single-output
+        :class:`ObservabilityModel`.  Models are cached per output.
+        """
+        key = output
+        model = self._closed.get(key)
+        if model is None:
+            with trace_span("engine.session.closed_form",
+                            circuit=self.circuit.name):
+                if output is None and len(self.circuit.outputs) > 1:
+                    model = MultiOutputObservabilityModel(
+                        self.circuit, n_patterns=n_patterns,
+                        seed=self.config.seed)
+                else:
+                    model = ObservabilityModel(
+                        self.circuit, output=output,
+                        n_patterns=n_patterns, seed=self.config.seed)
+            self._closed[key] = model
+        return model
+
+    def consolidated(self) -> ConsolidatedAnalyzer:
+        """Consolidated (any-output) analyzer over the correlated engine."""
+        if self._consolidated is None:
+            self._consolidated = ConsolidatedAnalyzer(
+                self.circuit, analyzer=self.analyzer(True),
+                seed=self.config.seed)
+        return self._consolidated
+
+    # -- lifecycle ------------------------------------------------------
+    def touch(self) -> None:
+        self.queries += 1
+
+    def pin(self) -> None:
+        """Exempt this session's weight-cache entry from memory eviction."""
+        cfg = self.config
+        if cfg.weights_cache_dir is None or self._pin_path is not None:
+            return
+        self._pin_path = pin_weights(
+            cfg.weights_cache_dir, self.circuit, cfg.weight_method,
+            cfg.n_patterns, cfg.seed,
+            dict(cfg.input_probs) if cfg.input_probs else None)
+
+    def unpin(self) -> None:
+        if self._pin_path is not None:
+            memory_tier().unpin(self._pin_path)
+            self._pin_path = None

@@ -17,6 +17,15 @@ it on read, so a stale file (e.g. a netlist edited in place under the same
 name), a truncated write, or a corrupt archive is treated as a miss and
 recomputed — never an exception.  Writes go through a temp file +
 ``os.replace`` so concurrent readers cannot observe partial entries.
+
+A process-local **memory tier** sits in front of the disk files: decoded
+:class:`WeightData` objects are kept in an LRU keyed by entry path, each
+remembered together with the file's ``(mtime_ns, size)`` fingerprint.  A
+memory hit whose backing file changed (or vanished) is invalidated and
+falls through to the disk read, so the corruption/staleness guarantees
+above survive unchanged — the tier only skips redundant ``.npz`` decoding.
+Long-lived services (the :mod:`repro.engine` session registry) can
+:func:`pin_weights` hot circuits so eviction never touches them.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +46,102 @@ from .weights import WeightData
 
 #: Bump when the on-disk layout changes; old entries become misses.
 CACHE_FORMAT_VERSION = 1
+
+
+class MemoryTier:
+    """Process-local LRU of decoded weight entries over the disk tier.
+
+    Entries are keyed by their disk path and validated on every read
+    against the file's ``(mtime_ns, size)`` fingerprint, so the memory
+    tier can never serve data the disk tier would reject.  Pinned paths
+    are exempt from LRU eviction (but not from freshness invalidation).
+    """
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Tuple[Tuple[int, int], WeightData]]"\
+            = OrderedDict()
+        self._pinned = set()
+
+    @staticmethod
+    def _fingerprint(path: str) -> Optional[Tuple[int, int]]:
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def get(self, path: str) -> Optional[WeightData]:
+        item = self._entries.get(path)
+        if item is None:
+            return None
+        if self._fingerprint(path) != item[0]:
+            # Backing file changed or vanished: the decoded copy is stale.
+            del self._entries[path]
+            return None
+        self._entries.move_to_end(path)
+        return item[1]
+
+    def put(self, path: str, data: WeightData) -> None:
+        fp = self._fingerprint(path)
+        if fp is None:
+            return
+        self._entries[path] = (fp, data)
+        self._entries.move_to_end(path)
+        while len(self._entries) > self.capacity:
+            victim = next((p for p in self._entries
+                           if p not in self._pinned), None)
+            if victim is None:
+                break  # everything is pinned; let the tier overfill
+            del self._entries[victim]
+
+    def pin(self, path: str) -> None:
+        self._pinned.add(path)
+
+    def unpin(self, path: str) -> None:
+        self._pinned.discard(path)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._pinned.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pinned)
+
+
+#: The process-wide memory tier consulted by :func:`load_weights`.
+_MEMORY = MemoryTier()
+
+
+def memory_tier() -> MemoryTier:
+    """The process-wide memory tier (for inspection, pinning, clearing)."""
+    return _MEMORY
+
+
+def pin_weights(cache_dir: str, circuit: Circuit, method: str,
+                n_patterns: int, seed: int,
+                input_probs: Optional[Dict[str, float]] = None) -> str:
+    """Exempt one entry from memory-tier eviction; returns its path.
+
+    Pinning does not load anything by itself — the next
+    :func:`load_weights` (or :func:`store_weights`) populates the tier,
+    after which the decoded entry stays resident until
+    :func:`unpin_weights`.
+    """
+    path = _entry_path(cache_dir,
+                       cache_key(circuit, method, n_patterns, seed,
+                                 input_probs))
+    _MEMORY.pin(path)
+    return path
+
+
+def unpin_weights(path: str) -> None:
+    """Release a pin taken by :func:`pin_weights`."""
+    _MEMORY.unpin(path)
 
 
 def structural_hash(circuit: Circuit) -> str:
@@ -94,6 +200,10 @@ def load_weights(cache_dir: str, circuit: Circuit, method: str,
                          seed, input_probs)
     key = hashlib.sha256(expected.encode()).hexdigest()
     path = _entry_path(cache_dir, key)
+    resident = _MEMORY.get(path)
+    if resident is not None:
+        _note("weights_cache.memory_hits", circuit)
+        return resident
     if not os.path.exists(path):
         _note("weights_cache.misses", circuit)
         return None
@@ -124,11 +234,13 @@ def load_weights(cache_dir: str, circuit: Circuit, method: str,
             _note("weights_cache.corrupt", circuit)
             return None
     _note("weights_cache.hits", circuit)
-    return WeightData(
+    data = WeightData(
         weights=weights,
         signal_prob={n: float(p) for n, p in zip(nodes, signal)},
         source=source,
     )
+    _MEMORY.put(path, data)
+    return data
 
 
 def store_weights(cache_dir: str, circuit: Circuit, method: str,
@@ -161,13 +273,15 @@ def store_weights(cache_dir: str, circuit: Circuit, method: str,
         try:
             with os.fdopen(fd, "wb") as fh:
                 np.savez(fh, **arrays)
-            os.replace(tmp, _entry_path(cache_dir, key))
+            path = _entry_path(cache_dir, key)
+            os.replace(tmp, path)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+    _MEMORY.put(path, data)
     _note("weights_cache.stores", circuit)
 
 

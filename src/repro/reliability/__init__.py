@@ -6,10 +6,12 @@ from .observability import (
     sampled_observabilities,
 )
 from .closed_form import (
+    ClosedFormResult,
     MultiOutputObservabilityModel,
     ObservabilityModel,
     closed_form_delta,
 )
+from .protocol import ResultProtocol
 from .compiled_pass import (
     CompiledCorrelatedPass,
     CompiledPassUnsupported,
@@ -55,8 +57,8 @@ from .analytical import (
 __all__ = [
     "bdd_observabilities", "compute_observabilities",
     "sampled_observabilities",
-    "MultiOutputObservabilityModel", "ObservabilityModel",
-    "closed_form_delta",
+    "ClosedFormResult", "MultiOutputObservabilityModel",
+    "ObservabilityModel", "ResultProtocol", "closed_form_delta",
     "CompiledCorrelatedPass", "CompiledPassUnsupported",
     "CompiledSinglePass", "SweepResult",
     "SinglePassAnalyzer", "SinglePassResult", "single_pass_reliability",

@@ -21,7 +21,7 @@ import math
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..circuit import Circuit, truth_table
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from ..spec import EpsilonSpec, epsilon_of, validate_epsilon
 
 
 # ---------------------------------------------------------------------------

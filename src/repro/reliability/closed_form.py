@@ -16,11 +16,49 @@ computed once, after which any new ``eps`` vector costs O(n) multiplies.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence
 
 from ..circuit import Circuit
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from ..spec import EpsilonSpec, epsilon_of, validate_epsilon
 from .observability import compute_observabilities
+
+
+@dataclass
+class ClosedFormResult:
+    """Eqn. (3) evaluation packaged as a shared-protocol result object.
+
+    Produced by :meth:`ObservabilityModel.analyze` and
+    :meth:`MultiOutputObservabilityModel.analyze` so closed-form answers
+    travel through the same ``delta()`` / ``per_output`` / ``to_dict()``
+    surface as every other analysis
+    (:class:`~repro.reliability.protocol.ResultProtocol`).
+    """
+
+    #: delta_y per output (only the modeled output for the 1-output model).
+    per_output: Dict[str, float]
+    #: First-order consolidated estimate; None for the 1-output model.
+    any_output: Optional[float] = None
+    method: str = "closed-form"
+
+    def delta(self, output: Optional[str] = None) -> float:
+        """delta for one output (default: the only output)."""
+        if output is None:
+            if len(self.per_output) != 1:
+                raise ValueError("output name required for multi-output result")
+            return next(iter(self.per_output.values()))
+        return self.per_output[output]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (shared ``ResultProtocol`` surface)."""
+        data: Dict[str, object] = {
+            "per_output": {out: float(d)
+                           for out, d in self.per_output.items()},
+            "method": self.method,
+        }
+        if self.any_output is not None:
+            data["any_output"] = float(self.any_output)
+        return data
 
 
 def closed_form_delta(eps: EpsilonSpec,
@@ -81,6 +119,10 @@ class ObservabilityModel:
         """delta_y(eps) via Eqn. (3)."""
         validate_epsilon(eps, self.circuit)
         return closed_form_delta(eps, self.observabilities)
+
+    def analyze(self, eps: EpsilonSpec) -> ClosedFormResult:
+        """Eqn. (3) for one eps vector as a protocol result object."""
+        return ClosedFormResult(per_output={self.output: self.delta(eps)})
 
     def curve(self, eps_values: Iterable[float]) -> Dict[float, float]:
         """delta over a sweep of uniform gate failure probabilities."""
@@ -177,6 +219,11 @@ class MultiOutputObservabilityModel:
         """First-order consolidated failure probability estimate."""
         validate_epsilon(eps, self.circuit)
         return closed_form_delta(eps, self.any_output_observabilities)
+
+    def analyze(self, eps: EpsilonSpec) -> ClosedFormResult:
+        """Per-output + consolidated deltas as a protocol result object."""
+        return ClosedFormResult(per_output=self.delta(eps),
+                                any_output=self.any_output_delta(eps))
 
 
 def _sampled_any_output_observabilities(circuit: Circuit,

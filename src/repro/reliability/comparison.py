@@ -19,7 +19,7 @@ import numpy as np
 
 from ..circuit import Circuit
 from ..sim import monte_carlo_reliability, stratified_reliability
-from ..sim.montecarlo import EpsilonSpec
+from ..spec import EpsilonSpec
 from .analytical import compositional_delta
 from .closed_form import ObservabilityModel
 from .exact import exhaustive_exact_reliability

@@ -78,7 +78,12 @@ from ..probability.weight_cache import (
     store_correlation_plan,
 )
 from ..probability.weights import WeightData
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from ..spec import (
+    EpsilonSpec,
+    epsilon_of,
+    validate_epsilon,
+    validate_sweep_specs,
+)
 
 
 class CompiledPassUnsupported(ValueError):
@@ -451,27 +456,9 @@ def _eps_matrix(gate_names: Sequence[str],
     return mat
 
 
-def _validated_specs(circuit: Circuit,
-                     eps_specs: Sequence[EpsilonSpec],
-                     eps10_specs: Optional[Sequence[EpsilonSpec]]
-                     ) -> Tuple[List[EpsilonSpec],
-                                Optional[List[EpsilonSpec]]]:
-    """Shared sweep-argument validation of both kernels."""
-    specs = list(eps_specs)
-    if not specs:
-        raise ValueError("run_sweep needs at least one eps point")
-    eps10_list = None
-    if eps10_specs is not None:
-        eps10_list = list(eps10_specs)
-        if len(eps10_list) != len(specs):
-            raise ValueError(
-                f"eps10 sweep length {len(eps10_list)} != eps sweep "
-                f"length {len(specs)}")
-    for spec in specs:
-        validate_epsilon(spec, circuit)
-    for spec in eps10_list or ():
-        validate_epsilon(spec, circuit)
-    return specs, eps10_list
+#: Shared sweep-argument validation of both kernels (canonical home:
+#: :func:`repro.spec.validate_sweep_specs`).
+_validated_specs = validate_sweep_specs
 
 
 @dataclass

@@ -18,6 +18,7 @@ approximation; the Monte Carlo ``any_output`` estimate is the reference).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, Optional, Tuple
@@ -82,6 +83,30 @@ class ConsolidatedResult:
     any_output_independent: float
     #: Pairwise joint error probabilities Pr(e_a and e_b).
     pairwise_joint_error: Dict[Tuple[str, str], float]
+
+    def delta(self, output: Optional[str] = None) -> float:
+        """delta for one output (default: the only output)."""
+        if output is None:
+            if len(self.per_output) != 1:
+                raise ValueError("output name required for multi-output result")
+            return next(iter(self.per_output.values()))
+        return self.per_output[output]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (shared ``ResultProtocol`` surface).
+
+        Pairwise keys flatten to ``"a,b"`` strings so the dict survives
+        ``json.dumps`` unchanged.
+        """
+        return {
+            "per_output": {out: float(d)
+                           for out, d in self.per_output.items()},
+            "any_output": float(self.any_output),
+            "any_output_independent": float(self.any_output_independent),
+            "pairwise_joint_error": {
+                f"{a},{b}": float(p)
+                for (a, b), p in self.pairwise_joint_error.items()},
+        }
 
 
 class ConsolidatedAnalyzer:
@@ -164,6 +189,18 @@ class ConsolidatedAnalyzer:
 
 def consolidated_curve(circuit: Circuit, eps_values, seed: int = 0,
                        **analyzer_kwargs) -> Dict[float, float]:
-    """Convenience: consolidated any-output error curve for a circuit."""
+    """Deprecated convenience wrapper; use the façade or the analyzer.
+
+    .. deprecated::
+        ``repro.sweep(circuit, eps_values, method="consolidated")`` serves
+        the same curve through the persistent engine, and
+        ``ConsolidatedAnalyzer(circuit).curve(eps_values)`` remains the
+        direct path.  This shim will be removed in two releases.
+    """
+    warnings.warn(
+        "consolidated_curve() is deprecated; use repro.sweep(circuit, "
+        "eps_values, method=\"consolidated\") or "
+        "ConsolidatedAnalyzer(...).curve(...)",
+        DeprecationWarning, stacklevel=2)
     analyzer = ConsolidatedAnalyzer(circuit, seed=seed, **analyzer_kwargs)
     return analyzer.curve(eps_values)

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..circuit import Circuit, evaluate_gate
 from ..sim import patterns
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from ..spec import EpsilonSpec, epsilon_of, validate_epsilon
 from ..sim.simulator import CompiledCircuit
 
 
@@ -45,6 +45,15 @@ class ExactResult:
                 raise ValueError("output name required for multi-output result")
             return next(iter(self.per_output.values()))
         return self.per_output[output]
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable view (shared ``ResultProtocol`` surface)."""
+        return {
+            "per_output": {out: float(d)
+                           for out, d in self.per_output.items()},
+            "any_output": float(self.any_output),
+            "method": self.method,
+        }
 
 
 def exhaustive_exact_reliability(circuit: Circuit,

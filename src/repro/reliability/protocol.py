@@ -1,0 +1,49 @@
+"""The shared result-object contract of every analysis method.
+
+All of the library's analyses answer the same question — "how likely is
+each output to be wrong?" — yet historically each returned a differently
+shaped object.  :class:`ResultProtocol` pins down the common surface:
+
+* ``per_output`` — ``{output_name: delta}`` for every primary output;
+* ``delta(output=None)`` — one output's delta (the only output when
+  ``output`` is omitted);
+* ``to_dict()`` — a JSON-serializable dict for ``--json`` envelopes,
+  runlogs, and the ``repro serve`` protocol.
+
+:class:`~repro.reliability.single_pass.SinglePassResult`,
+:class:`~repro.reliability.exact.ExactResult`,
+:class:`~repro.reliability.consolidated.ConsolidatedResult`,
+:class:`~repro.reliability.closed_form.ClosedFormResult`, and
+:class:`~repro.sim.montecarlo.MonteCarloResult` all satisfy it, so the
+engine and the ``repro.analyze`` façade can hand any of them back without
+callers caring which method ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ResultProtocol(Protocol):
+    """Structural type every analysis result object satisfies."""
+
+    per_output: Dict[str, float]
+
+    def delta(self, output: Optional[str] = None) -> float:
+        """delta for one output (default: the only output)."""
+        ...
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of the result."""
+        ...
+
+
+def single_output_delta(per_output: Dict[str, float],
+                        output: Optional[str]) -> float:
+    """The shared ``delta(output=None)`` lookup rule of every result type."""
+    if output is None:
+        if len(per_output) != 1:
+            raise ValueError("output name required for multi-output result")
+        return next(iter(per_output.values()))
+    return per_output[output]

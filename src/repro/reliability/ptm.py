@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..circuit import Circuit, truth_table
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from ..spec import EpsilonSpec, epsilon_of, validate_epsilon
 from .exact import ExactResult
 
 

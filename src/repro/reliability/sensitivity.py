@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..circuit import Circuit
-from ..sim.montecarlo import EpsilonSpec, epsilon_of
+from ..spec import EpsilonSpec, epsilon_of
 from .single_pass import SinglePassAnalyzer
 
 

@@ -16,8 +16,9 @@ independence assumption at reconvergent fanout.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +33,12 @@ from ..probability.error_propagation import (
     weighted_error_components,
 )
 from ..probability.weights import WeightData, compute_weights
-from ..sim.montecarlo import EpsilonSpec, epsilon_of, validate_epsilon
+from ..spec import (
+    EpsilonSpec,
+    epsilon_of,
+    validate_epsilon,
+    validate_sweep_specs,
+)
 from .compiled_pass import (
     CompiledCorrelatedPass,
     CompiledPassUnsupported,
@@ -81,6 +87,26 @@ class SinglePassResult:
     def node_delta(self, node: str) -> float:
         """Unconditional error probability of an internal node."""
         return self.node_errors[node].total(self.signal_prob[node])
+
+    def to_dict(self, include_nodes: bool = False) -> Dict[str, Any]:
+        """JSON-serializable view (``--json`` / runlogs / ``repro serve``).
+
+        ``include_nodes`` adds every internal node's propagated (p01, p10)
+        pair — large on big circuits, so off by default.
+        """
+        data: Dict[str, Any] = {
+            "per_output": {out: float(d)
+                           for out, d in self.per_output.items()},
+            "used_correlation": self.used_correlation,
+            "correlation_pairs": self.correlation_pairs,
+        }
+        if include_nodes:
+            data["node_errors"] = {
+                node: {"p01": float(ep.p01), "p10": float(ep.p10)}
+                for node, ep in self.node_errors.items()}
+            data["signal_prob"] = {node: float(p)
+                                   for node, p in self.signal_prob.items()}
+        return data
 
 
 class SinglePassAnalyzer:
@@ -324,16 +350,8 @@ class SinglePassAnalyzer:
         analyzer pickled once per worker so weights and correlation caches
         are shared per process, not per point.
         """
-        specs = list(eps_values)
-        if not specs:
-            raise ValueError("sweep needs at least one eps point")
-        eps10_list = None
-        if eps10_values is not None:
-            eps10_list = list(eps10_values)
-            if len(eps10_list) != len(specs):
-                raise ValueError(
-                    f"eps10 sweep length {len(eps10_list)} != eps sweep "
-                    f"length {len(specs)}")
+        specs, eps10_list = validate_sweep_specs(self.circuit, eps_values,
+                                                 eps10_values)
         with trace_span("single_pass.sweep", circuit=self.circuit.name,
                         points=len(specs), jobs=jobs):
             plan = self._build_plan()
@@ -427,5 +445,16 @@ def _sweep_worker_point(task) -> SinglePassResult:
 
 def single_pass_reliability(circuit: Circuit, eps: EpsilonSpec,
                             **kwargs) -> SinglePassResult:
-    """One-shot convenience wrapper around :class:`SinglePassAnalyzer`."""
+    """Deprecated one-shot wrapper; use :func:`repro.analyze` instead.
+
+    .. deprecated::
+        The ``repro.analyze(circuit, eps, **opts)`` façade serves the same
+        one-shot call through the persistent engine (weights and compiled
+        plans stay hot across calls).  This shim will be removed in two
+        releases.
+    """
+    warnings.warn(
+        "single_pass_reliability() is deprecated; use repro.analyze("
+        "circuit, eps, ...) — same result, served from the persistent "
+        "engine", DeprecationWarning, stacklevel=2)
     return SinglePassAnalyzer(circuit, **kwargs).run(eps)

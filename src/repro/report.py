@@ -43,21 +43,11 @@ def single_pass_result_to_dict(result: SinglePassResult,
                                include_nodes: bool = False) -> Dict[str, Any]:
     """Serialize one :class:`SinglePassResult` (for ``--json`` / runlogs).
 
-    ``include_nodes`` adds every internal node's propagated (p01, p10)
-    pair — large on big circuits, so off by default.
+    Thin alias for ``result.to_dict(include_nodes=...)`` — the
+    serialization now lives on the result object itself (shared
+    :class:`~repro.reliability.protocol.ResultProtocol` surface).
     """
-    data: Dict[str, Any] = {
-        "per_output": {out: float(d) for out, d in result.per_output.items()},
-        "used_correlation": result.used_correlation,
-        "correlation_pairs": result.correlation_pairs,
-    }
-    if include_nodes:
-        data["node_errors"] = {
-            node: {"p01": float(ep.p01), "p10": float(ep.p10)}
-            for node, ep in result.node_errors.items()}
-        data["signal_prob"] = {node: float(p)
-                               for node, p in result.signal_prob.items()}
-    return data
+    return result.to_dict(include_nodes=include_nodes)
 
 
 @dataclass

@@ -13,46 +13,18 @@ Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..circuit import Circuit
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
+# Canonical eps-spec handling lives in repro.spec; re-exported here because
+# this module was its historical home and many callers import from it.
+from ..spec import EpsilonSpec, epsilon_of, validate_epsilon
 from . import patterns
 from .simulator import CompiledCircuit
-
-EpsilonSpec = Union[float, Mapping[str, float]]
-
-
-def epsilon_of(eps: EpsilonSpec, gate: str) -> float:
-    """Resolve a gate's failure probability from a scalar or per-gate map.
-
-    A mapping without an entry for ``gate`` means that gate is noise-free
-    (eps = 0), letting callers perturb a gate subset only.
-    """
-    if isinstance(eps, (int, float)):
-        return float(eps)
-    return float(eps.get(gate, 0.0))
-
-
-def validate_epsilon(eps: EpsilonSpec, circuit: Circuit) -> None:
-    """Check all failure probabilities lie in [0, 0.5] (BSC model range)."""
-    if isinstance(eps, Mapping):
-        for gate, value in eps.items():
-            if gate not in circuit:
-                raise ValueError(f"epsilon given for unknown gate {gate!r}")
-            if not circuit.node(gate).gate_type.is_logic:
-                raise ValueError(
-                    f"epsilon given for non-gate node {gate!r} "
-                    "(inputs are noise-free in the BSC model)")
-            if not 0.0 <= value <= 0.5:
-                raise ValueError(
-                    f"epsilon[{gate!r}] = {value} outside [0, 0.5]")
-    else:
-        if not 0.0 <= float(eps) <= 0.5:
-            raise ValueError(f"epsilon = {eps} outside [0, 0.5]")
 
 
 @dataclass
@@ -78,6 +50,15 @@ class MonteCarloResult:
         """Binomial standard error of the per-output estimate."""
         p = self.per_output[output]
         return float(np.sqrt(max(p * (1.0 - p), 0.0) / self.n_patterns))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (shared ``ResultProtocol`` surface)."""
+        return {
+            "per_output": {out: float(d)
+                           for out, d in self.per_output.items()},
+            "any_output": float(self.any_output),
+            "n_patterns": self.n_patterns,
+        }
 
 
 def monte_carlo_reliability(circuit: Circuit,

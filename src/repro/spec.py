@@ -1,0 +1,152 @@
+"""Canonical gate-failure-probability (eps) specifications.
+
+Every analysis in the library takes a *failure-probability vector*: one
+``eps`` per gate.  Users write it in one of four equivalent forms:
+
+* a **scalar** — the same eps for every gate (the paper's Table 2
+  setting);
+* a **per-gate mapping** ``{"g1": 0.1, "g2": 0.05}`` — gates absent from
+  the mapping are noise-free;
+* a **defaulted mapping** ``{"default": 0.05, "g1": 0.0}`` — the reserved
+  key :data:`DEFAULT_KEY` supplies the eps of every gate not named
+  explicitly (the natural way to express "harden these two gates");
+* a **numeric string** — ``"0.05"`` or ``"1e-10"``, as they arrive from
+  the CLI, a requests.jsonl file, or a ``repro serve`` JSON line.
+
+This module is the single parser/validator for all of them.  It replaces
+three historically divergent ad-hoc parsers (the CLI's ``_eps_list``, the
+Monte Carlo module's ``epsilon_of``/``validate_epsilon``, and the sweep
+argument checks duplicated between the scalar and compiled kernels), and
+their error messages are preserved verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from .circuit import Circuit
+
+#: One failure-probability vector: a scalar (every gate) or per-gate map.
+EpsilonSpec = Union[float, Mapping[str, float]]
+
+#: Reserved mapping key supplying the eps of gates not named explicitly.
+DEFAULT_KEY = "default"
+
+
+def epsilon_of(eps: EpsilonSpec, gate: str) -> float:
+    """Resolve a gate's failure probability from a canonical spec.
+
+    A mapping without an entry for ``gate`` falls back to its
+    ``"default"`` entry, and to 0.0 (noise-free) when there is none —
+    letting callers perturb a gate subset only.
+    """
+    if isinstance(eps, (int, float)):
+        return float(eps)
+    value = eps.get(gate)
+    if value is None:
+        value = eps.get(DEFAULT_KEY, 0.0)
+    return float(value)
+
+
+def validate_epsilon(eps: EpsilonSpec, circuit: Circuit) -> None:
+    """Check all failure probabilities lie in [0, 0.5] (BSC model range).
+
+    Mapping keys must name logic gates of ``circuit`` (inputs are
+    noise-free in the BSC model); the reserved ``"default"`` key is
+    exempt from the membership check but still range-checked.
+    """
+    if isinstance(eps, Mapping):
+        for gate, value in eps.items():
+            if gate != DEFAULT_KEY:
+                if gate not in circuit:
+                    raise ValueError(
+                        f"epsilon given for unknown gate {gate!r}")
+                if not circuit.node(gate).gate_type.is_logic:
+                    raise ValueError(
+                        f"epsilon given for non-gate node {gate!r} "
+                        "(inputs are noise-free in the BSC model)")
+            if not 0.0 <= value <= 0.5:
+                raise ValueError(
+                    f"epsilon[{gate!r}] = {value} outside [0, 0.5]")
+    else:
+        if not 0.0 <= float(eps) <= 0.5:
+            raise ValueError(f"epsilon = {eps} outside [0, 0.5]")
+
+
+def parse_epsilon(value) -> EpsilonSpec:
+    """Coerce one user-supplied eps value into a canonical spec.
+
+    Accepts a number, a numeric string (``"0.05"``, ``"1e-10"``), or a
+    per-gate mapping (optionally carrying the ``"default"`` key) whose
+    values may themselves be numeric strings.  Range checking is
+    circuit-aware and therefore deferred to :func:`validate_epsilon`.
+    """
+    if isinstance(value, Mapping):
+        parsed = {}
+        for gate, v in value.items():
+            try:
+                parsed[str(gate)] = float(v)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"invalid eps for gate {gate!r}: {v!r} is not a "
+                    f"probability") from None
+        return parsed
+    if isinstance(value, bool) or value is None:
+        raise ValueError(f"invalid eps spec {value!r}: expected a "
+                         f"probability or per-gate mapping")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid eps spec {value!r}: expected a probability or "
+            f"per-gate mapping") from None
+
+
+def parse_eps_list(spec: str) -> List[float]:
+    """Parse the CLI's comma-separated eps list (``"0.01,0.05"``).
+
+    Raises :class:`ValueError` with the messages the CLI has always
+    shown; the CLI converts them to ``SystemExit`` unchanged.
+    """
+    try:
+        values = [float(tok) for tok in spec.split(",") if tok.strip()]
+    except ValueError:
+        raise ValueError(
+            f"invalid eps spec {spec!r}: expected comma-separated "
+            f"probabilities (e.g. 0.01,0.05)") from None
+    if not values:
+        raise ValueError(
+            f"empty eps spec {spec!r}: expected at least one probability "
+            f"(e.g. --eps 0.05 or --eps 0.01,0.05)")
+    for v in values:
+        if not 0.0 <= v <= 0.5:
+            raise ValueError(f"eps {v} outside [0, 0.5]")
+    return values
+
+
+def validate_sweep_specs(circuit: Circuit,
+                         eps_specs: Sequence[EpsilonSpec],
+                         eps10_specs: Optional[Sequence[EpsilonSpec]] = None,
+                         ) -> Tuple[List[EpsilonSpec],
+                                    Optional[List[EpsilonSpec]]]:
+    """Shared sweep-argument validation of the scalar and compiled paths.
+
+    Materializes both spec sequences, checks the eps10 sweep (when given)
+    has the same length, and range-checks every point against
+    ``circuit``.  Returns ``(specs, eps10_list_or_None)``.
+    """
+    specs = list(eps_specs)
+    if not specs:
+        raise ValueError("sweep needs at least one eps point")
+    eps10_list = None
+    if eps10_specs is not None:
+        eps10_list = list(eps10_specs)
+        if len(eps10_list) != len(specs):
+            raise ValueError(
+                f"eps10 sweep length {len(eps10_list)} != eps sweep "
+                f"length {len(specs)}")
+    for spec in specs:
+        validate_epsilon(spec, circuit)
+    for spec in eps10_list or ():
+        validate_epsilon(spec, circuit)
+    return specs, eps10_list

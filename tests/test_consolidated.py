@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.circuits import c17
+from repro import sweep
 from repro.reliability import (
     ConsolidatedAnalyzer,
-    consolidated_curve,
     exhaustive_exact_reliability,
     output_joint_distributions,
 )
@@ -88,7 +88,8 @@ class TestConsolidation:
         assert 0.0 <= j <= min(result.per_output.values()) + 1e-9
 
     def test_curve_increases(self, two_output_circuit):
-        curve = consolidated_curve(two_output_circuit, [0.0, 0.05, 0.15])
+        curve = sweep(two_output_circuit, [0.0, 0.05, 0.15],
+                      method="consolidated")
         assert curve[0.0] == pytest.approx(0.0)
         assert curve[0.05] < curve[0.15]
 

@@ -1,0 +1,28 @@
+"""The deprecated free functions still work, but warn toward the façade.
+
+Both shims are scheduled for removal two PRs after the engine landed;
+these are the only tests allowed to call them (CI runs with
+``-W error::DeprecationWarning``).
+"""
+
+import pytest
+
+from repro.circuits import c17, fig2_circuit
+from repro.reliability import consolidated_curve, single_pass_reliability
+from repro.reliability.single_pass import SinglePassAnalyzer
+
+
+def test_single_pass_reliability_warns_and_delegates():
+    circuit = fig2_circuit()
+    with pytest.warns(DeprecationWarning, match="repro.analyze"):
+        result = single_pass_reliability(circuit, 0.1)
+    direct = SinglePassAnalyzer(circuit).run(0.1)
+    assert result.per_output == pytest.approx(direct.per_output)
+
+
+def test_consolidated_curve_warns_and_delegates():
+    circuit = c17()
+    with pytest.warns(DeprecationWarning, match="repro.sweep"):
+        curve = consolidated_curve(circuit, [0.0, 0.1])
+    assert curve[0.0] == pytest.approx(0.0)
+    assert curve[0.1] > 0.0

@@ -3,12 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import analyze
 from repro.circuit import Circuit, CircuitBuilder, GateType
 from repro.reliability import (
     ObservabilityModel,
     SinglePassAnalyzer,
     exhaustive_exact_reliability,
-    single_pass_reliability,
 )
 from repro.sim import monte_carlo_reliability
 from tests.test_properties import random_tree_circuit
@@ -28,7 +28,7 @@ class TestDegenerateCircuits:
         b.outputs(b.buf(a, name="y"))
         circuit = b.build()
         for eps in (0.0, 0.25, 0.5):
-            assert single_pass_reliability(circuit, eps).delta() == \
+            assert analyze(circuit, eps).delta() == \
                 pytest.approx(eps)
 
     def test_constant_output_circuit(self):
@@ -37,7 +37,7 @@ class TestDegenerateCircuits:
         c.add_const("one", 1)
         c.add_gate("y", GateType.OR, ["a", "one"])  # always 1
         c.set_output("y")
-        result = single_pass_reliability(c, 0.1)
+        result = analyze(c, 0.1)
         # Error-free value is always 1: delta = Pr(1->0) = eps.
         assert result.delta() == pytest.approx(0.1)
         exact = exhaustive_exact_reliability(c, 0.1)
@@ -48,7 +48,7 @@ class TestDegenerateCircuits:
         c.add_input("a")
         c.add_gate("y", GateType.XOR, ["a", "a"])  # always 0
         c.set_output("y")
-        result = single_pass_reliability(c, 0.2)
+        result = analyze(c, 0.2)
         exact = exhaustive_exact_reliability(c, 0.2)
         assert result.delta() == pytest.approx(exact.delta(), abs=1e-9)
 
@@ -56,7 +56,7 @@ class TestDegenerateCircuits:
         # 't' feeds other logic; also declare it an output.
         circuit = full_adder_circuit.copy()
         circuit.set_output("t")
-        result = single_pass_reliability(circuit, 0.1)
+        result = analyze(circuit, 0.1)
         assert set(result.per_output) == {"s", "cout", "t"}
         mc = monte_carlo_reliability(circuit, 0.1, n_patterns=1 << 15)
         assert result.per_output["t"] == pytest.approx(
@@ -71,7 +71,7 @@ class TestDegenerateCircuits:
         b.outputs(b.buf(node, name="y"))
         circuit = b.build()
         # Long noisy chain: delta -> 1/2 from any per-gate eps.
-        delta = single_pass_reliability(circuit, 0.1).delta()
+        delta = analyze(circuit, 0.1).delta()
         assert delta == pytest.approx(0.5, abs=1e-6)
 
     def test_wide_gate_in_single_pass(self):
@@ -80,7 +80,7 @@ class TestDegenerateCircuits:
             c.add_input(pi)
         c.add_gate("y", GateType.NOR, list("abcde"))
         c.set_output("y")
-        sp = single_pass_reliability(c, 0.15).delta()
+        sp = analyze(c, 0.15).delta()
         exact = exhaustive_exact_reliability(c, 0.15).delta()
         assert sp == pytest.approx(exact, abs=1e-12)
 
@@ -90,11 +90,11 @@ class TestEpsilonBoundaries:
                                            GateType.NOR])
     def test_fully_noisy_single_gate(self, gate_type):
         circuit = single_gate_circuit(gate_type)
-        assert single_pass_reliability(circuit, 0.5).delta() == \
+        assert analyze(circuit, 0.5).delta() == \
             pytest.approx(0.5)
 
     def test_eps_exactly_half_everywhere(self, reconvergent_circuit):
-        result = single_pass_reliability(reconvergent_circuit, 0.5)
+        result = analyze(reconvergent_circuit, 0.5)
         assert result.delta() == pytest.approx(0.5, abs=1e-9)
 
     def test_observability_model_at_bounds(self, reconvergent_circuit):

@@ -1,0 +1,84 @@
+"""Tests for the repro.analyze / repro.sweep façade (docs/engine.md)."""
+
+import pytest
+
+import repro
+from repro.circuits import get_benchmark, list_benchmarks
+from repro.engine import AnalysisEngine, set_default_engine
+from repro.reliability import ResultProtocol, SinglePassAnalyzer
+
+EPS = 0.05
+# Cheap deterministic weights + a correlation locality cap so the full
+# catalog (incl. the c3540/c6288 stand-ins) stays fast.
+OPTS = dict(weights="sampled", n_patterns=1 << 10, level_gap=3)
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine():
+    engine = AnalysisEngine(max_sessions=32)
+    set_default_engine(engine)
+    yield engine
+    engine.close()
+    set_default_engine(None)
+
+
+class TestCatalogParity:
+    @pytest.mark.parametrize("name", list_benchmarks())
+    def test_analyze_matches_direct_analyzer(self, name):
+        via_facade = repro.analyze(name, EPS, **OPTS)
+        direct = SinglePassAnalyzer(
+            get_benchmark(name), weight_method="sampled",
+            n_patterns=1 << 10, max_correlation_level_gap=3).run(EPS)
+        assert via_facade.per_output == pytest.approx(direct.per_output)
+
+
+class TestFacadeSurface:
+    def test_accepts_circuit_objects(self):
+        circuit = get_benchmark("c17")
+        result = repro.analyze(circuit, EPS, **OPTS)
+        assert set(result.per_output) == set(circuit.outputs)
+
+    def test_accepts_netlist_path(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        repro.save_bench(get_benchmark("c17"), path)
+        result = repro.analyze(str(path), EPS, **OPTS)
+        assert set(result.per_output) == {"22", "23"}
+
+    def test_unknown_name_error(self):
+        with pytest.raises(ValueError, match="neither a file nor a known"):
+            repro.analyze("not-a-circuit", EPS)
+
+    def test_sweep_matches_pointwise_analyze(self):
+        eps_values = [0.01, 0.05, 0.1]
+        sweep = repro.sweep("c17", eps_values, **OPTS)
+        for j, eps in enumerate(eps_values):
+            point = repro.analyze("c17", eps, **OPTS)
+            assert sweep.point(j).per_output == \
+                pytest.approx(point.per_output)
+
+    def test_use_correlation_alias(self):
+        indep = repro.analyze("c17", EPS, use_correlation=False, **OPTS)
+        corr = repro.analyze("c17", EPS, correlation=True, **OPTS)
+        assert not indep.used_correlation
+        assert corr.used_correlation
+
+    @pytest.mark.parametrize("method", ["single-pass", "closed-form", "mc",
+                                        "consolidated", "exact"])
+    def test_every_method_returns_protocol_result(self, method):
+        result = repro.analyze("fig2", EPS, method=method,
+                               mc_patterns=1 << 10, **OPTS)
+        assert isinstance(result, ResultProtocol)
+        assert result.delta(list(result.per_output)[0]) == pytest.approx(
+            list(result.per_output.values())[0])
+        assert isinstance(result.to_dict(), dict)
+
+    def test_methods_roughly_agree(self):
+        sp = repro.analyze("fig2", 0.1).delta()
+        exact = repro.analyze("fig2", 0.1, method="exact").delta()
+        assert sp == pytest.approx(exact, abs=0.02)
+
+    def test_warm_calls_hit_session(self, fresh_engine):
+        repro.analyze("c17", 0.01, **OPTS)
+        before = fresh_engine.stats()["session_hits"]
+        repro.analyze("c17", 0.05, **OPTS)
+        assert fresh_engine.stats()["session_hits"] == before + 1

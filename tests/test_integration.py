@@ -5,13 +5,13 @@ import pytest
 
 from repro import (
     ConsolidatedAnalyzer,
+    analyze,
     ObservabilityModel,
     SinglePassAnalyzer,
     get_benchmark,
     load_bench,
     monte_carlo_reliability,
     save_bench,
-    single_pass_reliability,
 )
 from repro.circuit import expand_xor, strip_buffers
 from repro.io import load_blif, save_blif
@@ -24,8 +24,8 @@ class TestFileToAnalysisFlow:
         path = tmp_path / "c17.bench"
         save_bench(circuit, path)
         reloaded = load_bench(path)
-        a = single_pass_reliability(circuit, 0.1)
-        b = single_pass_reliability(reloaded, 0.1)
+        a = analyze(circuit, 0.1)
+        b = analyze(reloaded, 0.1)
         for out in circuit.outputs:
             assert a.per_output[out] == pytest.approx(b.per_output[out])
 
@@ -46,7 +46,7 @@ class TestMethodCrossValidation:
         circuit = get_benchmark("fig2")
         eps = 0.08
         exact = exhaustive_exact_reliability(circuit, eps).delta()
-        sp = single_pass_reliability(circuit, eps).delta()
+        sp = analyze(circuit, eps).delta()
         mc = monte_carlo_reliability(circuit, eps, n_patterns=1 << 17,
                                      seed=0).delta()
         closed = ObservabilityModel(circuit).delta(eps)
@@ -96,7 +96,7 @@ class TestXorExpansionStudy:
         # The 4-NAND XOR blocks are internally reconvergent — the hard case
         # for pairwise correlation (the paper's c1355 shows the same) — so
         # the accuracy bound here is loose.
-        sp = single_pass_reliability(p_nand, eps).delta()
+        sp = analyze(p_nand, eps).delta()
         assert sp == pytest.approx(more, abs=0.04)
 
 

@@ -16,12 +16,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import analyze
 from repro.bdd import BddManager
 from repro.circuit import Circuit, CircuitBuilder, GateType, is_tree
 from repro.reliability import (
     exhaustive_exact_reliability,
     frontier_exact_reliability,
-    single_pass_reliability,
 )
 from repro.sim import patterns
 from repro.sim.simulator import exhaustive_simulate
@@ -127,7 +127,7 @@ def test_simulator_matches_evaluator(circuit):
 @settings(max_examples=40, deadline=None)
 def test_single_pass_exact_on_trees(circuit, eps):
     assert is_tree(circuit)
-    sp = single_pass_reliability(circuit, eps).delta()
+    sp = analyze(circuit, eps).delta()
     exact = exhaustive_exact_reliability(circuit, eps).delta()
     assert sp == pytest.approx(exact, abs=1e-9)
 
@@ -138,7 +138,7 @@ def test_single_pass_exact_on_trees(circuit, eps):
 def test_single_pass_exact_on_trees_per_gate_eps(circuit, eps_values):
     gates = circuit.topological_gates()
     eps = {g: eps_values[i % len(eps_values)] for i, g in enumerate(gates)}
-    sp = single_pass_reliability(circuit, eps).delta()
+    sp = analyze(circuit, eps).delta()
     exact = exhaustive_exact_reliability(circuit, eps).delta()
     assert sp == pytest.approx(exact, abs=1e-9)
 
@@ -150,7 +150,7 @@ def test_single_pass_exact_on_trees_per_gate_eps(circuit, eps_values):
 @given(random_dag_circuit(max_gates=10), st.floats(0.0, 0.5))
 @settings(max_examples=40, deadline=None)
 def test_delta_stays_in_range(circuit, eps):
-    result = single_pass_reliability(circuit, eps)
+    result = analyze(circuit, eps)
     for value in result.per_output.values():
         assert 0.0 <= value <= 1.0
     node_errors = result.node_errors
@@ -171,7 +171,7 @@ def test_exact_oracles_agree(circuit, eps):
 @settings(max_examples=25, deadline=None)
 def test_single_pass_reasonably_close_to_exact(circuit, eps):
     """Soft accuracy bound on arbitrary small DAGs (not just trees)."""
-    sp = single_pass_reliability(circuit, eps).delta()
+    sp = analyze(circuit, eps).delta()
     exact = exhaustive_exact_reliability(circuit, eps).delta()
     assert sp == pytest.approx(exact, abs=0.12)
 

@@ -5,10 +5,10 @@ import pytest
 from repro.circuit import CircuitBuilder
 from repro.circuits import c17, fig2_circuit, parity_tree
 from repro.probability import ErrorProbability
+from repro import analyze
 from repro.reliability import (
     SinglePassAnalyzer,
     exhaustive_exact_reliability,
-    single_pass_reliability,
 )
 
 
@@ -19,14 +19,14 @@ class TestExactnessOnTrees:
 
     @pytest.mark.parametrize("eps", [0.0, 0.01, 0.1, 0.25, 0.5])
     def test_fixture_tree(self, tree_circuit, eps):
-        sp = single_pass_reliability(tree_circuit, eps).delta()
+        sp = analyze(tree_circuit, eps).delta()
         exact = exhaustive_exact_reliability(tree_circuit, eps).delta()
         assert sp == pytest.approx(exact, abs=1e-12)
 
     @pytest.mark.parametrize("eps", [0.05, 0.2])
     def test_parity_tree(self, eps):
         circuit = parity_tree(8)
-        sp = single_pass_reliability(circuit, eps).delta()
+        sp = analyze(circuit, eps).delta()
         # XOR tree: every gate fully observable; delta = (1-(1-2e)^n)/2.
         n = circuit.num_gates
         expected = 0.5 * (1 - (1 - 2 * eps) ** n)
@@ -35,7 +35,7 @@ class TestExactnessOnTrees:
     def test_per_gate_eps_on_tree(self, tree_circuit):
         eps = {g: 0.02 * (i + 1)
                for i, g in enumerate(tree_circuit.topological_gates())}
-        sp = single_pass_reliability(tree_circuit, eps).delta()
+        sp = analyze(tree_circuit, eps).delta()
         exact = exhaustive_exact_reliability(tree_circuit, eps).delta()
         assert sp == pytest.approx(exact, abs=1e-12)
 
@@ -53,7 +53,7 @@ class TestWorkedExample:
     def test_first_level_gate_error_probability(self):
         # n1 = AND(a, b), noise-free inputs: Pr(n1_any) = eps both ways.
         circuit = fig2_circuit()
-        result = single_pass_reliability(circuit, 0.1,
+        result = analyze(circuit, 0.1,
                                          weight_method="exhaustive")
         ep = result.node_errors["n1"]
         assert ep.p01 == pytest.approx(0.1)
@@ -63,12 +63,12 @@ class TestWorkedExample:
         circuit = fig2_circuit()
         for eps in (0.05, 0.1, 0.2):
             exact = exhaustive_exact_reliability(circuit, eps).delta()
-            sp = single_pass_reliability(circuit, eps).delta()
+            sp = analyze(circuit, eps).delta()
             assert sp == pytest.approx(exact, abs=0.02)
 
     def test_node_delta_accessor(self):
         circuit = fig2_circuit()
-        result = single_pass_reliability(circuit, 0.1)
+        result = analyze(circuit, 0.1)
         d = result.node_delta("n1")
         assert d == pytest.approx(0.1)
 
@@ -78,9 +78,9 @@ class TestReconvergence:
         for eps in (0.05, 0.15):
             exact = exhaustive_exact_reliability(
                 reconvergent_circuit, eps).delta()
-            corr = single_pass_reliability(
+            corr = analyze(
                 reconvergent_circuit, eps, use_correlation=True).delta()
-            indep = single_pass_reliability(
+            indep = analyze(
                 reconvergent_circuit, eps, use_correlation=False).delta()
             assert abs(corr - exact) <= abs(indep - exact)
 
@@ -97,14 +97,14 @@ class TestReconvergence:
 
 class TestInterface:
     def test_multi_output(self, full_adder_circuit):
-        result = single_pass_reliability(full_adder_circuit, 0.1)
+        result = analyze(full_adder_circuit, 0.1)
         assert set(result.per_output) == {"s", "cout"}
         with pytest.raises(ValueError):
             result.delta()
         assert result.delta("s") == result.per_output["s"]
 
     def test_zero_eps_gives_zero_delta(self, full_adder_circuit):
-        result = single_pass_reliability(full_adder_circuit, 0.0)
+        result = analyze(full_adder_circuit, 0.0)
         assert all(v == 0.0 for v in result.per_output.values())
 
     def test_eps_validation(self, tree_circuit):
@@ -130,7 +130,7 @@ class TestInterface:
         a = b.input("a")
         b.outputs(b.buf(a, name="y"))
         circuit = b.build()
-        result = single_pass_reliability(
+        result = analyze(
             circuit, 0.0,
             input_errors={"a": ErrorProbability(p01=0.2, p10=0.1)})
         # P(a=1) = 0.5: delta = 0.5*0.2 + 0.5*0.1
@@ -141,7 +141,7 @@ class TestInterface:
         a = b.input("a")
         b.outputs(b.buf(a, name="y"))
         circuit = b.build()
-        result = single_pass_reliability(
+        result = analyze(
             circuit, 0.1,
             input_errors={"a": ErrorProbability(p01=0.2, p10=0.2)})
         # error iff exactly one of {input error, gate flip}: 0.2*0.9+0.8*0.1
@@ -155,17 +155,17 @@ class TestInterface:
         g = b.and_(g, b.not_(c))
         b.outputs(b.buf(g, name="y"))
         circuit = b.build()
-        result = single_pass_reliability(circuit, 0.1)
+        result = analyze(circuit, 0.1)
         exact = exhaustive_exact_reliability(circuit, 0.1)
         assert result.delta() == pytest.approx(exact.delta(), abs=0.03)
 
     def test_delta_in_unit_interval(self, reconvergent_circuit):
         for eps in (0.0, 0.1, 0.3, 0.5):
-            result = single_pass_reliability(reconvergent_circuit, eps)
+            result = analyze(reconvergent_circuit, eps)
             for v in result.per_output.values():
                 assert 0.0 <= v <= 1.0
 
     def test_saturation_at_half_for_noisy_observable_chain(self):
         circuit = parity_tree(16)
-        result = single_pass_reliability(circuit, 0.5)
+        result = analyze(circuit, 0.5)
         assert result.delta() == pytest.approx(0.5)

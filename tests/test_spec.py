@@ -1,0 +1,117 @@
+"""Tests for the canonical eps-spec parser (repro.spec)."""
+
+import pytest
+
+from repro.circuits import fig2_circuit
+from repro.spec import (
+    DEFAULT_KEY,
+    epsilon_of,
+    parse_eps_list,
+    parse_epsilon,
+    validate_epsilon,
+    validate_sweep_specs,
+)
+
+
+class TestEpsilonOf:
+    def test_scalar_applies_everywhere(self):
+        assert epsilon_of(0.1, "anything") == 0.1
+
+    def test_mapping_lookup(self):
+        assert epsilon_of({"g1": 0.2}, "g1") == 0.2
+
+    def test_missing_gate_is_noise_free(self):
+        assert epsilon_of({"g1": 0.2}, "g2") == 0.0
+
+    def test_default_key_fallback(self):
+        spec = {DEFAULT_KEY: 0.05, "g1": 0.0}
+        assert epsilon_of(spec, "g1") == 0.0
+        assert epsilon_of(spec, "g2") == 0.05
+
+    def test_int_coerced_to_float(self):
+        value = epsilon_of(0, "g")
+        assert value == 0.0 and isinstance(value, float)
+
+
+class TestValidateEpsilon:
+    def test_scalar_in_range_ok(self):
+        validate_epsilon(0.5, fig2_circuit())
+
+    def test_scalar_out_of_range(self):
+        with pytest.raises(ValueError, match=r"outside \[0, 0.5\]"):
+            validate_epsilon(0.6, fig2_circuit())
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError, match="unknown gate 'nope'"):
+            validate_epsilon({"nope": 0.1}, fig2_circuit())
+
+    def test_input_node_rejected(self):
+        circuit = fig2_circuit()
+        with pytest.raises(ValueError, match="non-gate node"):
+            validate_epsilon({circuit.inputs[0]: 0.1}, circuit)
+
+    def test_default_key_exempt_from_membership(self):
+        validate_epsilon({DEFAULT_KEY: 0.1}, fig2_circuit())
+
+    def test_default_key_still_range_checked(self):
+        with pytest.raises(ValueError, match=r"outside \[0, 0.5\]"):
+            validate_epsilon({DEFAULT_KEY: 0.7}, fig2_circuit())
+
+
+class TestParseEpsilon:
+    def test_number_passthrough(self):
+        assert parse_epsilon(0.05) == 0.05
+
+    def test_numeric_string(self):
+        assert parse_epsilon("1e-10") == 1e-10
+
+    def test_mapping_with_string_values(self):
+        assert parse_epsilon({"g1": "0.1"}) == {"g1": 0.1}
+
+    @pytest.mark.parametrize("bad", [None, True, "zap", [0.1]])
+    def test_rejects_non_specs(self, bad):
+        with pytest.raises(ValueError, match="invalid eps"):
+            parse_epsilon(bad)
+
+    def test_mapping_with_bad_value(self):
+        with pytest.raises(ValueError, match="invalid eps for gate 'g1'"):
+            parse_epsilon({"g1": "zap"})
+
+
+class TestParseEpsList:
+    def test_single(self):
+        assert parse_eps_list("0.05") == [0.05]
+
+    def test_comma_separated(self):
+        assert parse_eps_list("0.01,0.05,0.1") == [0.01, 0.05, 0.1]
+
+    def test_bad_token(self):
+        with pytest.raises(ValueError, match="invalid eps spec"):
+            parse_eps_list("0.1,zap")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty eps spec"):
+            parse_eps_list(",,")
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match=r"outside \[0, 0.5\]"):
+            parse_eps_list("0.9")
+
+
+class TestValidateSweepSpecs:
+    def test_materializes(self):
+        circuit = fig2_circuit()
+        specs, eps10 = validate_sweep_specs(circuit, iter([0.1, 0.2]))
+        assert specs == [0.1, 0.2] and eps10 is None
+
+    def test_empty_sweep(self):
+        with pytest.raises(ValueError, match="at least one eps point"):
+            validate_sweep_specs(fig2_circuit(), [])
+
+    def test_eps10_length_mismatch(self):
+        with pytest.raises(ValueError, match="eps10 sweep length"):
+            validate_sweep_specs(fig2_circuit(), [0.1, 0.2], [0.1])
+
+    def test_range_checks_every_point(self):
+        with pytest.raises(ValueError, match=r"outside \[0, 0.5\]"):
+            validate_sweep_specs(fig2_circuit(), [0.1, 0.9])
