@@ -25,8 +25,17 @@ BENCH_SINGLEPASS = RESULTS_DIR / "BENCH_singlepass.json"
 #: Machine-readable engine warm/cold trajectory (see test_engine_perf.py).
 BENCH_ENGINE = RESULTS_DIR / "BENCH_engine.json"
 
+#: Machine-readable incremental-vs-from-scratch trajectory
+#: (see test_incremental_perf.py).
+BENCH_INCREMENTAL = RESULTS_DIR / "BENCH_incremental.json"
+
+#: Aggregated roll-up of every BENCH_*.json written by this session
+#: (consumed by the CI benchmarks artifact job).
+BENCH_SUMMARY = RESULTS_DIR / "BENCH_summary.json"
+
 _singlepass_records = []
 _engine_records = []
+_incremental_records = []
 
 
 def record_singlepass(circuit: str, variant: str, mean_s: float,
@@ -64,16 +73,48 @@ def record_engine(circuit: str, phase: str, mean_s: float,
     })
 
 
+def record_incremental(circuit: str, loop: str, mean_s: float,
+                       speedup_vs_scratch=None) -> None:
+    """Queue one timing row for ``BENCH_incremental.json``.
+
+    Rows follow the fixed schema
+    ``{circuit, loop, mean_s, speedup_vs_scratch}``; ``loop`` names the
+    measured arm (e.g. ``"from_scratch"`` / ``"incremental"``) and
+    ``speedup_vs_scratch`` is null for the from-scratch baseline itself.
+    """
+    _incremental_records.append({
+        "circuit": str(circuit),
+        "loop": str(loop),
+        "mean_s": float(mean_s),
+        "speedup_vs_scratch": (None if speedup_vs_scratch is None
+                               else float(speedup_vs_scratch)),
+    })
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Flush queued timings once the benchmark session ends."""
-    if _singlepass_records:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        BENCH_SINGLEPASS.write_text(
-            json.dumps(_singlepass_records, indent=2) + "\n")
-    if _engine_records:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        BENCH_ENGINE.write_text(
-            json.dumps(_engine_records, indent=2) + "\n")
+    queues = [
+        (BENCH_SINGLEPASS, _singlepass_records),
+        (BENCH_ENGINE, _engine_records),
+        (BENCH_INCREMENTAL, _incremental_records),
+    ]
+    for path, records in queues:
+        if records:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(records, indent=2) + "\n")
+    # Roll every BENCH_*.json currently on disk (this run's or an earlier
+    # one's) into one summary document for the CI artifact upload.
+    summary = {}
+    if RESULTS_DIR.is_dir():
+        for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+            if path.name == BENCH_SUMMARY.name:
+                continue
+            try:
+                summary[path.stem] = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+    if summary:
+        BENCH_SUMMARY.write_text(json.dumps(summary, indent=2) + "\n")
 
 #: Scale factor: full mode uses paper-like sampling, default is CI-sized.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"

@@ -1,0 +1,107 @@
+"""Incremental workspace vs from-scratch re-analysis (docs/incremental.md).
+
+The selective-hardening loop is the incremental subsystem's motivating
+workload: harden one gate, re-measure, repeat.  A from-scratch flow pays
+the full weight-vector build (the dominant cost at paper-scale pattern
+counts) on every iteration; a :class:`~repro.incremental.CircuitWorkspace`
+pays it once and then recounts only each TMR island's dirty cone.
+
+This module times a 10-step selective-TMR loop on i10 (the largest
+Table 2 stand-in) both ways, checks the per-output deltas agree to
+1e-10 at every step (the subsystem's parity guarantee), and enforces the
+acceptance floor: the incremental loop must be >= 5x faster than ten
+from-scratch analyses.  Timings land in ``results/incremental_perf.txt``
+and, via the conftest hook, in ``results/BENCH_incremental.json``
+(machine-readable trajectory: ``{circuit, loop, mean_s,
+speedup_vs_scratch}`` rows).
+"""
+
+import time
+
+from repro.circuit import triplicate_gates
+from repro.circuits import get_benchmark
+from repro.incremental import CircuitWorkspace, Triplicate
+from repro.reliability import SinglePassAnalyzer
+
+from conftest import record_incremental, write_result
+
+CIRCUIT = "i10"
+STEPS = 10
+MIN_SPEEDUP = 5.0
+EPS = 0.05
+
+# Paper-scale pattern count: the weight build dominates a from-scratch
+# analysis, which is exactly the cost the workspace amortizes.
+N_PATTERNS = 1 << 20
+SEED = 0
+
+
+def _hardening_plan(circuit):
+    """Ten distinct gates spread across the netlist, deterministically."""
+    gates = circuit.topological_gates()
+    stride = len(gates) // STEPS
+    return [gates[i * stride] for i in range(STEPS)]
+
+
+def test_incremental_loop_beats_from_scratch():
+    base = get_benchmark(CIRCUIT)
+    plan = _hardening_plan(base)
+
+    # Arm 1: from-scratch — every step rebuilds weights and plan.
+    scratch_deltas = []
+    circuit = base
+    t0 = time.perf_counter()
+    for gate in plan:
+        circuit = triplicate_gates(circuit, [gate], name=circuit.name)
+        analyzer = SinglePassAnalyzer(
+            circuit, weight_method="sampled", n_patterns=N_PATTERNS,
+            seed=SEED, use_correlation=False)
+        scratch_deltas.append(dict(analyzer.run(EPS).per_output))
+    scratch_s = time.perf_counter() - t0
+
+    # Arm 2: incremental — one workspace, each step is a Triplicate edit
+    # whose dirty cone is just the inserted TMR island.  The workspace
+    # build is the session's one-time cost (what a pinned engine session
+    # keeps warm); the loop itself is what the two arms compare.
+    inc_deltas = []
+    ws = CircuitWorkspace(base, eps=EPS, weight_method="sampled",
+                          n_patterns=N_PATTERNS, seed=SEED,
+                          use_correlation=False)
+    t0 = time.perf_counter()
+    for gate in plan:
+        ws.apply(Triplicate((gate,)))
+        inc_deltas.append(dict(ws.analyze().per_output))
+    incremental_s = time.perf_counter() - t0
+
+    # Parity at every step: both arms analyze the identical mutated
+    # circuit with identical sampled weights.
+    for step, (a, b) in enumerate(zip(scratch_deltas, inc_deltas)):
+        assert a.keys() == b.keys()
+        for out in a:
+            assert abs(a[out] - b[out]) <= 1e-10, (
+                f"step {step}: output {out} diverged: {a[out]} vs {b[out]}")
+
+    speedup = scratch_s / incremental_s
+    record_incremental(CIRCUIT, "from_scratch", scratch_s / STEPS)
+    record_incremental(CIRCUIT, "incremental", incremental_s / STEPS,
+                       speedup)
+
+    lines = [
+        "incremental selective-TMR loop (docs/incremental.md)",
+        f"circuit: {CIRCUIT}  steps: {STEPS}  "
+        f"patterns: {N_PATTERNS}",
+        "",
+        f"{'loop':24s} {'total_s':>10s} {'per_step_s':>11s} "
+        f"{'speedup':>9s}",
+        f"{'from scratch':24s} {scratch_s:10.3f} "
+        f"{scratch_s / STEPS:11.4f} {'':>9s}",
+        f"{'incremental':24s} {incremental_s:10.3f} "
+        f"{incremental_s / STEPS:11.4f} {speedup:8.1f}x",
+        "",
+        f"floor: incremental >= {MIN_SPEEDUP:.0f}x faster over the loop",
+    ]
+    write_result("incremental_perf.txt", "\n".join(lines) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental loop only {speedup:.1f}x faster than from-scratch "
+        f"(floor {MIN_SPEEDUP}x)")

@@ -45,6 +45,7 @@ from .reliability import (
 )
 from .sim import monte_carlo_reliability
 from .circuits import get_benchmark, list_benchmarks, TABLE2_BENCHMARKS
+from .incremental import CircuitWorkspace, EditReport, parse_edit
 from .engine import (
     AnalysisEngine,
     AnalysisRequest,
@@ -65,6 +66,7 @@ __all__ = [
     "SinglePassResult", "exhaustive_exact_reliability", "ptm_reliability",
     "single_pass_reliability", "monte_carlo_reliability",
     "get_benchmark", "list_benchmarks", "TABLE2_BENCHMARKS",
+    "CircuitWorkspace", "EditReport", "parse_edit",
     "AnalysisEngine", "AnalysisRequest", "AnalysisResponse",
     "analyze", "sweep", "default_engine", "set_default_engine",
     "obs",

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuit import Circuit
+from ..incremental import CircuitWorkspace, SetEps
 from ..reliability.closed_form import ObservabilityModel
-from ..spec import EpsilonSpec, epsilon_of
+from ..spec import DEFAULT_KEY, EpsilonSpec, epsilon_of, parse_epsilon
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,10 @@ class AllocationResult:
     delta_after: float
     #: Budget actually spent.
     spent: float
+    #: Single-pass delta before/after, measured on a workspace by applying
+    #: the allocation as ``set_eps`` edits (None when no workspace given).
+    measured_before: Optional[float] = None
+    measured_after: Optional[float] = None
 
     @property
     def improvement(self) -> float:
@@ -74,7 +79,8 @@ class AllocationResult:
 def allocate_hardening(model: ObservabilityModel,
                        base_eps: EpsilonSpec,
                        budget: float,
-                       ladder: Sequence[HardeningOption] = DEFAULT_LADDER
+                       ladder: Sequence[HardeningOption] = DEFAULT_LADDER,
+                       workspace: Optional[CircuitWorkspace] = None
                        ) -> AllocationResult:
     """Greedy budgeted hardening against the closed-form objective.
 
@@ -82,6 +88,14 @@ def allocate_hardening(model: ObservabilityModel,
     rungs across all gates compete on marginal log-gain per unit cost.
     High-observability gates win the early budget — the quantitative form
     of "introduce redundancy at selected gates" from Sec. 5.1.
+
+    The closed form is first-order (it ignores correlation and eps²
+    terms), so pass a :class:`~repro.incremental.CircuitWorkspace` of the
+    same circuit to *measure* the chosen allocation with the single-pass
+    engine: the upgrades are applied to a fork as ``set_eps`` edits (which
+    invalidate nothing — eps enters at run time) and the result carries
+    ``measured_before`` / ``measured_after`` single-pass deltas alongside
+    the closed-form ones.
     """
     if budget < 0.0:
         raise ValueError("budget must be nonnegative")
@@ -128,20 +142,41 @@ def allocate_hardening(model: ObservabilityModel,
                 for g, r in current_rung.items()}
     final_eps = {g: eps0[g] * (ladder[r].eps_factor if r >= 0 else 1.0)
                  for g, r in current_rung.items()}
+
+    measured_before = measured_after = None
+    if workspace is not None:
+        measured_before = float(workspace.analyze(base_eps).delta())
+        fork = workspace.fork()
+        spec = parse_epsilon(base_eps)
+        if isinstance(spec, Mapping):
+            for key, value in spec.items():
+                fork.apply(SetEps(value, gate=None if key == DEFAULT_KEY
+                                  else key))
+        else:
+            fork.apply(SetEps(float(spec)))
+        for g, rung in current_rung.items():
+            if rung >= 0:
+                fork.apply(SetEps(final_eps[g], gate=g))
+        measured_after = float(fork.analyze().delta())
+
     return AllocationResult(
         upgrades=upgrades,
         final_eps=final_eps,
         delta_before=delta_before,
         delta_after=model.delta(final_eps),
         spent=spent,
+        measured_before=measured_before,
+        measured_after=measured_after,
     )
 
 
 def hardening_frontier(model: ObservabilityModel,
                        base_eps: EpsilonSpec,
                        budgets: Sequence[float],
-                       ladder: Sequence[HardeningOption] = DEFAULT_LADDER
+                       ladder: Sequence[HardeningOption] = DEFAULT_LADDER,
+                       workspace: Optional[CircuitWorkspace] = None
                        ) -> List[Tuple[float, AllocationResult]]:
     """The budget-vs-reliability tradeoff curve."""
-    return [(b, allocate_hardening(model, base_eps, b, ladder))
+    return [(b, allocate_hardening(model, base_eps, b, ladder,
+                                   workspace=workspace))
             for b in budgets]

@@ -8,6 +8,12 @@ failures dominate the output error.  This module implements that loop:
 2. triplicate the top-k gates (:func:`selective_tmr`);
 3. re-analyze and report the reliability improvement per added gate.
 
+The loop runs on a :class:`~repro.incremental.CircuitWorkspace`: the
+weight vectors of the unhardened logic are computed once, each candidate
+hardening is a :class:`~repro.incremental.Triplicate` edit on a fork, and
+only the TMR islands are resimulated/recounted.  ``hardening_sweep``
+shares one baseline workspace across all budgets.
+
 It also exposes the asymmetric-redundancy signal: per-node ``0→1`` versus
 ``1→0`` error probabilities, which quadded-style schemes exploit.
 """
@@ -17,9 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..circuit import Circuit, triplicate_gates
+from ..circuit import Circuit
+from ..incremental import CircuitWorkspace, Triplicate
 from ..sim.montecarlo import monte_carlo_reliability
-from ..spec import EpsilonSpec, epsilon_of
+from ..spec import EpsilonSpec
 from ..reliability.single_pass import SinglePassAnalyzer
 from ..reliability.sensitivity import rank_critical_gates
 
@@ -52,7 +59,9 @@ def selective_tmr(circuit: Circuit,
                   voter_eps: Optional[float] = None,
                   evaluate: str = "single_pass",
                   mc_patterns: int = 1 << 16,
-                  seed: int = 0) -> HardeningOutcome:
+                  seed: int = 0,
+                  workspace: Optional[CircuitWorkspace] = None
+                  ) -> HardeningOutcome:
     """Harden the ``top_k`` most critical gates with local TMR.
 
     ``voter_eps`` sets the failure probability of the inserted voter gates
@@ -67,42 +76,39 @@ def selective_tmr(circuit: Circuit,
     ``"single_pass"`` (fast, but TMR's identical-fanin copies are the
     worst case for the pairwise correlation approximation) or
     ``"monte_carlo"`` (sampled, unbiased; recommended for final numbers).
+
+    ``workspace`` lets callers share one baseline
+    :class:`~repro.incremental.CircuitWorkspace` across repeated calls
+    (see :func:`hardening_sweep`); the hardened candidate is always
+    evaluated on a fork, so the shared workspace is never mutated.
     """
     if evaluate not in ("single_pass", "monte_carlo"):
         raise ValueError("evaluate must be 'single_pass' or 'monte_carlo'")
-    analyzer = analyzer or SinglePassAnalyzer(circuit, seed=seed)
-    baseline = analyzer.run(eps)
-    ranked = rank_critical_gates(analyzer, eps, output=output, top_k=top_k)
+    if workspace is None:
+        workspace = CircuitWorkspace(circuit, eps=eps, seed=seed)
+    ranking = analyzer or workspace.analyzer()
+    baseline = ranking.run(eps)
+    ranked = rank_critical_gates(ranking, eps, output=output, top_k=top_k)
     chosen = [g for g, _ in ranked]
-    roles: Dict[str, tuple] = {}
-    hardened = triplicate_gates(circuit, chosen, roles=roles)
 
-    hardened_eps = {}
-    for gate in hardened.topological_gates():
-        role = roles.get(gate)
-        if role is None:
-            hardened_eps[gate] = epsilon_of(eps, gate)
-        elif role[0] == "copy":
-            # Replicated logic stays as noisy as the gate it replicates.
-            hardened_eps[gate] = epsilon_of(eps, role[1])
-        elif voter_eps is not None:
-            hardened_eps[gate] = float(voter_eps)
-        else:
-            # Pessimistic default: voters as noisy as the protected gate.
-            hardened_eps[gate] = epsilon_of(eps, role[1])
+    # One Triplicate edit on a fork: only the TMR islands are dirty, the
+    # rest of the baseline's packs/weights carry over untouched.  The edit
+    # also installs the hardened eps state (copies as noisy as the gate
+    # they replicate, voters at ``voter_eps`` or the pessimistic default).
+    hardened = workspace.fork()
+    hardened.apply(Triplicate(gates=tuple(chosen), voter_eps=voter_eps))
 
     if evaluate == "monte_carlo":
-        mc = monte_carlo_reliability(hardened, hardened_eps,
+        mc = monte_carlo_reliability(hardened.circuit, hardened.current_eps(),
                                      n_patterns=mc_patterns, seed=seed)
         after_delta = dict(mc.per_output)
     else:
-        hardened_analyzer = SinglePassAnalyzer(hardened, seed=seed)
-        after_delta = dict(hardened_analyzer.run(hardened_eps).per_output)
+        after_delta = dict(hardened.analyze().per_output)
     return HardeningOutcome(
         hardened_gates=chosen,
         baseline_delta=dict(baseline.per_output),
         hardened_delta=after_delta,
-        gate_overhead=hardened.num_gates - circuit.num_gates,
+        gate_overhead=hardened.circuit.num_gates - circuit.num_gates,
     )
 
 
@@ -113,11 +119,15 @@ def hardening_sweep(circuit: Circuit,
                     voter_eps: Optional[float] = None,
                     evaluate: str = "single_pass",
                     seed: int = 0) -> List[Tuple[int, HardeningOutcome]]:
-    """Evaluate selective TMR over several protection budgets."""
-    analyzer = SinglePassAnalyzer(circuit, seed=seed)
+    """Evaluate selective TMR over several protection budgets.
+
+    All budgets fork the same baseline workspace, so the unhardened
+    circuit is simulated and weighted exactly once.
+    """
+    workspace = CircuitWorkspace(circuit, eps=eps, seed=seed)
     return [(k, selective_tmr(circuit, eps, k, output=output,
-                              analyzer=analyzer, voter_eps=voter_eps,
-                              evaluate=evaluate, seed=seed))
+                              voter_eps=voter_eps, evaluate=evaluate,
+                              seed=seed, workspace=workspace))
             for k in k_values]
 
 

@@ -10,7 +10,7 @@ provided here so the rest of the code base never special-cases gate kinds.
 from __future__ import annotations
 
 import enum
-from functools import reduce
+from functools import lru_cache, reduce
 from typing import Sequence, Tuple
 
 
@@ -127,12 +127,15 @@ def evaluate_gate(gate_type: GateType, values: Sequence[int]) -> int:
     raise ValueError(f"unknown gate type {gate_type!r}")  # pragma: no cover
 
 
+@lru_cache(maxsize=None)
 def truth_table(gate_type: GateType, arity: int) -> Tuple[int, ...]:
     """Return the gate's truth table as a tuple of 2**arity output bits.
 
     Entry ``k`` is the output for the input vector whose bit ``t`` (LSB =
     fanin 0) is ``(k >> t) & 1``.  Used by the single-pass algorithm's
     weighted-input-error machinery, which iterates over all input minterms.
+    The result is an immutable tuple keyed by (type, arity) alone, so it
+    is memoized process-wide — compile/lower paths call this per gate.
     """
     check_arity(gate_type, arity)
     if gate_type.is_constant:

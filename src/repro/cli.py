@@ -198,6 +198,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "jobs": args.jobs},
             results=result.to_dict())
 
+    if analyzer.uses_compiled and args.jobs > 1:
+        print("warning: --jobs ignored: the compiled kernel evaluates all "
+              "eps points in one vectorized sweep (use --compiled off to "
+              "force the scalar process pool)", file=sys.stderr)
     # One batched sweep when the compiled kernel handles it (or when the
     # scalar points fan out over a process pool); otherwise per-point runs
     # so each point's timing and phases are individually attributable.
@@ -262,6 +266,10 @@ def _cmd_curve(args: argparse.Namespace) -> int:
                                   weights_cache_dir=args.weights_cache)
     eps_values = [args.max_eps * i / (args.points - 1)
                   for i in range(args.points)]
+    if analyzer.uses_compiled and args.jobs > 1:
+        print("warning: --jobs ignored: the compiled kernel evaluates all "
+              "eps points in one vectorized sweep (use --compiled off to "
+              "force the scalar process pool)", file=sys.stderr)
     # The whole single-pass column is one sweep: a single vectorized pass
     # on the compiled path, a process-pool fan-out with --jobs otherwise.
     sp_curve = analyzer.curve(eps_values, output=output, jobs=args.jobs)

@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit import Circuit
+from ..incremental import parse_edit
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
 from ..sim.montecarlo import monte_carlo_reliability
@@ -90,6 +91,10 @@ class AnalysisEngine:
         self.jobs = jobs
         self.default_timeout_s = default_timeout_s
         self._sessions: "OrderedDict[Tuple, CircuitSession]" = OrderedDict()
+        #: Named mutable sessions (``edit``/``reanalyze`` targets).  They
+        #: hold incremental workspaces, so they are keyed by client-chosen
+        #: name, never shared structurally, and exempt from LRU eviction.
+        self._edit_sessions: Dict[str, CircuitSession] = {}
         self._pinned: set = set()
         self.session_hits = 0
         self.session_misses = 0
@@ -167,6 +172,35 @@ class AnalysisEngine:
         self._pinned.add(self._session_key(circuit_or_name, config))
         return session
 
+    def _edit_session(self, request: AnalysisRequest) -> CircuitSession:
+        """The named mutable session a request targets.
+
+        Created on first sight (the creating request must carry a
+        ``circuit``); thereafter the name alone addresses it, and its
+        incremental workspace keeps weights/plans warm across edits.
+        """
+        name = request.session
+        session = self._edit_sessions.get(name)
+        if session is None:
+            if request.circuit is None:
+                raise ValueError(
+                    f"unknown session {name!r}: create it by sending "
+                    "'circuit' together with 'session'")
+            options = {k: v for k, v in request.options.items()
+                       if k != "mc_patterns"}
+            config = self._config_from_options(options)
+            _, extra = _split_options(options)
+            extra.pop("weights", None)  # the workspace owns its weights
+            with trace_span("engine.edit_session.create", session=name):
+                session = CircuitSession(resolve_circuit(request.circuit),
+                                         config,
+                                         extra_analyzer_kwargs=extra)
+            self._edit_sessions[name] = session
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("engine.edit_sessions.created",
+                                circuit=session.circuit.name)
+        return session
+
     # -- direct analysis API -------------------------------------------
     def analyze(self, circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
                 method: str = "single-pass", correlation: bool = True,
@@ -214,6 +248,7 @@ class AnalysisEngine:
               method: str = "single-pass", correlation: bool = True,
               eps10_values: Optional[Sequence[EpsilonSpec]] = None,
               output: Optional[str] = None,
+              jobs: int = 1,
               **opts: Any):
         """Many eps vectors in one call.
 
@@ -221,7 +256,10 @@ class AnalysisEngine:
         :class:`~repro.reliability.compiled_pass.SweepResult`;
         ``closed-form``, ``consolidated`` and ``mc`` return
         ``{eps: delta}`` curves (matching the shapes their historical
-        free functions produced).
+        free functions produced).  ``jobs`` forwards to
+        :meth:`SinglePassAnalyzer.sweep` — it only parallelizes the
+        scalar fallback; the compiled kernel batches the points instead
+        (and warns when both are requested).
         """
         mc_patterns = opts.pop("mc_patterns", 1 << 16)
         correlation = opts.pop("use_correlation", correlation)
@@ -233,7 +271,8 @@ class AnalysisEngine:
             if method == "single-pass":
                 return session.analyzer(correlation).sweep(
                     list(eps_values),
-                    None if eps10_values is None else list(eps10_values))
+                    None if eps10_values is None else list(eps10_values),
+                    jobs=jobs)
             if method == "closed-form":
                 model = session.closed_form(output)
                 if hasattr(model, "curve"):
@@ -371,6 +410,9 @@ class AnalysisEngine:
         """Group key for batchable requests, or None to run solo."""
         if request.op not in ("analyze", "sweep"):
             return None
+        if request.session is not None:
+            # Stateful session traffic must run strictly in order.
+            return None
         if request.method != "single-pass" or request.timeout_s is not None:
             return None
         if _split_options(request.options)[1]:
@@ -445,14 +487,19 @@ class AnalysisEngine:
                             circuit=request.circuit_label())
         if op == "report":
             return self._execute_report(request)
-        session = self.session(request.circuit, **{
-            k: v for k, v in request.options.items()
-            if k not in ("mc_patterns",)})
+        if request.session is not None:
+            session = self._edit_session(request)
+        else:
+            session = self.session(request.circuit, **{
+                k: v for k, v in request.options.items()
+                if k not in ("mc_patterns",)})
         session.touch()
         name = session.circuit.name
         deadline = self._deadline(request.timeout_s)
         with trace_span("engine.request", op=op, circuit=name):
-            if op in ("analyze", "sweep"):
+            if op == "edit":
+                return self._execute_edit(request, session)
+            if op in ("analyze", "sweep", "reanalyze"):
                 return self._execute_analyze(request, session, deadline)
             if op == "curve":
                 eps_points = [float(e) for e in request.eps_points()]
@@ -481,11 +528,36 @@ class AnalysisEngine:
                     method="mc", result=result_payload(name, "mc", result))
             raise ValueError(f"unknown op {op!r}")
 
+    def _execute_edit(self, request: AnalysisRequest,
+                      session: CircuitSession) -> AnalysisResponse:
+        """Apply a batch of edits to a named session's workspace."""
+        edits = request.edits
+        if not isinstance(edits, (list, tuple)) or not edits:
+            raise ValueError(
+                "op 'edit' requires a non-empty 'edits' list")
+        reports = session.apply_edits([parse_edit(e) for e in edits])
+        name = session.circuit.name
+        result = {
+            "circuit": name,
+            "command": "edit",
+            "session": request.session,
+            "reports": [report.to_dict() for report in reports],
+            "num_gates": session.circuit.num_gates,
+            "eps": session.workspace().current_eps(),
+        }
+        return AnalysisResponse(ok=True, op="edit", circuit=name,
+                                id=request.id, method="incremental",
+                                result=result)
+
     def _execute_analyze(self, request: AnalysisRequest,
                          session: CircuitSession,
                          deadline: Optional[float]) -> AnalysisResponse:
         name = session.circuit.name
-        specs = request.eps_points()
+        if request.op == "reanalyze" and request.eps is None:
+            # No explicit eps: analyze at the session's live eps state.
+            specs = [session.workspace().current_eps()]
+        else:
+            specs = request.eps_points()
         method = request.method
         if method == "single-pass":
             results, used, fallbacks, timed_out = \
@@ -560,8 +632,10 @@ class AnalysisEngine:
         """
         by_lane: Dict[int, List[Tuple[int, Any]]] = {}
         for idx, raw in indexed:
-            label = (raw.get("circuit", "?") if isinstance(raw, dict)
-                     else raw.circuit_label())
+            if isinstance(raw, dict):
+                label = raw.get("session") or raw.get("circuit", "?")
+            else:
+                label = raw.session or raw.circuit_label()
             lane = hash(str(label)) % jobs
             by_lane.setdefault(lane, []).append((idx, raw))
         futures = []
@@ -580,6 +654,7 @@ class AnalysisEngine:
         """Registry and scheduler counters (for `serve` introspection)."""
         return {
             "sessions": len(self._sessions),
+            "edit_sessions": len(self._edit_sessions),
             "max_sessions": self.max_sessions,
             "session_hits": self.session_hits,
             "session_misses": self.session_misses,
@@ -595,6 +670,7 @@ class AnalysisEngine:
         for session in self._sessions.values():
             session.unpin()
         self._sessions.clear()
+        self._edit_sessions.clear()
         self._pinned.clear()
 
     def __enter__(self) -> "AnalysisEngine":

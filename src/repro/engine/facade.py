@@ -85,6 +85,7 @@ def sweep(circuit_or_name: CircuitRef,
           method: str = "single-pass", correlation: bool = True,
           eps10_values: Optional[Sequence[EpsilonSpec]] = None,
           output: Optional[str] = None,
+          jobs: int = 1,
           **opts: Any):
     """Reliability over many eps vectors in one engine call.
 
@@ -92,7 +93,12 @@ def sweep(circuit_or_name: CircuitRef,
     :class:`~repro.reliability.compiled_pass.SweepResult`; the other
     methods (``"closed-form"``, ``"consolidated"``, ``"mc"``) return
     ``{eps: delta}`` curves.
+
+    ``jobs > 1`` parallelizes only the *scalar* single-pass fallback;
+    when the compiled kernel handles the sweep the points are already
+    batched into one vectorized call and a warning is logged instead of
+    silently ignoring the flag.
     """
     return default_engine().sweep(
         circuit_or_name, eps_values, method=method, correlation=correlation,
-        eps10_values=eps10_values, output=output, **opts)
+        eps10_values=eps10_values, output=output, jobs=jobs, **opts)

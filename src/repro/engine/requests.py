@@ -20,8 +20,10 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..circuit import Circuit
 from ..spec import EpsilonSpec, parse_eps_list, parse_epsilon
 
-#: Operations the engine schedules.
-OPS = ("analyze", "sweep", "curve", "closed-form", "mc", "report")
+#: Operations the engine schedules.  ``edit`` and ``reanalyze`` act on a
+#: named mutable session (see docs/engine.md, "Incremental edit sessions").
+OPS = ("analyze", "sweep", "curve", "closed-form", "mc", "report",
+       "edit", "reanalyze")
 
 #: Analysis methods the ``analyze``/``sweep`` ops dispatch between.
 METHODS = ("single-pass", "closed-form", "mc", "consolidated", "exact")
@@ -44,7 +46,7 @@ def normalize_eps_points(eps: Any) -> List[EpsilonSpec]:
 class AnalysisRequest:
     """One declarative unit of analysis work."""
 
-    circuit: Union[str, Circuit]
+    circuit: Union[str, Circuit, None] = None
     op: str = "analyze"
     eps: Any = 0.05
     eps10: Any = None
@@ -53,6 +55,12 @@ class AnalysisRequest:
     output: Optional[str] = None
     timeout_s: Optional[float] = None
     id: Optional[Any] = None
+    #: Named mutable session this request targets (``edit``/``reanalyze``,
+    #: or any analysis op after an ``edit``).  Named sessions live outside
+    #: the LRU registry and keep their incremental workspace warm.
+    session: Optional[str] = None
+    #: Edit objects for ``op="edit"`` (see repro.incremental.parse_edit).
+    edits: Optional[List[Dict[str, Any]]] = None
     #: Session options (``weight_method``/``weights``, ``n_patterns``,
     #: ``seed``, ``level_gap``, ``compiled``, ``weights_cache_dir``, ...)
     #: plus per-call extras like ``mc_patterns``.
@@ -66,6 +74,10 @@ class AnalysisRequest:
             raise ValueError(
                 f"unknown method {self.method!r}: expected one of "
                 f"{', '.join(METHODS)}")
+        if self.op in ("edit", "reanalyze") and self.session is None:
+            raise ValueError(f"op {self.op!r} requires a 'session' field")
+        if self.circuit is None and self.session is None:
+            raise ValueError("request needs a 'circuit' field")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AnalysisRequest":
@@ -74,23 +86,29 @@ class AnalysisRequest:
             raise ValueError(f"request must be a JSON object, got "
                              f"{type(data).__name__}")
         known = {"circuit", "op", "eps", "eps10", "method", "correlation",
-                 "output", "timeout_s", "id", "options"}
+                 "output", "timeout_s", "id", "options", "session", "edits"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
                 f"unknown request field(s): {', '.join(sorted(unknown))}")
-        if "circuit" not in data:
+        if "circuit" not in data and "session" not in data:
             raise ValueError("request needs a 'circuit' field")
+        op = data.get("op", "analyze")
+        # ``reanalyze`` without an explicit eps means "the session's
+        # current eps state" — keep the sentinel for the engine.
+        default_eps = None if op == "reanalyze" else 0.05
         return cls(
-            circuit=data["circuit"],
-            op=data.get("op", "analyze"),
-            eps=data.get("eps", 0.05),
+            circuit=data.get("circuit"),
+            op=op,
+            eps=data.get("eps", default_eps),
             eps10=data.get("eps10"),
             method=data.get("method", "single-pass"),
             correlation=bool(data.get("correlation", True)),
             output=data.get("output"),
             timeout_s=data.get("timeout_s"),
             id=data.get("id"),
+            session=data.get("session"),
+            edits=data.get("edits"),
             options=dict(data.get("options") or {}),
         )
 
@@ -103,6 +121,8 @@ class AnalysisRequest:
         return normalize_eps_points(self.eps10)
 
     def circuit_label(self) -> str:
+        if self.circuit is None:
+            return f"session:{self.session}"
         return (self.circuit.name if isinstance(self.circuit, Circuit)
                 else str(self.circuit))
 

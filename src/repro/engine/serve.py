@@ -34,9 +34,24 @@ log = get_logger("engine.serve")
 #: Ops handled by the serve loop itself, without touching the scheduler.
 CONTROL_OPS = ("ping", "stats", "shutdown")
 
+#: Hard cap on one request line (1 MiB).  Stdio mode answers an oversized
+#: line with an error envelope and keeps serving; TCP mode answers and
+#: closes the connection, since the stream cannot be resynchronized
+#: mid-line without reading the rest of the flood.
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def _too_long_envelope(n_bytes: int) -> Dict[str, Any]:
+    return AnalysisResponse(
+        ok=False, op="?", circuit="?",
+        error=(f"request line too long ({n_bytes} bytes > "
+               f"{MAX_REQUEST_BYTES} byte cap)")).to_dict()
+
 
 def handle_line(engine: AnalysisEngine, line: str) -> Dict[str, Any]:
     """One request line → one envelope dict (never raises)."""
+    if len(line) > MAX_REQUEST_BYTES:
+        return _too_long_envelope(len(line))
     try:
         data = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -80,8 +95,18 @@ def serve_tcp(engine: AnalysisEngine, host: str, port: int,
 
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:
-            infile = self.rfile
-            for raw in infile:
+            while True:
+                # Bounded read: a line that exceeds the cap comes back
+                # without its trailing newline and is rejected before the
+                # rest of the flood is ever buffered.
+                raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+                if not raw:
+                    break
+                if len(raw) > MAX_REQUEST_BYTES and not raw.endswith(b"\n"):
+                    envelope = _too_long_envelope(len(raw))
+                    self.wfile.write(
+                        (json.dumps(envelope) + "\n").encode())
+                    break
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue

@@ -21,10 +21,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..circuit import Circuit
 from ..circuits import get_benchmark
+from ..incremental import CircuitWorkspace, EditReport, parse_edit
 from ..io import load_bench, load_blif
 from ..obs import trace_span
 from ..probability.weight_cache import (
@@ -154,6 +155,7 @@ class CircuitSession:
         self._closed: Dict[Optional[str], Any] = {}
         self._consolidated: Optional[ConsolidatedAnalyzer] = None
         self._pin_path: Optional[str] = None
+        self._workspace: Optional[CircuitWorkspace] = None
 
     # -- identity -------------------------------------------------------
     @property
@@ -184,9 +186,14 @@ class CircuitSession:
         """The session's single-pass analyzer for one correlation mode.
 
         Both modes share the session's weight vectors; each holds its own
-        lowered compiled plan (correlated vs independence kernel).
+        lowered compiled plan (correlated vs independence kernel).  Once
+        the session has been edited (see :meth:`apply_edits`), analyzers
+        come from the incremental workspace instead, so they track the
+        mutated circuit without recomputing warm state.
         """
         use_correlation = bool(use_correlation)
+        if self._workspace is not None:
+            return self._workspace.analyzer(use_correlation)
         analyzer = self._analyzers.get(use_correlation)
         if analyzer is None:
             kwargs = self.config.analyzer_kwargs()
@@ -205,6 +212,8 @@ class CircuitSession:
         :class:`MultiOutputObservabilityModel`; otherwise the single-output
         :class:`ObservabilityModel`.  Models are cached per output.
         """
+        if self._workspace is not None:
+            return self._workspace.closed_form(output, n_patterns)
         key = output
         model = self._closed.get(key)
         if model is None:
@@ -220,6 +229,55 @@ class CircuitSession:
                         n_patterns=n_patterns, seed=self.config.seed)
             self._closed[key] = model
         return model
+
+    # -- incremental edits ---------------------------------------------
+    def workspace(self) -> CircuitWorkspace:
+        """The session's incremental workspace, created on first use.
+
+        The workspace takes over the session's analysis artifacts: once it
+        exists, :meth:`analyzer` and :meth:`closed_form` serve from its
+        incrementally maintained state.  ``weight_method="bdd"`` (possible
+        via ``auto`` on wide circuits) cannot be maintained per-cone, so
+        the workspace resolves ``auto`` to exhaustive/sampled estimation
+        instead — see :class:`~repro.incremental.CircuitWorkspace`.
+        """
+        if self._workspace is None:
+            cfg = self.config
+            method = (cfg.weight_method if cfg.weight_method != "bdd"
+                      else "auto")
+            with trace_span("engine.session.workspace",
+                            circuit=self.circuit.name):
+                self._workspace = CircuitWorkspace(
+                    self.circuit,
+                    weight_method=method,
+                    n_patterns=cfg.n_patterns,
+                    seed=cfg.seed,
+                    input_probs=dict(cfg.input_probs)
+                    if cfg.input_probs else None,
+                    input_errors=self.extra_analyzer_kwargs.get(
+                        "input_errors"),
+                    max_correlation_pairs=cfg.max_correlation_pairs,
+                    max_correlation_level_gap=cfg.max_correlation_level_gap,
+                    compiled=cfg.compiled)
+        return self._workspace
+
+    def apply_edits(self, edits: Sequence[Any]) -> List[EditReport]:
+        """Apply a batch of edits (typed records or their dict forms).
+
+        The session adopts the mutated circuit; stale per-circuit caches
+        (closed-form models, the consolidated analyzer, the structural
+        key) are dropped, while the workspace keeps everything that the
+        edits' dirty cones did not touch.
+        """
+        workspace = self.workspace()
+        reports = [workspace.apply(parse_edit(edit)) for edit in edits]
+        self.circuit = workspace.circuit
+        self._analyzers = {}
+        self._closed = {}
+        self._consolidated = None
+        if hasattr(self, "_structural_key"):
+            del self._structural_key
+        return reports
 
     def consolidated(self) -> ConsolidatedAnalyzer:
         """Consolidated (any-output) analyzer over the correlated engine."""

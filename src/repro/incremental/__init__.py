@@ -1,0 +1,30 @@
+"""Incremental (ECO-style) analysis: edit a circuit, pay only the cone.
+
+See docs/incremental.md for the edit model, the dirty-cone rules, and the
+patch-vs-relower ladder.
+"""
+
+from .edits import (
+    AddGate,
+    Edit,
+    RemoveGate,
+    SetEps,
+    SwapGate,
+    Triplicate,
+    edit_to_dict,
+    parse_edit,
+)
+from .workspace import CircuitWorkspace, EditReport
+
+__all__ = [
+    "AddGate",
+    "CircuitWorkspace",
+    "Edit",
+    "EditReport",
+    "RemoveGate",
+    "SetEps",
+    "SwapGate",
+    "Triplicate",
+    "edit_to_dict",
+    "parse_edit",
+]

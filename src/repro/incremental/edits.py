@@ -1,0 +1,200 @@
+"""The typed edit log applied by :class:`~repro.incremental.CircuitWorkspace`.
+
+Every ECO-style mutation of a workspace is one of five frozen edit
+records.  Each edit carries exactly the information needed to (a) rebuild
+the circuit through the public :class:`~repro.circuit.Circuit` API — the
+workspace never mutates a netlist in place — and (b) compute the edit's
+*dirty cone*, the set of nodes whose simulation packs, weight vectors, or
+compiled-plan entries the edit invalidates (see docs/incremental.md).
+
+The records round-trip through plain dicts (:func:`parse_edit` /
+:func:`edit_to_dict`) so the same objects drive the Python API and the
+``repro serve`` ``edit`` request's JSON ``edits`` list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..circuit import GateType
+
+__all__ = [
+    "AddGate",
+    "Edit",
+    "RemoveGate",
+    "SetEps",
+    "SwapGate",
+    "Triplicate",
+    "edit_to_dict",
+    "parse_edit",
+]
+
+
+def _coerce_gate_type(value: Union[GateType, str]) -> GateType:
+    if isinstance(value, GateType):
+        return value
+    try:
+        return GateType(str(value).lower())
+    except ValueError:
+        raise ValueError(f"unknown gate type {value!r}") from None
+
+
+@dataclass(frozen=True)
+class SetEps:
+    """Change the failure probability of one gate (or the default).
+
+    ``gate=None`` updates the spec's ``"default"`` entry.  Pure analysis
+    state: no pack, weight, or plan is invalidated.
+    """
+
+    eps: float
+    gate: Optional[str] = None
+
+    kind = "set_eps"
+
+
+@dataclass(frozen=True)
+class SwapGate:
+    """Replace a gate's function (and optionally its fanins) in place.
+
+    With ``fanins=None`` only the gate type changes — the cheapest
+    structural edit: the node set, every level, and the swapped gate's own
+    weight vector are all preserved, so the plain compiled plan is patched
+    rather than re-lowered.  Supplying ``fanins`` rewires the gate; the
+    new fanins must be defined earlier in the netlist order.
+    """
+
+    gate: str
+    gate_type: Union[GateType, str]
+    fanins: Optional[Tuple[str, ...]] = None
+
+    kind = "swap_gate"
+
+    def __post_init__(self):
+        object.__setattr__(self, "gate_type",
+                           _coerce_gate_type(self.gate_type))
+        if self.fanins is not None:
+            object.__setattr__(self, "fanins",
+                               tuple(str(f) for f in self.fanins))
+
+
+@dataclass(frozen=True)
+class AddGate:
+    """Append a new gate at the end of the netlist.
+
+    The fanins must already exist; ``output=True`` additionally declares
+    the new node as a primary output.  Nothing existing is invalidated —
+    the new node has no fanouts yet — but the node set changes, so the
+    compiled plans are re-lowered lazily.
+    """
+
+    name: str
+    gate_type: Union[GateType, str]
+    fanins: Tuple[str, ...]
+    output: bool = False
+    eps: Optional[float] = None
+
+    kind = "add_gate"
+
+    def __post_init__(self):
+        object.__setattr__(self, "gate_type",
+                           _coerce_gate_type(self.gate_type))
+        object.__setattr__(self, "fanins",
+                           tuple(str(f) for f in self.fanins))
+
+
+@dataclass(frozen=True)
+class RemoveGate:
+    """Delete a dangling gate (no fanouts, not a primary output)."""
+
+    gate: str
+
+    kind = "remove_gate"
+
+
+@dataclass(frozen=True)
+class Triplicate:
+    """Selective TMR on the chosen gates via
+    :func:`~repro.circuit.transform.triplicate_gates`.
+
+    The transform is function-preserving: the voter output reclaims the
+    protected gate's name and computes the identical value, so downstream
+    packs and weight vectors stay bit-identical — only the inserted
+    copies/voters are dirty.  Inserted copies inherit the protected
+    gate's current eps; voters get ``voter_eps`` (or, pessimistically,
+    the protected gate's eps when ``None``).
+    """
+
+    gates: Tuple[str, ...]
+    voter_eps: Optional[float] = None
+
+    kind = "triplicate"
+
+    def __post_init__(self):
+        object.__setattr__(self, "gates",
+                           tuple(str(g) for g in self.gates))
+
+
+Edit = Union[SetEps, SwapGate, AddGate, RemoveGate, Triplicate]
+
+_EDIT_TYPES = {cls.kind: cls
+               for cls in (SetEps, SwapGate, AddGate, RemoveGate, Triplicate)}
+
+
+def parse_edit(data: Union[Edit, Dict[str, Any]]) -> Edit:
+    """One JSON edit object → one typed edit record.
+
+    Accepts an already-typed edit unchanged.  The dict form carries a
+    ``"kind"`` discriminator plus that edit's fields, e.g.
+    ``{"kind": "swap_gate", "gate": "g5", "gate_type": "nor"}``.
+    """
+    if isinstance(data, tuple(_EDIT_TYPES.values())):
+        return data
+    if not isinstance(data, dict):
+        raise ValueError(f"edit must be a JSON object, got "
+                         f"{type(data).__name__}")
+    kind = data.get("kind")
+    cls = _EDIT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown edit kind {kind!r}: expected one of "
+            f"{', '.join(sorted(_EDIT_TYPES))}")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    if cls is SwapGate and "fanins" in fields and fields["fanins"] is not None:
+        fields["fanins"] = tuple(fields["fanins"])
+    if cls is AddGate:
+        fields["fanins"] = tuple(fields.get("fanins") or ())
+    if cls is Triplicate:
+        fields["gates"] = tuple(fields.get("gates") or ())
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValueError(f"bad {kind!r} edit: {exc}") from None
+
+
+def edit_to_dict(edit: Edit) -> Dict[str, Any]:
+    """One typed edit record → its JSON wire form (parse_edit inverse)."""
+    if isinstance(edit, SetEps):
+        return {"kind": edit.kind, "eps": edit.eps, "gate": edit.gate}
+    if isinstance(edit, SwapGate):
+        data: Dict[str, Any] = {"kind": edit.kind, "gate": edit.gate,
+                                "gate_type": edit.gate_type.value}
+        if edit.fanins is not None:
+            data["fanins"] = list(edit.fanins)
+        return data
+    if isinstance(edit, AddGate):
+        data = {"kind": edit.kind, "name": edit.name,
+                "gate_type": edit.gate_type.value,
+                "fanins": list(edit.fanins), "output": edit.output}
+        if edit.eps is not None:
+            data["eps"] = edit.eps
+        return data
+    if isinstance(edit, RemoveGate):
+        return {"kind": edit.kind, "gate": edit.gate}
+    if isinstance(edit, Triplicate):
+        data = {"kind": edit.kind, "gates": list(edit.gates)}
+        if edit.voter_eps is not None:
+            data["voter_eps"] = edit.voter_eps
+        return data
+    raise ValueError(f"not an edit: {edit!r}")

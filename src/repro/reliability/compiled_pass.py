@@ -308,6 +308,8 @@ class CompiledSinglePass:
             gates = circuit.topological_gates()
             self.gate_names: List[str] = gates
             gate_row = {g: i for i, g in enumerate(gates)}
+            self._gate_row = gate_row
+            self.max_arity = max_arity
 
             #: (slot, ErrorProbability) rows seeded from input_errors.
             self.input_error_rows: List[Tuple[int, ErrorProbability]] = [
@@ -316,8 +318,10 @@ class CompiledSinglePass:
 
             levels = _lower_plain_groups(circuit, weights, self.index,
                                          gate_row, gates, max_arity)
+            #: Topological level value of ``self.levels[i]``.
+            self.level_values: List[int] = sorted(levels)
             self.levels: List[List[_OpGroup]] = [
-                levels[lv] for lv in sorted(levels)]
+                levels[lv] for lv in self.level_values]
             self.num_groups = sum(len(g) for g in self.levels)
 
             self.output_slots = np.asarray(
@@ -331,6 +335,73 @@ class CompiledSinglePass:
                                   circuit=circuit.name)
 
     # ------------------------------------------------------------------
+    def patch_weights(self, circuit: Circuit, weights: WeightData,
+                      changed_gates: Sequence[str] = (),
+                      retruthed_gates: Sequence[str] = ()) -> bool:
+        """Update the lowered arrays in place after a node-set-preserving edit.
+
+        ``changed_gates`` are gates whose weight vectors changed (their
+        fanin cones were edited); ``retruthed_gates`` are gates whose truth
+        table itself changed (a type-only ``swap_gate``).  The former are a
+        pure column rewrite; the latter move between ``(truth, arity)``
+        group classes, so their entire topological level is re-lowered
+        through :func:`_lower_plain_groups` — reproducing, group for group
+        and float for float, what a fresh compile would build for that
+        level.
+
+        Returns ``False`` (leaving the plan untouched) when the circuit's
+        node set or topological order differs from the compiled one; the
+        caller then falls back to a full re-lower.
+        """
+        if (circuit.topological_order() != self.node_names
+                or circuit.topological_gates() != self.gate_names):
+            return False
+        retruthed = set(retruthed_gates)
+        relower_levels = {circuit.level(g) for g in retruthed}
+        changed = {g for g in changed_gates
+                   if circuit.level(g) not in relower_levels} - retruthed
+        with trace_span("compiled_pass.patch", circuit=circuit.name,
+                        changed=len(changed), relevel=len(relower_levels)):
+            if relower_levels:
+                level_gates = [g for g in self.gate_names
+                               if circuit.level(g) in relower_levels]
+                try:
+                    lowered = _lower_plain_groups(
+                        circuit, weights, self.index, self._gate_row,
+                        level_gates, self.max_arity)
+                except CompiledPassUnsupported:
+                    return False
+                for lv, groups in lowered.items():
+                    self.levels[self.level_values.index(lv)] = groups
+            if changed:
+                targets = {self.index[g]: g for g in changed}
+                for level_groups in self.levels:
+                    for group in level_groups:
+                        for col, slot in enumerate(group.slots):
+                            gate = targets.get(int(slot))
+                            if gate is None:
+                                continue
+                            node = circuit.node(gate)
+                            side1 = np.asarray(
+                                truth_table(node.gate_type, node.arity),
+                                dtype=bool)
+                            w = np.asarray(weights.weights[gate],
+                                           dtype=np.float64)
+                            group.w_masked1[:, col] = np.where(side1, w, 0.0)
+                            group.w_masked0[:, col] = np.where(side1, 0.0, w)
+                            # Same per-column summation order as the fresh
+                            # compile's sum(axis=0) — bit-identical totals.
+                            group.w_side0[col] = group.w_masked0[:, col].sum()
+                            group.w_side1[col] = group.w_masked1[:, col].sum()
+            self.circuit = circuit
+            self.weights = weights
+            self.output_prob1 = np.asarray(
+                [weights.signal_prob[o] for o in circuit.outputs],
+                dtype=np.float64)
+        if obs_metrics.is_enabled():
+            obs_metrics.inc("compiled_pass.patches", circuit=circuit.name)
+        return True
+
     def _eps_matrix(self, specs: Sequence[EpsilonSpec]) -> np.ndarray:
         """Broadcast a batch of eps specs to a dense (gates, E) matrix."""
         return _eps_matrix(self.gate_names, specs)
@@ -644,7 +715,8 @@ class CompiledCorrelatedPass:
                  max_arity: int = MAX_COMPILED_ARITY,
                  max_pairs: int = 1_000_000,
                  max_level_gap: Optional[int] = None,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 structure: Optional[PairStructure] = None):
         circuit.validate()
         self.circuit = circuit
         self.weights = weights
@@ -652,7 +724,8 @@ class CompiledCorrelatedPass:
         self.max_level_gap = max_level_gap
         with trace_span("compiled_pass.compile_correlated",
                         circuit=circuit.name):
-            self._compile(dict(input_errors or {}), max_arity, cache_dir)
+            self._compile(dict(input_errors or {}), max_arity, cache_dir,
+                          structure)
         if obs_metrics.is_enabled():
             obs_metrics.inc("compiled_pass.correlated_compiles",
                             circuit=circuit.name)
@@ -660,7 +733,8 @@ class CompiledCorrelatedPass:
                                   self.n_rows, circuit=circuit.name)
 
     # -- plan construction ---------------------------------------------
-    def _compile(self, input_errors, max_arity, cache_dir) -> None:
+    def _compile(self, input_errors, max_arity, cache_dir,
+                 structure=None) -> None:
         circuit = self.circuit
         order = circuit.topological_order()
         self.node_names: List[str] = order
@@ -670,8 +744,13 @@ class CompiledCorrelatedPass:
         self._gate_row = {g: i for i, g in enumerate(gates)}
         self.input_error_rows: List[Tuple[int, ErrorProbability]] = [
             (self.index[name], ep) for name, ep in input_errors.items()]
-        self.structure = PairStructure(circuit,
-                                       max_level_gap=self.max_level_gap)
+        # A caller holding a still-valid PairStructure (same circuit
+        # structure, same level-gap cap — e.g. an incremental workspace
+        # re-lowering after a type-only swap) can pass it in to skip the
+        # support-bitset recomputation.
+        self.structure = (structure if structure is not None
+                          else PairStructure(
+                              circuit, max_level_gap=self.max_level_gap))
 
         # Wires whose error probability is identically zero at every eps
         # point: constants and noise-free primary inputs.  Their pruning in

@@ -356,6 +356,19 @@ class SinglePassAnalyzer:
                         points=len(specs), jobs=jobs):
             plan = self._build_plan()
             if plan is not None:
+                if jobs > 1:
+                    # Don't silently swallow the flag: the compiled kernel
+                    # already batches every point into one vectorized
+                    # pass, so there is nothing for a pool to split.
+                    from ..obs import get_logger
+                    get_logger("single_pass").warning(
+                        "jobs=%d ignored: the compiled kernel evaluates "
+                        "all %d sweep points in one vectorized pass "
+                        "(use compiled='off' to force the scalar pool)",
+                        jobs, len(specs))
+                    if obs_metrics.is_enabled():
+                        obs_metrics.inc("single_pass.jobs_ignored",
+                                        circuit=self.circuit.name)
                 return plan.run_sweep(specs, eps10_list)
             tasks = [(spec, None if eps10_list is None else eps10_list[j])
                      for j, spec in enumerate(specs)]

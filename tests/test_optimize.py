@@ -9,7 +9,8 @@ from repro.apps import (
     hardening_frontier,
 )
 from repro.circuits import fig2_circuit, ripple_carry_adder
-from repro.reliability import ObservabilityModel
+from repro.incremental import CircuitWorkspace
+from repro.reliability import ObservabilityModel, SinglePassAnalyzer
 
 
 @pytest.fixture(scope="module")
@@ -77,3 +78,38 @@ class TestAllocation:
         base = {g: 0.02 for g in circuit.topological_gates()}
         result = allocate_hardening(model, base, budget=5.0)
         assert result.delta_after < result.delta_before
+
+
+class TestMeasuredAllocation:
+    """The workspace path: closed-form choices, single-pass measurement."""
+
+    def test_no_workspace_leaves_measurements_none(self, model):
+        result = allocate_hardening(model, 0.01, budget=3.0)
+        assert result.measured_before is None
+        assert result.measured_after is None
+
+    def test_workspace_measures_the_allocation(self, model):
+        circuit = fig2_circuit()
+        ws = CircuitWorkspace(circuit, eps=0.01)
+        result = allocate_hardening(model, 0.01, budget=3.0, workspace=ws)
+        assert result.measured_after < result.measured_before
+        # The measurement is a real single-pass run of the final eps map.
+        fresh = SinglePassAnalyzer(circuit).run(result.final_eps)
+        assert result.measured_after == pytest.approx(fresh.delta(),
+                                                      abs=1e-10)
+        # The caller's workspace is untouched: the edits went to a fork.
+        assert ws.edit_log == []
+
+    def test_zero_budget_measures_identity(self, model):
+        ws = CircuitWorkspace(fig2_circuit(), eps=0.01)
+        result = allocate_hardening(model, 0.01, budget=0.0, workspace=ws)
+        assert result.measured_after == pytest.approx(
+            result.measured_before, abs=1e-12)
+
+    def test_frontier_forwards_workspace(self, model):
+        ws = CircuitWorkspace(fig2_circuit(), eps=0.01)
+        frontier = hardening_frontier(model, 0.01, [0.0, 3.0], workspace=ws)
+        for _, result in frontier:
+            assert result.measured_before is not None
+            assert result.measured_after is not None
+        assert ws.edit_log == []

@@ -136,6 +136,25 @@ class TestRedundancy:
         assert [k for k, _ in sweep] == [1, 2]
         assert sweep[1][1].gate_overhead > sweep[0][1].gate_overhead
 
+    def test_shared_workspace_is_never_mutated(self):
+        from repro.incremental import CircuitWorkspace
+
+        circuit = ripple_carry_adder(2)
+        ws = CircuitWorkspace(circuit, eps=0.02, seed=0)
+        solo = selective_tmr(circuit, 0.02, top_k=2, voter_eps=0.002)
+        shared = selective_tmr(circuit, 0.02, top_k=2, voter_eps=0.002,
+                               workspace=ws)
+        # Same ranking, same hardened circuit, same single-pass numbers —
+        # sharing a baseline workspace changes cost, not results.
+        assert shared.hardened_gates == solo.hardened_gates
+        assert shared.gate_overhead == solo.gate_overhead
+        for out, value in solo.hardened_delta.items():
+            assert shared.hardened_delta[out] == pytest.approx(value,
+                                                               abs=1e-12)
+        # The candidate was evaluated on a fork; the baseline stays clean.
+        assert ws.edit_log == []
+        assert ws.circuit.num_gates == circuit.num_gates
+
     def test_asymmetric_targets_directions(self, full_adder_circuit):
         up = asymmetric_targets(full_adder_circuit, 0.1, "0to1", top_k=3)
         down = asymmetric_targets(full_adder_circuit, 0.1, "1to0", top_k=3)

@@ -1,0 +1,163 @@
+"""Tests for ``repro serve --tcp``: concurrency and wire hardening.
+
+Each test boots a real ``serve_tcp`` listener on an ephemeral port in a
+daemon thread and talks to it over plain sockets, covering concurrent
+clients against the shared engine, malformed JSON, the 1 MiB request-line
+cap, per-connection shutdown, and edit sessions shared across
+connections.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.engine import AnalysisEngine, serve_tcp
+from repro.engine.serve import MAX_REQUEST_BYTES
+
+OPTS = {"weights": "sampled", "n_patterns": 1 << 10}
+
+
+@pytest.fixture()
+def tcp_port():
+    """A live server's port; the engine closes with the test."""
+    engine = AnalysisEngine(max_sessions=8)
+    ready = threading.Event()
+    box = {}
+
+    def on_ready(port):
+        box["port"] = port
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve_tcp, args=(engine, "127.0.0.1", 0),
+        kwargs={"ready_callback": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server never came up"
+    yield box["port"]
+    engine.close()
+
+
+def _connect(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+    return sock, sock.makefile("rwb")
+
+
+def _rpc(stream, obj):
+    stream.write((json.dumps(obj) + "\n").encode())
+    stream.flush()
+    line = stream.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+
+class TestTcpServe:
+    def test_single_client_roundtrip(self, tcp_port):
+        sock, stream = _connect(tcp_port)
+        try:
+            env = _rpc(stream, {"id": 1, "op": "analyze", "circuit": "c17",
+                                "eps": [0.01, 0.05], "options": OPTS})
+            assert env["ok"] and env["id"] == 1
+            assert len(env["result"]["points"]) == 2
+            assert _rpc(stream, {"op": "ping"})["ok"]
+        finally:
+            sock.close()
+
+    def test_concurrent_clients(self, tcp_port):
+        circuits = ["c17", "fig2", "fig1a", "b9"]
+        results = {}
+        errors = []
+
+        def client(idx, name):
+            try:
+                sock, stream = _connect(tcp_port)
+                try:
+                    envs = [_rpc(stream, {"id": f"{idx}-{i}",
+                                          "op": "analyze", "circuit": name,
+                                          "eps": eps, "options": OPTS})
+                            for i, eps in enumerate((0.01, 0.05, 0.1))]
+                    results[idx] = envs
+                finally:
+                    sock.close()
+            except Exception as exc:  # surfaced in the main thread
+                errors.append((idx, exc))
+
+        threads = [threading.Thread(target=client, args=(i, name))
+                   for i, name in enumerate(circuits)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert len(results) == len(circuits)
+        for idx, envs in results.items():
+            assert [e["ok"] for e in envs] == [True, True, True]
+            assert [e["id"] for e in envs] == [f"{idx}-{i}"
+                                               for i in range(3)]
+
+    def test_malformed_json_keeps_connection(self, tcp_port):
+        sock, stream = _connect(tcp_port)
+        try:
+            stream.write(b"this is { not json\n")
+            stream.flush()
+            env = json.loads(stream.readline())
+            assert not env["ok"] and "invalid JSON" in env["error"]
+            # The stream resynchronizes on the next newline-framed request.
+            assert _rpc(stream, {"op": "ping"})["ok"]
+        finally:
+            sock.close()
+
+    def test_bad_request_shape_keeps_connection(self, tcp_port):
+        sock, stream = _connect(tcp_port)
+        try:
+            env = _rpc(stream, {"op": "analyze"})  # no circuit, no session
+            assert not env["ok"] and "circuit" in env["error"]
+            assert _rpc(stream, {"op": "ping"})["ok"]
+        finally:
+            sock.close()
+
+    def test_oversized_line_answers_then_closes(self, tcp_port):
+        sock, stream = _connect(tcp_port)
+        try:
+            flood = b'{"op": "analyze", "circuit": "' \
+                + b"x" * (MAX_REQUEST_BYTES + 10) + b'"}\n'
+            stream.write(flood)
+            stream.flush()
+            env = json.loads(stream.readline())
+            assert not env["ok"] and "too long" in env["error"]
+            # The connection is closed: the flood cannot be resynced.
+            assert stream.readline() == b""
+        finally:
+            sock.close()
+
+    def test_shutdown_closes_only_that_connection(self, tcp_port):
+        sock1, stream1 = _connect(tcp_port)
+        sock2, stream2 = _connect(tcp_port)
+        try:
+            env = _rpc(stream1, {"op": "shutdown"})
+            assert env["ok"] and env["op"] == "shutdown"
+            assert stream1.readline() == b""
+            # The listener and the other client are unaffected.
+            assert _rpc(stream2, {"op": "ping"})["ok"]
+        finally:
+            sock1.close()
+            sock2.close()
+
+    def test_edit_session_shared_across_connections(self, tcp_port):
+        sock1, stream1 = _connect(tcp_port)
+        try:
+            env = _rpc(stream1, {
+                "op": "edit", "session": "shared", "circuit": "c17",
+                "edits": [{"kind": "set_eps", "eps": 0.08}],
+                "options": OPTS})
+            assert env["ok"], env.get("error")
+        finally:
+            sock1.close()
+        sock2, stream2 = _connect(tcp_port)
+        try:
+            env = _rpc(stream2, {"op": "reanalyze", "session": "shared"})
+            assert env["ok"], env.get("error")
+            assert env["result"]["points"][0]["eps"]["default"] == 0.08
+        finally:
+            sock2.close()
