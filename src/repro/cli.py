@@ -16,6 +16,8 @@ Commands
 ``bench``        list the built-in benchmark catalog
 ``serve``        persistent engine answering JSON requests (stdio / TCP)
 ``batch``        run a requests.jsonl through the engine scheduler
+``top``          live stats table polled from a serving engine
+``profile``      one traced analysis: phase breakdown + Chrome trace
 
 Circuits are referenced either by a file path (``.bench`` or ``.blif``) or
 by a built-in catalog name (``repro bench`` lists them).  The full
@@ -447,6 +449,145 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _render_top(address: str, stats: Dict[str, Any]) -> str:
+    """One ``repro top`` frame: header, per-op SLOs, caches, lanes."""
+    rolling = stats.get("rolling", {})
+    lines = [
+        f"repro top — {address} — v{stats.get('version', '?')} — "
+        f"up {stats.get('uptime_s', 0.0):.1f}s",
+        f"requests {stats.get('requests_served', 0)}   "
+        f"sessions {stats.get('sessions', 0)}/{stats.get('max_sessions', 0)}"
+        f" (+{stats.get('edit_sessions', 0)} named)   "
+        f"hits {stats.get('session_hits', 0)}  "
+        f"misses {stats.get('session_misses', 0)}   "
+        f"lanes {stats.get('lanes', 0)}",
+    ]
+    ops = rolling.get("ops", {})
+    if ops:
+        lines.append("")
+        lines.append(f"{'op':<12s} {'count':>7s} {'win':>5s} {'mean':>10s} "
+                     f"{'p50':>10s} {'p95':>10s} {'p99':>10s} {'errs':>5s}")
+        for op, entry in ops.items():
+            lines.append(
+                f"{op:<12s} {entry['count']:>7d} {entry['window']:>5d} "
+                f"{entry['mean_ms']:>8.2f}ms {entry['p50_ms']:>8.2f}ms "
+                f"{entry['p95_ms']:>8.2f}ms {entry['p99_ms']:>8.2f}ms "
+                f"{entry['errors']:>5d}")
+    cache = rolling.get("cache", {})
+    if cache:
+        lines.append("")
+        lines.append(f"{'cache tier':<12s} {'window':>7s} {'hit rate':>9s}")
+        for tier, entry in cache.items():
+            rate = ("-" if entry["hit_rate"] is None
+                    else f"{entry['hit_rate'] * 100:.1f}%")
+            lines.append(f"{tier:<12s} {entry['window']:>7d} {rate:>9s}")
+    lanes = rolling.get("lanes", {})
+    if lanes:
+        lines.append("")
+        lines.append(f"{'lane':<6s} {'requests':>9s} {'busy_s':>9s} "
+                     f"{'util':>6s}")
+        for lane, entry in lanes.items():
+            lines.append(f"{lane:<6s} {entry['requests']:>9d} "
+                         f"{entry['busy_s']:>9.3f} "
+                         f"{entry['utilization'] * 100:>5.1f}%")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import socket
+    host, _, port = args.address.rpartition(":")
+    if not host:
+        raise SystemExit(
+            f"invalid address {args.address!r}: expected HOST:PORT")
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise SystemExit(
+            f"invalid port {port!r}: expected an integer") from None
+    try:
+        sock = socket.create_connection((host, port_num), timeout=10)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot connect to {args.address}: {exc}") from None
+    stream = sock.makefile("rwb")
+    polls = 0
+    try:
+        while True:
+            stream.write(b'{"op": "stats"}\n')
+            stream.flush()
+            line = stream.readline()
+            if not line:
+                raise SystemExit("server closed the connection")
+            envelope = json.loads(line)
+            if not envelope.get("ok"):
+                raise SystemExit(f"stats op failed: {envelope.get('error')}")
+            if polls:
+                print()
+            print(_render_top(args.address, envelope["stats"]))
+            polls += 1
+            if args.iterations and polls >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        sock.close()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .engine import AnalysisEngine
+    # Tracing is forced on for the whole run — that is the point of the
+    # command — regardless of the --metrics-out/--trace-out obs flags.
+    obs.reset()
+    obs.enable()
+    circuit = _load_circuit(args.circuit)
+    eps_values = _eps_list(args.eps)
+    options: Dict[str, Any] = {"seed": args.seed}
+    if args.weights != "auto":
+        options["weights"] = args.weights
+    if args.weights_cache:
+        options["weights_cache_dir"] = args.weights_cache
+    engine = AnalysisEngine(max_sessions=4,
+                            weights_cache_dir=args.weights_cache,
+                            jobs=args.jobs)
+    t0 = time.perf_counter()
+    try:
+        responses = engine.submit_many(
+            [{"op": "analyze", "circuit": args.circuit, "eps": [eps],
+              "id": i, "options": dict(options)}
+             for i, eps in enumerate(eps_values)],
+            jobs=args.jobs)
+    finally:
+        engine.close()
+    wall = time.perf_counter() - t0
+    failed = [r for r in responses if not r.ok]
+    for response in failed:
+        print(f"error: {response.error}", file=sys.stderr)
+    print(f"# profile {circuit.name}: {len(eps_values)} eps point(s), "
+          f"{wall * 1e3:.1f} ms wall, jobs={args.jobs}")
+    print(f"{'phase':<44s} {'total':>10s} {'% wall':>7s}")
+    tracer = obs.get_tracer()
+    for name, total in sorted(tracer.phase_timings().items(),
+                              key=lambda kv: -kv[1]):
+        share = min(total / wall, 1.0) * 100 if wall > 0 else 0.0
+        print(f"{name:<44s} {total * 1e3:>8.2f}ms {share:>6.1f}%")
+    print()
+    for response in responses:
+        telemetry = response.telemetry or {}
+        print(f"request {telemetry.get('request_id')}: "
+              f"ladder={telemetry.get('ladder')} "
+              f"kernel={telemetry.get('kernel_ms')}ms "
+              f"total={telemetry.get('total_ms')}ms "
+              f"lane={telemetry.get('lane')} "
+              f"cache={telemetry.get('cache')}")
+    out = args.trace_out or f"{Path(args.circuit).stem}.trace.json"
+    tracer.write_chrome_trace(out)
+    print(f"wrote Chrome trace to {out}")
+    obs.disable()
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -619,6 +760,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write envelopes here instead of stdout")
     add_engine(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser("top",
+                       help="live stats table from a serving engine")
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="TCP address of a running `repro serve --tcp` "
+                        "engine")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between stats polls")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N polls (0 = run until interrupted)")
+    add_obs(p)
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser("profile",
+                       help="run one traced analysis: phase breakdown "
+                            "table + spliced Chrome trace")
+    add_common(p)
+    p.add_argument("--eps", default="0.01,0.05,0.1",
+                   help="comma-separated eps points to profile")
+    p.add_argument("--weights", default="auto",
+                   choices=["auto", "bdd", "exhaustive", "sampled"])
+    p.add_argument("--jobs", type=int, default=0, metavar="N",
+                   help="worker-process lanes to fan the profiled "
+                        "requests across (0 = in-process); worker spans "
+                        "are spliced into the parent trace")
+    add_weights_cache(p)
+    p.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -19,10 +19,11 @@ from .facade import analyze, default_engine, set_default_engine, sweep
 from .requests import AnalysisRequest, AnalysisResponse
 from .serve import handle_line, run_batch, serve_stream, serve_tcp
 from .session import CircuitSession, SessionConfig, resolve_circuit
+from .stats import EngineStats
 
 __all__ = [
     "AnalysisEngine", "AnalysisRequest", "AnalysisResponse",
-    "CircuitSession", "SessionConfig", "resolve_circuit",
+    "CircuitSession", "SessionConfig", "resolve_circuit", "EngineStats",
     "analyze", "sweep", "default_engine", "set_default_engine",
     "handle_line", "run_batch", "serve_stream", "serve_tcp",
 ]

@@ -24,7 +24,11 @@ On top of the registry sits a small request scheduler:
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 import time
+import zlib
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -33,6 +37,8 @@ from ..circuit import Circuit
 from ..incremental import parse_edit
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
+from ..obs import trace as obs_trace
+from ..obs.propagate import TelemetryPayload, capture as capture_telemetry
 from ..sim.montecarlo import monte_carlo_reliability
 from ..spec import EpsilonSpec
 from .requests import (
@@ -43,12 +49,17 @@ from .requests import (
     result_payload,
 )
 from .session import CircuitRef, CircuitSession, SessionConfig, resolve_circuit
+from .stats import EngineStats
 
 #: Analyzer kwargs that cannot key a shared session (unhashable or
 #: identity-bearing); their presence makes the session transient.
 #: ``weights`` is transient only when it carries a WeightData object —
 #: a *string* ``weights`` is the CLI's alias for ``weight_method``.
 _TRANSIENT_OPTIONS = ("weights", "input_errors")
+
+#: Cache-probe answer for requests that never reached the probe.
+_UNKNOWN_CACHE = {"session": "unknown", "weights": "unknown",
+                  "plan": "unknown"}
 
 
 def _split_options(options: Dict[str, Any]
@@ -100,6 +111,16 @@ class AnalysisEngine:
         self.session_misses = 0
         self.requests_served = 0
         self._lanes: List[ProcessPoolExecutor] = []
+        #: Wall-clock birth time (labels long-running serve processes).
+        self.started_at = time.time()
+        #: Rolling latency/cache/lane aggregation (always on; cheap).
+        self.engine_stats = EngineStats()
+        #: Worker-lane index this engine runs in (None in the parent).
+        self.lane_index: Optional[int] = None
+        self._request_seq = itertools.count(1)
+        #: Per-thread scratch the ladder uses to report kernel time to
+        #: the telemetry assembly without widening return signatures.
+        self._scratch = threading.local()
 
     # -- session registry ----------------------------------------------
     def _session_key(self, ref: CircuitRef,
@@ -320,31 +341,48 @@ class AnalysisEngine:
         if deadline is not None and time.monotonic() >= deadline:
             fallbacks.append({"from": rung, "to": "closed-form",
                               "reason": "timeout"})
+            k0 = time.perf_counter()
             model = session.closed_form(None)
             results = [model.analyze(spec) for spec in specs]
+            self._scratch.kernel_s = time.perf_counter() - k0
             return results, "closed-form", fallbacks, True
+        k0 = time.perf_counter()
         sweep = analyzer.sweep(specs, eps10_specs)
+        self._scratch.kernel_s = time.perf_counter() - k0
         results = [sweep.point(j) for j in range(len(specs))]
         timed_out = deadline is not None and time.monotonic() > deadline
         return results, rung, fallbacks, timed_out
 
     # -- request scheduler ---------------------------------------------
-    def submit(self, request: Union[AnalysisRequest, Dict[str, Any]]
-               ) -> AnalysisResponse:
+    def submit(self, request: Union[AnalysisRequest, Dict[str, Any]],
+               received_at: Optional[float] = None) -> AnalysisResponse:
         """Execute one declarative request and envelope the outcome.
 
         Never raises for analysis-level failures: bad circuits, bad eps
         specs, and method errors come back as ``ok=False`` envelopes so a
-        serve loop survives malformed traffic.
+        serve loop survives malformed traffic.  ``received_at`` is the
+        wall-clock time the request was first seen (a serve loop's parse
+        time, or a fan-out's dispatch time); the gap to execution start
+        becomes the envelope's ``queue_wait_ms``.
         """
+        queue_wait_ms = (max(0.0, (time.time() - received_at) * 1e3)
+                         if received_at is not None else 0.0)
         if isinstance(request, dict):
             try:
                 request = AnalysisRequest.from_dict(request)
             except ValueError as exc:
-                return AnalysisResponse(
+                response = AnalysisResponse(
                     ok=False, op=str(request.get("op", "analyze")),
                     circuit=str(request.get("circuit", "?")),
                     id=request.get("id"), error=str(exc))
+                self._attach_telemetry(response, cache=_UNKNOWN_CACHE,
+                                       queue_wait_ms=queue_wait_ms,
+                                       kernel_s=0.0)
+                self.engine_stats.record(response.op, 0.0, ok=False,
+                                         lane=self.lane_index)
+                return response
+        cache = self._cache_probe(request)
+        self._scratch.kernel_s = 0.0
         t0 = time.perf_counter()
         try:
             response = self._execute(request)
@@ -353,12 +391,19 @@ class AnalysisEngine:
                 ok=False, op=request.op, circuit=request.circuit_label(),
                 id=request.id, error=f"{type(exc).__name__}: {exc}")
         response.elapsed_s = time.perf_counter() - t0
+        self._attach_telemetry(response, cache=cache,
+                               queue_wait_ms=queue_wait_ms)
+        self.engine_stats.record(response.op, response.elapsed_s,
+                                 ok=response.ok, cache=cache,
+                                 lane=self.lane_index)
         self._attach_obs(request, response)
         return response
 
     def submit_many(self, requests: Sequence[Union[AnalysisRequest,
                                                    Dict[str, Any]]],
-                    jobs: Optional[int] = None) -> List[AnalysisResponse]:
+                    jobs: Optional[int] = None,
+                    received_at: Optional[float] = None
+                    ) -> List[AnalysisResponse]:
         """Execute a batch: coalesce per session, fan out across lanes.
 
         Single-pass analyze/sweep requests sharing a session (same
@@ -374,10 +419,12 @@ class AnalysisEngine:
             list(enumerate(requests))
         if jobs and jobs > 1:
             return self._fan_out(parsed, jobs)
-        return self._run_batch_local(parsed)
+        return self._run_batch_local(parsed, received_at)
 
     # -- local batch execution with coalescing -------------------------
-    def _run_batch_local(self, indexed) -> List[AnalysisResponse]:
+    def _run_batch_local(self, indexed,
+                         received_at: Optional[float] = None
+                         ) -> List[AnalysisResponse]:
         responses: Dict[int, AnalysisResponse] = {}
         groups: "OrderedDict[Tuple, List[Tuple[int, AnalysisRequest]]]" = \
             OrderedDict()
@@ -394,15 +441,16 @@ class AnalysisEngine:
                     continue
             key = self._coalesce_key(request)
             if key is None:
-                responses[idx] = self.submit(request)
+                responses[idx] = self.submit(request, received_at)
             else:
                 groups.setdefault(key, []).append((idx, request))
         for members in groups.values():
             if len(members) == 1:
                 idx, request = members[0]
-                responses[idx] = self.submit(request)
+                responses[idx] = self.submit(request, received_at)
             else:
-                for idx, response in self._run_coalesced(members):
+                for idx, response in self._run_coalesced(members,
+                                                         received_at):
                     responses[idx] = response
         return [responses[i] for i in range(len(indexed))]
 
@@ -428,9 +476,15 @@ class AnalysisEngine:
         return (circuit_key, config, bool(request.correlation),
                 request.eps10 is None)
 
-    def _run_coalesced(self, members) -> List[Tuple[int, AnalysisResponse]]:
+    def _run_coalesced(self, members,
+                       received_at: Optional[float] = None
+                       ) -> List[Tuple[int, AnalysisResponse]]:
         """Answer several same-session requests from one kernel sweep."""
         first = members[0][1]
+        queue_wait_ms = (max(0.0, (time.time() - received_at) * 1e3)
+                         if received_at is not None else 0.0)
+        cache = self._cache_probe(first)
+        self._scratch.kernel_s = 0.0
         t0 = time.perf_counter()
         try:
             slices: List[Tuple[int, int]] = []
@@ -461,6 +515,8 @@ class AnalysisEngine:
                 obs_metrics.inc("engine.coalesced_requests", len(members),
                                 circuit=session.circuit.name)
             elapsed = (time.perf_counter() - t0) / len(members)
+            kernel_s = getattr(self._scratch, "kernel_s", 0.0) \
+                / len(members)
             out = []
             for (idx, request), (start, count) in zip(members, slices):
                 payload = analyze_payload(
@@ -472,11 +528,18 @@ class AnalysisEngine:
                     method=method, fallbacks=list(fallbacks),
                     timed_out=timed_out, elapsed_s=elapsed,
                     coalesced=len(members), result=payload)
+                self._attach_telemetry(response, cache=cache,
+                                       queue_wait_ms=queue_wait_ms,
+                                       kernel_s=kernel_s)
+                self.engine_stats.record(response.op, elapsed,
+                                         ok=True, cache=cache,
+                                         lane=self.lane_index)
                 self._attach_obs(request, response)
                 out.append((idx, response))
             return out
         except Exception:  # noqa: BLE001 - degrade to solo execution
-            return [(idx, self.submit(request)) for idx, request in members]
+            return [(idx, self.submit(request, received_at))
+                    for idx, request in members]
 
     # -- single-request execution --------------------------------------
     def _execute(self, request: AnalysisRequest) -> AnalysisResponse:
@@ -626,32 +689,152 @@ class AnalysisEngine:
     def _fan_out(self, indexed, jobs: int) -> List[AnalysisResponse]:
         """Distribute a batch across sticky single-process lanes.
 
-        Routing hashes the coalescing key (falling back to the circuit
-        label), so requests for one session always reach the same worker
-        — its session registry stays warm across batches.
+        Routing CRC-hashes the session/circuit label (``zlib.crc32`` —
+        deterministic across processes and runs, unlike builtin ``hash``),
+        so requests for one session always reach the same worker — its
+        session registry stays warm across batches.  Each lane dispatch
+        carries a telemetry context (lane index, dispatch wall-clock,
+        request ids, and whether tracing/metrics are live); workers ship
+        their spans and metric deltas home in a
+        :class:`~repro.obs.propagate.TelemetryPayload` which is spliced
+        into this process's tracer/registry under a synthetic
+        ``engine.lane`` span, yielding one coherent Chrome trace.
         """
+        tracing = obs_trace.is_enabled()
+        metering = obs_metrics.is_enabled()
+        tracer = obs_trace.get_tracer()
+        enclosing = tracer.current() if tracing else None
         by_lane: Dict[int, List[Tuple[int, Any]]] = {}
         for idx, raw in indexed:
             if isinstance(raw, dict):
                 label = raw.get("session") or raw.get("circuit", "?")
             else:
                 label = raw.session or raw.circuit_label()
-            lane = hash(str(label)) % jobs
+            lane = zlib.crc32(str(label).encode()) % jobs
             by_lane.setdefault(lane, []).append((idx, raw))
         futures = []
         for lane_idx, members in by_lane.items():
             reqs = [raw for _, raw in members]
-            future = self._lane(lane_idx, jobs).submit(_lane_run, reqs)
-            futures.append((members, future))
+            ctx = {
+                "lane": lane_idx,
+                "dispatched_at": time.time(),
+                "trace": tracing,
+                "metrics": metering,
+                "request_ids": [self._next_request_id() for _ in members],
+            }
+            dispatch_rel = time.perf_counter() - tracer.epoch
+            future = self._lane(lane_idx, jobs).submit(_lane_run, reqs, ctx)
+            futures.append((members, lane_idx, dispatch_rel, future))
         responses: Dict[int, AnalysisResponse] = {}
-        for members, future in futures:
-            for (idx, _), response in zip(members, future.result()):
+        for members, lane_idx, dispatch_rel, future in futures:
+            lane_responses, payload = future.result()
+            lane_elapsed = (time.perf_counter() - tracer.epoch
+                            - dispatch_rel)
+            self.engine_stats.record_lane(lane_idx, len(members),
+                                          lane_elapsed)
+            if tracing:
+                depth = enclosing.depth + 1 if enclosing else 0
+                tracer.record(obs_trace.Span(
+                    name="engine.lane",
+                    start=dispatch_rel, duration=lane_elapsed,
+                    depth=depth,
+                    parent=enclosing.name if enclosing else None,
+                    thread_id=threading.get_ident(),
+                    attrs={"lane": lane_idx, "requests": len(members)}))
+            if payload is not None:
+                payload.merge_into(tracer, at=dispatch_rel,
+                                   parent="engine.lane",
+                                   depth_base=(enclosing.depth + 2
+                                               if enclosing else 1))
+            for (idx, _), response in zip(members, lane_responses):
+                # The worker's EngineStats died with its batch; fold the
+                # per-request record into the parent's rolling window.
+                self.engine_stats.record(
+                    response.op, response.elapsed_s, ok=response.ok,
+                    cache=(response.telemetry or {}).get("cache"),
+                    lane=lane_idx)
                 responses[idx] = response
         return [responses[i] for i in range(len(indexed))]
 
+    # -- telemetry ------------------------------------------------------
+    def _next_request_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._request_seq):06x}"
+
+    def _cache_probe(self, request: AnalysisRequest) -> Dict[str, str]:
+        """Predict cache warmth for a request *before* executing it.
+
+        Returns ``{"session", "weights", "plan"}`` each mapped to
+        ``hit``/``miss`` (session tier) or ``warm``/``cold`` (artifact
+        tiers); ``transient`` marks requests that bypass the registry,
+        ``unknown`` an unprobeable request.  Probing never raises — a
+        malformed request is answered by ``_execute``'s error envelope.
+        """
+        try:
+            if request.op == "report":
+                return {"session": "transient", "weights": "cold",
+                        "plan": "cold"}
+            if request.session is not None:
+                session = self._edit_sessions.get(request.session)
+            else:
+                options = {k: v for k, v in request.options.items()
+                           if k != "mc_patterns"}
+                if _split_options(options)[1]:
+                    return {"session": "transient", "weights": "cold",
+                            "plan": "cold"}
+                config = self._config_from_options(options)
+                key = self._session_key(request.circuit, config)
+                session = self._sessions.get(key)
+            if session is None:
+                return {"session": "miss", "weights": "cold",
+                        "plan": "cold"}
+            return {
+                "session": "hit",
+                "weights": "warm" if session.weights_ready else "cold",
+                "plan": ("warm"
+                         if session.plan_ready(request.correlation)
+                         else "cold"),
+            }
+        except Exception:  # noqa: BLE001 - probes must never fail requests
+            return dict(_UNKNOWN_CACHE)
+
+    def _attach_telemetry(self, response: AnalysisResponse, *,
+                          cache: Dict[str, str],
+                          queue_wait_ms: float,
+                          kernel_s: Optional[float] = None) -> None:
+        """Assemble the always-on per-request ``telemetry`` block.
+
+        Unlike ``_attach_obs`` this is not gated on the obs flags: the
+        block is plain counters/timestamps already measured on the
+        request path, so populating it costs one dict build (guarded by
+        ``benchmarks/test_obs_overhead.py``).
+        """
+        if kernel_s is None:
+            kernel_s = getattr(self._scratch, "kernel_s", 0.0)
+        response.telemetry = {
+            "request_id": self._next_request_id(),
+            "queue_wait_ms": round(queue_wait_ms, 3),
+            "coalesced": response.coalesced,
+            "lane": self.lane_index,
+            "cache": dict(cache),
+            "ladder": response.method,
+            "kernel_ms": round((kernel_s or 0.0) * 1e3, 3),
+            "total_ms": round(response.elapsed_s * 1e3, 3),
+        }
+
     # -- lifecycle ------------------------------------------------------
+    def uptime_s(self) -> float:
+        """Seconds since this engine was constructed (monotonic)."""
+        return self.engine_stats.uptime_s()
+
     def stats(self) -> Dict[str, Any]:
-        """Registry and scheduler counters (for `serve` introspection)."""
+        """Registry, scheduler, and rolling-SLO state (the `stats` op).
+
+        Lifetime counters keep their PR-5 keys; ``uptime_s`` /
+        ``started_at`` / ``version`` identify the process, and
+        ``rolling`` carries the :class:`EngineStats` snapshot (per-op
+        p50/p95/p99 latencies, cache hit-rate windows, lane utilization).
+        """
+        from .. import __version__  # lazy: package defines it after us
         return {
             "sessions": len(self._sessions),
             "edit_sessions": len(self._edit_sessions),
@@ -660,7 +843,17 @@ class AnalysisEngine:
             "session_misses": self.session_misses,
             "requests_served": self.requests_served,
             "lanes": len(self._lanes),
+            "uptime_s": self.uptime_s(),
+            "started_at": self.started_at,
+            "version": __version__,
+            "rolling": self.engine_stats.snapshot(),
         }
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition: engine SLO stats + obs registry."""
+        text = self.engine_stats.to_prometheus()
+        registry_text = obs_metrics.get_registry().to_prometheus()
+        return text + registry_text
 
     def close(self) -> None:
         """Shut down worker lanes and release pinned cache entries."""
@@ -711,5 +904,39 @@ def _lane_init(max_sessions: int,
                                   jobs=0)
 
 
-def _lane_run(requests) -> List[AnalysisResponse]:
-    return _LANE_ENGINE.submit_many(requests, jobs=0)
+def _lane_run(requests, ctx: Optional[Dict[str, Any]] = None
+              ) -> Tuple[List[AnalysisResponse],
+                         Optional[TelemetryPayload]]:
+    """Run one lane batch; optionally capture telemetry to ship home.
+
+    ``ctx`` is the parent's dispatch context: lane index, dispatch
+    wall-clock (for queue-wait), pre-assigned request ids, and whether
+    the parent wants spans/metrics back.  Worker obs state is reset per
+    batch — with the ``fork`` start method the process inherits the
+    parent's enabled flags and any spans recorded before the pool was
+    created, so the payload must carry exactly this batch's telemetry.
+    """
+    from .. import obs
+    ctx = ctx or {}
+    want_trace = bool(ctx.get("trace"))
+    want_metrics = bool(ctx.get("metrics"))
+    obs.reset()
+    if want_trace or want_metrics:
+        obs.enable(tracing=want_trace, metrics_=want_metrics)
+    else:
+        obs.disable()
+    _LANE_ENGINE.lane_index = ctx.get("lane")
+    responses = _LANE_ENGINE.submit_many(
+        requests, jobs=0, received_at=ctx.get("dispatched_at"))
+    request_ids = ctx.get("request_ids")
+    for i, response in enumerate(responses):
+        if response.telemetry is not None:
+            if request_ids and i < len(request_ids):
+                response.telemetry["request_id"] = request_ids[i]
+            response.telemetry["lane"] = ctx.get("lane")
+    payload = None
+    if want_trace or want_metrics:
+        payload = capture_telemetry()
+        obs.disable()
+        obs.reset()
+    return responses, payload

@@ -149,6 +149,11 @@ class AnalysisResponse:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     obs: Optional[Dict[str, Any]] = None
+    #: Per-request telemetry block (always populated by the engine):
+    #: ``request_id``, ``queue_wait_ms``, ``coalesced``, ``lane``,
+    #: ``cache`` (session/weights/plan warmth), ``ladder``, ``kernel_ms``,
+    #: ``total_ms``.  See docs/observability.md, "Telemetry envelopes".
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -166,6 +171,8 @@ class AnalysisResponse:
             data["result"] = self.result
         else:
             data["error"] = self.error
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
         if self.obs is not None:
             data["obs"] = self.obs
         return data

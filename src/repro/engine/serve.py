@@ -6,10 +6,14 @@ one JSON envelope per line out, in request order:
     {"id": 1, "op": "analyze", "circuit": "c17", "eps": [0.01, 0.05]}
     {"id": 1, "ok": true, "result": {...}, "method": "...", ...}
 
-Three control ops exist alongside the analysis ops:
+Four control ops exist alongside the analysis ops:
 
-* ``{"op": "ping"}`` — liveness probe, echoes engine stats;
-* ``{"op": "stats"}`` — session registry / scheduler counters;
+* ``{"op": "ping"}`` — cheap liveness echo: ``{ok, op, uptime_s}``,
+  answered without touching the engine's locks or session registry;
+* ``{"op": "stats"}`` — the full ``engine.stats()`` payload (registry
+  counters, rolling latency percentiles, cache windows, lanes);
+* ``{"op": "metrics"}`` — Prometheus text exposition of the engine's
+  rolling stats plus the obs metrics registry;
 * ``{"op": "shutdown"}`` — acknowledge and close the connection (stdio
   mode exits the loop; TCP mode closes that client's connection).
 
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import json
 import socketserver
+import time
 from typing import Any, Dict, IO, List, Optional
 
 from ..obs import get_logger
@@ -32,7 +37,10 @@ from .requests import AnalysisResponse
 log = get_logger("engine.serve")
 
 #: Ops handled by the serve loop itself, without touching the scheduler.
-CONTROL_OPS = ("ping", "stats", "shutdown")
+CONTROL_OPS = ("ping", "stats", "metrics", "shutdown")
+
+#: Content type a ``metrics`` envelope's exposition text conforms to.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Hard cap on one request line (1 MiB).  Stdio mode answers an oversized
 #: line with an error envelope and keeps serving; TCP mode answers and
@@ -50,6 +58,7 @@ def _too_long_envelope(n_bytes: int) -> Dict[str, Any]:
 
 def handle_line(engine: AnalysisEngine, line: str) -> Dict[str, Any]:
     """One request line → one envelope dict (never raises)."""
+    received_at = time.time()
     if len(line) > MAX_REQUEST_BYTES:
         return _too_long_envelope(len(line))
     try:
@@ -58,9 +67,20 @@ def handle_line(engine: AnalysisEngine, line: str) -> Dict[str, Any]:
         return AnalysisResponse(ok=False, op="?", circuit="?",
                                 error=f"invalid JSON: {exc}").to_dict()
     if isinstance(data, dict) and data.get("op") in CONTROL_OPS:
-        return {"id": data.get("id"), "ok": True, "op": data["op"],
-                "stats": engine.stats()}
-    return engine.submit(data).to_dict()
+        op = data["op"]
+        if op == "ping":
+            # Lock-free liveness echo: never blocks behind the registry.
+            return {"id": data.get("id"), "ok": True, "op": op,
+                    "uptime_s": engine.uptime_s()}
+        if op == "metrics":
+            return {"id": data.get("id"), "ok": True, "op": op,
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "exposition": engine.prometheus()}
+        if op == "stats":
+            return {"id": data.get("id"), "ok": True, "op": op,
+                    "stats": engine.stats()}
+        return {"id": data.get("id"), "ok": True, "op": op}
+    return engine.submit(data, received_at=received_at).to_dict()
 
 
 def serve_stream(engine: AnalysisEngine, infile: IO[str],
@@ -148,7 +168,8 @@ def run_batch(engine: AnalysisEngine, lines: List[str],
             parse_errors[i] = AnalysisResponse(
                 ok=False, op="?", circuit="?",
                 error=f"invalid JSON on line {i + 1}: {exc}").to_dict()
-    responses = engine.submit_many([req for _, req in requests], jobs=jobs)
+    responses = engine.submit_many([req for _, req in requests], jobs=jobs,
+                                   received_at=time.time())
     by_line = dict(zip((i for i, _ in requests),
                        (r.to_dict() for r in responses)))
     failures = 0

@@ -164,6 +164,24 @@ class CircuitSession:
             self._structural_key = structural_hash(self.circuit)
         return self._structural_key
 
+    # -- warmth probes --------------------------------------------------
+    @property
+    def weights_ready(self) -> bool:
+        """True once weight vectors exist without needing computation."""
+        return (self._weights is not None
+                or "weights" in self.extra_analyzer_kwargs)
+
+    def plan_ready(self, use_correlation: bool = True) -> bool:
+        """True once an analyzer (and its plan) exists for this mode."""
+        if self._workspace is not None:
+            return True
+        return bool(self._analyzers.get(bool(use_correlation)))
+
+    @property
+    def workspace_ready(self) -> bool:
+        """True once the incremental edit workspace has been built."""
+        return self._workspace is not None
+
     # -- artifacts ------------------------------------------------------
     @property
     def weights(self) -> WeightData:

@@ -35,6 +35,7 @@ __all__ = [
     "set_gauge",
     "observe",
     "snapshot",
+    "to_prometheus",
     "reset",
     "set_enabled",
     "is_enabled",
@@ -51,6 +52,35 @@ _DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
 
 def _series_key(name: str, labels: Mapping[str, Any]) -> SeriesKey:
     return (name, tuple(sorted(labels.items())))
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _prom_value(value: Union[int, float]) -> str:
+    """Render a sample value (integers stay integral for readability)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(labels: Mapping[str, Any]) -> str:
+    """Render a label set as ``{k="v",...}`` with value escaping."""
+    if not labels:
+        return ""
+    parts = []
+    for key, value in sorted(labels.items()):
+        text = str(value).replace("\\", r"\\").replace('"', r'\"')
+        text = text.replace("\n", r"\n")
+        parts.append(f'{key}="{text}"')
+    return "{" + ",".join(parts) + "}"
 
 
 class Counter:
@@ -128,6 +158,36 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by linear interpolation.
+
+        Prometheus-style: the target rank is located in the cumulative
+        bucket counts, then interpolated linearly between the bucket's
+        lower and upper bounds.  The estimate is clamped to the observed
+        ``[min, max]`` range (which also makes single-value and overflow
+        cases exact); an empty histogram returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        running = 0.0
+        prev_bound: Optional[float] = None
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            if n and running + n >= target:
+                lo = (self.min if prev_bound is None
+                      else max(prev_bound, self.min))
+                hi = min(self.max, bound)
+                if hi <= lo:
+                    return lo
+                frac = (target - running) / n
+                return lo + (hi - lo) * frac
+            running += n
+            prev_bound = bound
+        # Target rank lies in the overflow bucket (> last bound).
+        return self.max
+
     def to_dict(self) -> Dict[str, Any]:
         cumulative = []
         running = 0
@@ -184,6 +244,87 @@ class MetricsRegistry:
             series = self._series[_series_key(name, labels)]
         return series.value
 
+    def merge(self, snapshot: List[Dict[str, Any]]) -> int:
+        """Fold a foreign registry snapshot into this registry.
+
+        ``snapshot`` is the output of :meth:`snapshot` (typically shipped
+        home from a worker process in a ``TelemetryPayload``).  Counters
+        add, gauges take the snapshot's value (last-write-wins), and
+        histograms add bucket deltas positionally — the local series is
+        (re)created with the snapshot's bucket bounds, so merging is exact
+        when both sides use the same bounds.  Returns the number of series
+        merged.
+        """
+        for entry in snapshot:
+            kind = entry["type"]
+            name = entry["name"]
+            labels = entry.get("labels", {})
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    self.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                bounds = tuple(b["le"] for b in entry["buckets"])
+                hist = self.histogram(name, buckets=bounds or _DEFAULT_BUCKETS,
+                                      **labels)
+                running = 0
+                deltas = []
+                for bucket in entry["buckets"]:
+                    deltas.append(bucket["count"] - running)
+                    running = bucket["count"]
+                deltas.append(entry["count"] - running)  # overflow slot
+                for i, n in enumerate(deltas):
+                    if i < len(hist.bucket_counts):
+                        hist.bucket_counts[i] += n
+                hist.count += entry["count"]
+                hist.sum += entry["sum"]
+                if entry["min"] is not None:
+                    hist.min = (entry["min"] if hist.min is None
+                                else min(hist.min, entry["min"]))
+                if entry["max"] is not None:
+                    hist.max = (entry["max"] if hist.max is None
+                                else max(hist.max, entry["max"]))
+            else:
+                raise ValueError(f"unknown series type {kind!r}")
+        return len(snapshot)
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render every series in Prometheus text exposition format.
+
+        Metric names are sanitized (dots become underscores) and prefixed;
+        counters gain the conventional ``_total`` suffix, histograms emit
+        cumulative ``_bucket{le=...}`` lines plus ``_sum``/``_count``.
+        """
+        out: List[str] = []
+        seen_types: Dict[str, str] = {}
+        for entry in self.snapshot():
+            kind = entry["type"]
+            name = _prom_name(prefix, entry["name"])
+            if kind == "counter":
+                name += "_total"
+            if name not in seen_types:
+                seen_types[name] = kind
+                out.append(f"# HELP {name} repro metric {entry['name']}")
+                out.append(f"# TYPE {name} {kind}")
+            labels = _prom_labels(entry.get("labels", {}))
+            if kind == "counter":
+                out.append(f"{name}{labels} {_prom_value(entry['value'])}")
+            elif kind == "gauge":
+                value = entry["value"]
+                out.append(f"{name}{labels} "
+                           f"{_prom_value(0 if value is None else value)}")
+            elif kind == "histogram":
+                base = dict(entry.get("labels", {}))
+                for bucket in entry["buckets"]:
+                    lab = _prom_labels({**base, "le": _prom_value(bucket['le'])})
+                    out.append(f"{name}_bucket{lab} {bucket['count']}")
+                lab = _prom_labels({**base, "le": "+Inf"})
+                out.append(f"{name}_bucket{lab} {entry['count']}")
+                out.append(f"{name}_sum{labels} {_prom_value(entry['sum'])}")
+                out.append(f"{name}_count{labels} {entry['count']}")
+        return "\n".join(out) + ("\n" if out else "")
+
     def reset(self) -> None:
         """Drop every series."""
         with self._lock:
@@ -234,6 +375,11 @@ def observe(name: str, value: Union[int, float], **labels) -> None:
 def snapshot() -> List[Dict[str, Any]]:
     """Snapshot the global registry (works even while disabled)."""
     return _REGISTRY.snapshot()
+
+
+def to_prometheus(prefix: str = "repro") -> str:
+    """Render the global registry in Prometheus text exposition format."""
+    return _REGISTRY.to_prometheus(prefix=prefix)
 
 
 def reset() -> None:

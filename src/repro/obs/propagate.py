@@ -1,0 +1,117 @@
+"""Cross-process telemetry propagation.
+
+The engine's worker lanes (``repro.engine.core``) are separate OS
+processes, and ``repro.obs`` state is process-local: spans recorded in a
+lane would be silently dropped.  :class:`TelemetryPayload` is the wire
+format that fixes this — a worker captures its tracer spans and metric
+snapshot after running a batch, ships the payload home pickled alongside
+the results, and the parent calls :meth:`TelemetryPayload.merge_into` to
+splice the spans onto its own tracer (re-timed onto the local epoch, on
+their own ``pid`` track) and fold the counters into its registry.
+
+Clock model: ``perf_counter`` origins are per-process, so a worker's span
+starts are meaningless on the parent's timeline.  The parent therefore
+passes ``at=`` — its own epoch-relative time for the dispatch — and the
+payload's spans are shifted so the earliest worker span lands there.
+Wall-clock ``captured_at`` (``time.time()``) rides along for queue-wait
+style cross-process deltas, which monotonic clocks cannot provide.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from . import metrics as _metrics
+from . import trace as _trace
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = ["TelemetryPayload", "capture"]
+
+
+@dataclass
+class TelemetryPayload:
+    """Spans + metric deltas recorded in one process, ready to ship."""
+
+    #: Finished spans, on the *recording* process's epoch.
+    spans: List[Span] = field(default_factory=list)
+    #: ``MetricsRegistry.snapshot()`` output from the recording process.
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+    #: OS pid of the recording process.
+    pid: int = 0
+    #: Wall-clock time the payload was captured (``time.time()``).
+    captured_at: float = 0.0
+
+    def merge_into(self, tracer: Optional[Tracer] = None,
+                   registry: Optional[MetricsRegistry] = None,
+                   *, at: float = 0.0,
+                   parent: Optional[str] = None,
+                   depth_base: int = 0) -> int:
+        """Splice this payload into a local tracer and registry.
+
+        ``at`` is the local epoch-relative time the foreign window should
+        start (usually the dispatch time of the lane batch); ``parent``
+        re-parents the worker's top-level spans under the dispatching
+        span.  Defaults merge into the process-global tracer/registry.
+        Returns the number of spans spliced.
+        """
+        tracer = tracer if tracer is not None else _trace.get_tracer()
+        registry = (registry if registry is not None
+                    else _metrics.get_registry())
+        merged = 0
+        if self.spans:
+            base = min(s.start for s in self.spans)
+            merged = tracer.splice(self.spans, offset=at - base,
+                                   pid=self.pid or None, parent=parent,
+                                   depth_base=depth_base)
+        if self.metrics:
+            registry.merge(self.metrics)
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (spans flattened to plain dicts)."""
+        return {
+            "pid": self.pid,
+            "captured_at": self.captured_at,
+            "spans": [{"name": s.name, "start": s.start,
+                       "duration": s.duration, "depth": s.depth,
+                       "parent": s.parent, "thread_id": s.thread_id,
+                       "attrs": dict(s.attrs),
+                       **({"pid": s.pid} if s.pid is not None else {})}
+                      for s in self.spans],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TelemetryPayload":
+        return cls(
+            spans=[Span(name=s["name"], start=s["start"],
+                        duration=s["duration"], depth=s.get("depth", 0),
+                        parent=s.get("parent"),
+                        thread_id=s.get("thread_id", 0),
+                        attrs=dict(s.get("attrs", {})),
+                        pid=s.get("pid"))
+                   for s in data.get("spans", [])],
+            metrics=list(data.get("metrics", [])),
+            pid=data.get("pid", 0),
+            captured_at=data.get("captured_at", 0.0),
+        )
+
+
+def capture(tracer: Optional[Tracer] = None,
+            registry: Optional[MetricsRegistry] = None) -> TelemetryPayload:
+    """Snapshot the current process's spans + metrics into a payload.
+
+    Captures from the process-global tracer/registry by default.  The
+    caller typically pairs this with ``obs.reset()`` at batch start so
+    the payload carries only the current batch's telemetry.
+    """
+    tracer = tracer if tracer is not None else _trace.get_tracer()
+    registry = registry if registry is not None else _metrics.get_registry()
+    return TelemetryPayload(spans=tracer.spans,
+                            metrics=registry.snapshot(),
+                            pid=os.getpid(),
+                            captured_at=time.time())

@@ -6,10 +6,10 @@ and what the engine produced — one JSON object per line, append-friendly,
 trivially greppable and loadable into pandas.  The CLI writes one record
 per eps point via ``--metrics-out FILE``.
 
-Schema (``schema_version`` 1)::
+Schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "timestamp": 1754460000.0,          # wall clock, seconds since epoch
       "command": "analyze",               # CLI subcommand or API caller tag
       "circuit": {"name": ..., "inputs": n, "outputs": n, "gates": n,
@@ -17,9 +17,15 @@ Schema (``schema_version`` 1)::
       "params": {...},                    # eps, seed, estimator knobs
       "phases": [{"name": ..., "duration_s": ...}, ...],
       "metrics": [...],                   # repro.obs.metrics snapshot
+      "telemetry": {...} | null,          # per-request engine telemetry
+                                          # block (see docs/observability.md);
+                                          # added in v2, null for plain runs
       "results": {...},                   # engine output, e.g. per-output delta
       "library": {"version": "1.0.0", "git": "..." | null},
     }
+
+Version history: v1 had no ``telemetry`` key; v2 adds it (readers should
+use ``record.get("telemetry")``).
 
 ``timestamp`` is the one deliberate wall-clock field (it labels the run;
 it never measures an interval — all durations come from the
@@ -48,7 +54,7 @@ __all__ = [
     "library_version",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def library_version() -> str:
@@ -83,6 +89,7 @@ class RunRecord:
     params: Dict[str, Any] = field(default_factory=dict)
     phases: List[Dict[str, Any]] = field(default_factory=list)
     metrics: List[Dict[str, Any]] = field(default_factory=list)
+    telemetry: Optional[Dict[str, Any]] = None
     results: Dict[str, Any] = field(default_factory=dict)
     library: Dict[str, Any] = field(default_factory=dict)
     timestamp: float = 0.0
@@ -97,6 +104,7 @@ class RunRecord:
             "params": self.params,
             "phases": self.phases,
             "metrics": self.metrics,
+            "telemetry": self.telemetry,
             "results": self.results,
             "library": self.library,
         }
@@ -139,12 +147,15 @@ def build_record(command: str,
                  params: Optional[Dict[str, Any]] = None,
                  results: Optional[Dict[str, Any]] = None,
                  tracer: Optional[_trace.Tracer] = None,
-                 include_metrics: bool = True) -> RunRecord:
+                 include_metrics: bool = True,
+                 telemetry: Optional[Dict[str, Any]] = None) -> RunRecord:
     """Assemble a :class:`RunRecord` from the live tracer and registry.
 
     Phase entries are the tracer's per-span-name duration totals; the
     metrics section is the registry snapshot.  Both are empty when the
     respective subsystem is disabled — the record is still valid.
+    ``telemetry`` carries a per-request engine telemetry block (schema
+    v2); pass the ``telemetry`` field of an ``AnalysisResponse``.
     """
     tracer = tracer or _trace.get_tracer()
     phases = [{"name": name, "duration_s": duration}
@@ -155,6 +166,7 @@ def build_record(command: str,
         params=dict(params or {}),
         phases=phases,
         metrics=_metrics.snapshot() if include_metrics else [],
+        telemetry=dict(telemetry) if telemetry is not None else None,
         results=dict(results or {}),
         library={"version": library_version(), "git": git_describe()},
         timestamp=time.time(),

@@ -138,7 +138,8 @@ class TestObservabilityFlags:
                    out.read_text().splitlines() if line.strip()]
         assert len(records) == 2  # one per eps point
         for record, eps in zip(records, (0.01, 0.05)):
-            assert record["schema_version"] == 1
+            from repro.obs.runlog import SCHEMA_VERSION
+            assert record["schema_version"] == SCHEMA_VERSION
             assert record["command"] == "analyze"
             assert record["circuit"]["name"] == "c17"
             assert record["circuit"]["gates"] == 6

@@ -171,7 +171,8 @@ class TestServeLoop:
         assert ok_flags == [True, True, False, False, True]
         assert envelopes[0]["id"] == 1
         assert len(envelopes[0]["result"]["points"]) == 2
-        assert "stats" in envelopes[1]
+        assert "uptime_s" in envelopes[1]  # ping: cheap liveness echo
+        assert "stats" not in envelopes[1]
         assert "invalid JSON" in envelopes[2]["error"]
         assert envelopes[4]["op"] == "shutdown"
 

@@ -240,6 +240,120 @@ class TestMetrics:
         assert obs_metrics.get_registry().value("x") == 1
 
 
+class TestHistogramQuantile:
+    def _hist(self, values):
+        obs.enable()
+        h = obs_metrics.histogram("q")
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_uniform_deciles(self):
+        # 1..10 ms: known distribution, interpolated quantiles.
+        h = self._hist([i / 1e3 for i in range(1, 11)])
+        assert h.quantile(0.0) == pytest.approx(1e-3)
+        assert h.quantile(0.5) == pytest.approx(5e-3, rel=0.05)
+        assert h.quantile(1.0) == pytest.approx(1e-2)
+        assert h.quantile(0.5) <= h.quantile(0.9) <= h.quantile(0.99)
+
+    def test_single_value_is_exact_everywhere(self):
+        h = self._hist([0.007])
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.007)
+
+    def test_empty_histogram_returns_zero(self):
+        h = self._hist([])
+        assert h.quantile(0.5) == 0.0
+
+    def test_overflow_bucket_returns_max(self):
+        # Values beyond the last bound land in the overflow bucket.
+        h = self._hist([5000.0, 6000.0, 7000.0])
+        assert h.quantile(0.99) == pytest.approx(7000.0)
+
+    def test_out_of_range_rejected(self):
+        h = self._hist([1.0])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_quantiles_bounded_by_min_max(self):
+        h = self._hist([0.002, 0.004, 0.008, 0.3])
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert h.min <= h.quantile(q) <= h.max
+
+
+class TestRegistryMerge:
+    def test_counter_and_gauge_merge(self):
+        obs.enable()
+        remote = obs_metrics.MetricsRegistry()
+        remote.counter("n", circuit="c17").inc(4)
+        remote.gauge("g").set(2.5)
+        obs_metrics.inc("n", 3, circuit="c17")
+        merged = obs_metrics.get_registry().merge(remote.snapshot())
+        assert merged == 2
+        reg = obs_metrics.get_registry()
+        assert reg.value("n", circuit="c17") == 7
+        assert reg.value("g") == 2.5
+
+    def test_histogram_merge_preserves_distribution(self):
+        obs.enable()
+        remote = obs_metrics.MetricsRegistry()
+        for v in (1e-3, 5e-3, 2.0):
+            remote.histogram("h").observe(v)
+        obs_metrics.observe("h", 1e-4)
+        obs_metrics.get_registry().merge(remote.snapshot())
+        h = obs_metrics.get_registry().histogram("h")
+        assert h.count == 4
+        assert h.sum == pytest.approx(1e-4 + 1e-3 + 5e-3 + 2.0)
+        assert h.min == 1e-4 and h.max == 2.0
+
+    def test_unknown_type_rejected(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            obs_metrics.get_registry().merge(
+                [{"type": "exotic", "name": "x", "labels": {}}])
+
+    def test_merge_into_empty_registry(self):
+        obs.enable()
+        remote = obs_metrics.MetricsRegistry()
+        remote.counter("only.remote").inc(2)
+        obs_metrics.get_registry().merge(remote.snapshot())
+        assert obs_metrics.get_registry().value("only.remote") == 2
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        obs.enable()
+        obs_metrics.inc("engine.requests", 3, op="analyze")
+        obs_metrics.set_gauge("engine.lanes", 2)
+        text = obs_metrics.to_prometheus()
+        assert "# TYPE repro_engine_requests_total counter" in text
+        assert 'repro_engine_requests_total{op="analyze"} 3' in text
+        assert "# TYPE repro_engine_lanes gauge" in text
+        assert "repro_engine_lanes 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        obs.enable()
+        for v in (5e-4, 5e-4, 2.0, 5000.0):
+            obs_metrics.observe("latency", v)
+        text = obs_metrics.to_prometheus()
+        assert "# TYPE repro_latency histogram" in text
+        assert 'repro_latency_bucket{le="0.001"} 2' in text
+        assert 'repro_latency_bucket{le="+Inf"} 4' in text
+        assert "repro_latency_count 4" in text
+
+    def test_label_escaping_and_name_sanitizing(self):
+        obs.enable()
+        obs_metrics.inc("odd-name.metric", 1, path='a"b\\c')
+        text = obs_metrics.to_prometheus()
+        assert 'repro_odd_name_metric_total{path="a\\"b\\\\c"} 1' in text
+
+    def test_empty_registry_exports_empty(self):
+        assert obs_metrics.to_prometheus() == ""
+
+
 class TestEngineInstrumentation:
     def test_single_pass_spans_and_counters(self):
         from repro.reliability import SinglePassAnalyzer

@@ -144,6 +144,67 @@ class TestTcpServe:
             sock1.close()
             sock2.close()
 
+    def test_concurrent_stats_and_metrics_clients(self, tcp_port):
+        """stats/metrics ops stay consistent under concurrent clients."""
+        stop = threading.Event()
+        errors = []
+
+        def analyzer(name):
+            try:
+                sock, stream = _connect(tcp_port)
+                try:
+                    for eps in (0.01, 0.05, 0.1):
+                        env = _rpc(stream, {"op": "analyze",
+                                            "circuit": name, "eps": eps,
+                                            "options": OPTS})
+                        assert env["ok"], env.get("error")
+                        assert "telemetry" in env
+                finally:
+                    sock.close()
+            except Exception as exc:
+                errors.append(("analyze", exc))
+
+        def poller(op):
+            try:
+                sock, stream = _connect(tcp_port)
+                try:
+                    while not stop.is_set():
+                        env = _rpc(stream, {"op": op})
+                        assert env["ok"] and env["op"] == op
+                        if op == "stats":
+                            assert env["stats"]["uptime_s"] >= 0.0
+                            assert "rolling" in env["stats"]
+                        else:
+                            assert "# TYPE" in env["exposition"]
+                finally:
+                    sock.close()
+            except Exception as exc:
+                errors.append((op, exc))
+
+        analyzers = [threading.Thread(target=analyzer, args=(name,))
+                     for name in ("c17", "fig2")]
+        pollers = [threading.Thread(target=poller, args=(op,))
+                   for op in ("stats", "metrics")]
+        for t in analyzers + pollers:
+            t.start()
+        for t in analyzers:
+            t.join(timeout=120)
+        stop.set()
+        for t in pollers:
+            t.join(timeout=30)
+        assert not errors, errors
+
+        # Post-run totals reflect the analyzers' six requests.
+        sock, stream = _connect(tcp_port)
+        try:
+            stats = _rpc(stream, {"op": "stats"})["stats"]
+            assert stats["rolling"]["ops"]["analyze"]["count"] == 6
+            exposition = _rpc(stream, {"op": "metrics"})["exposition"]
+            assert ('repro_engine_requests_total{op="analyze"} 6'
+                    in exposition)
+        finally:
+            sock.close()
+
     def test_edit_session_shared_across_connections(self, tcp_port):
         sock1, stream1 = _connect(tcp_port)
         try:
