@@ -29,6 +29,10 @@ BENCH_ENGINE = RESULTS_DIR / "BENCH_engine.json"
 #: (see test_incremental_perf.py).
 BENCH_INCREMENTAL = RESULTS_DIR / "BENCH_incremental.json"
 
+#: Machine-readable multi-circuit tensor-batch trajectory
+#: (see test_multicircuit_perf.py).
+BENCH_MULTICIRCUIT = RESULTS_DIR / "BENCH_multicircuit.json"
+
 #: Aggregated roll-up of every BENCH_*.json written by this session
 #: (consumed by the CI benchmarks artifact job).
 BENCH_SUMMARY = RESULTS_DIR / "BENCH_summary.json"
@@ -36,6 +40,7 @@ BENCH_SUMMARY = RESULTS_DIR / "BENCH_summary.json"
 _singlepass_records = []
 _engine_records = []
 _incremental_records = []
+_multicircuit_records = []
 
 
 def record_singlepass(circuit: str, variant: str, mean_s: float,
@@ -91,12 +96,33 @@ def record_incremental(circuit: str, loop: str, mean_s: float,
     })
 
 
+def record_multicircuit(variant: str, circuits: int, points: int,
+                        mean_s: float, speedup_vs_sequential=None) -> None:
+    """Queue one timing row for ``BENCH_multicircuit.json``.
+
+    Rows follow the fixed schema
+    ``{variant, circuits, points, mean_s, speedup_vs_sequential}``;
+    ``variant`` names the measured arm (``"sequential"`` /
+    ``"tensor"``) and ``speedup_vs_sequential`` is null for the
+    sequential baseline itself.
+    """
+    _multicircuit_records.append({
+        "variant": str(variant),
+        "circuits": int(circuits),
+        "points": int(points),
+        "mean_s": float(mean_s),
+        "speedup_vs_sequential": (None if speedup_vs_sequential is None
+                                  else float(speedup_vs_sequential)),
+    })
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Flush queued timings once the benchmark session ends."""
     queues = [
         (BENCH_SINGLEPASS, _singlepass_records),
         (BENCH_ENGINE, _engine_records),
         (BENCH_INCREMENTAL, _incremental_records),
+        (BENCH_MULTICIRCUIT, _multicircuit_records),
     ]
     for path, records in queues:
         if records:

@@ -39,9 +39,9 @@ from .reliability import (
     ObservabilityModel,
     SinglePassAnalyzer,
     SinglePassResult,
+    TensorBatch,
     exhaustive_exact_reliability,
     ptm_reliability,
-    single_pass_reliability,
 )
 from .sim import monte_carlo_reliability
 from .circuits import get_benchmark, list_benchmarks, TABLE2_BENCHMARKS
@@ -56,15 +56,15 @@ from .engine import (
     sweep,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit", "CircuitBuilder", "CircuitError", "GateType", "circuit_stats",
     "load_bench", "load_blif", "save_bench", "save_blif", "save_verilog",
     "ErrorProbability", "WeightData", "compute_weights",
     "ConsolidatedAnalyzer", "ObservabilityModel", "SinglePassAnalyzer",
-    "SinglePassResult", "exhaustive_exact_reliability", "ptm_reliability",
-    "single_pass_reliability", "monte_carlo_reliability",
+    "SinglePassResult", "TensorBatch", "exhaustive_exact_reliability",
+    "ptm_reliability", "monte_carlo_reliability",
     "get_benchmark", "list_benchmarks", "TABLE2_BENCHMARKS",
     "CircuitWorkspace", "EditReport", "parse_edit",
     "AnalysisEngine", "AnalysisRequest", "AnalysisResponse",

@@ -1,0 +1,327 @@
+"""Pluggable array backend: one numpy-shaped namespace, many libraries.
+
+The compiled kernels (:mod:`repro.reliability.compiled_pass`) and the
+multi-circuit tensor pass (:mod:`repro.reliability.tensor_pass`) are pure
+array programs — indexing, broadcasting, ``where``/``minimum``/``einsum``
+— with no numpy-only tricks left on the hot path.  This module gives them
+a minimal façade over that vocabulary so the same kernel code runs on
+
+* **numpy** — the zero-dependency default, always available;
+* **CuPy** — drop-in numpy on CUDA, optional;
+* **torch** — CPU or GPU tensors, optional (the CI backend-parity job
+  runs the kernels under ``REPRO_ARRAY_BACKEND=torch``).
+
+Selection is by name: the ``REPRO_ARRAY_BACKEND`` environment variable,
+the CLI's ``--backend`` flag (which calls :func:`set_default_backend`),
+or an explicit ``backend=`` argument to the kernels.  A requested backend
+whose library is not importable **falls back to numpy with a warning**
+rather than failing — numpy stays the floor everywhere, and optional
+accelerators never become load-bearing.
+
+The façade is deliberately tiny.  Kernels may only touch:
+
+``asarray / zeros / empty / ones`` (creation, explicit dtype),
+``where / minimum / maximum / clip`` (elementwise selection),
+``concatenate / einsum`` (structure), ``to_numpy`` (exfiltration), and
+basic arithmetic / comparison operators plus integer fancy indexing,
+which every supported library implements natively.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: Names :func:`get_backend` understands, in probe order.
+BACKEND_NAMES = ("numpy", "cupy", "torch")
+
+_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested array library is not importable in this process."""
+
+
+class NumpyBackend:
+    """The reference backend: a thin veneer over numpy itself."""
+
+    name = "numpy"
+    #: True only for the numpy backend — kernels use it to skip no-op
+    #: host/device transfers on the default path.
+    is_numpy = True
+
+    def __init__(self) -> None:
+        self.xp = np
+
+    # -- creation -------------------------------------------------------
+    def asarray(self, x: Any, dtype: Any = None) -> Any:
+        return np.asarray(x, dtype=dtype)
+
+    def zeros(self, shape: Any, dtype: Any) -> Any:
+        return np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape: Any, dtype: Any) -> Any:
+        return np.empty(shape, dtype=dtype)
+
+    def ones(self, shape: Any, dtype: Any) -> Any:
+        return np.ones(shape, dtype=dtype)
+
+    # -- elementwise ----------------------------------------------------
+    def where(self, cond: Any, a: Any, b: Any) -> Any:
+        return np.where(cond, a, b)
+
+    def minimum(self, a: Any, b: Any) -> Any:
+        return np.minimum(a, b)
+
+    def maximum(self, a: Any, b: Any) -> Any:
+        return np.maximum(a, b)
+
+    def clip(self, a: Any, lo: Any, hi: Any) -> Any:
+        return np.clip(a, lo, hi)
+
+    # -- structure ------------------------------------------------------
+    def concatenate(self, arrays: Any, axis: int = 0) -> Any:
+        return np.concatenate(arrays, axis=axis)
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return np.einsum(subscripts, *operands)
+
+    # -- host interop ---------------------------------------------------
+    def to_numpy(self, x: Any) -> np.ndarray:
+        return np.asarray(x)
+
+    def index_array(self, x: Any) -> Any:
+        """Integer array usable for fancy indexing on this backend."""
+        return np.asarray(x, dtype=np.intp)
+
+    def synchronize(self) -> None:
+        """Barrier for async devices (no-op on host backends)."""
+
+
+class CupyBackend(NumpyBackend):
+    """CuPy: numpy's API on CUDA; only creation/transfer differ."""
+
+    name = "cupy"
+    is_numpy = False
+
+    def __init__(self) -> None:  # pragma: no cover - needs CUDA
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendUnavailable("cupy is not installed") from exc
+        self.xp = cupy
+
+    def asarray(self, x, dtype=None):  # pragma: no cover - needs CUDA
+        return self.xp.asarray(x, dtype=dtype)
+
+    def zeros(self, shape, dtype):  # pragma: no cover - needs CUDA
+        return self.xp.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype):  # pragma: no cover - needs CUDA
+        return self.xp.empty(shape, dtype=dtype)
+
+    def ones(self, shape, dtype):  # pragma: no cover - needs CUDA
+        return self.xp.ones(shape, dtype=dtype)
+
+    def where(self, cond, a, b):  # pragma: no cover - needs CUDA
+        return self.xp.where(cond, a, b)
+
+    def minimum(self, a, b):  # pragma: no cover - needs CUDA
+        return self.xp.minimum(a, b)
+
+    def maximum(self, a, b):  # pragma: no cover - needs CUDA
+        return self.xp.maximum(a, b)
+
+    def clip(self, a, lo, hi):  # pragma: no cover - needs CUDA
+        return self.xp.clip(a, lo, hi)
+
+    def concatenate(self, arrays, axis=0):  # pragma: no cover - needs CUDA
+        return self.xp.concatenate(arrays, axis=axis)
+
+    def einsum(self, subscripts, *operands):  # pragma: no cover
+        return self.xp.einsum(subscripts, *operands)
+
+    def to_numpy(self, x):  # pragma: no cover - needs CUDA
+        return self.xp.asnumpy(x)
+
+    def index_array(self, x):  # pragma: no cover - needs CUDA
+        return self.xp.asarray(x, dtype=self.xp.intp)
+
+    def synchronize(self) -> None:  # pragma: no cover - needs CUDA
+        self.xp.cuda.get_current_stream().synchronize()
+
+
+class TorchBackend:
+    """PyTorch tensors behind the numpy-shaped façade (CPU by default)."""
+
+    name = "torch"
+    is_numpy = False
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        try:
+            import torch
+        except ImportError as exc:
+            raise BackendUnavailable("torch is not installed") from exc
+        self.xp = torch
+        self.device = device or os.environ.get("REPRO_TORCH_DEVICE", "cpu")
+
+    def _dtype(self, dtype: Any) -> Any:
+        torch = self.xp
+        if dtype is None or isinstance(dtype, torch.dtype):
+            return dtype
+        return {
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.bool_): torch.bool,
+            np.dtype(np.intp): torch.long,
+            np.dtype(np.int64): torch.long,
+        }[np.dtype(dtype)]
+
+    # -- creation -------------------------------------------------------
+    def asarray(self, x, dtype=None):
+        torch = self.xp
+        if isinstance(x, torch.Tensor):
+            return x.to(dtype=self._dtype(dtype)) if dtype is not None else x
+        return torch.as_tensor(np.ascontiguousarray(x),
+                               dtype=self._dtype(dtype), device=self.device)
+
+    def zeros(self, shape, dtype):
+        return self.xp.zeros(shape, dtype=self._dtype(dtype),
+                             device=self.device)
+
+    def empty(self, shape, dtype):
+        return self.xp.empty(shape, dtype=self._dtype(dtype),
+                             device=self.device)
+
+    def ones(self, shape, dtype):
+        return self.xp.ones(shape, dtype=self._dtype(dtype),
+                            device=self.device)
+
+    # -- elementwise ----------------------------------------------------
+    def where(self, cond, a, b):
+        return self.xp.where(cond, a, b)
+
+    def minimum(self, a, b):
+        if not isinstance(b, self.xp.Tensor):
+            return self.xp.clamp(a, max=b)
+        return self.xp.minimum(a, b)
+
+    def maximum(self, a, b):
+        if not isinstance(b, self.xp.Tensor):
+            return self.xp.clamp(a, min=b)
+        return self.xp.maximum(a, b)
+
+    def clip(self, a, lo, hi):
+        return self.xp.clamp(a, min=lo, max=hi)
+
+    # -- structure ------------------------------------------------------
+    def concatenate(self, arrays, axis=0):
+        return self.xp.cat(tuple(arrays), dim=axis)
+
+    def einsum(self, subscripts, *operands):
+        return self.xp.einsum(subscripts, *operands)
+
+    # -- host interop ---------------------------------------------------
+    def to_numpy(self, x):
+        if isinstance(x, self.xp.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def index_array(self, x):
+        return self.xp.as_tensor(np.ascontiguousarray(x),
+                                 dtype=self.xp.long, device=self.device)
+
+    def synchronize(self) -> None:
+        if self.device != "cpu" and self.xp.cuda.is_available():
+            self.xp.cuda.synchronize()  # pragma: no cover - needs CUDA
+
+
+_CONSTRUCTORS = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "torch": TorchBackend,
+}
+
+#: Memoized backend instances (one per name per process).
+_INSTANCES: Dict[str, Any] = {}
+
+#: Process-wide default name set by :func:`set_default_backend`
+#: (the CLI's ``--backend``); ``None`` defers to the environment.
+_DEFAULT_NAME: Optional[str] = None
+
+
+def available_backends() -> Dict[str, bool]:
+    """Capability probe: ``{backend name: importable right now}``."""
+    import importlib.util
+    out = {"numpy": True}
+    for name in ("cupy", "torch"):
+        try:
+            out[name] = importlib.util.find_spec(name) is not None
+        except (ImportError, ValueError):  # pragma: no cover - exotic envs
+            out[name] = False
+    return out
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set the process-wide default backend name (``None``/"auto" resets).
+
+    Unknown names raise immediately; an *unavailable* (but known) backend
+    is accepted here and falls back to numpy at :func:`get_backend` time,
+    so e.g. ``--backend torch`` on a torch-less host degrades gracefully.
+    """
+    global _DEFAULT_NAME
+    if name in (None, "auto"):
+        _DEFAULT_NAME = None
+        return
+    if name not in _CONSTRUCTORS:
+        raise ValueError(
+            f"unknown array backend {name!r}: expected one of "
+            f"{', '.join(BACKEND_NAMES)} (or 'auto')")
+    _DEFAULT_NAME = name
+
+
+def default_backend_name() -> str:
+    """The name :func:`get_backend` resolves when called without one."""
+    if _DEFAULT_NAME is not None:
+        return _DEFAULT_NAME
+    env = os.environ.get(_ENV_VAR, "").strip()
+    return env if env else "numpy"
+
+
+def get_backend(name: Optional[str] = None,
+                strict: bool = False) -> NumpyBackend:
+    """Resolve a backend instance by name, falling back to numpy.
+
+    ``name=None`` / ``"auto"`` resolves the process default (CLI flag,
+    else ``REPRO_ARRAY_BACKEND``, else numpy).  When the resolved library
+    is absent the numpy backend is returned and a ``RuntimeWarning`` is
+    emitted — pass ``strict=True`` to get :class:`BackendUnavailable`
+    instead (used by tests that must not silently skip a backend).
+    """
+    if name in (None, "auto"):
+        name = default_backend_name()
+    if name not in _CONSTRUCTORS:
+        raise ValueError(
+            f"unknown array backend {name!r}: expected one of "
+            f"{', '.join(BACKEND_NAMES)} (or 'auto')")
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    try:
+        instance = _CONSTRUCTORS[name]()
+    except BackendUnavailable:
+        if strict:
+            raise
+        warnings.warn(
+            f"array backend {name!r} is not available in this "
+            "environment; falling back to numpy",
+            RuntimeWarning, stacklevel=2)
+        # The fallback is NOT memoized under the failed name: a later
+        # strict resolve must still raise, and a library appearing
+        # mid-process (rare, but tests do it) must be re-probed.
+        return get_backend("numpy")
+    _INSTANCES[name] = instance
+    return instance

@@ -176,7 +176,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         weight_method=args.weights, seed=args.seed,
         max_correlation_level_gap=args.level_gap,
         compiled=args.compiled,
-        weights_cache_dir=args.weights_cache)
+        weights_cache_dir=args.weights_cache,
+        backend=None if args.backend == "auto" else args.backend)
     log.info("analyzer ready (weights: %s)", analyzer.weights.source)
     eps_values = _eps_list(args.eps)
     results = []
@@ -262,10 +263,12 @@ def _cmd_closed(args: argparse.Namespace) -> int:
 def _cmd_curve(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     output = args.output or circuit.outputs[0]
-    analyzer = SinglePassAnalyzer(circuit, seed=args.seed,
-                                  max_correlation_level_gap=args.level_gap,
-                                  compiled=args.compiled,
-                                  weights_cache_dir=args.weights_cache)
+    analyzer = SinglePassAnalyzer(
+        circuit, seed=args.seed,
+        max_correlation_level_gap=args.level_gap,
+        compiled=args.compiled,
+        weights_cache_dir=args.weights_cache,
+        backend=None if args.backend == "auto" else args.backend)
     eps_values = [args.max_eps * i / (args.points - 1)
                   for i in range(args.points)]
     if analyzer.uses_compiled and args.jobs > 1:
@@ -395,6 +398,11 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def _make_engine(args: argparse.Namespace) -> "AnalysisEngine":
     from .engine import AnalysisEngine
+    if getattr(args, "backend", "auto") != "auto":
+        # Process-wide: every session's kernels (and the cross-circuit
+        # tensor batches) resolve through this default.
+        from .backend import set_default_backend
+        set_default_backend(args.backend)
     return AnalysisEngine(
         max_sessions=args.max_sessions,
         weights_cache_dir=args.weights_cache,
@@ -638,6 +646,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(keyed by circuit structure + estimator "
                             "parameters)")
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", default="auto",
+                       choices=["auto", "numpy", "cupy", "torch"],
+                       help="array backend for the vectorized independence "
+                            "kernel ('auto' follows REPRO_ARRAY_BACKEND, "
+                            "else numpy); an absent library falls back to "
+                            "numpy with a warning")
+
     p = sub.add_parser("analyze", help="single-pass reliability analysis")
     add_common(p)
     p.add_argument("--eps", default="0.05",
@@ -653,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_compiled(p)
     add_jobs(p)
     add_weights_cache(p)
+    add_backend(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("mc", help="Monte Carlo fault-injection baseline")
@@ -677,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_compiled(p)
     add_jobs(p)
     add_weights_cache(p)
+    add_backend(p)
     p.set_defaults(func=_cmd_curve)
 
     p = sub.add_parser("testability",
@@ -742,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "expiry the engine falls back down the "
                             "compiled → scalar → closed-form ladder")
         add_weights_cache(p)
+        add_backend(p)
         add_obs(p)
 
     p = sub.add_parser("serve",

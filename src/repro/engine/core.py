@@ -13,8 +13,10 @@ On top of the registry sits a small request scheduler:
   :class:`~repro.engine.requests.AnalysisResponse` envelope;
 * :meth:`AnalysisEngine.submit_many` **coalesces** single-pass
   analyze/sweep requests that target the same session into one batched
-  ``sweep`` kernel call (one vectorized pass answers them all), and fans
-  independent sessions out over a pool of sticky worker processes;
+  ``sweep`` kernel call (one vectorized pass answers them all), merges
+  plain-mode requests for **different** sessions into one cross-circuit
+  :class:`~repro.reliability.tensor_pass.TensorBatch` pass, and fans
+  the rest out over a pool of sticky worker processes;
 * per-request ``timeout_s`` deadlines are enforced cooperatively along
   the fallback ladder **compiled → scalar → closed-form**: a request
   whose deadline has passed before the pass starts is answered by the
@@ -39,6 +41,8 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace_span
 from ..obs import trace as obs_trace
 from ..obs.propagate import TelemetryPayload, capture as capture_telemetry
+from ..reliability.compiled_pass import CompiledSinglePass
+from ..reliability.tensor_pass import TensorBatch
 from ..sim.montecarlo import monte_carlo_reliability
 from ..spec import EpsilonSpec
 from .requests import (
@@ -60,6 +64,11 @@ _TRANSIENT_OPTIONS = ("weights", "input_errors")
 #: Cache-probe answer for requests that never reached the probe.
 _UNKNOWN_CACHE = {"session": "unknown", "weights": "unknown",
                   "plan": "unknown"}
+
+#: Memoized cross-circuit tensor batches kept per engine (LRU).  Each
+#: entry holds merged coefficient tensors for one batch composition, so
+#: a serve loop replaying the same mixed workload pays the merge once.
+_TENSOR_BATCH_CACHE_CAP = 16
 
 
 def _split_options(options: Dict[str, Any]
@@ -118,6 +127,10 @@ class AnalysisEngine:
         #: Worker-lane index this engine runs in (None in the parent).
         self.lane_index: Optional[int] = None
         self._request_seq = itertools.count(1)
+        #: Merged cross-circuit tensor batches, keyed by plan identity
+        #: (the batch holds its plans, so ids stay valid while cached).
+        self._tensor_batches: "OrderedDict[Tuple[int, ...], TensorBatch]" \
+            = OrderedDict()
         #: Per-thread scratch the ladder uses to report kernel time to
         #: the telemetry assembly without widening return signatures.
         self._scratch = threading.local()
@@ -408,11 +421,16 @@ class AnalysisEngine:
 
         Single-pass analyze/sweep requests sharing a session (same
         circuit + options + correlation mode, no deadline) are answered
-        by **one** batched kernel sweep; with ``jobs > 1`` independent
-        sessions run in parallel worker processes with sticky routing
-        (the same circuit always lands on the same worker, so its
-        session stays warm across batches).  Responses come back in
-        request order.
+        by **one** batched kernel sweep.  Plain-mode groups (correlation
+        off, no ``eps10``) targeting *different* sessions go further:
+        their compiled plans merge into one cross-circuit
+        :class:`~repro.reliability.tensor_pass.TensorBatch` pass, so a
+        mixed-catalog batch costs one level-scheduled sweep instead of
+        one kernel invocation per circuit.  With ``jobs > 1``
+        independent sessions run in parallel worker processes with
+        sticky routing (the same circuit always lands on the same
+        worker, so its session stays warm across batches).  Responses
+        come back in request order.
         """
         jobs = self.jobs if jobs is None else jobs
         parsed: List[Tuple[int, Union[AnalysisRequest, Dict[str, Any]]]] = \
@@ -444,6 +462,8 @@ class AnalysisEngine:
                 responses[idx] = self.submit(request, received_at)
             else:
                 groups.setdefault(key, []).append((idx, request))
+        for idx, response in self._run_tensor_batch(groups, received_at):
+            responses[idx] = response
         for members in groups.values():
             if len(members) == 1:
                 idx, request = members[0]
@@ -540,6 +560,126 @@ class AnalysisEngine:
         except Exception:  # noqa: BLE001 - degrade to solo execution
             return [(idx, self.submit(request, received_at))
                     for idx, request in members]
+
+    # -- cross-session tensor batching ---------------------------------
+    def _run_tensor_batch(self, groups, received_at: Optional[float] = None
+                          ) -> List[Tuple[int, AnalysisResponse]]:
+        """Answer plain-mode groups for *different* sessions from one
+        merged tensor sweep (the cross-session analogue of
+        :meth:`_run_coalesced`).
+
+        Eligible groups — correlation off, no ``eps10``, a compiled
+        independence plan available — are popped from ``groups`` and
+        answered by a single :class:`~repro.reliability.tensor_pass.
+        TensorBatch` pass; everything else stays behind for the
+        per-session path.  Needs at least two eligible groups (one group
+        is exactly what ``_run_coalesced`` already handles).  Any
+        batch-level failure leaves ``groups`` untouched and returns
+        ``[]``, so the caller degrades to the existing per-group path.
+        """
+        try:
+            # Per-group resolution: probe the cache *before* touching the
+            # registry (so telemetry reports pre-request warmth), then
+            # require a CompiledSinglePass plan.  A group that fails to
+            # resolve simply stays on the per-group path, where its error
+            # envelope is produced with full context.
+            eligible = []
+            for key, members in groups.items():
+                if key[2] or not key[3]:  # correlation on / eps10 present
+                    continue
+                first = members[0][1]
+                try:
+                    cache = self._cache_probe(first)
+                    session = self.session(first.circuit, **first.options)
+                    plan = session.analyzer(False).plan
+                    if not isinstance(plan, CompiledSinglePass):
+                        continue
+                    slices: List[Tuple[int, int]] = []
+                    specs: List[EpsilonSpec] = []
+                    for _, request in members:
+                        points = request.eps_points()
+                        slices.append((len(specs), len(points)))
+                        specs.extend(points)
+                except Exception:  # noqa: BLE001 - leave group behind
+                    continue
+                eligible.append(
+                    {"key": key, "members": members, "session": session,
+                     "plan": plan, "cache": cache, "specs": specs,
+                     "slices": slices})
+            if len(eligible) < 2:
+                return []
+            queue_wait_ms = (max(0.0, (time.time() - received_at) * 1e3)
+                             if received_at is not None else 0.0)
+            t0 = time.perf_counter()
+            batch = self._tensor_batch_for([g["plan"] for g in eligible])
+            total_requests = sum(len(g["members"]) for g in eligible)
+            with trace_span("engine.tensor_batch",
+                            circuits=batch.n_circuits,
+                            requests=total_requests,
+                            points=sum(len(g["specs"]) for g in eligible)):
+                k0 = time.perf_counter()
+                sweeps = batch.run_sweep([g["specs"] for g in eligible])
+                kernel_total = time.perf_counter() - k0
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("engine.tensor_batch.circuits",
+                                batch.n_circuits)
+                obs_metrics.inc("engine.tensor_batch.pad_waste_rows",
+                                batch.pad_waste_rows)
+            elapsed = (time.perf_counter() - t0) / total_requests
+            kernel_s = kernel_total / total_requests
+            out: List[Tuple[int, AnalysisResponse]] = []
+            for group, sweep in zip(eligible, sweeps):
+                session = group["session"]
+                session.touch()
+                members = group["members"]
+                self.requests_served += len(members)
+                specs = group["specs"]
+                results = [sweep.point(j) for j in range(len(specs))]
+                for (idx, request), (start, count) in zip(members,
+                                                          group["slices"]):
+                    payload = analyze_payload(
+                        session.circuit.name, specs[start:start + count],
+                        results[start:start + count])
+                    response = AnalysisResponse(
+                        ok=True, op=request.op,
+                        circuit=session.circuit.name, id=request.id,
+                        method="single-pass-tensor",
+                        elapsed_s=elapsed, coalesced=len(members),
+                        result=payload)
+                    self._attach_telemetry(response, cache=group["cache"],
+                                           queue_wait_ms=queue_wait_ms,
+                                           kernel_s=kernel_s,
+                                           batch_circuits=batch.n_circuits)
+                    self.engine_stats.record(response.op, elapsed,
+                                             ok=True, cache=group["cache"],
+                                             lane=self.lane_index)
+                    self._attach_obs(request, response)
+                    out.append((idx, response))
+            for group in eligible:
+                del groups[group["key"]]
+            return out
+        except Exception:  # noqa: BLE001 - degrade to per-group path
+            return []
+
+    def _tensor_batch_for(self, plans: List[CompiledSinglePass]
+                          ) -> TensorBatch:
+        """The merged :class:`TensorBatch` for this batch composition.
+
+        Keyed by plan identity — plans are memoized on their sessions and
+        the cached batch holds them, so ids cannot be recycled while the
+        entry lives.  LRU-capped so a serve loop cycling through many
+        workload shapes doesn't hoard merged tensors.
+        """
+        key = tuple(id(plan) for plan in plans)
+        batch = self._tensor_batches.get(key)
+        if batch is None:
+            batch = TensorBatch(plans)
+            self._tensor_batches[key] = batch
+            while len(self._tensor_batches) > _TENSOR_BATCH_CACHE_CAP:
+                self._tensor_batches.popitem(last=False)
+        else:
+            self._tensor_batches.move_to_end(key)
+        return batch
 
     # -- single-request execution --------------------------------------
     def _execute(self, request: AnalysisRequest) -> AnalysisResponse:
@@ -800,7 +940,8 @@ class AnalysisEngine:
     def _attach_telemetry(self, response: AnalysisResponse, *,
                           cache: Dict[str, str],
                           queue_wait_ms: float,
-                          kernel_s: Optional[float] = None) -> None:
+                          kernel_s: Optional[float] = None,
+                          batch_circuits: Optional[int] = None) -> None:
         """Assemble the always-on per-request ``telemetry`` block.
 
         Unlike ``_attach_obs`` this is not gated on the obs flags: the
@@ -820,6 +961,10 @@ class AnalysisEngine:
             "kernel_ms": round((kernel_s or 0.0) * 1e3, 3),
             "total_ms": round(response.elapsed_s * 1e3, 3),
         }
+        if batch_circuits is not None:
+            # Cross-session tensor batch: how many circuits shared the
+            # merged kernel pass that answered this request.
+            response.telemetry["batch_circuits"] = batch_circuits
 
     # -- lifecycle ------------------------------------------------------
     def uptime_s(self) -> float:
@@ -865,6 +1010,7 @@ class AnalysisEngine:
         self._sessions.clear()
         self._edit_sessions.clear()
         self._pinned.clear()
+        self._tensor_batches.clear()
 
     def __enter__(self) -> "AnalysisEngine":
         return self

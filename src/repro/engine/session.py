@@ -88,11 +88,14 @@ class SessionConfig:
     max_correlation_level_gap: Optional[int] = None
     compiled: str = "auto"
     weights_cache_dir: Optional[str] = None
+    #: Array-backend name for the independence kernel (``None``/"auto"
+    #: follows the process default — see :func:`repro.backend.get_backend`).
+    backend: Optional[str] = None
 
     #: Option names :meth:`from_options` understands (plus aliases).
     FIELDS = ("weight_method", "n_patterns", "seed", "input_probs",
               "max_correlation_pairs", "max_correlation_level_gap",
-              "compiled", "weights_cache_dir")
+              "compiled", "weights_cache_dir", "backend")
 
     @classmethod
     def from_options(cls, options: Mapping[str, Any]) -> "SessionConfig":
@@ -127,6 +130,7 @@ class SessionConfig:
             "max_correlation_level_gap": self.max_correlation_level_gap,
             "compiled": self.compiled,
             "weights_cache_dir": self.weights_cache_dir,
+            "backend": self.backend,
         }
 
 

@@ -21,8 +21,8 @@ from .compiled_pass import (
 from .single_pass import (
     SinglePassAnalyzer,
     SinglePassResult,
-    single_pass_reliability,
 )
+from .tensor_pass import TensorBatch
 from .exact import (
     ExactResult,
     bdd_exact_reliability,
@@ -36,7 +36,6 @@ from .ptm import PtmWidthError, ptm_reliability
 from .consolidated import (
     ConsolidatedAnalyzer,
     ConsolidatedResult,
-    consolidated_curve,
     output_joint_distributions,
 )
 from .sensitivity import (
@@ -60,13 +59,13 @@ __all__ = [
     "ClosedFormResult", "MultiOutputObservabilityModel",
     "ObservabilityModel", "ResultProtocol", "closed_form_delta",
     "CompiledCorrelatedPass", "CompiledPassUnsupported",
-    "CompiledSinglePass", "SweepResult",
-    "SinglePassAnalyzer", "SinglePassResult", "single_pass_reliability",
+    "CompiledSinglePass", "SweepResult", "TensorBatch",
+    "SinglePassAnalyzer", "SinglePassResult",
     "ExactResult", "bdd_exact_reliability", "evaluate_polynomial",
     "exhaustive_exact_reliability", "fixed_failure_error_probability",
     "frontier_exact_reliability", "reliability_polynomial",
     "PtmWidthError", "ptm_reliability",
-    "ConsolidatedAnalyzer", "ConsolidatedResult", "consolidated_curve",
+    "ConsolidatedAnalyzer", "ConsolidatedResult",
     "output_joint_distributions",
     "asymmetry_report", "epsilon_map", "rank_critical_gates",
     "single_pass_sensitivities",

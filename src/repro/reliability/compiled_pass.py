@@ -112,7 +112,16 @@ ROW_ZERO = 1
 
 @dataclass
 class _OpGroup:
-    """All same-level gates sharing one (truth, arity) class."""
+    """All same-level gates sharing one (truth, arity) class.
+
+    In a single-circuit plan the slot arrays index rows of the flat
+    ``(nodes, E)`` state.  The multi-circuit tensor pass
+    (:mod:`repro.reliability.tensor_pass`) reuses the same structure over
+    a padded ``(circuits, rows, E)`` state by setting ``circ`` — a
+    per-gate circuit-index column that pairs with ``slots`` /
+    ``fanin_slots`` for 3-D fancy indexing — and merges groups across
+    circuits by their shared ``truth`` key.
+    """
 
     arity: int
     #: Node slots written by this group, shape (m,).
@@ -123,7 +132,9 @@ class _OpGroup:
     fanin_slots: np.ndarray
     #: bits[v, t] = value of fanin t in error-free vector v, shape (V, k).
     bits: np.ndarray
-    #: flip_mask[v, u] = 1.0 iff flip set u changes the output, (V, V).
+    #: flip_mask[v, u] = 1.0 iff flip set u changes the output, (V, V)
+    #: shared by the class — or (m, V, V) per-gate when the tensor pass
+    #: fuses several truth classes of one arity into a single group.
     flip_mask: np.ndarray
     #: Weight vectors masked by output side: w_masked[b][v, m] is gate m's
     #: weight of vector v when truth[v] == b, else 0.
@@ -132,6 +143,11 @@ class _OpGroup:
     #: Total weight per side W(b), shape (m,).
     w_side0: np.ndarray = field(default=None)
     w_side1: np.ndarray = field(default=None)
+    #: The class's truth table — the cross-circuit merge key of the
+    #: tensor pass (never consulted by the single-circuit kernel).
+    truth: Optional[Tuple[int, ...]] = field(default=None, compare=False)
+    #: Circuit index per gate, shape (m,); None in single-circuit plans.
+    circ: Optional[np.ndarray] = None
 
     def __post_init__(self):
         if self.w_side0 is None:
@@ -225,13 +241,19 @@ def _lower_plain_groups(circuit: Circuit, weights: WeightData,
                         index: Mapping[str, int],
                         gate_row: Mapping[str, int],
                         gates: Sequence[str],
-                        max_arity: int) -> Dict[int, List["_OpGroup"]]:
+                        max_arity: int,
+                        dtype: np.dtype = np.float64,
+                        ) -> Dict[int, List["_OpGroup"]]:
     """Group ``gates`` by (level, truth, arity) and lower each class.
 
     Shared by the independence kernel (all gates) and the correlated kernel
     (the subset of gates whose transition math references no nontrivial
-    coefficient row).  Returns ``{level: [_OpGroup, ...]}``.
+    coefficient row).  Returns ``{level: [_OpGroup, ...]}``.  ``dtype`` is
+    the accumulator precision of the eventual sweep: every float array of
+    the lowered groups is materialized in it so a float32 plan never
+    smuggles float64 operands into the kernel.
     """
+    dtype = np.dtype(dtype)
     grouped: Dict[Tuple[int, Tuple[int, ...], int], Dict] = {}
     for gate in gates:
         node = circuit.node(gate)
@@ -249,11 +271,15 @@ def _lower_plain_groups(circuit: Circuit, weights: WeightData,
         entry["eps_rows"].append(gate_row[gate])
         entry["fanins"].append([index[f] for f in node.fanins])
         entry["weights"].append(
-            np.asarray(weights.weights[gate], dtype=np.float64))
+            np.asarray(weights.weights[gate], dtype=dtype))
 
     levels: Dict[int, List[_OpGroup]] = {}
     for (level, truth, k), entry in sorted(grouped.items()):
         bits, flip_mask, truth_arr = transition_lowering(truth, k)
+        if flip_mask.dtype != dtype:
+            # transition_lowering's cache holds shared float64 arrays;
+            # narrow a copy rather than mutating the cached original.
+            flip_mask = flip_mask.astype(dtype)
         w = np.stack(entry["weights"])              # (m, V)
         side1 = truth_arr.astype(bool)              # (V,)
         w_masked1 = np.where(side1[None, :], w, 0.0).T  # (V, m)
@@ -265,8 +291,11 @@ def _lower_plain_groups(circuit: Circuit, weights: WeightData,
             fanin_slots=np.asarray(entry["fanins"], dtype=np.intp),
             bits=bits,
             flip_mask=flip_mask,
-            w_masked0=np.ascontiguousarray(w_masked0),
-            w_masked1=np.ascontiguousarray(w_masked1),
+            w_masked0=np.ascontiguousarray(w_masked0.astype(dtype,
+                                                            copy=False)),
+            w_masked1=np.ascontiguousarray(w_masked1.astype(dtype,
+                                                            copy=False)),
+            truth=truth,
         ))
     return levels
 
@@ -292,15 +321,28 @@ class CompiledSinglePass:
     max_arity:
         Refuse (with :class:`CompiledPassUnsupported`) gates wider than
         this — the per-class tensors scale as ``4**k``.
+    dtype:
+        Accumulator precision of the sweep (default ``float64``).  The
+        lowering materializes every float array in this dtype and the
+        kernel allocates its accumulators from it, so a ``float32`` plan
+        runs the whole sweep in float32 — no silent float64 up-cast.
+    backend:
+        Array-backend name resolved through :func:`repro.backend.
+        get_backend` at sweep time (``None``/"auto" follows the process
+        default / ``REPRO_ARRAY_BACKEND``; numpy when unset).
     """
 
     def __init__(self, circuit: Circuit,
                  weights: WeightData,
                  input_errors: Optional[Mapping[str, ErrorProbability]] = None,
-                 max_arity: int = MAX_COMPILED_ARITY):
+                 max_arity: int = MAX_COMPILED_ARITY,
+                 dtype: np.dtype = np.float64,
+                 backend: Optional[str] = None):
         circuit.validate()
         self.circuit = circuit
         self.weights = weights
+        self.dtype = np.dtype(dtype)
+        self.backend = backend
         with trace_span("compiled_pass.compile", circuit=circuit.name):
             order = circuit.topological_order()
             self.node_names: List[str] = order
@@ -317,7 +359,8 @@ class CompiledSinglePass:
                 for name, ep in dict(input_errors or {}).items()]
 
             levels = _lower_plain_groups(circuit, weights, self.index,
-                                         gate_row, gates, max_arity)
+                                         gate_row, gates, max_arity,
+                                         dtype=self.dtype)
             #: Topological level value of ``self.levels[i]``.
             self.level_values: List[int] = sorted(levels)
             self.levels: List[List[_OpGroup]] = [
@@ -328,7 +371,7 @@ class CompiledSinglePass:
                 [self.index[o] for o in circuit.outputs], dtype=np.intp)
             self.output_prob1 = np.asarray(
                 [weights.signal_prob[o] for o in circuit.outputs],
-                dtype=np.float64)
+                dtype=self.dtype)
         if obs_metrics.is_enabled():
             obs_metrics.inc("compiled_pass.compiles", circuit=circuit.name)
             obs_metrics.set_gauge("compiled_pass.groups", self.num_groups,
@@ -368,7 +411,7 @@ class CompiledSinglePass:
                 try:
                     lowered = _lower_plain_groups(
                         circuit, weights, self.index, self._gate_row,
-                        level_gates, self.max_arity)
+                        level_gates, self.max_arity, dtype=self.dtype)
                 except CompiledPassUnsupported:
                     return False
                 for lv, groups in lowered.items():
@@ -386,7 +429,7 @@ class CompiledSinglePass:
                                 truth_table(node.gate_type, node.arity),
                                 dtype=bool)
                             w = np.asarray(weights.weights[gate],
-                                           dtype=np.float64)
+                                           dtype=self.dtype)
                             group.w_masked1[:, col] = np.where(side1, w, 0.0)
                             group.w_masked0[:, col] = np.where(side1, 0.0, w)
                             # Same per-column summation order as the fresh
@@ -397,14 +440,14 @@ class CompiledSinglePass:
             self.weights = weights
             self.output_prob1 = np.asarray(
                 [weights.signal_prob[o] for o in circuit.outputs],
-                dtype=np.float64)
+                dtype=self.dtype)
         if obs_metrics.is_enabled():
             obs_metrics.inc("compiled_pass.patches", circuit=circuit.name)
         return True
 
     def _eps_matrix(self, specs: Sequence[EpsilonSpec]) -> np.ndarray:
         """Broadcast a batch of eps specs to a dense (gates, E) matrix."""
-        return _eps_matrix(self.gate_names, specs)
+        return _eps_matrix(self.gate_names, specs, dtype=self.dtype)
 
     def run(self, eps: EpsilonSpec,
             eps10: Optional[EpsilonSpec] = None) -> SweepResult:
@@ -425,19 +468,29 @@ class CompiledSinglePass:
                                              eps10_specs)
         n_nodes = len(self.node_names)
         n_points = len(specs)
+        from ..backend import get_backend
+        bk = get_backend(self.backend)
         with trace_span("compiled_pass.run_sweep", circuit=self.circuit.name,
-                        points=n_points):
+                        points=n_points, backend=bk.name):
             e01 = self._eps_matrix(specs)
             e10 = e01 if eps10_list is None else self._eps_matrix(eps10_list)
-            p01 = np.zeros((n_nodes, n_points), dtype=np.float64)
-            p10 = np.zeros((n_nodes, n_points), dtype=np.float64)
+            if not bk.is_numpy:
+                e01 = bk.asarray(e01)
+                e10 = e01 if eps10_list is None else bk.asarray(e10)
+            p01 = bk.zeros((n_nodes, n_points), dtype=self.dtype)
+            p10 = bk.zeros((n_nodes, n_points), dtype=self.dtype)
             for slot, ep in self.input_error_rows:
                 p01[slot] = ep.p01
                 p10[slot] = ep.p10
             for level_groups in self.levels:
                 for group in level_groups:
-                    _eval_group(group, p01, p10,
-                                e01[group.eps_rows], e10[group.eps_rows])
+                    rows = (group.eps_rows if bk.is_numpy
+                            else bk.index_array(group.eps_rows))
+                    _eval_group(group, p01, p10, e01[rows], e10[rows], bk)
+            if not bk.is_numpy:
+                bk.synchronize()
+                p01 = bk.to_numpy(p01)
+                p10 = bk.to_numpy(p10)
             per_output = ((1.0 - self.output_prob1)[:, None]
                           * p01[self.output_slots]
                           + self.output_prob1[:, None]
@@ -463,20 +516,39 @@ class CompiledSinglePass:
         )
 
 
-def _eval_group(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
-                e01: np.ndarray, e10: np.ndarray) -> None:
-    """Evaluate one (level, truth, arity) gate batch over the eps axis.
+def _eval_group(group: _OpGroup, p01, p10, e01, e10, bk=None) -> None:
+    """Evaluate one (truth, arity) gate batch over the eps axis.
 
-    Mutates ``p01`` / ``p10`` in place at ``group.slots``.  ``e01`` /
-    ``e10`` are the group's local failure probabilities, shape (m, E).
+    Mutates ``p01`` / ``p10`` in place at ``group.slots`` (with
+    ``group.circ`` selecting the leading circuit axis of a tensor-pass
+    state).  ``e01`` / ``e10`` are the group's local failure
+    probabilities, shape (m, E).  ``bk`` is a :mod:`repro.backend`
+    instance; ``None`` (and the numpy backend) takes the allocation-free
+    in-place path, other backends a generic path over the same algebra
+    with the group's host arrays mirrored on device per call (zero-copy
+    on CPU backends).
     """
-    f01 = p01[group.fanin_slots]            # (m, k, E)
-    f10 = p10[group.fanin_slots]
+    if bk is None or bk.is_numpy:
+        _eval_group_numpy(group, p01, p10, e01, e10)
+    else:
+        _eval_group_generic(group, p01, p10, e01, e10, bk)
+
+
+def _eval_group_numpy(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
+                      e01: np.ndarray, e10: np.ndarray) -> None:
+    """The numpy (default) evaluation of one gate batch."""
+    if group.circ is None:
+        f01 = p01[group.fanin_slots]        # (m, k, E)
+        f10 = p10[group.fanin_slots]
+    else:
+        f01 = p01[group.circ[:, None], group.fanin_slots]
+        f10 = p10[group.circ[:, None], group.fanin_slots]
     n_vec = group.bits.shape[0]             # V = 2**k
     m, k, n_eps = f01.shape
+    dtype = p01.dtype
 
-    pw0 = np.empty((m, n_eps))
-    pw1 = np.empty((m, n_eps))
+    pw0 = np.empty((m, n_eps), dtype=dtype)
+    pw1 = np.empty((m, n_eps), dtype=dtype)
     # Chunk the gate batch so the (V, chunk, V, E) intermediate stays small.
     rows = max(1, _CHUNK_ELEMENTS // max(1, n_vec * n_vec * n_eps))
     for start in range(0, m, rows):
@@ -487,13 +559,26 @@ def _eval_group(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
         pv = np.where(group.bits[:, None, :, None], f10[None, sl],
                       f01[None, sl])
         # Distribution over flip sets u by successive doubling: after step
-        # t, axis 2 enumerates all 2**(t+1) flip subsets of fanins 0..t.
-        r = np.ones((n_vec, pv.shape[1], 1, n_eps))
+        # t, the first 2**(t+1) lanes of axis 2 enumerate all flip subsets
+        # of fanins 0..t.  The doubling runs inside one preallocated
+        # (V, mc, V, E) buffer — lanes [w, 2w) take old*p, then [0, w)
+        # scales in place by (1-p): the same products, no concatenates.
+        mc = pv.shape[1]
+        r = np.empty((n_vec, mc, n_vec, n_eps), dtype=dtype)
+        r[:, :, 0, :] = 1.0
+        width = 1
         for t in range(k):
             pt = pv[:, :, t, None, :]
-            r = np.concatenate((r * (1.0 - pt), r * pt), axis=2)
-        # Total probability that fanin errors flip the output, per v.
-        flip = np.einsum("vmue,vu->vme", r, group.flip_mask)
+            old = r[:, :, :width]
+            np.multiply(old, pt, out=r[:, :, width:2 * width])
+            old *= 1.0 - pt
+            width *= 2
+        # Total probability that fanin errors flip the output, per v —
+        # with a per-gate mask when the group fuses several truth classes.
+        if group.flip_mask.ndim == 3:
+            flip = np.einsum("vmue,mvu->vme", r, group.flip_mask[sl])
+        else:
+            flip = np.einsum("vmue,vu->vme", r, group.flip_mask)
         np.minimum(flip, 1.0, out=flip)
         # Weighted components PW(b) = sum_v W[v] * flip[v] over side b.
         pw0[sl] = np.einsum("vm,vme->me", group.w_masked0[:, sl], flip)
@@ -507,8 +592,73 @@ def _eval_group(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
     r1 = np.divide(pw1, w1, out=np.zeros_like(pw1), where=w1 > 0.0)
     np.clip(r0, 0.0, 1.0, out=r0)
     np.clip(r1, 0.0, 1.0, out=r1)
-    p01[group.slots] = r0 * (1.0 - e10) + (1.0 - r0) * e01
-    p10[group.slots] = r1 * (1.0 - e01) + (1.0 - r1) * e10
+    out01 = r0 * (1.0 - e10) + (1.0 - r0) * e01
+    out10 = r1 * (1.0 - e01) + (1.0 - r1) * e10
+    if group.circ is None:
+        p01[group.slots] = out01
+        p10[group.slots] = out10
+    else:
+        p01[group.circ, group.slots] = out01
+        p10[group.circ, group.slots] = out10
+
+
+def _eval_group_generic(group: _OpGroup, p01, p10, e01, e10, bk) -> None:
+    """Backend-generic evaluation: same algebra through the bk façade.
+
+    Values match the numpy path to float rounding on any IEEE backend —
+    ``where``-guarded division replaces ``np.divide(..., where=)`` and
+    out-of-place ``minimum``/``clip`` replace the in-place forms, all
+    value-identical rewrites.
+    """
+    dtype = group.w_masked0.dtype
+    fanin_idx = bk.index_array(group.fanin_slots)
+    slot_idx = bk.index_array(group.slots)
+    if group.circ is None:
+        f01 = p01[fanin_idx]                # (m, k, E)
+        f10 = p10[fanin_idx]
+    else:
+        circ_idx = bk.index_array(group.circ)
+        f01 = p01[circ_idx[:, None], fanin_idx]
+        f10 = p10[circ_idx[:, None], fanin_idx]
+    bits = bk.asarray(group.bits)
+    flip_mask = bk.asarray(group.flip_mask)
+    wm0 = bk.asarray(group.w_masked0)
+    wm1 = bk.asarray(group.w_masked1)
+    n_vec = group.bits.shape[0]             # V = 2**k
+    m, k, n_eps = f01.shape
+
+    pw0 = bk.empty((m, n_eps), dtype=dtype)
+    pw1 = bk.empty((m, n_eps), dtype=dtype)
+    rows = max(1, _CHUNK_ELEMENTS // max(1, n_vec * n_vec * n_eps))
+    for start in range(0, m, rows):
+        sl = slice(start, min(m, start + rows))
+        pv = bk.where(bits[:, None, :, None], f10[None, sl], f01[None, sl])
+        r = bk.ones((n_vec, pv.shape[1], 1, n_eps), dtype=dtype)
+        for t in range(k):
+            pt = pv[:, :, t, None, :]
+            r = bk.concatenate((r * (1.0 - pt), r * pt), axis=2)
+        if group.flip_mask.ndim == 3:
+            flip = bk.einsum("vmue,mvu->vme", r, flip_mask[sl])
+        else:
+            flip = bk.einsum("vmue,vu->vme", r, flip_mask)
+        flip = bk.minimum(flip, 1.0)
+        pw0[sl] = bk.einsum("vm,vme->me", wm0[:, sl], flip)
+        pw1[sl] = bk.einsum("vm,vme->me", wm1[:, sl], flip)
+
+    w0 = bk.asarray(group.w_side0)[:, None]
+    w1 = bk.asarray(group.w_side1)[:, None]
+    r0 = bk.where(w0 > 0.0, pw0 / bk.where(w0 > 0.0, w0, 1.0), 0.0)
+    r1 = bk.where(w1 > 0.0, pw1 / bk.where(w1 > 0.0, w1, 1.0), 0.0)
+    r0 = bk.clip(r0, 0.0, 1.0)
+    r1 = bk.clip(r1, 0.0, 1.0)
+    out01 = r0 * (1.0 - e10) + (1.0 - r0) * e01
+    out10 = r1 * (1.0 - e01) + (1.0 - r1) * e10
+    if group.circ is None:
+        p01[slot_idx] = out01
+        p10[slot_idx] = out10
+    else:
+        p01[circ_idx, slot_idx] = out01
+        p10[circ_idx, slot_idx] = out10
 
 
 # ======================================================================
@@ -516,9 +666,10 @@ def _eval_group(group: _OpGroup, p01: np.ndarray, p10: np.ndarray,
 # ======================================================================
 
 def _eps_matrix(gate_names: Sequence[str],
-                specs: Sequence[EpsilonSpec]) -> np.ndarray:
+                specs: Sequence[EpsilonSpec],
+                dtype: np.dtype = np.float64) -> np.ndarray:
     """Broadcast a batch of eps specs to a dense (gates, E) matrix."""
-    mat = np.empty((len(gate_names), len(specs)), dtype=np.float64)
+    mat = np.empty((len(gate_names), len(specs)), dtype=dtype)
     for j, spec in enumerate(specs):
         if isinstance(spec, Mapping):
             mat[:, j] = [epsilon_of(spec, g) for g in gate_names]

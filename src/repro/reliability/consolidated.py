@@ -18,7 +18,6 @@ approximation; the Monte Carlo ``any_output`` estimate is the reference).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, Optional, Tuple
@@ -185,22 +184,3 @@ class ConsolidatedAnalyzer:
                 c = engine(a, event_a, b, event_b) if engine else 1.0
                 total += p_values * min(min(pa, pb), pa * pb * c)
         return min(total, min(result.per_output[a], result.per_output[b]))
-
-
-def consolidated_curve(circuit: Circuit, eps_values, seed: int = 0,
-                       **analyzer_kwargs) -> Dict[float, float]:
-    """Deprecated convenience wrapper; use the façade or the analyzer.
-
-    .. deprecated::
-        ``repro.sweep(circuit, eps_values, method="consolidated")`` serves
-        the same curve through the persistent engine, and
-        ``ConsolidatedAnalyzer(circuit).curve(eps_values)`` remains the
-        direct path.  This shim will be removed in two releases.
-    """
-    warnings.warn(
-        "consolidated_curve() is deprecated; use repro.sweep(circuit, "
-        "eps_values, method=\"consolidated\") or "
-        "ConsolidatedAnalyzer(...).curve(...)",
-        DeprecationWarning, stacklevel=2)
-    analyzer = ConsolidatedAnalyzer(circuit, seed=seed, **analyzer_kwargs)
-    return analyzer.curve(eps_values)

@@ -16,7 +16,6 @@ independence assumption at reconvergent fanout.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -142,6 +141,14 @@ class SinglePassAnalyzer:
         arity, or a correlated pair count beyond
         ``max_correlation_pairs`` (where the scalar engine degrades
         per-query instead of refusing).
+    backend:
+        Array-backend name for the independence kernel (see
+        :func:`repro.backend.get_backend`); ``None``/"auto" follows the
+        process default.  The correlated kernel and the scalar path are
+        numpy-only and ignore it.
+    dtype:
+        Accumulator precision of the independence kernel (default
+        ``float64``; a float32 plan sweeps entirely in float32).
     """
 
     def __init__(self, circuit: Circuit,
@@ -155,7 +162,9 @@ class SinglePassAnalyzer:
                  max_correlation_level_gap: Optional[int] = None,
                  input_probs: Optional[Mapping[str, float]] = None,
                  compiled: str = "auto",
-                 weights_cache_dir: Optional[str] = None):
+                 weights_cache_dir: Optional[str] = None,
+                 backend: Optional[str] = None,
+                 dtype: np.dtype = np.float64):
         circuit.validate()
         if compiled not in ("auto", "off"):
             raise ValueError(f"compiled must be 'auto' or 'off', "
@@ -177,6 +186,8 @@ class SinglePassAnalyzer:
         self.max_correlation_level_gap = max_correlation_level_gap
         self.compiled = compiled
         self.weights_cache_dir = weights_cache_dir
+        self.backend = backend
+        self.dtype = np.dtype(dtype)
         self._plan = None
         self._plan_unsupported = False
         self._truth: Dict[str, tuple] = {}
@@ -202,7 +213,8 @@ class SinglePassAnalyzer:
                 else:
                     self._plan = CompiledSinglePass(
                         self.circuit, self.weights,
-                        input_errors=self.input_errors)
+                        input_errors=self.input_errors,
+                        dtype=self.dtype, backend=self.backend)
             except CompiledPassUnsupported:
                 self._plan_unsupported = True
                 return None
@@ -212,6 +224,16 @@ class SinglePassAnalyzer:
     def uses_compiled(self) -> bool:
         """Whether run/curve/sweep will dispatch to a vectorized kernel."""
         return self._build_plan() is not None
+
+    @property
+    def plan(self):
+        """The memoized compiled plan, or None on the scalar path.
+
+        In independence mode this is the :class:`CompiledSinglePass`
+        that cross-circuit batching (:class:`~repro.reliability.
+        tensor_pass.TensorBatch`) merges across analyzers.
+        """
+        return self._build_plan()
 
     def _seed_engine(self, sweep: SweepResult, result: SinglePassResult,
                      eps: EpsilonSpec,
@@ -454,20 +476,3 @@ def _sweep_worker_point(task) -> SinglePassResult:
     # process boundary; drop it from the shipped result.
     result.correlation_engine = None
     return result
-
-
-def single_pass_reliability(circuit: Circuit, eps: EpsilonSpec,
-                            **kwargs) -> SinglePassResult:
-    """Deprecated one-shot wrapper; use :func:`repro.analyze` instead.
-
-    .. deprecated::
-        The ``repro.analyze(circuit, eps, **opts)`` façade serves the same
-        one-shot call through the persistent engine (weights and compiled
-        plans stay hot across calls).  This shim will be removed in two
-        releases.
-    """
-    warnings.warn(
-        "single_pass_reliability() is deprecated; use repro.analyze("
-        "circuit, eps, ...) — same result, served from the persistent "
-        "engine", DeprecationWarning, stacklevel=2)
-    return SinglePassAnalyzer(circuit, **kwargs).run(eps)

@@ -1,0 +1,201 @@
+"""Tests for the pluggable array-backend shim (:mod:`repro.backend`).
+
+numpy is the zero-dependency default; CuPy/torch are strictly optional.
+Tests that need a real accelerator library are skipped when it is not
+importable — the graceful-fallback tests run everywhere precisely
+because the library is allowed to be absent.
+"""
+
+import importlib.util
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import backend as backend_mod
+from repro.backend import (
+    BACKEND_NAMES,
+    BackendUnavailable,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
+from repro.reliability.compiled_pass import CompiledSinglePass
+from repro.reliability.single_pass import SinglePassAnalyzer
+
+HAVE_TORCH = importlib.util.find_spec("torch") is not None
+
+
+@pytest.fixture(autouse=True)
+def _reset_default(monkeypatch):
+    """Each test starts from the stock default (no env var, no override)."""
+    monkeypatch.delenv("REPRO_ARRAY_BACKEND", raising=False)
+    set_default_backend(None)
+    yield
+    set_default_backend(None)
+
+
+# -- resolution ---------------------------------------------------------
+def test_numpy_is_default():
+    assert default_backend_name() == "numpy"
+    bk = get_backend()
+    assert bk.name == "numpy"
+    assert bk.is_numpy
+
+
+def test_backend_instances_are_memoized():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_auto_resolves_default():
+    assert get_backend("auto") is get_backend(None)
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown array backend"):
+        get_backend("tensorflow")
+    with pytest.raises(ValueError, match="unknown array backend"):
+        set_default_backend("tensorflow")
+
+
+def test_env_var_selects_default(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_BACKEND", "torch")
+    assert default_backend_name() == "torch"
+
+
+def test_set_default_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_BACKEND", "torch")
+    set_default_backend("numpy")
+    assert default_backend_name() == "numpy"
+    set_default_backend("auto")
+    assert default_backend_name() == "torch"
+
+
+def test_available_backends_probe():
+    caps = available_backends()
+    assert caps["numpy"] is True
+    assert set(caps) == set(BACKEND_NAMES)
+
+
+# -- graceful fallback --------------------------------------------------
+@pytest.mark.skipif(HAVE_TORCH, reason="torch installed: no fallback")
+def test_missing_torch_falls_back_to_numpy():
+    with pytest.warns(RuntimeWarning, match="torch"):
+        bk = get_backend("torch")
+    assert bk.is_numpy
+
+
+@pytest.mark.skipif(HAVE_TORCH, reason="torch installed: no fallback")
+def test_missing_torch_strict_raises():
+    with pytest.raises(BackendUnavailable):
+        get_backend("torch", strict=True)
+
+
+@pytest.mark.skipif(HAVE_TORCH, reason="torch installed: no fallback")
+def test_kernel_sweeps_despite_missing_backend(tree_circuit):
+    """A plan pinned to an absent backend still answers (on numpy)."""
+    analyzer = SinglePassAnalyzer(tree_circuit, use_correlation=False,
+                                  backend="torch")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        sweep = analyzer.sweep([0.01, 0.05])
+    ref = SinglePassAnalyzer(tree_circuit,
+                             use_correlation=False).sweep([0.01, 0.05])
+    assert np.array_equal(sweep.p01, ref.p01)
+
+
+# -- dtype threading (satellite: no silent float64 up-cast) -------------
+def test_float32_plan_stays_float32(reconvergent_circuit):
+    analyzer = SinglePassAnalyzer(reconvergent_circuit,
+                                  use_correlation=False,
+                                  dtype=np.float32)
+    plan = analyzer.plan
+    assert plan is not None and plan.dtype == np.float32
+    for level in plan.levels:
+        for group in level:
+            assert group.flip_mask.dtype == np.float32
+            assert group.w_masked0.dtype == np.float32
+            assert group.w_masked1.dtype == np.float32
+    sweep = plan.run_sweep([0.01, 0.05, 0.2])
+    assert sweep.p01.dtype == np.float32
+    assert sweep.p10.dtype == np.float32
+    assert sweep.per_output.dtype == np.float32
+
+
+def test_float32_parity_with_float64(reconvergent_circuit):
+    eps = [0.01, 0.05, 0.2]
+    s32 = SinglePassAnalyzer(reconvergent_circuit, use_correlation=False,
+                             dtype=np.float32).sweep(eps)
+    s64 = SinglePassAnalyzer(reconvergent_circuit,
+                             use_correlation=False).sweep(eps)
+    assert s64.p01.dtype == np.float64
+    np.testing.assert_allclose(s32.p01, s64.p01, atol=1e-6)
+    np.testing.assert_allclose(s32.per_output, s64.per_output, atol=1e-6)
+
+
+def test_compiled_pass_dtype_parameter(full_adder_circuit):
+    from repro.probability.weights import compute_weights
+    w = compute_weights(full_adder_circuit, method="exhaustive")
+    plan = CompiledSinglePass(full_adder_circuit, w, dtype=np.float32)
+    assert plan.dtype == np.float32
+    plan64 = CompiledSinglePass(full_adder_circuit, w)
+    assert plan64.dtype == np.float64
+
+
+# -- numpy facade semantics (what generic kernels rely on) --------------
+def test_numpy_facade_ops():
+    bk = get_backend("numpy")
+    a = bk.asarray([1.0, 2.0, 3.0])
+    assert bk.to_numpy(a) is a  # zero-copy on the numpy backend
+    z = bk.zeros((2, 2), dtype=np.float32)
+    assert z.dtype == np.float32 and not z.any()
+    w = bk.where(a > 1.5, a, bk.zeros((3,), dtype=a.dtype))
+    np.testing.assert_array_equal(bk.to_numpy(w), [0.0, 2.0, 3.0])
+    c = bk.clip(a, 1.5, 2.5)
+    np.testing.assert_array_equal(bk.to_numpy(c), [1.5, 2.0, 2.5])
+    bk.synchronize()  # no-op, must not raise
+
+
+# -- torch backend (only with torch installed; CI torch job) ------------
+@pytest.mark.skipif(not HAVE_TORCH, reason="torch not installed")
+def test_torch_backend_resolves():
+    bk = get_backend("torch", strict=True)
+    assert bk.name == "torch"
+    assert not bk.is_numpy
+    x = bk.asarray(np.arange(6, dtype=np.float64).reshape(2, 3))
+    back = bk.to_numpy(x)
+    np.testing.assert_array_equal(back, np.arange(6).reshape(2, 3))
+
+
+@pytest.mark.skipif(not HAVE_TORCH, reason="torch not installed")
+def test_torch_kernel_parity(reconvergent_circuit, full_adder_circuit):
+    eps = [0.005, 0.05, 0.15]
+    for circuit in (reconvergent_circuit, full_adder_circuit):
+        ref = SinglePassAnalyzer(circuit, use_correlation=False).sweep(eps)
+        got = SinglePassAnalyzer(circuit, use_correlation=False,
+                                 backend="torch").sweep(eps)
+        assert isinstance(got.p01, np.ndarray)
+        np.testing.assert_allclose(got.p01, ref.p01, atol=1e-12)
+        np.testing.assert_allclose(got.per_output, ref.per_output,
+                                   atol=1e-12)
+
+
+@pytest.mark.skipif(not HAVE_TORCH, reason="torch not installed")
+def test_torch_tensor_batch_parity(reconvergent_circuit,
+                                   full_adder_circuit, tree_circuit):
+    from repro.reliability.tensor_pass import TensorBatch
+    eps = [0.01, 0.08]
+    plans = [SinglePassAnalyzer(c, use_correlation=False).plan
+             for c in (reconvergent_circuit, full_adder_circuit,
+                       tree_circuit)]
+    batch = TensorBatch(plans, backend="torch")
+    sweeps = batch.run_sweep([eps] * len(plans))
+    for plan, sweep in zip(plans, sweeps):
+        ref = plan.run_sweep(eps)
+        np.testing.assert_allclose(sweep.p01, ref.p01, atol=1e-12)
+
+
+# -- module coherence ---------------------------------------------------
+def test_backend_names_match_constructors():
+    assert set(BACKEND_NAMES) == set(backend_mod._CONSTRUCTORS)
