@@ -33,6 +33,10 @@ BENCH_INCREMENTAL = RESULTS_DIR / "BENCH_incremental.json"
 #: (see test_multicircuit_perf.py).
 BENCH_MULTICIRCUIT = RESULTS_DIR / "BENCH_multicircuit.json"
 
+#: Machine-readable serve-tier concurrency trajectory
+#: (see test_serve_concurrency.py).
+BENCH_SERVE = RESULTS_DIR / "BENCH_serve.json"
+
 #: Aggregated roll-up of every BENCH_*.json written by this session
 #: (consumed by the CI benchmarks artifact job).
 BENCH_SUMMARY = RESULTS_DIR / "BENCH_summary.json"
@@ -41,6 +45,7 @@ _singlepass_records = []
 _engine_records = []
 _incremental_records = []
 _multicircuit_records = []
+_serve_records = []
 
 
 def record_singlepass(circuit: str, variant: str, mean_s: float,
@@ -116,6 +121,26 @@ def record_multicircuit(variant: str, circuits: int, points: int,
     })
 
 
+def record_serve(mode: str, clients: int, requests: int, wall_s: float,
+                 rps: float, speedup_vs_threaded=None) -> None:
+    """Queue one timing row for ``BENCH_serve.json``.
+
+    Rows follow the fixed schema
+    ``{mode, clients, requests, wall_s, rps, speedup_vs_threaded}``;
+    ``mode`` names the measured arm (``"threaded"`` / ``"async"``) and
+    ``speedup_vs_threaded`` is null for the threaded baseline itself.
+    """
+    _serve_records.append({
+        "mode": str(mode),
+        "clients": int(clients),
+        "requests": int(requests),
+        "wall_s": float(wall_s),
+        "rps": float(rps),
+        "speedup_vs_threaded": (None if speedup_vs_threaded is None
+                                else float(speedup_vs_threaded)),
+    })
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Flush queued timings once the benchmark session ends."""
     queues = [
@@ -123,6 +148,7 @@ def pytest_sessionfinish(session, exitstatus):
         (BENCH_ENGINE, _engine_records),
         (BENCH_INCREMENTAL, _incremental_records),
         (BENCH_MULTICIRCUIT, _multicircuit_records),
+        (BENCH_SERVE, _serve_records),
     ]
     for path, records in queues:
         if records:

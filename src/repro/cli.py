@@ -403,16 +403,28 @@ def _make_engine(args: argparse.Namespace) -> "AnalysisEngine":
         # tensor batches) resolve through this default.
         from .backend import set_default_backend
         set_default_backend(args.backend)
+    state_dir = getattr(args, "state_dir", None)
+    # A state directory doubles as the warm artifact store: unless the
+    # weight cache is pointed elsewhere, replicas sharing one --state-dir
+    # also share weight vectors and correlation plans through it.
     return AnalysisEngine(
         max_sessions=args.max_sessions,
-        weights_cache_dir=args.weights_cache,
+        weights_cache_dir=args.weights_cache or state_dir,
         jobs=args.jobs,
-        default_timeout_s=args.timeout)
+        default_timeout_s=args.timeout,
+        state_dir=state_dir)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .engine import serve_stream, serve_tcp
+    from .engine import serve_stream, serve_tcp, serve_tcp_threaded
     engine = _make_engine(args)
+    if engine.state_dir:
+        summary = engine.load_state()
+        if summary["found"]:
+            log.info("restored %d edit session(s) from %s",
+                     summary["sessions"], engine.state_dir)
+            for err in summary["errors"]:
+                log.warning("state restore skipped: %s", err)
     try:
         if args.tcp:
             host, _, port = args.tcp.rpartition(":")
@@ -425,13 +437,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 raise SystemExit(
                     f"invalid --tcp port {port!r}: expected an integer"
                 ) from None
-            serve_tcp(engine, host, port_num)
+
+            def ready(bound_port: int) -> None:
+                # Machine-parseable readiness line: supervisors (and the
+                # crash-resume test) read the bound port from stdout.
+                print(f"serving on {host}:{bound_port}", flush=True)
+
+            if args.threaded:
+                serve_tcp_threaded(engine, host, port_num,
+                                   ready_callback=ready)
+            else:
+                serve_tcp(engine, host, port_num, ready_callback=ready,
+                          max_inflight=args.max_inflight,
+                          snapshot_interval=args.snapshot_interval)
         else:
             served = serve_stream(engine, sys.stdin, sys.stdout)
             log.info("served %d request(s)", served)
     except KeyboardInterrupt:
         pass
     finally:
+        if engine.state_dir:
+            try:
+                engine.save_state()
+            except Exception as exc:  # noqa: BLE001 - shutdown best-effort
+                log.warning("final state snapshot failed: %s", exc)
         engine.close()
     return 0
 
@@ -443,13 +472,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise SystemExit(f"no such requests file: {args.requests}")
     lines = path.read_text().splitlines()
     engine = _make_engine(args)
+    batch_kwargs = dict(jobs=args.jobs, state_dir=engine.state_dir,
+                        resume=args.resume,
+                        checkpoint_every=args.checkpoint_every)
     try:
         if args.out:
             with open(args.out, "w") as fh:
-                failures = run_batch(engine, lines, fh, jobs=args.jobs)
+                failures = run_batch(engine, lines, fh, **batch_kwargs)
             log.info("wrote envelopes to %s", args.out)
         else:
-            failures = run_batch(engine, lines, sys.stdout, jobs=args.jobs)
+            failures = run_batch(engine, lines, sys.stdout, **batch_kwargs)
     finally:
         engine.close()
     if failures:
@@ -498,7 +530,40 @@ def _render_top(address: str, stats: Dict[str, Any]) -> str:
             lines.append(f"{lane:<6s} {entry['requests']:>9d} "
                          f"{entry['busy_s']:>9.3f} "
                          f"{entry['utilization'] * 100:>5.1f}%")
+    admission = stats.get("admission")
+    if admission:
+        lines.append("")
+        lines.append(
+            f"admission    inflight {admission.get('inflight', 0)}"
+            f"/{admission.get('limit', 0)}   "
+            f"accepted {admission.get('accepted', 0)}  "
+            f"rejected {admission.get('rejected', 0)}   "
+            f"service ~{admission.get('service_ewma_ms', 0.0):.2f}ms")
     return "\n".join(lines)
+
+
+def _top_frame(address: str, envelope: Dict[str, Any]):
+    """One poll's display text plus an optional retry-after hint.
+
+    An overloaded server answers the ``stats`` op with an overload
+    envelope (``ok=False`` with an ``overload`` block and no ``stats``
+    payload); render that as a frame and back off for ``retry_after_s``
+    instead of crashing on the missing payload.
+    """
+    overload = envelope.get("overload")
+    if not envelope.get("ok") and overload is not None:
+        retry_after = overload.get("retry_after_s")
+        text = (
+            f"repro top — {address} — OVERLOADED\n"
+            f"inflight {overload.get('inflight', '?')}"
+            f"/{overload.get('limit', '?')}   "
+            f"accepted {overload.get('accepted', 0)}  "
+            f"rejected {overload.get('rejected', 0)}   "
+            f"retry after {retry_after}s")
+        return text, retry_after
+    if not envelope.get("ok"):
+        raise SystemExit(f"stats op failed: {envelope.get('error')}")
+    return _render_top(address, envelope.get("stats") or {}), None
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -527,15 +592,16 @@ def _cmd_top(args: argparse.Namespace) -> int:
             if not line:
                 raise SystemExit("server closed the connection")
             envelope = json.loads(line)
-            if not envelope.get("ok"):
-                raise SystemExit(f"stats op failed: {envelope.get('error')}")
+            frame, retry_after = _top_frame(args.address, envelope)
             if polls:
                 print()
-            print(_render_top(args.address, envelope["stats"]))
+            print(frame)
             polls += 1
             if args.iterations and polls >= args.iterations:
                 break
-            time.sleep(args.interval)
+            # An overload frame carries the server's own back-off hint;
+            # honor it when it is longer than the polling interval.
+            time.sleep(max(args.interval, retry_after or 0.0))
     except KeyboardInterrupt:
         pass
     finally:
@@ -759,6 +825,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request timeout in seconds; on "
                             "expiry the engine falls back down the "
                             "compiled → scalar → closed-form ladder")
+        p.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="durable warm-state directory: edit sessions "
+                            "are snapshotted here and restored on start; "
+                            "doubles as the weight cache when "
+                            "--weights-cache is unset")
         add_weights_cache(p)
         add_backend(p)
         add_obs(p)
@@ -768,6 +839,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tcp", default=None, metavar="HOST:PORT",
                    help="listen on TCP instead of stdio (e.g. "
                         "127.0.0.1:7777; port 0 picks a free port)")
+    p.add_argument("--threaded", action="store_true",
+                   help="use the legacy thread-per-connection TCP server "
+                        "instead of the asyncio front-end (no admission "
+                        "control, no cross-client micro-batching)")
+    p.add_argument("--max-inflight", type=int, default=256, metavar="N",
+                   help="admission limit for the asyncio front-end: "
+                        "requests in flight beyond this are answered "
+                        "with an overload envelope carrying a "
+                        "retry_after_s hint")
+    p.add_argument("--snapshot-interval", type=float, default=300.0,
+                   metavar="S",
+                   help="seconds between periodic engine-state snapshots "
+                        "when --state-dir is set (asyncio front-end "
+                        "only; a final snapshot is always taken on "
+                        "shutdown)")
     add_engine(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -777,6 +863,13 @@ def build_parser() -> argparse.ArgumentParser:
                                     "request file")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write envelopes here instead of stdout")
+    p.add_argument("--resume", action="store_true",
+                   help="with --state-dir: replay the journal of a "
+                        "previously interrupted run of the same request "
+                        "file and execute only the remainder")
+    p.add_argument("--checkpoint-every", type=int, default=32, metavar="N",
+                   help="with --state-dir: journal envelopes and snapshot "
+                        "engine state after every N requests")
     add_engine(p)
     p.set_defaults(func=_cmd_batch)
 

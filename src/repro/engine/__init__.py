@@ -17,7 +17,13 @@ The library's long-lived service layer (see ``docs/engine.md``):
 from .core import AnalysisEngine
 from .facade import analyze, default_engine, set_default_engine, sweep
 from .requests import AnalysisRequest, AnalysisResponse
-from .serve import handle_line, run_batch, serve_stream, serve_tcp
+from .serve import (
+    handle_line,
+    run_batch,
+    serve_stream,
+    serve_tcp,
+    serve_tcp_threaded,
+)
 from .session import CircuitSession, SessionConfig, resolve_circuit
 from .stats import EngineStats
 
@@ -26,4 +32,5 @@ __all__ = [
     "CircuitSession", "SessionConfig", "resolve_circuit", "EngineStats",
     "analyze", "sweep", "default_engine", "set_default_engine",
     "handle_line", "run_batch", "serve_stream", "serve_tcp",
+    "serve_tcp_threaded",
 ]

@@ -105,11 +105,18 @@ class AnalysisEngine:
     def __init__(self, max_sessions: int = 8,
                  weights_cache_dir: Optional[str] = None,
                  jobs: int = 0,
-                 default_timeout_s: Optional[float] = None):
+                 default_timeout_s: Optional[float] = None,
+                 state_dir: Optional[str] = None):
         self.max_sessions = max_sessions
         self.weights_cache_dir = weights_cache_dir
         self.jobs = jobs
         self.default_timeout_s = default_timeout_s
+        #: Default directory for :meth:`save_state` / :meth:`load_state`
+        #: snapshots (the serve tier's ``--state-dir``).
+        self.state_dir = state_dir
+        #: The async serve front-end's admission controller, when one is
+        #: attached; surfaces through :meth:`stats` for ``repro top``.
+        self._admission = None
         self._sessions: "OrderedDict[Tuple, CircuitSession]" = OrderedDict()
         #: Named mutable sessions (``edit``/``reanalyze`` targets).  They
         #: hold incremental workspaces, so they are keyed by client-chosen
@@ -446,6 +453,7 @@ class AnalysisEngine:
         responses: Dict[int, AnalysisResponse] = {}
         groups: "OrderedDict[Tuple, List[Tuple[int, AnalysisRequest]]]" = \
             OrderedDict()
+        blocked_sessions = self._stateful_sessions(indexed)
         for idx, raw in indexed:
             request = raw
             if isinstance(raw, dict):
@@ -457,7 +465,7 @@ class AnalysisEngine:
                         circuit=str(raw.get("circuit", "?")),
                         id=raw.get("id"), error=str(exc))
                     continue
-            key = self._coalesce_key(request)
+            key = self._coalesce_key(request, blocked_sessions)
             if key is None:
                 responses[idx] = self.submit(request, received_at)
             else:
@@ -474,14 +482,56 @@ class AnalysisEngine:
                     responses[idx] = response
         return [responses[i] for i in range(len(indexed))]
 
-    def _coalesce_key(self, request: AnalysisRequest) -> Optional[Tuple]:
-        """Group key for batchable requests, or None to run solo."""
-        if request.op not in ("analyze", "sweep"):
+    @staticmethod
+    def _stateful_sessions(indexed) -> frozenset:
+        """Session names receiving stateful ops somewhere in this batch.
+
+        A named session whose batch traffic includes anything beyond the
+        read-only ops (``analyze``/``sweep``/``reanalyze``) — an ``edit``,
+        most importantly — must run strictly solo and in order: coalescing
+        a read across a mutation would answer from the wrong circuit.
+        """
+        blocked = set()
+        for _, raw in indexed:
+            if isinstance(raw, dict):
+                name = raw.get("session")
+                op = str(raw.get("op", "analyze"))
+            else:
+                name = getattr(raw, "session", None)
+                op = getattr(raw, "op", "analyze")
+            if (name is not None
+                    and op not in ("analyze", "sweep", "reanalyze")):
+                blocked.add(name)
+        return frozenset(blocked)
+
+    def _coalesce_key(self, request: AnalysisRequest,
+                      blocked_sessions: frozenset = frozenset()
+                      ) -> Optional[Tuple]:
+        """Group key for batchable requests, or None to run solo.
+
+        Circuit-targeted requests key on ``(circuit, config, mode)`` as
+        ever.  Read-only *session*-targeted requests now coalesce too,
+        keyed by the workspace's **structural hash** + config: two named
+        edit sessions whose mutated circuits are structurally identical
+        (and whose weights are therefore bit-identical, by the
+        incremental parity guarantee) share one kernel sweep — and, in
+        plain mode, join the cross-session tensor batch.  Sessions with a
+        stateful op in the same batch, unknown session names, and
+        sessions carrying transient analyzer kwargs stay solo.
+        """
+        if request.method != "single-pass" or request.timeout_s is not None:
             return None
         if request.session is not None:
-            # Stateful session traffic must run strictly in order.
-            return None
-        if request.method != "single-pass" or request.timeout_s is not None:
+            if request.op not in ("analyze", "sweep", "reanalyze"):
+                return None
+            if request.session in blocked_sessions:
+                return None
+            session = self._edit_sessions.get(request.session)
+            if session is None or session.extra_analyzer_kwargs:
+                return None
+            return ("session", session.structural_key, session.config,
+                    bool(request.correlation), request.eps10 is None)
+        if request.op not in ("analyze", "sweep"):
             return None
         if _split_options(request.options)[1]:
             return None
@@ -493,8 +543,30 @@ class AnalysisEngine:
             circuit_key: Any = id(request.circuit)
         else:
             circuit_key = str(request.circuit)
-        return (circuit_key, config, bool(request.correlation),
+        return ("circuit", circuit_key, config, bool(request.correlation),
                 request.eps10 is None)
+
+    def _member_sessions(self, members) -> List[CircuitSession]:
+        """Resolve each member's session for one coalesced group.
+
+        Session-targeted groups map each request to its own named
+        session (no registry counters — existence was verified by
+        ``_coalesce_key``); circuit groups share one registry session,
+        resolved (and counted) once.
+        """
+        first = members[0][1]
+        if first.session is not None:
+            return [self._edit_sessions[req.session] for _, req in members]
+        shared = self.session(first.circuit, **first.options)
+        return [shared] * len(members)
+
+    @staticmethod
+    def _member_specs(request: AnalysisRequest,
+                      session: CircuitSession) -> List[EpsilonSpec]:
+        """One member's eps points (honouring reanalyze's live-eps rule)."""
+        if request.op == "reanalyze" and request.eps is None:
+            return [session.workspace().current_eps()]
+        return list(request.eps_points())
 
     def _run_coalesced(self, members,
                        received_at: Optional[float] = None
@@ -507,12 +579,13 @@ class AnalysisEngine:
         self._scratch.kernel_s = 0.0
         t0 = time.perf_counter()
         try:
+            sessions = self._member_sessions(members)
             slices: List[Tuple[int, int]] = []
             specs: List[EpsilonSpec] = []
             eps10_specs: Optional[List[EpsilonSpec]] = (
                 None if first.eps10 is None else [])
-            for _, request in members:
-                points = request.eps_points()
+            for (_, request), session in zip(members, sessions):
+                points = self._member_specs(request, session)
                 slices.append((len(specs), len(points)))
                 specs.extend(points)
                 if eps10_specs is not None:
@@ -521,24 +594,26 @@ class AnalysisEngine:
                         raise ValueError(
                             "eps10 must cover every eps point")
                     eps10_specs.extend(e10)
-            session = self.session(first.circuit, **first.options)
-            session.touch()
+            for session in {id(s): s for s in sessions}.values():
+                session.touch()
+            exec_session = sessions[0]
             self.requests_served += len(members)
             with trace_span("engine.coalesced_sweep",
-                            circuit=session.circuit.name,
+                            circuit=exec_session.circuit.name,
                             requests=len(members), points=len(specs)):
                 results, method, fallbacks, timed_out = \
                     self._single_pass_with_ladder(
-                        session, first.correlation, specs, eps10_specs,
+                        exec_session, first.correlation, specs, eps10_specs,
                         None)
             if obs_metrics.is_enabled():
                 obs_metrics.inc("engine.coalesced_requests", len(members),
-                                circuit=session.circuit.name)
+                                circuit=exec_session.circuit.name)
             elapsed = (time.perf_counter() - t0) / len(members)
             kernel_s = getattr(self._scratch, "kernel_s", 0.0) \
                 / len(members)
             out = []
-            for (idx, request), (start, count) in zip(members, slices):
+            for (idx, request), session, (start, count) in zip(
+                    members, sessions, slices):
                 payload = analyze_payload(
                     session.circuit.name, specs[start:start + count],
                     results[start:start + count])
@@ -572,7 +647,10 @@ class AnalysisEngine:
         independence plan available — are popped from ``groups`` and
         answered by a single :class:`~repro.reliability.tensor_pass.
         TensorBatch` pass; everything else stays behind for the
-        per-session path.  Needs at least two eligible groups (one group
+        per-session path.  Read-only *edit-session* groups qualify too
+        (their workspace plans are ``CompiledSinglePass`` instances like
+        any other), so a serve batch mixing named sessions and plain
+        circuit traffic still merges into one tensor sweep.  Needs at least two eligible groups (one group
         is exactly what ``_run_coalesced`` already handles).  Any
         batch-level failure leaves ``groups`` untouched and returns
         ``[]``, so the caller degrades to the existing per-group path.
@@ -585,25 +663,25 @@ class AnalysisEngine:
             # envelope is produced with full context.
             eligible = []
             for key, members in groups.items():
-                if key[2] or not key[3]:  # correlation on / eps10 present
+                if key[3] or not key[4]:  # correlation on / eps10 present
                     continue
                 first = members[0][1]
                 try:
                     cache = self._cache_probe(first)
-                    session = self.session(first.circuit, **first.options)
-                    plan = session.analyzer(False).plan
+                    sessions = self._member_sessions(members)
+                    plan = sessions[0].analyzer(False).plan
                     if not isinstance(plan, CompiledSinglePass):
                         continue
                     slices: List[Tuple[int, int]] = []
                     specs: List[EpsilonSpec] = []
-                    for _, request in members:
-                        points = request.eps_points()
+                    for (_, request), session in zip(members, sessions):
+                        points = self._member_specs(request, session)
                         slices.append((len(specs), len(points)))
                         specs.extend(points)
                 except Exception:  # noqa: BLE001 - leave group behind
                     continue
                 eligible.append(
-                    {"key": key, "members": members, "session": session,
+                    {"key": key, "members": members, "sessions": sessions,
                      "plan": plan, "cache": cache, "specs": specs,
                      "slices": slices})
             if len(eligible) < 2:
@@ -629,14 +707,15 @@ class AnalysisEngine:
             kernel_s = kernel_total / total_requests
             out: List[Tuple[int, AnalysisResponse]] = []
             for group, sweep in zip(eligible, sweeps):
-                session = group["session"]
-                session.touch()
+                sessions = group["sessions"]
+                for session in {id(s): s for s in sessions}.values():
+                    session.touch()
                 members = group["members"]
                 self.requests_served += len(members)
                 specs = group["specs"]
                 results = [sweep.point(j) for j in range(len(specs))]
-                for (idx, request), (start, count) in zip(members,
-                                                          group["slices"]):
+                for (idx, request), session, (start, count) in zip(
+                        members, sessions, group["slices"]):
                     payload = analyze_payload(
                         session.circuit.name, specs[start:start + count],
                         results[start:start + count])
@@ -980,7 +1059,7 @@ class AnalysisEngine:
         p50/p95/p99 latencies, cache hit-rate windows, lane utilization).
         """
         from .. import __version__  # lazy: package defines it after us
-        return {
+        data = {
             "sessions": len(self._sessions),
             "edit_sessions": len(self._edit_sessions),
             "max_sessions": self.max_sessions,
@@ -993,6 +1072,37 @@ class AnalysisEngine:
             "version": __version__,
             "rolling": self.engine_stats.snapshot(),
         }
+        if self._admission is not None:
+            data["admission"] = self._admission.snapshot()
+        return data
+
+    # -- durable state ---------------------------------------------------
+    def _resolve_state_dir(self, state_dir: Optional[str]) -> str:
+        state_dir = state_dir or self.state_dir
+        if not state_dir:
+            raise ValueError(
+                "no state directory configured: pass state_dir= or "
+                "construct the engine with state_dir (CLI: --state-dir)")
+        return state_dir
+
+    def save_state(self, state_dir: Optional[str] = None) -> Dict[str, Any]:
+        """Snapshot every named edit session to disk (see engine/state.py).
+
+        Returns the summary the serve ``save`` control op echoes:
+        ``{state_dir, sessions, elapsed_ms}``.
+        """
+        from .state import save_engine_state
+        return save_engine_state(self, self._resolve_state_dir(state_dir))
+
+    def load_state(self, state_dir: Optional[str] = None) -> Dict[str, Any]:
+        """Restore named edit sessions from a prior :meth:`save_state`.
+
+        Best-effort and additive: corrupt entries are skipped (reported
+        in the summary's ``errors``), and session names already live in
+        this engine are never overwritten.
+        """
+        from .state import load_engine_state
+        return load_engine_state(self, self._resolve_state_dir(state_dir))
 
     def prometheus(self) -> str:
         """Prometheus text exposition: engine SLO stats + obs registry."""

@@ -301,6 +301,22 @@ class CircuitSession:
             del self._structural_key
         return reports
 
+    def adopt_workspace(self, workspace: CircuitWorkspace) -> None:
+        """Adopt a restored workspace as this session's live state.
+
+        Used by the durable-state loader (``engine.load_state()``): the
+        session takes over a :meth:`CircuitWorkspace.from_state` result as
+        if every edit in its log had been applied here, so follow-up
+        ``edit``/``reanalyze`` requests continue bit-identically.
+        """
+        self._workspace = workspace
+        self.circuit = workspace.circuit
+        self._analyzers = {}
+        self._closed = {}
+        self._consolidated = None
+        if hasattr(self, "_structural_key"):
+            del self._structural_key
+
     def consolidated(self) -> ConsolidatedAnalyzer:
         """Consolidated (any-output) analyzer over the correlated engine."""
         if self._consolidated is None:

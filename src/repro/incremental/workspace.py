@@ -33,7 +33,17 @@ workspace samples; pass an explicit method when that distinction matters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -43,6 +53,10 @@ from ..circuit.transform import triplicate_gates
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
 from ..probability.correlation import PairStructure
+from ..probability.weight_cache import (
+    WORKSPACE_STATE_FORMAT_VERSION,
+    structural_hash,
+)
 from ..probability.weights import WeightData, _weights_from_packs
 from ..reliability.closed_form import (
     MultiOutputObservabilityModel,
@@ -68,6 +82,7 @@ from .edits import (
     SetEps,
     SwapGate,
     Triplicate,
+    edit_to_dict,
     parse_edit,
 )
 
@@ -619,6 +634,154 @@ class CircuitWorkspace:
         ws._analyzers = {}
         ws._closed = {}
         ws._edit_log = list(self._edit_log)
+        return ws
+
+    # -- persistence ----------------------------------------------------
+    def to_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Serialize the live state into ``(manifest, arrays)``.
+
+        The manifest is JSON-safe metadata — the mutated netlist, the
+        estimator parameters, the eps state, and the typed edit log in its
+        :func:`~repro.incremental.edits.edit_to_dict` wire form.  The
+        arrays carry the bulk artifacts: the retained simulation packs
+        (truncated to the live word count), the weight vectors flattened
+        the same way the weight disk cache stores them, and the signal
+        probabilities.  Compiled plans are *not* serialized: they re-lower
+        deterministically from the restored weights (and the correlated
+        plan's pair table lives in the correlation-plan disk cache), so
+        :meth:`from_state` round-trips to a workspace whose analyses are
+        bit-identical without persisting kernel internals.
+        """
+        pack_nodes = list(self._values)
+        weight_gates = list(self._weights.weights)
+        prob_nodes = list(self._weights.signal_prob)
+        vectors = [np.asarray(self._weights.weights[g], dtype=np.float64)
+                   for g in weight_gates]
+        manifest: Dict[str, Any] = {
+            "format": WORKSPACE_STATE_FORMAT_VERSION,
+            "kind": "workspace_state",
+            "circuit": {
+                "name": self.circuit.name,
+                "nodes": [[node.name, node.gate_type.value,
+                           list(node.fanins)] for node in self.circuit],
+                "outputs": list(self.circuit.outputs),
+            },
+            "structural_hash": structural_hash(self.circuit),
+            "weight_method": self.weight_method,
+            "weights_source": self._weights.source,
+            "n_patterns": int(self.n_patterns),
+            "n_words": int(self._n_words),
+            "seed": int(self.seed),
+            "input_probs": sorted((self.input_probs or {}).items()),
+            "input_errors": {str(k): (list(v) if isinstance(v, tuple)
+                                      else v)
+                             for k, v in self.input_errors.items()},
+            "use_correlation": self.use_correlation,
+            "max_correlation_pairs": int(self.max_correlation_pairs),
+            "max_correlation_level_gap": self.max_correlation_level_gap,
+            "compiled": self.compiled,
+            "eps": {str(k): float(v) for k, v in self._eps.items()},
+            "edit_log": [edit_to_dict(e) for e in self._edit_log],
+            "pack_nodes": pack_nodes,
+            "weight_gates": weight_gates,
+            "prob_nodes": prob_nodes,
+        }
+        arrays = {
+            "packs": (np.stack(
+                [np.asarray(self._values[n][:self._n_words],
+                            dtype=np.uint64) for n in pack_nodes])
+                if pack_nodes
+                else np.empty((0, self._n_words), dtype=np.uint64)),
+            "weights_flat": (np.concatenate(vectors) if vectors
+                             else np.empty(0, dtype=np.float64)),
+            "weights_len": np.asarray([len(v) for v in vectors],
+                                      dtype=np.int64),
+            "signal_prob": np.asarray(
+                [self._weights.signal_prob[n] for n in prob_nodes],
+                dtype=np.float64),
+        }
+        return manifest, arrays
+
+    @classmethod
+    def from_state(cls, manifest: Mapping[str, Any],
+                   arrays: Mapping[str, np.ndarray]) -> "CircuitWorkspace":
+        """Rebuild a workspace from :meth:`to_state` output.
+
+        The netlist is re-entered through the public ``Circuit`` API (the
+        same validation path as a parsed file) and cross-checked against
+        the recorded structural hash; array layouts are validated before
+        any state is adopted.  Raises :class:`ValueError` on any mismatch
+        — callers treating persisted state as a cache should catch it and
+        fall back to a cold build.
+        """
+        spec = manifest["circuit"]
+        circuit = Circuit(spec["name"])
+        for name, type_value, fanins in spec["nodes"]:
+            gate_type = GateType(type_value)
+            if gate_type.is_input:
+                circuit.add_input(name)
+            elif gate_type.is_constant:
+                circuit.add_const(
+                    name, 1 if gate_type is GateType.CONST1 else 0)
+            else:
+                circuit.add_gate(name, gate_type, fanins)
+        for o in spec["outputs"]:
+            circuit.set_output(o)
+        circuit.validate()
+        if structural_hash(circuit) != manifest["structural_hash"]:
+            raise ValueError("workspace state: structural hash mismatch")
+
+        n_words = int(manifest["n_words"])
+        pack_nodes = [str(n) for n in manifest["pack_nodes"]]
+        packs = np.asarray(arrays["packs"], dtype=np.uint64)
+        if packs.shape != (len(pack_nodes), n_words):
+            raise ValueError("workspace state: pack layout mismatch")
+        weight_gates = [str(g) for g in manifest["weight_gates"]]
+        lengths = np.asarray(arrays["weights_len"], dtype=np.int64)
+        flat = np.asarray(arrays["weights_flat"], dtype=np.float64)
+        if len(lengths) != len(weight_gates) or lengths.sum() != len(flat):
+            raise ValueError("workspace state: weight layout mismatch")
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        weights = {}
+        for i, gate in enumerate(weight_gates):
+            vec = flat[offsets[i]:offsets[i + 1]].copy()
+            if len(vec) == 0 or len(vec) & (len(vec) - 1):
+                raise ValueError("workspace state: weight vector not "
+                                 "2**k long")
+            weights[gate] = vec
+        prob_nodes = [str(n) for n in manifest["prob_nodes"]]
+        signal = np.asarray(arrays["signal_prob"], dtype=np.float64)
+        if len(signal) != len(prob_nodes):
+            raise ValueError("workspace state: signal_prob length mismatch")
+
+        ws = cls.__new__(cls)
+        ws.circuit = circuit
+        input_probs = {str(k): float(v)
+                       for k, v in (manifest.get("input_probs") or [])}
+        ws.input_probs = input_probs or None
+        ws.input_errors = {
+            str(k): (tuple(v) if isinstance(v, (list, tuple)) else v)
+            for k, v in (manifest.get("input_errors") or {}).items()}
+        ws.use_correlation = bool(manifest["use_correlation"])
+        ws.max_correlation_pairs = int(manifest["max_correlation_pairs"])
+        gap = manifest["max_correlation_level_gap"]
+        ws.max_correlation_level_gap = None if gap is None else int(gap)
+        ws.compiled = str(manifest["compiled"])
+        ws.seed = int(manifest["seed"])
+        ws.weight_method = str(manifest["weight_method"])
+        ws.n_patterns = int(manifest["n_patterns"])
+        ws._n_words = n_words
+        ws._values = {n: packs[i].copy() for i, n in enumerate(pack_nodes)}
+        ws._weights = WeightData(
+            weights=weights,
+            signal_prob={n: float(p) for n, p in zip(prob_nodes, signal)},
+            source=str(manifest["weights_source"]))
+        ws._eps = {str(k): float(v) for k, v in manifest["eps"].items()}
+        ws._plans = {}
+        ws._pair_structure = None
+        ws._analyzers = {}
+        ws._closed = {}
+        ws._edit_log = [parse_edit(d) for d in manifest["edit_log"]]
         return ws
 
     def __repr__(self) -> str:

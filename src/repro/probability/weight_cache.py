@@ -357,6 +357,96 @@ def load_correlation_plan(cache_dir: str, circuit: Circuit,
     return {"unsupported": unsupported, "pairs": pairs}
 
 
+# ======================================================================
+# Workspace-state entries (durable engine warm state)
+# ======================================================================
+#
+# The serve tier checkpoints named edit sessions by serializing each
+# session's :class:`~repro.incremental.CircuitWorkspace` — mutated
+# netlist, simulation packs, weight vectors, eps state, typed edit log —
+# into one ``.npz`` per session name, stored alongside the weight and
+# correlation-plan entries and following the same rules: a full manifest
+# embedded in the archive and re-verified on read, atomic
+# temp-file + ``os.replace`` writes, and corruption treated as a miss
+# (the engine then rebuilds cold), never an exception.
+
+#: Bump when the workspace-state layout changes; old entries become misses.
+WORKSPACE_STATE_FORMAT_VERSION = 1
+
+
+def _workspace_entry_path(state_dir: str, session_name: str) -> str:
+    digest = hashlib.sha256(session_name.encode()).hexdigest()[:24]
+    return os.path.join(state_dir, f"wstate-{digest}.npz")
+
+
+def store_workspace_state(state_dir: str, session_name: str,
+                          manifest: dict, arrays: dict) -> str:
+    """Atomically persist one workspace state; returns the entry path.
+
+    ``manifest``/``arrays`` come from ``CircuitWorkspace.to_state()``;
+    the session name is stamped into the stored manifest so an entry can
+    never be replayed under a different name (hash-prefix collisions
+    read as misses instead of resurrecting the wrong session).
+    """
+    manifest = dict(manifest)
+    manifest["session"] = session_name
+    blob = json.dumps(manifest, sort_keys=True)
+    payload = dict(arrays)
+    payload["manifest"] = np.frombuffer(blob.encode(), dtype=np.uint8)
+    os.makedirs(state_dir, exist_ok=True)
+    path = _workspace_entry_path(state_dir, session_name)
+    with trace_span("wstate_cache.store", session=session_name):
+        fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=state_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    if obs_metrics.is_enabled():
+        obs_metrics.inc("wstate_cache.stores", session=session_name)
+    return path
+
+
+def load_workspace_state(state_dir: str, session_name: str
+                         ) -> Optional[Tuple[dict, dict]]:
+    """Return ``(manifest, arrays)`` for one session, or None on miss.
+
+    Same policy as :func:`load_weights`: a missing file, a truncated or
+    corrupt archive, a format-version skew, or a manifest naming a
+    different session all read as misses.
+    """
+    path = _workspace_entry_path(state_dir, session_name)
+    if not os.path.exists(path):
+        return None
+    with trace_span("wstate_cache.load", session=session_name):
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                manifest = json.loads(
+                    bytes(archive["manifest"].tobytes()).decode())
+                if manifest.get("kind") != "workspace_state":
+                    raise ValueError("not a workspace-state entry")
+                if manifest.get("format") != WORKSPACE_STATE_FORMAT_VERSION:
+                    raise ValueError("format version skew")
+                if manifest.get("session") != session_name:
+                    raise ValueError("session name mismatch")
+                arrays = {name: archive[name].copy()
+                          for name in ("packs", "weights_flat",
+                                       "weights_len", "signal_prob")}
+        except Exception:
+            if obs_metrics.is_enabled():
+                obs_metrics.inc("wstate_cache.corrupt",
+                                session=session_name)
+            return None
+    if obs_metrics.is_enabled():
+        obs_metrics.inc("wstate_cache.hits", session=session_name)
+    return manifest, arrays
+
+
 def store_correlation_plan(cache_dir: str, circuit: Circuit,
                            max_level_gap: Optional[int], max_pairs: int,
                            pairs=None, unsupported: bool = False) -> None:

@@ -58,6 +58,7 @@ pinned to <= 1e-10 on the full circuit catalog.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -156,6 +157,48 @@ class _OpGroup:
             self.w_side1 = self.w_masked1.sum(axis=0)
 
 
+class _LazyNodeErrors(MappingABC):
+    """``{node: ErrorProbability}`` view over one sweep point's columns.
+
+    Materializing every internal node's :class:`ErrorProbability` per
+    point is the dominant cost of extracting large-circuit sweep results
+    (thousands of tiny objects per point, almost all discarded — serve
+    envelopes only keep ``per_output``).  This view defers construction
+    to first access per node while behaving like the eager dict for
+    every mapping operation the consumers use.
+    """
+
+    __slots__ = ("_p01", "_p10", "_j", "_names", "_index")
+
+    def __init__(self, p01: np.ndarray, p10: np.ndarray, j: int,
+                 names: List[str], index: Dict[str, int]):
+        self._p01 = p01
+        self._p10 = p10
+        self._j = j
+        self._names = names
+        self._index = index
+
+    def __getitem__(self, name: str) -> ErrorProbability:
+        i = self._index[name]
+        return ErrorProbability(p01=float(self._p01[i, self._j]),
+                                p10=float(self._p10[i, self._j]))
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __eq__(self, other):
+        if isinstance(other, MappingABC):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+
 @dataclass
 class SweepResult:
     """A full eps sweep from the compiled (or batched scalar) pass.
@@ -216,13 +259,23 @@ class SweepResult:
         values = self.delta(output)
         return {float(e): float(v) for e, v in zip(self.eps_specs, values)}
 
+    def _name_index(self) -> Dict[str, int]:
+        index = getattr(self, "_name_index_cache", None)
+        if index is None:
+            index = {name: i for i, name in enumerate(self.node_names)}
+            object.__setattr__(self, "_name_index_cache", index)
+        return index
+
     def point(self, j: int):
-        """Materialize sweep point ``j`` as a :class:`SinglePassResult`."""
+        """Materialize sweep point ``j`` as a :class:`SinglePassResult`.
+
+        ``node_errors`` is a lazy per-node view (see
+        :class:`_LazyNodeErrors`): indexing and iteration behave like the
+        classic dict, but nothing is built until accessed.
+        """
         from .single_pass import SinglePassResult
-        node_errors = {
-            name: ErrorProbability(p01=float(self.p01[i, j]),
-                                   p10=float(self.p10[i, j]))
-            for i, name in enumerate(self.node_names)}
+        node_errors = _LazyNodeErrors(self.p01, self.p10, j,
+                                      self.node_names, self._name_index())
         per_output = {out: float(self.per_output[o, j])
                       for o, out in enumerate(self.outputs)}
         pairs = (0 if self.correlation_pairs is None

@@ -115,3 +115,16 @@ def test_readme_links_docs_hub():
     readme = (REPO / "README.md").read_text()
     assert "(docs/index.md)" in readme
     assert "(docs/cli.md)" in readme
+
+
+def test_engine_doc_covers_every_wire_op():
+    """Every analysis op and serve control op must appear (backticked)
+    in docs/engine.md, so a new op can't ship undocumented."""
+    from repro.engine.requests import OPS
+    from repro.engine.serve import CONTROL_OPS
+
+    engine_doc = (DOCS / "engine.md").read_text()
+    missing = [op for op in (*OPS, *CONTROL_OPS)
+               if f"`{op}`" not in engine_doc]
+    assert not missing, (
+        "wire ops absent from docs/engine.md: " + ", ".join(missing))
