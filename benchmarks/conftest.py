@@ -37,6 +37,10 @@ BENCH_MULTICIRCUIT = RESULTS_DIR / "BENCH_multicircuit.json"
 #: (see test_serve_concurrency.py).
 BENCH_SERVE = RESULTS_DIR / "BENCH_serve.json"
 
+#: Machine-readable sequential (k-frame unrolled) sweep trajectory
+#: (see test_sequential_perf.py).
+BENCH_SEQUENTIAL = RESULTS_DIR / "BENCH_sequential.json"
+
 #: Aggregated roll-up of every BENCH_*.json written by this session
 #: (consumed by the CI benchmarks artifact job).
 BENCH_SUMMARY = RESULTS_DIR / "BENCH_summary.json"
@@ -46,6 +50,7 @@ _engine_records = []
 _incremental_records = []
 _multicircuit_records = []
 _serve_records = []
+_sequential_records = []
 
 
 def record_singlepass(circuit: str, variant: str, mean_s: float,
@@ -141,6 +146,26 @@ def record_serve(mode: str, clients: int, requests: int, wall_s: float,
     })
 
 
+def record_sequential(circuit: str, frames: int, variant: str, points: int,
+                      mean_s: float, speedup_vs_scalar=None) -> None:
+    """Queue one timing row for ``BENCH_sequential.json``.
+
+    Rows follow the fixed schema
+    ``{circuit, frames, variant, points, mean_s, speedup_vs_scalar}``;
+    ``variant`` names the measured arm (``"scalar"`` / ``"compiled"``)
+    and ``speedup_vs_scalar`` is null for the scalar baseline itself.
+    """
+    _sequential_records.append({
+        "circuit": str(circuit),
+        "frames": int(frames),
+        "variant": str(variant),
+        "points": int(points),
+        "mean_s": float(mean_s),
+        "speedup_vs_scalar": (None if speedup_vs_scalar is None
+                              else float(speedup_vs_scalar)),
+    })
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Flush queued timings once the benchmark session ends."""
     queues = [
@@ -149,6 +174,7 @@ def pytest_sessionfinish(session, exitstatus):
         (BENCH_INCREMENTAL, _incremental_records),
         (BENCH_MULTICIRCUIT, _multicircuit_records),
         (BENCH_SERVE, _serve_records),
+        (BENCH_SEQUENTIAL, _sequential_records),
     ]
     for path, records in queues:
         if records:

@@ -1,0 +1,94 @@
+"""Compiled k-frame sweep vs the scalar frame oracle (docs/sequential.md).
+
+A sequential analysis at k time frames is a single-pass run of the
+unrolled netlist — k copies of the combinational core wired next-state
+to state input.  The compiled independence kernel evaluates every eps
+point of the sweep in one vectorized pass over that unrolled structure;
+the scalar reference path walks it node by node, point by point, and is
+the parity oracle the kernel is checked against.
+
+This module unrolls the largest sequential fixture deep enough to make
+the frame axis the dominant cost, sweeps a batch of eps points through
+both paths, checks per-output parity to 1e-10 at every point, and
+enforces the acceptance floor: the compiled sweep must be >= 5x faster
+than the scalar loop.  Timings land in ``results/sequential_perf.txt``
+and, via the conftest hook, in ``results/BENCH_sequential.json``
+(machine-readable trajectory: ``{circuit, frames, variant, points,
+mean_s, speedup_vs_scalar}`` rows, rolled into ``BENCH_summary.json``).
+"""
+
+import time
+
+from repro.circuit import unroll
+from repro.circuits import get_sequential_benchmark
+from repro.reliability import SinglePassAnalyzer
+
+from conftest import FULL, record_sequential, write_result
+
+CIRCUIT = "seq_lfsr4"
+FRAMES = 64 if FULL else 32
+POINTS = 32 if FULL else 16
+MIN_SPEEDUP = 5.0
+N_PATTERNS = 1 << 12
+SEED = 0
+
+
+def test_compiled_frame_sweep_beats_scalar():
+    seq = get_sequential_benchmark(CIRCUIT)
+    unrolled = unroll(seq, FRAMES)
+    eps_values = [0.001 + 0.01 * i for i in range(POINTS)]
+    kwargs = dict(weight_method="sampled", n_patterns=N_PATTERNS,
+                  seed=SEED, use_correlation=False, frames=FRAMES)
+
+    scalar = SinglePassAnalyzer(unrolled, compiled="off", **kwargs)
+    compiled = SinglePassAnalyzer(unrolled, compiled="auto", **kwargs)
+    assert not scalar.uses_compiled and compiled.uses_compiled
+
+    # Warm both arms outside the timed region: weights are shared work,
+    # and the compiled arm's one-time lowering is a session cost.
+    scalar.run(eps_values[0])
+    compiled.sweep(eps_values[:1])
+
+    t0 = time.perf_counter()
+    scalar_results = [scalar.run(eps) for eps in eps_values]
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sweep = compiled.sweep(eps_values)
+    compiled_s = time.perf_counter() - t0
+
+    # Parity at every point: the scalar pass is the oracle.
+    for j, want in enumerate(scalar_results):
+        got = sweep.point(j).per_output
+        assert got.keys() == want.per_output.keys()
+        for out in got:
+            assert abs(got[out] - want.per_output[out]) <= 1e-10, (
+                f"eps point {j}: output {out} diverged: "
+                f"{got[out]} vs {want.per_output[out]}")
+
+    speedup = scalar_s / compiled_s
+    record_sequential(CIRCUIT, FRAMES, "scalar", POINTS,
+                      scalar_s / POINTS)
+    record_sequential(CIRCUIT, FRAMES, "compiled", POINTS,
+                      compiled_s / POINTS, speedup)
+
+    lines = [
+        "sequential k-frame sweep: compiled vs scalar "
+        "(docs/sequential.md)",
+        f"circuit: {CIRCUIT}  frames: {FRAMES}  "
+        f"unrolled gates: {unrolled.num_gates}  eps points: {POINTS}",
+        "",
+        f"{'variant':24s} {'total_s':>10s} {'per_point_s':>12s} "
+        f"{'speedup':>9s}",
+        f"{'scalar (oracle)':24s} {scalar_s:10.3f} "
+        f"{scalar_s / POINTS:12.5f} {'':>9s}",
+        f"{'compiled sweep':24s} {compiled_s:10.3f} "
+        f"{compiled_s / POINTS:12.5f} {speedup:8.1f}x",
+        "",
+        f"floor: compiled >= {MIN_SPEEDUP:.0f}x faster over the sweep",
+    ]
+    write_result("sequential_perf.txt", "\n".join(lines) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled k-frame sweep only {speedup:.1f}x faster than scalar "
+        f"(floor {MIN_SPEEDUP}x)")

@@ -8,6 +8,12 @@ from .redundancy import (
     selective_tmr,
 )
 from .explorer import CandidateScore, explain_ranking, score_candidates
+from .sequential import (
+    SequentialSerReport,
+    SequentialSerRow,
+    sequential_ser_row,
+    sequential_ser_table,
+)
 from .optimize import (
     DEFAULT_LADDER,
     AllocationResult,
@@ -21,6 +27,8 @@ __all__ = [
     "HardeningOutcome", "asymmetric_targets", "hardening_sweep",
     "selective_tmr",
     "CandidateScore", "explain_ranking", "score_candidates",
+    "SequentialSerReport", "SequentialSerRow",
+    "sequential_ser_row", "sequential_ser_table",
     "DEFAULT_LADDER", "AllocationResult", "HardeningOption",
     "allocate_hardening", "hardening_frontier",
 ]

@@ -1,0 +1,148 @@
+"""Sequential soft-error-rate tables: multi-cycle SER for stateful designs.
+
+The combinational SER application (:mod:`repro.apps.ser`) answers "what is
+the chance this cycle's output is wrong given a strike this cycle".  A
+flip-flop changes the question: a latched upset *persists*, feeding error
+probability back into the next cycle until the logic masks it out (or it
+reaches a fixed point).  This module runs
+:class:`~repro.reliability.sequential.SequentialAnalyzer` to its steady
+state for each circuit and renders the classic SER summary table —
+per-flop residency (steady-state flip probability), per-output delta, and
+FIT at a given clock — over the sequential benchmark fixtures or any list
+of :class:`~repro.circuit.SequentialCircuit` designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..circuit import SequentialCircuit
+from ..circuits import get_sequential_benchmark, list_sequential_benchmarks
+from ..reliability.sequential import SequentialAnalyzer, SteadyStateResult
+
+#: FIT is failures per 1e9 device-hours.
+_FIT_HOURS = 1e9
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass
+class SequentialSerRow:
+    """One circuit's multi-cycle SER summary at one eps."""
+
+    circuit: str
+    flops: int
+    eps: float
+    #: Cycles the recurrence took to converge (or the cap, if it didn't).
+    frames_to_converge: int
+    converged: bool
+    #: Steady-state flip probability per flop (state-bit residency).
+    state_flip: Dict[str, float]
+    #: Steady-state per-output delta.
+    per_output: Dict[str, float]
+    #: Worst output's steady-state delta.
+    max_delta: float
+    #: FIT of the worst output at the given clock.
+    max_fit: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "flops": self.flops,
+            "eps": self.eps,
+            "frames_to_converge": self.frames_to_converge,
+            "converged": self.converged,
+            "state_flip": dict(self.state_flip),
+            "per_output": dict(self.per_output),
+            "max_delta": self.max_delta,
+            "max_fit": self.max_fit,
+        }
+
+
+@dataclass
+class SequentialSerReport:
+    """Steady-state SER rows for a set of sequential circuits."""
+
+    rows: List[SequentialSerRow]
+    eps: float
+    clock_hz: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"eps": self.eps, "clock_hz": self.clock_hz,
+                "rows": [row.to_dict() for row in self.rows]}
+
+    def as_table(self) -> str:
+        """Fixed-width text table (same style as the paper tables)."""
+        lines = [
+            f"# sequential SER @ eps={self.eps:g}, "
+            f"clock={self.clock_hz:.3g} Hz",
+            f"{'circuit':<16s} {'flops':>5s} {'frames':>6s} {'conv':>4s} "
+            f"{'max flip':>10s} {'max delta':>10s} {'FIT':>10s}",
+        ]
+        for row in self.rows:
+            worst_flip = max(row.state_flip.values(), default=0.0)
+            lines.append(
+                f"{row.circuit:<16s} {row.flops:>5d} "
+                f"{row.frames_to_converge:>6d} "
+                f"{'yes' if row.converged else 'NO':>4s} "
+                f"{worst_flip:>10.6f} {row.max_delta:>10.6f} "
+                f"{row.max_fit:>10.3g}")
+        return "\n".join(lines)
+
+
+def sequential_ser_row(seq: SequentialCircuit, eps: float,
+                       clock_hz: float = 1e9,
+                       tol: float = 1e-10,
+                       max_frames: int = 1024,
+                       analyzer: Optional[SequentialAnalyzer] = None,
+                       ) -> SequentialSerRow:
+    """Steady-state SER summary of one sequential circuit.
+
+    ``eps`` is the uniform per-gate, per-cycle upset probability (use
+    :meth:`repro.apps.ser.GateSerModel.per_cycle_epsilon` to derive it
+    from a physical strike rate).  Pass ``analyzer`` to reuse a warm
+    :class:`SequentialAnalyzer` (weights computed once) across eps points.
+    """
+    if analyzer is None:
+        analyzer = SequentialAnalyzer(seq)
+    result: SteadyStateResult = analyzer.steady_state(
+        eps, tol=tol, max_frames=max_frames)
+    max_delta = max(result.per_output.values(), default=0.0)
+    cycles_per_billion_hours = clock_hz * _SECONDS_PER_HOUR * _FIT_HOURS
+    return SequentialSerRow(
+        circuit=seq.name,
+        flops=seq.num_flops,
+        eps=float(eps),
+        frames_to_converge=result.iterations,
+        converged=result.converged,
+        state_flip=dict(result.state_flip),
+        per_output=dict(result.per_output),
+        max_delta=float(max_delta),
+        max_fit=float(max_delta * cycles_per_billion_hours),
+    )
+
+
+def sequential_ser_table(circuits: Optional[Iterable[Any]] = None,
+                         eps: float = 1e-5,
+                         clock_hz: float = 1e9,
+                         tol: float = 1e-10,
+                         max_frames: int = 1024) -> SequentialSerReport:
+    """Steady-state SER table over sequential designs.
+
+    ``circuits`` may mix :class:`SequentialCircuit` objects and sequential
+    benchmark names; the default None covers the whole sequential fixture
+    catalog (:func:`repro.circuits.list_sequential_benchmarks`).
+    """
+    resolved: List[SequentialCircuit] = []
+    names: Sequence[Any] = (list_sequential_benchmarks()
+                            if circuits is None else list(circuits))
+    for item in names:
+        if isinstance(item, SequentialCircuit):
+            resolved.append(item)
+        else:
+            resolved.append(get_sequential_benchmark(str(item)))
+    rows = [sequential_ser_row(seq, eps, clock_hz=clock_hz, tol=tol,
+                               max_frames=max_frames)
+            for seq in resolved]
+    return SequentialSerReport(rows=rows, eps=float(eps),
+                               clock_hz=float(clock_hz))

@@ -9,7 +9,9 @@ from .gate import (
     parse_gate_type,
 )
 from .circuit import Circuit, CircuitError, Node
-from .builder import CircuitBuilder
+from .builder import CircuitBuilder, SequentialBuilder
+from .sequential import FlipFlop, SequentialCircuit, is_sequential
+from .unroll import frame_name, split_frame_name, unroll
 from .analysis import (
     CircuitStats,
     circuit_stats,
@@ -21,7 +23,13 @@ from .analysis import (
     reconvergent_gates,
     support_bitsets,
 )
-from .transform import expand_xor, limit_fanout, strip_buffers, triplicate_gates
+from .transform import (
+    combinational_envelope,
+    expand_xor,
+    limit_fanout,
+    strip_buffers,
+    triplicate_gates,
+)
 from .restructure import map_to_nand, rebalance_chains
 from .equivalence import EquivalenceResult, are_equivalent
 
@@ -29,6 +37,8 @@ __all__ = [
     "GateType", "GateArityError", "evaluate_gate", "truth_table",
     "inverted_type", "parse_gate_type",
     "Circuit", "CircuitError", "Node", "CircuitBuilder",
+    "SequentialBuilder", "FlipFlop", "SequentialCircuit", "is_sequential",
+    "frame_name", "split_frame_name", "unroll", "combinational_envelope",
     "CircuitStats", "circuit_stats", "cone_size", "fanout_stems",
     "input_support", "is_tree", "node_index", "reconvergent_gates",
     "support_bitsets",

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from .circuit import Circuit
+from .circuit import Circuit, CircuitError
 from .gate import GateType
+from .sequential import FlipFlop, SequentialCircuit
 
 
 class CircuitBuilder:
@@ -116,3 +117,62 @@ class CircuitBuilder:
     def circuit(self) -> Circuit:
         """Access the (possibly incomplete) circuit under construction."""
         return self._circuit
+
+
+class SequentialBuilder(CircuitBuilder):
+    """Build a :class:`~repro.circuit.sequential.SequentialCircuit`.
+
+    Flip-flop outputs are declared up front (they are pseudo-inputs of the
+    combinational core, so gates may reference them before their data
+    drivers exist); each is later closed by naming its next-state driver::
+
+        b = SequentialBuilder("counter1")
+        q = b.state("q")                 # Q pin, usable immediately
+        d = b.xor(q, b.input("en"))
+        b.next_state(q, d)               # D pin
+        b.outputs(count=q)
+        seq = b.build_sequential()
+    """
+
+    def __init__(self, name: str = "circuit", prefix: str = "g"):
+        super().__init__(name, prefix)
+        self._flops: Dict[str, Dict] = {}
+
+    def state(self, name: str, gate_type: GateType = GateType.DFF,
+              init: Optional[int] = None) -> str:
+        """Declare one state element's output (``Q``) as a core input."""
+        if not gate_type.is_state:
+            raise CircuitError(
+                f"state {name!r}: {gate_type.value!r} is not a state type")
+        self._circuit.add_input(name)
+        self._flops[name] = {"gate_type": gate_type, "init": init,
+                             "data": None}
+        return name
+
+    def dff(self, name: str, init: Optional[int] = None) -> str:
+        """Shorthand for :meth:`state` with a D flip-flop."""
+        return self.state(name, GateType.DFF, init)
+
+    def next_state(self, state: str, data: str) -> str:
+        """Wire a declared state element's data (``D``) pin to a node."""
+        if state not in self._flops:
+            raise CircuitError(f"{state!r} was not declared with state()")
+        if data not in self._circuit:
+            raise CircuitError(
+                f"next_state({state!r}): driver {data!r} is undefined")
+        self._flops[state]["data"] = data
+        return state
+
+    def build_sequential(self) -> SequentialCircuit:
+        """Validate and return the constructed sequential circuit."""
+        flops = []
+        for name, spec in self._flops.items():
+            if spec["data"] is None:
+                raise CircuitError(
+                    f"state {name!r} has no next_state() driver")
+            flops.append(FlipFlop(name=name, data=spec["data"],
+                                  gate_type=spec["gate_type"],
+                                  init=spec["init"]))
+        seq = SequentialCircuit(self._circuit, flops)
+        seq.validate()
+        return seq

@@ -84,6 +84,11 @@ class Circuit:
         """
         if isinstance(gate_type, str):
             raise TypeError("gate_type must be a GateType, not str")
+        if gate_type.is_state:
+            raise CircuitError(
+                f"gate {name!r}: {gate_type.value} is a state element; "
+                "Circuit is combinational — build a SequentialCircuit "
+                "(repro.circuit.sequential) and unroll it for analysis")
         check_arity(gate_type, len(fanins))
         for fi in fanins:
             if fi not in self._nodes:

@@ -18,8 +18,13 @@ class GateType(enum.Enum):
     """The kinds of nodes supported in a circuit netlist.
 
     ``INPUT`` marks a primary input (no fanins).  ``CONST0``/``CONST1`` are
-    constant drivers (no fanins).  All remaining types are logic gates whose
-    output is a Boolean function of their fanins.
+    constant drivers (no fanins).  ``DFF``/``LATCH`` are sequential state
+    elements (one data fanin); they never appear inside a combinational
+    :class:`~repro.circuit.circuit.Circuit` — the
+    :class:`~repro.circuit.sequential.SequentialCircuit` wrapper holds them
+    as :class:`~repro.circuit.sequential.FlipFlop` records.  All remaining
+    types are logic gates whose output is a Boolean function of their
+    fanins.
     """
 
     INPUT = "input"
@@ -33,6 +38,8 @@ class GateType(enum.Enum):
     NOR = "nor"
     XOR = "xor"
     XNOR = "xnor"
+    DFF = "dff"
+    LATCH = "latch"
 
     @property
     def is_input(self) -> bool:
@@ -43,10 +50,18 @@ class GateType(enum.Enum):
         return self in (GateType.CONST0, GateType.CONST1)
 
     @property
+    def is_state(self) -> bool:
+        """True for sequential state elements (flip-flops and latches)."""
+        return self in (GateType.DFF, GateType.LATCH)
+
+    @property
     def is_logic(self) -> bool:
         """True for nodes computing a function of one or more fanins."""
-        return not (self.is_input or self.is_constant)
+        return not (self.is_input or self.is_constant or self.is_state)
 
+
+#: Sequential state-element types (one data fanin, no truth table).
+STATE_TYPES = frozenset({GateType.DFF, GateType.LATCH})
 
 #: Gate types that accept exactly one fanin.
 UNARY_TYPES = frozenset({GateType.BUF, GateType.NOT})
@@ -85,6 +100,11 @@ def check_arity(gate_type: GateType, arity: int) -> None:
         if arity != 0:
             raise GateArityError(
                 f"{gate_type.value} node must have no fanins, got {arity}")
+    elif gate_type in STATE_TYPES:
+        if arity != 1:
+            raise GateArityError(
+                f"{gate_type.value} element must have exactly 1 data fanin, "
+                f"got {arity}")
     elif gate_type in UNARY_TYPES:
         if arity != 1:
             raise GateArityError(
@@ -124,6 +144,10 @@ def evaluate_gate(gate_type: GateType, values: Sequence[int]) -> int:
         return reduce(lambda a, b: a ^ (b & 1), values, 0) ^ 1
     if gate_type is GateType.INPUT:
         raise ValueError("primary inputs carry values; they are not evaluated")
+    if gate_type.is_state:
+        raise ValueError(
+            f"{gate_type.value} is a state element, not a Boolean function; "
+            "unroll the sequential circuit (repro.circuit.unroll) first")
     raise ValueError(f"unknown gate type {gate_type!r}")  # pragma: no cover
 
 
@@ -138,6 +162,10 @@ def truth_table(gate_type: GateType, arity: int) -> Tuple[int, ...]:
     is memoized process-wide — compile/lower paths call this per gate.
     """
     check_arity(gate_type, arity)
+    if gate_type.is_state:
+        raise ValueError(
+            f"{gate_type.value} has no truth table: state elements are "
+            "handled by SequentialCircuit, not the combinational algorithms")
     if gate_type.is_constant:
         return (evaluate_gate(gate_type, ()),)
     return tuple(
@@ -182,6 +210,7 @@ NAME_TO_TYPE.update({
     "gnd": GateType.CONST0,
     "one": GateType.CONST1,
     "zero": GateType.CONST0,
+    "ff": GateType.DFF,
 })
 
 

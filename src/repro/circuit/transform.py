@@ -10,7 +10,10 @@ These support the paper's application studies:
 * :func:`limit_fanout` produces a bounded-fanout version of a circuit by
   duplicating logic cones, the mechanism behind the low-/high-fanout b9
   comparison of Fig. 8;
-* :func:`strip_buffers` removes BUF gates (useful after I/O round trips).
+* :func:`strip_buffers` removes BUF gates (useful after I/O round trips);
+* :func:`combinational_envelope` exposes a sequential circuit's next-state
+  functions as primary outputs of its combinational core — the per-frame
+  slice that time-frame unrolling and steady-state iteration replicate.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .circuit import Circuit, CircuitError
 from .gate import GateType
+from .sequential import SequentialCircuit
 
 
 def _remap(fanins: Sequence[str], mapping: Dict[str, str]) -> List[str]:
@@ -220,3 +224,28 @@ class _FreshNamer:
             if candidate not in self._taken:
                 self._taken.add(candidate)
                 return candidate
+
+
+def combinational_envelope(seq: SequentialCircuit,
+                           name: Optional[str] = None,
+                           prefix: str = "ns") -> Circuit:
+    """One clock cycle of a sequential circuit as a combinational circuit.
+
+    Returns a copy of the core in which every flip-flop's next-state
+    driver is also exposed as a primary output named ``{prefix}_{q}`` (a
+    BUF alias, so existing output declarations are untouched).  State
+    inputs stay free inputs.  This is the per-frame building block: an
+    unrolled circuit is ``k`` envelopes chained state-output to
+    state-input.
+    """
+    seq.validate()
+    out = seq.core.copy(name or f"{seq.name}_envelope")
+    fresh = _FreshNamer(out, prefix=prefix)
+    for ff in seq.flops:
+        alias = f"{prefix}_{ff.name}"
+        if alias in out:
+            alias = fresh()
+        out.add_gate(alias, GateType.BUF, [ff.data])
+        out.set_output(alias)
+    out.validate()
+    return out

@@ -1,0 +1,134 @@
+"""Time-frame unrolling: a stateful netlist as ``k`` combinational frames.
+
+The standard sequential-analysis idiom: replicate the combinational core
+once per clock cycle, wiring each frame's state inputs to the previous
+frame's next-state drivers.  Frame-0 state inputs become free primary
+inputs (unknown initial state) or constants (known ``init`` values).
+
+Naming is fully deterministic — node ``n`` of frame ``t`` is ``n@t`` —
+so unrolling the same circuit with the same frame count always produces a
+structurally identical :class:`~repro.circuit.circuit.Circuit` (stable
+``structural_hash``, hence stable engine-session and weight-cache keys).
+
+Every primary output appears once per frame as ``o@t``; downstream result
+objects group these suffixes back into per-frame delta dicts (see
+``SinglePassResult.per_frame``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .circuit import Circuit, CircuitError
+from .gate import GateType
+from .sequential import SequentialCircuit
+
+#: Separator between a core node name and its frame index.
+FRAME_SEP = "@"
+
+
+def frame_name(node: str, frame: int) -> str:
+    """The unrolled name of core node ``node`` in frame ``frame``."""
+    return f"{node}{FRAME_SEP}{frame}"
+
+
+def split_frame_name(name: str) -> Optional[tuple]:
+    """Split ``n@t`` into ``(n, t)``; None when ``name`` has no frame tag."""
+    base, sep, tail = name.rpartition(FRAME_SEP)
+    if not sep or not tail.isdigit():
+        return None
+    return base, int(tail)
+
+
+def unroll(circuit: Union[Circuit, SequentialCircuit], frames: int, *,
+           name: Optional[str] = None,
+           use_init: bool = True) -> Circuit:
+    """Expand a netlist into ``frames`` combinational time frames.
+
+    Parameters
+    ----------
+    circuit:
+        A :class:`SequentialCircuit`, or a plain combinational
+        :class:`Circuit` (treated as a zero-flop wrapper).
+    frames:
+        Number of clock cycles (``k >= 1``).
+    use_init:
+        When True (default), flip-flops carrying a known ``init`` value
+        start frame 0 from a constant of that value; otherwise every
+        frame-0 state input is a free primary input (signal probability
+        one half — the unknown-initial-state model).
+
+    Returns the unrolled :class:`Circuit`.  As a special case, a
+    combinational circuit unrolled for one frame is returned as a plain
+    copy with its original node names, so ``unroll(c, 1)`` is
+    bit-identical to analyzing ``c`` directly.
+    """
+    frames = int(frames)
+    if frames < 1:
+        raise CircuitError(f"frames must be >= 1, got {frames}")
+    if isinstance(circuit, SequentialCircuit):
+        seq = circuit
+    else:
+        seq = SequentialCircuit(circuit, ())
+    if not seq.flops and frames == 1:
+        return seq.core.copy(name or seq.core.name)
+    seq.validate()
+
+    core = seq.core
+    flops = {ff.name: ff for ff in seq.flops}
+    out = Circuit(name or f"{seq.name}_u{frames}")
+    topo = core.topological_order()
+    # frame_map[t][core_node] -> unrolled node name
+    frame_map: List[Dict[str, str]] = []
+    for t in range(frames):
+        fmap: Dict[str, str] = {}
+        for node_name in topo:
+            node = core.node(node_name)
+            unrolled = frame_name(node_name, t)
+            if node.gate_type.is_input and node_name in flops:
+                ff = flops[node_name]
+                if t == 0:
+                    if use_init and ff.init is not None:
+                        _add(out, unrolled, lambda: out.add_const(
+                            unrolled, ff.init))
+                    else:
+                        _add(out, unrolled, lambda: out.add_input(unrolled))
+                    fmap[node_name] = unrolled
+                else:
+                    # State input of frame t is the previous frame's
+                    # next-state driver — a pure aliasing, no node added.
+                    fmap[node_name] = frame_map[t - 1][ff.data]
+            elif node.gate_type.is_input:
+                _add(out, unrolled, lambda: out.add_input(unrolled))
+                fmap[node_name] = unrolled
+            elif node.gate_type.is_constant:
+                value = 1 if node.gate_type is GateType.CONST1 else 0
+                _add(out, unrolled, lambda: out.add_const(unrolled, value))
+                fmap[node_name] = unrolled
+            else:
+                fanins = [fmap[fi] for fi in node.fanins]
+                _add(out, unrolled, lambda: out.add_gate(
+                    unrolled, node.gate_type, fanins))
+                fmap[node_name] = unrolled
+        frame_map.append(fmap)
+
+    for t in range(frames):
+        for po in core.outputs:
+            target = frame_name(po, t)
+            mapped = frame_map[t][po]
+            if mapped != target:
+                # The output is a (pseudo-)input whose frame-t value lives
+                # under another node's name; buffer it so every frame's
+                # outputs are uniformly named o@t.
+                out.add_gate(target, GateType.BUF, [mapped])
+            out.set_output(target)
+    out.validate()
+    return out
+
+
+def _add(circuit: Circuit, name: str, adder) -> None:
+    if name in circuit:
+        raise CircuitError(
+            f"unroll name collision: core already contains {name!r} "
+            f"(node names may not embed frame tags)")
+    adder()

@@ -29,6 +29,15 @@ from .catalog import (
     get_benchmark,
     list_benchmarks,
 )
+from .sequential import (
+    SequentialBenchmarkEntry,
+    get_sequential_benchmark,
+    list_sequential_benchmarks,
+    seq_counter3,
+    seq_lfsr4,
+    seq_parity_acc,
+    sequential_benchmark_entry,
+)
 from . import standins
 
 __all__ = [
@@ -40,4 +49,7 @@ __all__ = [
     "fig1_circuit", "fig2_circuit",
     "TABLE2_BENCHMARKS", "BenchmarkEntry", "benchmark_entry",
     "get_benchmark", "list_benchmarks", "standins",
+    "SequentialBenchmarkEntry", "get_sequential_benchmark",
+    "list_sequential_benchmarks", "sequential_benchmark_entry",
+    "seq_counter3", "seq_lfsr4", "seq_parity_acc",
 ]

@@ -1,0 +1,123 @@
+"""Sequential benchmark fixtures (counters, LFSRs, accumulators).
+
+These live in their own registry, **not** in :func:`~repro.circuits.
+catalog.list_benchmarks` — the combinational catalog is iterated by
+analyses that have no frame axis, so mixing stateful designs in would
+break every "all benchmarks" sweep.  :func:`repro.engine.session.
+resolve_circuit` falls back to this registry after the combinational
+catalog, so ``repro.analyze("seq_counter3", 0.01, frames=4)`` and
+``repro analyze seq_counter3 --frames 4`` resolve like any other name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..circuit import SequentialBuilder, SequentialCircuit
+
+
+def seq_counter3() -> SequentialCircuit:
+    """3-bit ripple-enable counter: classic DFF + XOR/AND increment.
+
+    ``q0..q2`` count clock cycles while ``en`` is high; ``msb`` exposes
+    the next-state of the top bit, ``wrap`` the carry out of it.
+    """
+    b = SequentialBuilder("seq_counter3")
+    en = b.input("en")
+    q0, q1, q2 = b.dff("q0"), b.dff("q1"), b.dff("q2")
+    d0 = b.xor(q0, en, name="d0")
+    c0 = b.and_(q0, en, name="c0")
+    d1 = b.xor(q1, c0, name="d1")
+    c1 = b.and_(q1, c0, name="c1")
+    d2 = b.xor(q2, c1, name="d2")
+    wrap = b.and_(q2, c1, name="wrap")
+    b.next_state(q0, d0)
+    b.next_state(q1, d1)
+    b.next_state(q2, d2)
+    b.outputs(d2, wrap)
+    return b.build_sequential()
+
+
+def seq_lfsr4() -> SequentialCircuit:
+    """4-bit Fibonacci LFSR (taps 4,3) with a serial scramble input.
+
+    ``fb = q3 XOR q2 XOR sin`` shifts in; ``q1'..q3'`` shift along.  The
+    output is the scrambled serial stream ``fb``.
+    """
+    b = SequentialBuilder("seq_lfsr4")
+    sin = b.input("sin")
+    q0, q1, q2, q3 = (b.dff("q0"), b.dff("q1"), b.dff("q2"), b.dff("q3"))
+    fb = b.xor(b.xor(q3, q2, name="tap"), sin, name="fb")
+    b.next_state(q0, fb)
+    b.next_state(q1, q0)
+    b.next_state(q2, q1)
+    b.next_state(q3, q2)
+    b.output(fb)
+    return b.build_sequential()
+
+
+def seq_parity_acc() -> SequentialCircuit:
+    """Serial parity accumulator: ``q' = q XOR d``, gated by ``valid``.
+
+    The running parity of the ``d`` stream (while ``valid`` is high) —
+    the smallest circuit whose output error genuinely accumulates over
+    cycles, since a flipped state bit never heals.
+    """
+    b = SequentialBuilder("seq_parity_acc")
+    d = b.input("d")
+    valid = b.input("valid")
+    q = b.dff("q")
+    bit = b.and_(d, valid, name="bit")
+    par = b.xor(q, bit, name="par")
+    b.next_state(q, par)
+    b.output(par)
+    return b.build_sequential()
+
+
+@dataclass(frozen=True)
+class SequentialBenchmarkEntry:
+    """One sequential-catalog entry: constructor plus metadata."""
+
+    name: str
+    build: Callable[[], SequentialCircuit]
+    flops: int
+    description: str = ""
+
+
+_SEQ_CATALOG: Dict[str, SequentialBenchmarkEntry] = {}
+
+
+def _register(entry: SequentialBenchmarkEntry) -> None:
+    _SEQ_CATALOG[entry.name] = entry
+
+
+_register(SequentialBenchmarkEntry(
+    "seq_counter3", seq_counter3, flops=3,
+    description="3-bit enable counter (DFF + XOR/AND increment)"))
+_register(SequentialBenchmarkEntry(
+    "seq_lfsr4", seq_lfsr4, flops=4,
+    description="4-bit Fibonacci LFSR scrambler (taps 4,3)"))
+_register(SequentialBenchmarkEntry(
+    "seq_parity_acc", seq_parity_acc, flops=1,
+    description="serial parity accumulator (q' = q xor d)"))
+
+
+def get_sequential_benchmark(name: str) -> SequentialCircuit:
+    """Build the named sequential benchmark (deterministic)."""
+    try:
+        return _SEQ_CATALOG[name].build()
+    except KeyError:
+        raise KeyError(
+            f"unknown sequential benchmark {name!r}; known: "
+            f"{sorted(_SEQ_CATALOG)}") from None
+
+
+def sequential_benchmark_entry(name: str) -> SequentialBenchmarkEntry:
+    """Catalog metadata for one sequential benchmark."""
+    return _SEQ_CATALOG[name]
+
+
+def list_sequential_benchmarks() -> List[str]:
+    """All registered sequential benchmark names."""
+    return sorted(_SEQ_CATALOG)

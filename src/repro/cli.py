@@ -41,8 +41,15 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from . import obs
-from .circuit import Circuit, circuit_stats
-from .circuits import get_benchmark, list_benchmarks, benchmark_entry
+from .circuit import Circuit, circuit_stats, is_sequential
+from .circuits import (
+    benchmark_entry,
+    get_benchmark,
+    get_sequential_benchmark,
+    list_benchmarks,
+    list_sequential_benchmarks,
+    sequential_benchmark_entry,
+)
 from .io import load_bench, load_blif, save_bench, save_blif, save_verilog
 from .obs import runlog as obs_runlog
 from .obs import trace_span
@@ -123,7 +130,8 @@ class _ObsSession:
         obs.disable()
 
 
-def _load_circuit(ref: str) -> Circuit:
+def _load_netlist(ref: str):
+    """Load a :class:`Circuit` or :class:`SequentialCircuit` by path/name."""
     path = Path(ref)
     with trace_span("cli.load_circuit", ref=ref):
         if path.exists():
@@ -135,11 +143,31 @@ def _load_circuit(ref: str) -> Circuit:
         try:
             circuit = get_benchmark(ref)
         except KeyError:
-            raise SystemExit(
-                f"{ref!r} is neither a file nor a known benchmark "
-                f"(try: repro bench)") from None
+            try:
+                circuit = get_sequential_benchmark(ref)
+            except KeyError:
+                raise SystemExit(
+                    f"{ref!r} is neither a file nor a known benchmark "
+                    f"(try: repro bench)") from None
+            log.info("loaded sequential benchmark %s (%d flops)", ref,
+                     circuit.num_flops)
+            return circuit
         log.info("loaded benchmark %s (%d nodes)", ref, len(circuit))
         return circuit
+
+
+def _load_circuit(ref: str, frames: Optional[int] = None) -> Circuit:
+    """Load and, for sequential netlists, unroll into ``frames`` frames.
+
+    A stateful netlist without ``frames`` exits with the same guidance
+    the library raises (``pass frames=k ...``) instead of a traceback.
+    """
+    from .engine.session import resolve_analysis_circuit
+    raw = _load_netlist(ref)
+    try:
+        return resolve_analysis_circuit(raw, frames)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _eps_list(spec: str) -> List[float]:
@@ -165,19 +193,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         entry = benchmark_entry(name)
         paper = f"paper-gates={entry.paper_gates}" if entry.paper_gates else ""
         print(f"{name:16s} {entry.description} {paper}")
+    for name in list_sequential_benchmarks():
+        entry = sequential_benchmark_entry(name)
+        print(f"{name:16s} {entry.description} flops={entry.flops} "
+              f"(use --frames)")
+    return 0
+
+
+def _analyze_steady_state(args: argparse.Namespace, seq) -> int:
+    """The ``analyze --steady-state`` path: fixed point of the frame
+    recurrence instead of a k-frame unroll."""
+    from .reliability import SequentialAnalyzer
+    if not is_sequential(seq):
+        raise SystemExit(
+            f"--steady-state requires a sequential circuit; "
+            f"{seq.name!r} has no state elements")
+    analyzer = SequentialAnalyzer(
+        seq, use_correlation=not args.no_correlation,
+        weight_method=args.weights, seed=args.seed,
+        max_correlation_level_gap=args.level_gap,
+        compiled=args.compiled,
+        weights_cache_dir=args.weights_cache,
+        backend=None if args.backend == "auto" else args.backend)
+    points = []
+    for eps in _eps_list(args.eps):
+        t0 = time.perf_counter()
+        ss = analyzer.steady_state(eps)
+        elapsed = time.perf_counter() - t0
+        points.append({"eps": eps, **ss.to_dict()})
+        if not args.json:
+            status = "converged" if ss.converged else "NOT converged"
+            print(f"eps={eps}: steady state after {ss.iterations} frame(s) "
+                  f"({status}, residual {ss.residual:.2e}, "
+                  f"{elapsed * 1000:.1f} ms)")
+            for q, p in ss.state_flip.items():
+                print(f"  flip[{q}] = {p:.6f}")
+            for out, delta in ss.per_output.items():
+                print(f"  delta[{out}] = {delta:.6f}")
+        args.obs_session.emit(
+            circuit=seq.core,
+            params={"eps": eps, "seed": args.seed,
+                    "weights": args.weights,
+                    "no_correlation": args.no_correlation,
+                    "steady_state": True},
+            results=ss.to_dict())
+    if args.json:
+        print(json.dumps({"circuit": seq.name, "command": "analyze",
+                          "steady_state": True, "points": points}, indent=2))
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .engine.requests import analyze_payload
-    circuit = _load_circuit(args.circuit)
+    from .engine.session import resolve_analysis_circuit
+    raw = _load_netlist(args.circuit)
+    if args.steady_state:
+        return _analyze_steady_state(args, raw)
+    try:
+        circuit = resolve_analysis_circuit(raw, args.frames)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     analyzer = SinglePassAnalyzer(
         circuit, use_correlation=not args.no_correlation,
         weight_method=args.weights, seed=args.seed,
         max_correlation_level_gap=args.level_gap,
         compiled=args.compiled,
         weights_cache_dir=args.weights_cache,
-        backend=None if args.backend == "auto" else args.backend)
+        backend=None if args.backend == "auto" else args.backend,
+        frames=args.frames)
     log.info("analyzer ready (weights: %s)", analyzer.weights.source)
     eps_values = _eps_list(args.eps)
     results = []
@@ -189,16 +272,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"eps={eps}: ({elapsed * 1000:.1f} ms, "
                   f"{result.correlation_pairs} corr pairs)")
-            for out, delta in result.per_output.items():
-                print(f"  delta[{out}] = {delta:.6f}")
+            per_frame = result.per_frame
+            if per_frame is not None:
+                for t, frame in enumerate(per_frame):
+                    for out, delta in frame.items():
+                        print(f"  frame {t}: delta[{out}] = {delta:.6f}")
+            else:
+                for out, delta in result.per_output.items():
+                    print(f"  delta[{out}] = {delta:.6f}")
+        params = {"eps": eps, "seed": args.seed,
+                  "weights": args.weights,
+                  "no_correlation": args.no_correlation,
+                  "level_gap": args.level_gap,
+                  "compiled": args.compiled,
+                  "jobs": args.jobs}
+        if args.frames is not None:
+            params["frames"] = args.frames
         args.obs_session.emit(
             circuit=circuit,
-            params={"eps": eps, "seed": args.seed,
-                    "weights": args.weights,
-                    "no_correlation": args.no_correlation,
-                    "level_gap": args.level_gap,
-                    "compiled": args.compiled,
-                    "jobs": args.jobs},
+            params=params,
             results=result.to_dict())
 
     if analyzer.uses_compiled and args.jobs > 1:
@@ -382,13 +474,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.circuit)
+    # Conversion is netlist-to-netlist: state elements pass through
+    # unchanged (.bench DFF lines <-> BLIF .latch), no unrolling.
+    circuit = _load_netlist(args.circuit)
     out = Path(args.out)
     if out.suffix == ".bench":
         save_bench(circuit, out)
     elif out.suffix == ".blif":
         save_blif(circuit, out)
     elif out.suffix in (".v", ".sv"):
+        if is_sequential(circuit):
+            raise SystemExit(
+                f"Verilog export does not support state elements yet; "
+                f"convert {args.circuit!r} to .bench or .blif instead")
         save_verilog(circuit, out)
     else:
         raise SystemExit(f"unsupported output extension: {out.suffix}")
@@ -504,15 +602,24 @@ def _render_top(address: str, stats: Dict[str, Any]) -> str:
     ]
     ops = rolling.get("ops", {})
     if ops:
+        # The frames column only appears once sequential (framed) traffic
+        # has been seen, so combinational-only servers keep the old table.
+        framed = any("framed" in entry for entry in ops.values())
         lines.append("")
-        lines.append(f"{'op':<12s} {'count':>7s} {'win':>5s} {'mean':>10s} "
-                     f"{'p50':>10s} {'p95':>10s} {'p99':>10s} {'errs':>5s}")
+        header = (f"{'op':<12s} {'count':>7s} {'win':>5s} {'mean':>10s} "
+                  f"{'p50':>10s} {'p95':>10s} {'p99':>10s} {'errs':>5s}")
+        if framed:
+            header += f" {'frames':>6s}"
+        lines.append(header)
         for op, entry in ops.items():
-            lines.append(
+            row = (
                 f"{op:<12s} {entry['count']:>7d} {entry['window']:>5d} "
                 f"{entry['mean_ms']:>8.2f}ms {entry['p50_ms']:>8.2f}ms "
                 f"{entry['p95_ms']:>8.2f}ms {entry['p99_ms']:>8.2f}ms "
                 f"{entry['errors']:>5d}")
+            if framed:
+                row += f" {entry.get('framed', 0):>6d}"
+            lines.append(row)
     cache = rolling.get("cache", {})
     if cache:
         lines.append("")
@@ -732,6 +839,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="locality cap for correlation pairs")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of text")
+    p.add_argument("--frames", type=int, default=None, metavar="K",
+                   help="unroll a sequential netlist into K time frames "
+                        "before analysis (required for circuits with "
+                        "flip-flops; results gain a per-frame view)")
+    p.add_argument("--steady-state", action="store_true",
+                   help="iterate the sequential frame recurrence to its "
+                        "fixed point instead of unrolling: reports "
+                        "per-flop steady-state flip probabilities and "
+                        "the converged per-output deltas")
     add_compiled(p)
     add_jobs(p)
     add_weights_cache(p)

@@ -24,12 +24,18 @@ from .serve import (
     serve_tcp,
     serve_tcp_threaded,
 )
-from .session import CircuitSession, SessionConfig, resolve_circuit
+from .session import (
+    CircuitSession,
+    SessionConfig,
+    resolve_analysis_circuit,
+    resolve_circuit,
+)
 from .stats import EngineStats
 
 __all__ = [
     "AnalysisEngine", "AnalysisRequest", "AnalysisResponse",
-    "CircuitSession", "SessionConfig", "resolve_circuit", "EngineStats",
+    "CircuitSession", "SessionConfig", "resolve_circuit",
+    "resolve_analysis_circuit", "EngineStats",
     "analyze", "sweep", "default_engine", "set_default_engine",
     "handle_line", "run_batch", "serve_stream", "serve_tcp",
     "serve_tcp_threaded",

@@ -35,7 +35,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..circuit import Circuit
+from ..circuit import Circuit, SequentialCircuit
 from ..incremental import parse_edit
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
@@ -52,7 +52,13 @@ from .requests import (
     curve_payload,
     result_payload,
 )
-from .session import CircuitRef, CircuitSession, SessionConfig, resolve_circuit
+from .session import (
+    CircuitRef,
+    CircuitSession,
+    SessionConfig,
+    resolve_analysis_circuit,
+    resolve_circuit,
+)
 from .stats import EngineStats
 
 #: Analyzer kwargs that cannot key a shared session (unhashable or
@@ -145,6 +151,10 @@ class AnalysisEngine:
     # -- session registry ----------------------------------------------
     def _session_key(self, ref: CircuitRef,
                      config: SessionConfig) -> Tuple:
+        if isinstance(ref, SequentialCircuit):
+            # Structure + flop wiring; config carries ``frames``, so the
+            # same netlist at different unroll depths keys separately.
+            return (ref.structural_signature(), config)
         if isinstance(ref, Circuit):
             # Structure-keyed: two equal netlists share a session even if
             # the caller rebuilt the object.
@@ -169,12 +179,13 @@ class AnalysisEngine:
         _, extra = _split_options(options)
         config = self._config_from_options(options)
         if extra:
-            return CircuitSession(resolve_circuit(circuit_or_name), config,
-                                  extra_analyzer_kwargs=extra)
+            return CircuitSession(
+                resolve_analysis_circuit(circuit_or_name, config.frames),
+                config, extra_analyzer_kwargs=extra)
         key = self._session_key(circuit_or_name, config)
         session = self._sessions.get(key)
         label = (circuit_or_name.name
-                 if isinstance(circuit_or_name, Circuit)
+                 if isinstance(circuit_or_name, (Circuit, SequentialCircuit))
                  else str(circuit_or_name))
         if session is not None:
             self._sessions.move_to_end(key)
@@ -186,8 +197,9 @@ class AnalysisEngine:
         if obs_metrics.is_enabled():
             obs_metrics.inc("engine.session.misses", circuit=label)
         with trace_span("engine.session.create", circuit=label):
-            session = CircuitSession(resolve_circuit(circuit_or_name),
-                                     config)
+            session = CircuitSession(
+                resolve_analysis_circuit(circuit_or_name, config.frames),
+                config)
             session.pin()
         self._sessions[key] = session
         self._evict()
@@ -233,9 +245,9 @@ class AnalysisEngine:
             _, extra = _split_options(options)
             extra.pop("weights", None)  # the workspace owns its weights
             with trace_span("engine.edit_session.create", session=name):
-                session = CircuitSession(resolve_circuit(request.circuit),
-                                         config,
-                                         extra_analyzer_kwargs=extra)
+                session = CircuitSession(
+                    resolve_analysis_circuit(request.circuit, config.frames),
+                    config, extra_analyzer_kwargs=extra)
             self._edit_sessions[name] = session
             if obs_metrics.is_enabled():
                 obs_metrics.inc("engine.edit_sessions.created",
@@ -415,7 +427,8 @@ class AnalysisEngine:
                                queue_wait_ms=queue_wait_ms)
         self.engine_stats.record(response.op, response.elapsed_s,
                                  ok=response.ok, cache=cache,
-                                 lane=self.lane_index)
+                                 lane=self.lane_index,
+                                 frames=response.frames)
         self._attach_obs(request, response)
         return response
 
@@ -622,13 +635,15 @@ class AnalysisEngine:
                     circuit=session.circuit.name, id=request.id,
                     method=method, fallbacks=list(fallbacks),
                     timed_out=timed_out, elapsed_s=elapsed,
-                    coalesced=len(members), result=payload)
+                    coalesced=len(members),
+                    frames=session.config.frames, result=payload)
                 self._attach_telemetry(response, cache=cache,
                                        queue_wait_ms=queue_wait_ms,
                                        kernel_s=kernel_s)
                 self.engine_stats.record(response.op, elapsed,
                                          ok=True, cache=cache,
-                                         lane=self.lane_index)
+                                         lane=self.lane_index,
+                                         frames=response.frames)
                 self._attach_obs(request, response)
                 out.append((idx, response))
             return out
@@ -724,14 +739,15 @@ class AnalysisEngine:
                         circuit=session.circuit.name, id=request.id,
                         method="single-pass-tensor",
                         elapsed_s=elapsed, coalesced=len(members),
-                        result=payload)
+                        frames=session.config.frames, result=payload)
                     self._attach_telemetry(response, cache=group["cache"],
                                            queue_wait_ms=queue_wait_ms,
                                            kernel_s=kernel_s,
                                            batch_circuits=batch.n_circuits)
                     self.engine_stats.record(response.op, elapsed,
                                              ok=True, cache=group["cache"],
-                                             lane=self.lane_index)
+                                             lane=self.lane_index,
+                                             frames=response.frames)
                     self._attach_obs(request, response)
                     out.append((idx, response))
             for group in eligible:
@@ -841,6 +857,7 @@ class AnalysisEngine:
         else:
             specs = request.eps_points()
         method = request.method
+        frames = session.config.frames
         if method == "single-pass":
             results, used, fallbacks, timed_out = \
                 self._single_pass_with_ladder(
@@ -849,13 +866,14 @@ class AnalysisEngine:
             return AnalysisResponse(
                 ok=True, op=request.op, circuit=name, id=request.id,
                 method=used, fallbacks=fallbacks, timed_out=timed_out,
+                frames=frames,
                 result=analyze_payload(name, specs, results))
         if method == "closed-form":
             model = session.closed_form(request.output)
             results = [model.analyze(spec) for spec in specs]
             return AnalysisResponse(
                 ok=True, op=request.op, circuit=name, id=request.id,
-                method="closed-form",
+                method="closed-form", frames=frames,
                 result=analyze_payload(name, specs, results))
         if method == "mc":
             results = [monte_carlo_reliability(
@@ -865,12 +883,13 @@ class AnalysisEngine:
                 for i, spec in enumerate(specs)]
             return AnalysisResponse(
                 ok=True, op=request.op, circuit=name, id=request.id,
-                method="mc", result=analyze_payload(name, specs, results))
+                method="mc", frames=frames,
+                result=analyze_payload(name, specs, results))
         if method == "consolidated":
             results = [session.consolidated().run(spec) for spec in specs]
             return AnalysisResponse(
                 ok=True, op=request.op, circuit=name, id=request.id,
-                method="consolidated",
+                method="consolidated", frames=frames,
                 result=analyze_payload(name, specs, results))
         if method == "exact":
             from ..reliability.exact import exhaustive_exact_reliability
@@ -878,14 +897,15 @@ class AnalysisEngine:
                        for spec in specs]
             return AnalysisResponse(
                 ok=True, op=request.op, circuit=name, id=request.id,
-                method="exact",
+                method="exact", frames=frames,
                 result=analyze_payload(name, specs, results))
         raise ValueError(f"unknown method {method!r}")
 
     def _execute_report(self, request: AnalysisRequest) -> AnalysisResponse:
         from ..report import ReportConfig, build_report
-        circuit = resolve_circuit(request.circuit)
         options = dict(request.options)
+        circuit = resolve_analysis_circuit(request.circuit,
+                                           options.get("frames"))
         config = ReportConfig(
             mc_patterns=options.get("mc_patterns", 1 << 14),
             seed=options.get("seed", 0),

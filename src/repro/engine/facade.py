@@ -49,14 +49,16 @@ def analyze(circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
             eps10: Optional[EpsilonSpec] = None,
             output: Optional[str] = None,
             timeout_s: Optional[float] = None,
+            frames: Optional[int] = None,
             **opts: Any):
     """Reliability of one circuit at one failure-probability vector.
 
     Parameters
     ----------
     circuit_or_name:
-        A :class:`~repro.circuit.Circuit`, a benchmark name, or a netlist
-        path (``.bench`` / ``.blif``).
+        A :class:`~repro.circuit.Circuit`, a
+        :class:`~repro.circuit.SequentialCircuit`, a benchmark name, or a
+        netlist path (``.bench`` / ``.blif``).
     eps:
         Scalar, per-gate mapping (``"default"`` key supported), or
         numeric string — see :mod:`repro.spec`.
@@ -65,6 +67,11 @@ def analyze(circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
         ``"consolidated"``, or ``"exact"``.
     correlation:
         Apply the Sec. 4.1 correlation correction (single-pass only).
+    frames:
+        Time-frame count for sequential circuits: the netlist is unrolled
+        into ``frames`` frames before analysis and the result carries a
+        ``per_frame`` view.  Default None analyzes combinationally — a
+        sequential circuit without ``frames`` raises :class:`ValueError`.
     opts:
         Session options forwarded to the engine — ``weight_method`` /
         ``weights``, ``n_patterns``, ``seed``, ``input_probs``,
@@ -75,6 +82,8 @@ def analyze(circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
     Returns the method's result object (e.g. ``SinglePassResult``); all
     of them share the ``ResultProtocol`` surface.
     """
+    if frames is not None:
+        opts["frames"] = frames
     return default_engine().analyze(
         circuit_or_name, eps, method=method, correlation=correlation,
         eps10=eps10, output=output, timeout_s=timeout_s, **opts)
@@ -86,6 +95,7 @@ def sweep(circuit_or_name: CircuitRef,
           eps10_values: Optional[Sequence[EpsilonSpec]] = None,
           output: Optional[str] = None,
           jobs: int = 1,
+          frames: Optional[int] = None,
           **opts: Any):
     """Reliability over many eps vectors in one engine call.
 
@@ -94,11 +104,18 @@ def sweep(circuit_or_name: CircuitRef,
     methods (``"closed-form"``, ``"consolidated"``, ``"mc"``) return
     ``{eps: delta}`` curves.
 
+    ``frames`` unrolls a sequential circuit into that many time frames
+    before sweeping (see :func:`analyze`); the default None is the
+    combinational path, and a sequential circuit without ``frames``
+    raises :class:`ValueError`.
+
     ``jobs > 1`` parallelizes only the *scalar* single-pass fallback;
     when the compiled kernel handles the sweep the points are already
     batched into one vectorized call and a warning is logged instead of
     silently ignoring the flag.
     """
+    if frames is not None:
+        opts["frames"] = frames
     return default_engine().sweep(
         circuit_or_name, eps_values, method=method, correlation=correlation,
         eps10_values=eps10_values, output=output, jobs=jobs, **opts)

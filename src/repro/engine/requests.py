@@ -55,6 +55,10 @@ class AnalysisRequest:
     output: Optional[str] = None
     timeout_s: Optional[float] = None
     id: Optional[Any] = None
+    #: Time-frame count for sequential circuits (None = combinational).
+    #: Folded into ``options`` so session keying, coalescing, and cache
+    #: probes all see it without special cases.
+    frames: Optional[int] = None
     #: Named mutable session this request targets (``edit``/``reanalyze``,
     #: or any analysis op after an ``edit``).  Named sessions live outside
     #: the LRU registry and keep their incremental workspace warm.
@@ -78,6 +82,8 @@ class AnalysisRequest:
             raise ValueError(f"op {self.op!r} requires a 'session' field")
         if self.circuit is None and self.session is None:
             raise ValueError("request needs a 'circuit' field")
+        if self.frames is not None:
+            self.options.setdefault("frames", self.frames)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AnalysisRequest":
@@ -86,7 +92,8 @@ class AnalysisRequest:
             raise ValueError(f"request must be a JSON object, got "
                              f"{type(data).__name__}")
         known = {"circuit", "op", "eps", "eps10", "method", "correlation",
-                 "output", "timeout_s", "id", "options", "session", "edits"}
+                 "output", "timeout_s", "id", "options", "session", "edits",
+                 "frames"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -107,6 +114,7 @@ class AnalysisRequest:
             output=data.get("output"),
             timeout_s=data.get("timeout_s"),
             id=data.get("id"),
+            frames=data.get("frames"),
             session=data.get("session"),
             edits=data.get("edits"),
             options=dict(data.get("options") or {}),
@@ -146,6 +154,10 @@ class AnalysisResponse:
     #: Whether this request was answered from a coalesced kernel call
     #: covering several requests (0 = ran alone).
     coalesced: int = 0
+    #: Time-frame count of the session that answered (sequential
+    #: circuits only; None — and absent from the wire form — for
+    #: combinational traffic, keeping those envelopes byte-identical).
+    frames: Optional[int] = None
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     obs: Optional[Dict[str, Any]] = None
@@ -167,6 +179,8 @@ class AnalysisResponse:
             "elapsed_s": self.elapsed_s,
             "coalesced": self.coalesced,
         }
+        if self.frames is not None:
+            data["frames"] = self.frames
         if self.ok:
             data["result"] = self.result
         else:

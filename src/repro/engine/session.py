@@ -23,8 +23,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..circuit import Circuit
-from ..circuits import get_benchmark
+from ..circuit import Circuit, SequentialCircuit, unroll
+from ..circuits import get_benchmark, get_sequential_benchmark
 from ..incremental import CircuitWorkspace, EditReport, parse_edit
 from ..io import load_bench, load_blif
 from ..obs import trace_span
@@ -42,18 +42,21 @@ from ..reliability.consolidated import ConsolidatedAnalyzer
 from ..reliability.single_pass import SinglePassAnalyzer
 
 #: What callers may hand to the engine as "a circuit".
-CircuitRef = Union[str, Circuit]
+CircuitRef = Union[str, Circuit, SequentialCircuit]
 
 
-def resolve_circuit(ref: CircuitRef) -> Circuit:
-    """Turn a circuit reference into a :class:`Circuit`.
+def resolve_circuit(ref: CircuitRef) -> Union[Circuit, SequentialCircuit]:
+    """Turn a circuit reference into a circuit object.
 
-    Accepts a ready :class:`Circuit`, a netlist path (``.bench`` /
-    ``.blif``), or a built-in benchmark name.  Raises :class:`ValueError`
-    for anything else — the serve loop converts that into an error
-    envelope instead of dying.
+    Accepts a ready :class:`Circuit` / :class:`SequentialCircuit`, a
+    netlist path (``.bench`` / ``.blif``), or a built-in benchmark name
+    (combinational catalog first, then the sequential fixtures).  Netlist
+    files declaring DFF/LATCH elements resolve to a
+    :class:`SequentialCircuit`.  Raises :class:`ValueError` for anything
+    else — the serve loop converts that into an error envelope instead of
+    dying.
     """
-    if isinstance(ref, Circuit):
+    if isinstance(ref, (Circuit, SequentialCircuit)):
         return ref
     path = Path(ref)
     if path.exists():
@@ -65,9 +68,40 @@ def resolve_circuit(ref: CircuitRef) -> Circuit:
     try:
         return get_benchmark(ref)
     except KeyError:
+        pass
+    try:
+        return get_sequential_benchmark(ref)
+    except KeyError:
         raise ValueError(
             f"{ref!r} is neither a file nor a known benchmark "
             f"(try: repro bench)") from None
+
+
+def resolve_analysis_circuit(ref: CircuitRef,
+                             frames: Optional[int] = None) -> Circuit:
+    """Resolve a reference to the combinational circuit a session analyzes.
+
+    Sequential circuits must come with a frame count: they are unrolled
+    into ``frames`` time frames (:func:`repro.circuit.unroll`), and a
+    sequential reference without ``frames`` raises a clear
+    :class:`ValueError` instead of failing deep inside the analyzer.
+    Combinational circuits pass through untouched when ``frames`` is None
+    (the default — nothing changes for existing callers); with ``frames``
+    set they go through the same unroll transform (``frames=1`` is the
+    structural identity).
+    """
+    resolved = resolve_circuit(ref)
+    if isinstance(resolved, SequentialCircuit):
+        if frames is None:
+            raise ValueError(
+                f"circuit {resolved.name!r} is sequential "
+                f"({resolved.num_flops} flops): pass frames=k to unroll "
+                f"it into k time frames, e.g. repro.analyze(..., frames=4) "
+                f"or repro analyze --frames 4")
+        return unroll(resolved, frames)
+    if frames is not None:
+        return unroll(resolved, frames)
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -91,11 +125,15 @@ class SessionConfig:
     #: Array-backend name for the independence kernel (``None``/"auto"
     #: follows the process default — see :func:`repro.backend.get_backend`).
     backend: Optional[str] = None
+    #: Time-frame count for sequential circuits (None = combinational).
+    #: Part of the session key: ``(circuit, frames)`` pairs get distinct
+    #: sessions, since the unrolled netlists differ structurally.
+    frames: Optional[int] = None
 
     #: Option names :meth:`from_options` understands (plus aliases).
     FIELDS = ("weight_method", "n_patterns", "seed", "input_probs",
               "max_correlation_pairs", "max_correlation_level_gap",
-              "compiled", "weights_cache_dir", "backend")
+              "compiled", "weights_cache_dir", "backend", "frames")
 
     @classmethod
     def from_options(cls, options: Mapping[str, Any]) -> "SessionConfig":
@@ -116,6 +154,10 @@ class SessionConfig:
                 raise ValueError(f"unknown session option {key!r}")
             if name == "input_probs" and value is not None:
                 value = tuple(sorted(dict(value).items()))
+            if name == "frames" and value is not None:
+                value = int(value)
+                if value < 1:
+                    raise ValueError(f"frames must be >= 1, got {value}")
             kwargs[name] = value
         return cls(**kwargs)
 
@@ -131,6 +173,7 @@ class SessionConfig:
             "compiled": self.compiled,
             "weights_cache_dir": self.weights_cache_dir,
             "backend": self.backend,
+            "frames": self.frames,
         }
 
 
@@ -215,7 +258,13 @@ class CircuitSession:
         """
         use_correlation = bool(use_correlation)
         if self._workspace is not None:
-            return self._workspace.analyzer(use_correlation)
+            analyzer = self._workspace.analyzer(use_correlation)
+            if analyzer.frames != self.config.frames:
+                # frames is pure result metadata, so stamping it onto the
+                # workspace's analyzer keeps payload parity with the
+                # non-workspace path without touching any numerics.
+                analyzer.frames = self.config.frames
+            return analyzer
         analyzer = self._analyzers.get(use_correlation)
         if analyzer is None:
             kwargs = self.config.analyzer_kwargs()

@@ -53,6 +53,7 @@ class EngineStats:
         self._latencies: Dict[str, Deque[float]] = {}
         self._op_counts: Dict[str, int] = {}
         self._op_errors: Dict[str, int] = {}
+        self._op_framed: Dict[str, int] = {}
         self._cache_windows: Dict[str, Deque[int]] = {}
         self._lane_requests: Dict[int, int] = {}
         self._lane_busy_s: Dict[int, float] = {}
@@ -60,8 +61,15 @@ class EngineStats:
     # -- record path (hot; keep allocation-light) -----------------------
     def record(self, op: str, elapsed_s: float, *, ok: bool = True,
                cache: Optional[Dict[str, str]] = None,
-               lane: Optional[int] = None) -> None:
-        """Fold one finished request into the rolling windows."""
+               lane: Optional[int] = None,
+               frames: Optional[int] = None) -> None:
+        """Fold one finished request into the rolling windows.
+
+        ``frames`` marks a sequential (unrolled) request; the per-op
+        ``framed`` counter surfaces in :meth:`ops_summary` only once a
+        framed request has been seen, so combinational-only traffic keeps
+        its historical summary shape.
+        """
         with self._lock:
             ring = self._latencies.get(op)
             if ring is None:
@@ -71,6 +79,8 @@ class EngineStats:
             self._op_counts[op] = self._op_counts.get(op, 0) + 1
             if not ok:
                 self._op_errors[op] = self._op_errors.get(op, 0) + 1
+            if frames is not None:
+                self._op_framed[op] = self._op_framed.get(op, 0) + 1
             if cache:
                 for tier, state in cache.items():
                     if state in _NEUTRAL_STATES:
@@ -109,10 +119,11 @@ class EngineStats:
         """Per-op rolling summary: counts, errors, mean + percentiles."""
         with self._lock:
             ops = {op: (list(ring), self._op_counts.get(op, 0),
-                        self._op_errors.get(op, 0))
+                        self._op_errors.get(op, 0),
+                        self._op_framed.get(op, 0))
                    for op, ring in self._latencies.items()}
         summary: Dict[str, Dict[str, Any]] = {}
-        for op, (samples, count, errors) in sorted(ops.items()):
+        for op, (samples, count, errors, framed) in sorted(ops.items()):
             hist = Histogram(op, {}, buckets=LATENCY_BUCKETS)
             for value in samples:
                 hist.observe(value)
@@ -122,6 +133,8 @@ class EngineStats:
                 "window": len(samples),
                 "mean_ms": hist.mean() * 1e3,
             }
+            if framed:
+                entry["framed"] = framed
             for name, q in QUANTILES:
                 entry[f"{name}_ms"] = hist.quantile(q) * 1e3
             summary[op] = entry

@@ -1,11 +1,13 @@
 """Berkeley Logic Interchange Format (BLIF) reader and writer.
 
-The reader supports the combinational subset: ``.model``, ``.inputs``,
-``.outputs``, ``.names`` (arbitrary single-output covers), and ``.end``.
-Covers that match a standard gate (BUF/NOT/AND/NAND/OR/NOR/XOR/XNOR and
-constants) are imported as that gate; any other cover is synthesized into a
-two-level NOT/AND/OR network so that *every* valid combinational BLIF file
-can be analyzed.  Latches and subcircuits are rejected.
+The reader supports ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(arbitrary single-output covers), ``.latch``, and ``.end``.  Covers that
+match a standard gate (BUF/NOT/AND/NAND/OR/NOR/XOR/XNOR and constants) are
+imported as that gate; any other cover is synthesized into a two-level
+NOT/AND/OR network so that *every* valid combinational BLIF file can be
+analyzed.  ``.latch`` elements parse into a
+:class:`~repro.circuit.sequential.SequentialCircuit` (one global clock;
+latch type/control tokens are ignored).  Subcircuits are rejected.
 """
 
 from __future__ import annotations
@@ -13,7 +15,13 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..circuit import Circuit, CircuitError, GateType
+from ..circuit import (
+    Circuit,
+    CircuitError,
+    FlipFlop,
+    GateType,
+    SequentialCircuit,
+)
 
 
 class BlifFormatError(CircuitError):
@@ -110,12 +118,25 @@ class _BlifBuilder:
         # target -> (fanins, cubes)
         self.covers: Dict[str, Tuple[List[str], List[Tuple[str, str]]]] = {}
         self.order: List[str] = []
+        # .latch records: (data, output, init-or-None), in file order.
+        self.latches: List[Tuple[str, str, Optional[int]]] = []
 
-    def build(self) -> Circuit:
+    def build(self) -> Union[Circuit, SequentialCircuit]:
         circuit = Circuit(self.model)
         for pi in self.inputs:
             circuit.add_input(pi)
-        emitted = set(self.inputs)
+        latch_outputs = [q for _, q, _ in self.latches]
+        for q in latch_outputs:
+            if q in circuit or q in self.covers:
+                raise BlifFormatError(f"latch output {q!r} defined twice")
+            # Latch outputs are pseudo-inputs of the combinational core.
+            circuit.add_input(q)
+        defined = set(self.inputs) | set(self.covers) | set(latch_outputs)
+        for d, q, _ in self.latches:
+            if d not in defined:
+                raise BlifFormatError(
+                    f".latch {q!r}: data input {d!r} is undefined")
+        emitted = set(self.inputs) | set(latch_outputs)
         pending = list(self.order)
         counter = [0]
 
@@ -179,6 +200,14 @@ class _BlifBuilder:
                 raise BlifFormatError(f"output {po!r} is undefined")
             circuit.set_output(po)
         circuit.validate()
+        if self.latches:
+            seq = SequentialCircuit(
+                circuit,
+                [FlipFlop(name=q, data=d, gate_type=GateType.DFF, init=init)
+                 for d, q, init in self.latches],
+                name=self.model)
+            seq.validate()
+            return seq
         return circuit
 
 
@@ -231,8 +260,13 @@ def _synthesize_cover(circuit: Circuit, target: str, fanins: List[str],
                          products)
 
 
-def loads_blif(text: str, name: Optional[str] = None) -> Circuit:
-    """Parse combinational BLIF text into a :class:`Circuit`."""
+def loads_blif(text: str, name: Optional[str] = None
+               ) -> Union[Circuit, SequentialCircuit]:
+    """Parse BLIF text into a circuit.
+
+    Returns a :class:`SequentialCircuit` when the model declares
+    ``.latch`` elements, else a plain combinational :class:`Circuit`.
+    """
     lines = _tokenize(text)
     builder: Optional[_BlifBuilder] = None
     current_names: Optional[Tuple[str, List[str]]] = None
@@ -268,9 +302,11 @@ def loads_blif(text: str, name: Optional[str] = None) -> Circuit:
                 current_names = (tokens[-1], tokens[1:-1])
             elif directive == ".end":
                 break
-            elif directive in (".latch", ".subckt", ".gate", ".mlatch"):
+            elif directive == ".latch":
+                _require(builder, head).latches.append(_parse_latch(tokens))
+            elif directive in (".subckt", ".gate", ".mlatch"):
                 raise BlifFormatError(
-                    f"{directive} is not supported (combinational only)")
+                    f"{directive} is not supported")
             else:
                 # Unknown dot-directives (e.g. .default_input_arrival) are
                 # ignored for interoperability.
@@ -309,7 +345,32 @@ def _require(builder: Optional[_BlifBuilder], directive: str) -> _BlifBuilder:
     return builder
 
 
-def load_blif(path: Union[str, Path]) -> Circuit:
+def _parse_latch(tokens: List[str]) -> Tuple[str, str, Optional[int]]:
+    """Parse ``.latch <input> <output> [<type> <control>] [<init-val>]``.
+
+    The optional init value follows the BLIF convention: 0/1 are known
+    power-on states, 2 (don't care) and 3 (unknown) map to ``None``.
+    Latch type and control tokens are accepted and ignored (the library
+    models one global clock).
+    """
+    body = tokens[1:]
+    if len(body) < 2:
+        raise BlifFormatError(
+            ".latch requires <input> <output> "
+            "[<type> <control>] [<init-val>]")
+    d, q = body[0], body[1]
+    rest = body[2:]
+    init: Optional[int] = None
+    if rest and rest[-1] in ("0", "1", "2", "3"):
+        value = int(rest.pop())
+        init = value if value in (0, 1) else None
+    if len(rest) not in (0, 2):
+        raise BlifFormatError(
+            f".latch {q!r}: unexpected tokens {' '.join(rest)!r}")
+    return d, q, init
+
+
+def load_blif(path: Union[str, Path]) -> Union[Circuit, SequentialCircuit]:
     """Read a BLIF file from disk."""
     path = Path(path)
     return loads_blif(path.read_text(), name=path.stem)
@@ -327,11 +388,26 @@ _COVER_OF_TYPE = {
 }
 
 
-def dumps_blif(circuit: Circuit) -> str:
-    """Serialize a circuit to BLIF text (XOR/XNOR emitted as parity covers)."""
+def dumps_blif(circuit: Union[Circuit, SequentialCircuit]) -> str:
+    """Serialize a circuit to BLIF text (XOR/XNOR emitted as parity covers).
+
+    Sequential circuits emit one ``.latch`` line per state element (init
+    value 3 — unknown — unless the flop carries a known ``init``).
+    """
+    latch_lines: List[str] = []
+    if isinstance(circuit, SequentialCircuit):
+        seq = circuit
+        for ff in seq.flops:
+            init = 3 if ff.init is None else ff.init
+            latch_lines.append(f".latch {ff.data} {ff.name} {init}")
+        inputs = seq.inputs
+        circuit = seq.core
+    else:
+        inputs = circuit.inputs
     lines = [f".model {circuit.name}",
-             ".inputs " + " ".join(circuit.inputs),
+             ".inputs " + " ".join(inputs),
              ".outputs " + " ".join(circuit.outputs)]
+    lines.extend(latch_lines)
     for node in circuit:
         if node.gate_type.is_input:
             continue
@@ -355,6 +431,7 @@ def dumps_blif(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
-def save_blif(circuit: Circuit, path: Union[str, Path]) -> None:
+def save_blif(circuit: Union[Circuit, SequentialCircuit],
+              path: Union[str, Path]) -> None:
     """Write a circuit to a BLIF file."""
     Path(path).write_text(dumps_blif(circuit))

@@ -21,7 +21,9 @@ from .compiled_pass import (
 from .single_pass import (
     SinglePassAnalyzer,
     SinglePassResult,
+    group_per_frame,
 )
+from .sequential import SequentialAnalyzer, SteadyStateResult
 from .tensor_pass import TensorBatch
 from .exact import (
     ExactResult,
@@ -60,7 +62,8 @@ __all__ = [
     "ObservabilityModel", "ResultProtocol", "closed_form_delta",
     "CompiledCorrelatedPass", "CompiledPassUnsupported",
     "CompiledSinglePass", "SweepResult", "TensorBatch",
-    "SinglePassAnalyzer", "SinglePassResult",
+    "SinglePassAnalyzer", "SinglePassResult", "group_per_frame",
+    "SequentialAnalyzer", "SteadyStateResult",
     "ExactResult", "bdd_exact_reliability", "evaluate_polynomial",
     "exhaustive_exact_reliability", "fixed_failure_error_probability",
     "frontier_exact_reliability", "reliability_polynomial",

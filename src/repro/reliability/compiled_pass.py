@@ -236,6 +236,11 @@ class SweepResult:
     #: ``(pairs, E)`` — used to seed a scalar engine for any sweep point.
     correlation_coefficients: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False)
+    #: Time-frame count when the swept circuit is an unrolled sequential
+    #: netlist (None for plain combinational sweeps).  Stamped by the
+    #: analyzer/engine; :meth:`point` threads it into each materialized
+    #: :class:`SinglePassResult` so per-frame views survive slicing.
+    frames: Optional[int] = None
 
     @property
     def n_points(self) -> int:
@@ -287,6 +292,7 @@ class SweepResult:
             used_correlation=self.used_correlation,
             correlation_pairs=pairs,
             correlation_engine=None,
+            frames=self.frames,
         )
 
 

@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..circuit import Circuit, truth_table
+from ..circuit import Circuit, split_frame_name, truth_table
 from ..obs import metrics as obs_metrics
 from ..obs import trace_span
 from ..probability.correlation import ErrorCorrelationEngine
@@ -74,6 +74,10 @@ class SinglePassResult:
     #: multi-output consolidation can reuse it; None when disabled.
     correlation_engine: Optional[ErrorCorrelationEngine] = field(
         default=None, repr=False, compare=False)
+    #: Time-frame count when the analyzed circuit is an unrolled sequential
+    #: netlist; None for plain combinational runs (the default — results
+    #: and payloads are byte-identical to before frames existed).
+    frames: Optional[int] = None
 
     def delta(self, output: Optional[str] = None) -> float:
         """delta for one output (default: the only output)."""
@@ -87,6 +91,21 @@ class SinglePassResult:
         """Unconditional error probability of an internal node."""
         return self.node_errors[node].total(self.signal_prob[node])
 
+    @property
+    def per_frame(self) -> Optional[List[Dict[str, float]]]:
+        """Per-output deltas grouped by time frame, or None when
+        combinational.
+
+        Frame membership is recovered from the ``{output}@{t}`` names the
+        unroller assigns; element ``t`` maps each base output name to its
+        delta in frame ``t``.  A k=1 unroll of a stateless design keeps the
+        original (untagged) names, so its single frame is the whole
+        ``per_output`` map.
+        """
+        if self.frames is None:
+            return None
+        return group_per_frame(self.per_output, self.frames)
+
     def to_dict(self, include_nodes: bool = False) -> Dict[str, Any]:
         """JSON-serializable view (``--json`` / runlogs / ``repro serve``).
 
@@ -99,6 +118,11 @@ class SinglePassResult:
             "used_correlation": self.used_correlation,
             "correlation_pairs": self.correlation_pairs,
         }
+        if self.frames is not None:
+            # Emitted only for unrolled sequential runs so combinational
+            # payloads stay byte-identical.
+            data["frames"] = self.frames
+            data["per_frame"] = self.per_frame
         if include_nodes:
             data["node_errors"] = {
                 node: {"p01": float(ep.p01), "p10": float(ep.p10)}
@@ -106,6 +130,23 @@ class SinglePassResult:
             data["signal_prob"] = {node: float(p)
                                    for node, p in self.signal_prob.items()}
         return data
+
+
+def group_per_frame(per_output: Mapping[str, float],
+                    frames: int) -> List[Dict[str, float]]:
+    """Split a ``{output@t: delta}`` map into per-frame ``{output: delta}``.
+
+    Outputs without a frame tag (the k=1 stateless identity case, or
+    user-added probes) land in the last frame, where final outputs live.
+    """
+    buckets: List[Dict[str, float]] = [{} for _ in range(frames)]
+    for out, value in per_output.items():
+        parsed = split_frame_name(out)
+        if parsed is not None and 0 <= parsed[1] < frames:
+            buckets[parsed[1]][parsed[0]] = float(value)
+        else:
+            buckets[frames - 1][out] = float(value)
+    return buckets
 
 
 class SinglePassAnalyzer:
@@ -149,6 +190,11 @@ class SinglePassAnalyzer:
     dtype:
         Accumulator precision of the independence kernel (default
         ``float64``; a float32 plan sweeps entirely in float32).
+    frames:
+        Metadata only: the time-frame count when ``circuit`` is an
+        unrolled sequential netlist.  Stamped onto every result/sweep so
+        per-frame views (``result.per_frame``) and payloads know the
+        frame structure; does not change the numerics.
     """
 
     def __init__(self, circuit: Circuit,
@@ -164,7 +210,8 @@ class SinglePassAnalyzer:
                  compiled: str = "auto",
                  weights_cache_dir: Optional[str] = None,
                  backend: Optional[str] = None,
-                 dtype: np.dtype = np.float64):
+                 dtype: np.dtype = np.float64,
+                 frames: Optional[int] = None):
         circuit.validate()
         if compiled not in ("auto", "off"):
             raise ValueError(f"compiled must be 'auto' or 'off', "
@@ -188,6 +235,9 @@ class SinglePassAnalyzer:
         self.weights_cache_dir = weights_cache_dir
         self.backend = backend
         self.dtype = np.dtype(dtype)
+        if frames is not None and frames < 1:
+            raise ValueError(f"frames must be >= 1, got {frames}")
+        self.frames = frames
         self._plan = None
         self._plan_unsupported = False
         self._truth: Dict[str, tuple] = {}
@@ -279,6 +329,7 @@ class SinglePassAnalyzer:
             plan = self._build_plan()
             if plan is not None:
                 sweep = plan.run(eps, eps10)
+                sweep.frames = self.frames
                 result = sweep.point(0)
                 if self.use_correlation:
                     result.correlation_engine = self._seed_engine(
@@ -356,6 +407,7 @@ class SinglePassAnalyzer:
             used_correlation=self.use_correlation,
             correlation_pairs=corr.pairs_computed if corr else 0,
             correlation_engine=corr,
+            frames=self.frames,
         )
 
     def sweep(self, eps_values: Sequence[EpsilonSpec],
@@ -391,7 +443,9 @@ class SinglePassAnalyzer:
                     if obs_metrics.is_enabled():
                         obs_metrics.inc("single_pass.jobs_ignored",
                                         circuit=self.circuit.name)
-                return plan.run_sweep(specs, eps10_list)
+                sweep = plan.run_sweep(specs, eps10_list)
+                sweep.frames = self.frames
+                return sweep
             tasks = [(spec, None if eps10_list is None else eps10_list[j])
                      for j, spec in enumerate(specs)]
             if jobs > 1 and len(tasks) > 2:
@@ -445,6 +499,7 @@ class SinglePassAnalyzer:
             used_correlation=self.use_correlation,
             correlation_pairs=np.asarray(
                 [res.correlation_pairs for res in results], dtype=np.int64),
+            frames=self.frames,
         )
 
     def curve(self, eps_values: Iterable[float],

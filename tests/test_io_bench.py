@@ -98,10 +98,14 @@ class TestParseErrors:
         with pytest.raises(BenchFormatError):
             loads_bench(text)
 
-    def test_dff_rejected(self):
+    def test_dff_parses_as_sequential(self):
+        # State lines used to be rejected outright; they now build a
+        # SequentialCircuit (full coverage in tests/test_sequential.py).
+        from repro.circuit import SequentialCircuit
         text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
-        with pytest.raises(BenchFormatError, match="sequential"):
-            loads_bench(text)
+        seq = loads_bench(text)
+        assert isinstance(seq, SequentialCircuit)
+        assert seq.num_flops == 1 and seq.state_names == ["q"]
 
     def test_duplicate_definition(self):
         text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"

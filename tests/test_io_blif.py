@@ -93,10 +93,14 @@ class TestGeneralCovers:
 
 
 class TestErrors:
-    def test_latch_rejected(self):
+    def test_latch_parses_as_sequential(self):
+        # ``.latch`` used to be rejected outright; it now builds a
+        # SequentialCircuit (full coverage in tests/test_sequential.py).
+        from repro.circuit import SequentialCircuit
         text = ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n"
-        with pytest.raises(BlifFormatError, match="latch"):
-            loads_blif(text)
+        seq = loads_blif(text)
+        assert isinstance(seq, SequentialCircuit)
+        assert seq.num_flops == 1 and seq.state_names == ["y"]
 
     def test_subckt_rejected(self):
         text = ".model m\n.inputs a\n.outputs y\n.subckt foo x=a y=y\n.end\n"

@@ -1,0 +1,330 @@
+"""Sequential-circuit subsystem tests (docs/sequential.md).
+
+Covers the state-element data model, ``.bench``/BLIF state parsing, the
+time-frame unrolling transform (including the k=1 stateless identity on
+the whole combinational catalog), the frame-iterated analyzer and its
+steady-state fixed point against explicit accumulation, the engine's
+``frames`` axis end to end (façade, serve envelopes, edit sessions), and
+the byte-identity guarantee for combinational payloads.
+"""
+
+import io
+import json
+
+import pytest
+
+import repro
+from repro.circuit import (
+    SequentialBuilder,
+    SequentialCircuit,
+    is_sequential,
+    unroll,
+)
+from repro.circuits import (
+    get_benchmark,
+    get_sequential_benchmark,
+    list_benchmarks,
+    list_sequential_benchmarks,
+)
+from repro.engine import AnalysisEngine, serve_stream
+from repro.io import (
+    BenchFormatError,
+    dumps_bench,
+    dumps_blif,
+    loads_bench,
+    loads_blif,
+)
+from repro.reliability import SequentialAnalyzer, SinglePassAnalyzer
+
+OPTS = {"weights": "sampled", "n_patterns": 1 << 10}
+
+#: A stateful netlist exercising DFF parse -> unroll -> sweep round trips.
+BENCH_SEQ = """\
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+q = DFF(g)
+g = AND(a, q)
+f = XOR(g, b)
+"""
+
+
+# ----------------------------------------------------------------------
+# Parsing and round trips
+# ----------------------------------------------------------------------
+
+class TestStateParsing:
+    def test_bench_round_trip(self):
+        seq = loads_bench(BENCH_SEQ)
+        assert is_sequential(seq)
+        assert seq.num_flops == 1
+        assert seq.state_names == ["q"]
+        again = loads_bench(dumps_bench(seq))
+        assert isinstance(again, SequentialCircuit)
+        assert again.structural_signature() == seq.structural_signature()
+
+    def test_blif_round_trip(self):
+        seq = loads_bench(BENCH_SEQ)
+        again = loads_blif(dumps_blif(seq))
+        assert isinstance(again, SequentialCircuit)
+        assert again.structural_signature() == seq.structural_signature()
+
+    def test_dangling_dff_named_error(self):
+        src = ("INPUT(a)\nOUTPUT(f)\n"
+               "q = DFF(f)\n"        # q drives nothing, is not an output
+               "f = AND(a, a)\n")
+        with pytest.raises(BenchFormatError,
+                           match="dangling state element"):
+            loads_bench(src)
+
+    def test_undefined_dff_driver_named_error(self):
+        src = "INPUT(a)\nOUTPUT(f)\nq = DFF(ghost)\nf = AND(a, q)\n"
+        with pytest.raises(BenchFormatError, match="ghost"):
+            loads_bench(src)
+
+    def test_combinational_netlists_stay_plain_circuits(self):
+        src = "INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"
+        assert not is_sequential(loads_bench(src))
+
+
+# ----------------------------------------------------------------------
+# Unrolling
+# ----------------------------------------------------------------------
+
+class TestUnroll:
+    @pytest.mark.parametrize("name", list_benchmarks())
+    def test_k1_stateless_unroll_is_identity(self, name):
+        """unroll(c, 1) of a combinational circuit is bit-identical to
+        the circuit itself — same names, same netlist text."""
+        circuit = get_benchmark(name)
+        unrolled = unroll(circuit, 1)
+        assert dumps_bench(unrolled) == dumps_bench(circuit)
+
+    def test_k1_stateless_analysis_bit_identical(self):
+        circuit = get_benchmark("c17")
+        a = SinglePassAnalyzer(circuit, seed=1)
+        b = SinglePassAnalyzer(unroll(circuit, 1), seed=1)
+        assert (json.dumps(a.run(0.05).to_dict())
+                == json.dumps(b.run(0.05).to_dict()))
+
+    def test_unroll_structural_stability(self):
+        seq = get_sequential_benchmark("seq_lfsr4")
+        one = dumps_bench(unroll(seq, 3))
+        two = dumps_bench(unroll(get_sequential_benchmark("seq_lfsr4"), 3))
+        assert one == two
+
+    def test_unrolled_outputs_per_frame(self):
+        seq = loads_bench(BENCH_SEQ)
+        unrolled = unroll(seq, 3)
+        assert [o for o in unrolled.outputs] == ["f@0", "f@1", "f@2"]
+
+
+# ----------------------------------------------------------------------
+# Frame iteration and steady state
+# ----------------------------------------------------------------------
+
+class TestSequentialAnalyzer:
+    def test_compiled_frames_match_scalar_oracle(self):
+        seq = get_sequential_benchmark("seq_counter3")
+        fast = SequentialAnalyzer(seq, compiled="auto")
+        oracle = SequentialAnalyzer(seq, compiled="off")
+        for got, want in zip(fast.frame_deltas(0.01, 4),
+                             oracle.frame_deltas(0.01, 4)):
+            for out in want:
+                assert got[out] == pytest.approx(want[out], abs=1e-10)
+
+    def test_steady_state_matches_explicit_accumulation(self):
+        """The fixed point must agree with explicitly iterating the same
+        number of frames from the error-free state."""
+        seq = get_sequential_benchmark("seq_counter3")
+        analyzer = SequentialAnalyzer(seq)
+        # Convergence is geometric at rate ~(1 - 2 eps) per frame, so a
+        # moderate eps keeps the fixed point within the frame cap.
+        ss = analyzer.steady_state(0.05, tol=1e-12)
+        assert ss.converged
+        explicit = analyzer.frame_deltas(0.05, ss.iterations)
+        for out, value in ss.per_output.items():
+            assert value == pytest.approx(explicit[-1][out], abs=1e-8)
+        assert ss.per_frame == explicit
+
+    def test_steady_state_on_bench_fixture_converges(self):
+        seq = loads_bench(BENCH_SEQ)
+        ss = SequentialAnalyzer(seq).steady_state(0.01)
+        assert ss.converged and ss.residual <= ss.tol
+        assert set(ss.state_flip) == {"q"}
+        assert 0.0 < ss.state_flip["q"] < 0.5
+        # Cumulative multi-cycle error dominates any single cycle.
+        assert ss.cumulative("f") >= ss.delta("f")
+
+    def test_input_errors_may_not_seed_state(self):
+        from repro.probability.error_propagation import ErrorProbability
+        seq = loads_bench(BENCH_SEQ)
+        with pytest.raises(ValueError, match="state"):
+            SequentialAnalyzer(
+                seq, input_errors={"q": ErrorProbability(0.1, 0.1)})
+
+
+# ----------------------------------------------------------------------
+# Engine, façade, serve
+# ----------------------------------------------------------------------
+
+class TestEngineFrames:
+    @pytest.fixture()
+    def engine(self):
+        with AnalysisEngine(max_sessions=4) as eng:
+            yield eng
+
+    def test_facade_requires_frames_for_sequential(self):
+        with pytest.raises(ValueError, match="frames"):
+            repro.analyze("seq_counter3", 0.01)
+
+    def test_facade_frames_result_has_per_frame(self):
+        result = repro.analyze("seq_counter3", 0.01, frames=3, **OPTS)
+        assert result.frames == 3
+        assert len(result.per_frame) == 3
+        doc = result.to_dict()
+        assert doc["frames"] == 3 and len(doc["per_frame"]) == 3
+
+    def test_combinational_payloads_stay_byte_identical(self, engine):
+        env = engine.submit({"op": "analyze", "circuit": "c17",
+                             "eps": 0.05, "options": OPTS}).to_dict()
+        assert env["ok"]
+        assert "frames" not in env
+        assert "frames" not in env["result"]["points"][0]
+        assert "per_frame" not in env["result"]["points"][0]
+
+    def test_serve_envelope_per_frame_matches_scalar_oracle(
+            self, engine, tmp_path):
+        path = tmp_path / "acc.bench"
+        path.write_text(BENCH_SEQ)
+        line = json.dumps({"op": "analyze", "circuit": str(path),
+                           "eps": 0.01, "frames": 3, "options": OPTS})
+        out = io.StringIO()
+        served = serve_stream(engine, io.StringIO(line + "\n"), out)
+        assert served == 1
+        env = json.loads(out.getvalue())
+        assert env["ok"], env.get("error")
+        assert env["frames"] == 3
+        point = env["result"]["points"][0]
+        assert point["frames"] == 3 and len(point["per_frame"]) == 3
+        # Scalar oracle on the same unrolled netlist, same options.
+        oracle = SinglePassAnalyzer(
+            unroll(loads_bench(BENCH_SEQ), 3), compiled="off",
+            weight_method="sampled", n_patterns=1 << 10, frames=3)
+        want = oracle.run(0.01)
+        for frame_got, frame_want in zip(point["per_frame"],
+                                         want.per_frame):
+            for out_name, value in frame_want.items():
+                assert frame_got[out_name] == pytest.approx(
+                    value, abs=1e-10)
+
+    def test_sessions_keyed_on_frames(self, engine):
+        for frames in (2, 3, 2):
+            r = engine.submit({"op": "analyze", "circuit": "seq_counter3",
+                               "eps": 0.01, "frames": frames,
+                               "options": OPTS})
+            assert r.ok, r.error
+        stats = engine.stats()
+        assert stats["session_misses"] == 2
+        assert stats["session_hits"] == 1
+
+    def test_edit_session_reanalyze_unrolled_bit_identical(self, engine):
+        """``reanalyze`` on an unrolled workspace must byte-match the
+        one-shot framed analysis of the same circuit."""
+        r = engine.submit({"op": "edit", "session": "seq1",
+                           "circuit": "seq_counter3", "frames": 3,
+                           "edits": [{"kind": "set_eps", "eps": 0.05}],
+                           "options": OPTS})
+        assert r.ok, r.error
+        warm = engine.submit({"op": "analyze", "session": "seq1",
+                              "eps": 0.05})
+        re = engine.submit({"op": "reanalyze", "session": "seq1"})
+        one_shot = engine.submit({"op": "analyze",
+                                  "circuit": "seq_counter3",
+                                  "eps": 0.05, "frames": 3,
+                                  "options": OPTS})
+        assert warm.ok and re.ok and one_shot.ok, \
+            (warm.error, re.error, one_shot.error)
+        assert json.dumps(warm.result) == json.dumps(one_shot.result)
+        # ``reanalyze`` echoes the workspace eps spec ({"default": ...},
+        # same as combinational sessions); the analysis itself must still
+        # byte-match the one-shot framed run.
+        stripped = [{k: v for k, v in point.items() if k != "eps"}
+                    for point in re.result["points"]]
+        one_shot_stripped = [{k: v for k, v in point.items() if k != "eps"}
+                             for point in one_shot.result["points"]]
+        assert json.dumps(stripped) == json.dumps(one_shot_stripped)
+
+    def test_stats_count_framed_traffic(self, engine):
+        engine.submit({"op": "analyze", "circuit": "c17", "eps": 0.05,
+                       "options": OPTS})
+        summary = engine.stats()["rolling"]["ops"]
+        assert "framed" not in summary["analyze"]
+        engine.submit({"op": "analyze", "circuit": "seq_parity_acc",
+                       "eps": 0.05, "frames": 2, "options": OPTS})
+        summary = engine.stats()["rolling"]["ops"]
+        assert summary["analyze"]["framed"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI and applications
+# ----------------------------------------------------------------------
+
+class TestCliSequential:
+    def test_analyze_frames(self, capsys):
+        from repro.cli import main
+        assert main(["analyze", "seq_counter3", "--frames", "2",
+                     "--eps", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "frame 0:" in out and "frame 1:" in out
+
+    def test_analyze_steady_state(self, capsys):
+        from repro.cli import main
+        assert main(["analyze", "seq_parity_acc", "--steady-state",
+                     "--eps", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "steady state after" in out and "flip[q]" in out
+
+    def test_analyze_sequential_without_frames_exits(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="frames"):
+            main(["analyze", "seq_counter3"])
+
+    def test_steady_state_rejects_combinational(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="state"):
+            main(["analyze", "c17", "--steady-state"])
+
+    def test_bench_lists_sequential_fixtures(self, capsys):
+        from repro.cli import main
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        for name in list_sequential_benchmarks():
+            assert name in out
+
+    def test_top_renders_frames_column(self):
+        from repro.cli import _render_top
+        stats = {"rolling": {"ops": {"analyze": {
+            "count": 3, "window": 3, "mean_ms": 1.0, "p50_ms": 1.0,
+            "p95_ms": 1.0, "p99_ms": 1.0, "errors": 0, "framed": 2}}}}
+        text = _render_top("x:1", stats)
+        assert "frames" in text
+        # Without framed traffic the column stays hidden.
+        del stats["rolling"]["ops"]["analyze"]["framed"]
+        assert "frames" not in _render_top("x:1", stats)
+
+
+class TestSequentialSerTable:
+    def test_table_covers_fixture_catalog(self):
+        from repro.apps import sequential_ser_table
+        report = sequential_ser_table(eps=1e-4, max_frames=256)
+        assert [r.circuit for r in report.rows] \
+            == list_sequential_benchmarks()
+        for row in report.rows:
+            assert row.flops >= 1
+            assert 0.0 <= row.max_delta <= 0.5 + 1e-12
+            assert row.max_fit >= 0.0
+        table = report.as_table()
+        assert "seq_lfsr4" in table and "FIT" in table
+        doc = report.to_dict()
+        assert len(doc["rows"]) == len(report.rows)
