@@ -41,6 +41,10 @@ BENCH_SERVE = RESULTS_DIR / "BENCH_serve.json"
 #: (see test_sequential_perf.py).
 BENCH_SEQUENTIAL = RESULTS_DIR / "BENCH_sequential.json"
 
+#: Machine-readable large-netlist lazy-cone trajectory
+#: (see test_scale_perf.py).
+BENCH_SCALE = RESULTS_DIR / "BENCH_scale.json"
+
 #: Aggregated roll-up of every BENCH_*.json written by this session
 #: (consumed by the CI benchmarks artifact job).
 BENCH_SUMMARY = RESULTS_DIR / "BENCH_summary.json"
@@ -51,6 +55,7 @@ _incremental_records = []
 _multicircuit_records = []
 _serve_records = []
 _sequential_records = []
+_scale_records = []
 
 
 def record_singlepass(circuit: str, variant: str, mean_s: float,
@@ -166,6 +171,27 @@ def record_sequential(circuit: str, frames: int, variant: str, points: int,
     })
 
 
+def record_scale(circuit: str, variant: str, gates: int, cone_gates: int,
+                 mean_s: float, speedup_vs_full=None) -> None:
+    """Queue one timing row for ``BENCH_scale.json``.
+
+    Rows follow the fixed schema
+    ``{circuit, variant, gates, cone_gates, mean_s, speedup_vs_full}``;
+    ``variant`` names the measured arm (``"full"`` / ``"lazy_cone"`` /
+    ``"sat_cone"``) and ``speedup_vs_full`` is null for the full-build
+    baseline itself.
+    """
+    _scale_records.append({
+        "circuit": str(circuit),
+        "variant": str(variant),
+        "gates": int(gates),
+        "cone_gates": int(cone_gates),
+        "mean_s": float(mean_s),
+        "speedup_vs_full": (None if speedup_vs_full is None
+                            else float(speedup_vs_full)),
+    })
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Flush queued timings once the benchmark session ends."""
     queues = [
@@ -175,6 +201,7 @@ def pytest_sessionfinish(session, exitstatus):
         (BENCH_MULTICIRCUIT, _multicircuit_records),
         (BENCH_SERVE, _serve_records),
         (BENCH_SEQUENTIAL, _sequential_records),
+        (BENCH_SCALE, _scale_records),
     ]
     for path, records in queues:
         if records:

@@ -1,0 +1,95 @@
+"""Large-netlist substrate: lazy per-cone weights vs full weight builds.
+
+The scaling tier's claim (docs/scaling.md) is that an
+``outputs=``-restricted query on a large netlist pays for its union
+output cone only, not the whole circuit.  This module measures that on
+the deterministic ``rand50k`` preset (~50k gates, with the ``probe_mid``
+output wired to a <= 20-input cone):
+
+* **full** — one full-circuit sampled weight build, what an
+  unrestricted analysis pays before its first kernel call;
+* **lazy_cone** — ``LazyWeightData.restrict(["probe_mid"])``, the exact
+  work an ``outputs=["probe_mid"]`` analysis performs for its weights;
+* **sat_e2e** — end-to-end ``repro.analyze(..., outputs=["probe_mid"],
+  weights="sat")``, the SAT-tier restricted path with a wall-clock cap.
+
+Acceptance floor: the lazy cone build must be >= 5x faster than the
+full build.  Timings land in ``results/scale_perf.txt`` and, via the
+conftest hook, in ``results/BENCH_scale.json`` (schema: ``{circuit,
+variant, gates, cone_gates, mean_s, speedup_vs_full}`` rows).
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.circuits import rand50k
+from repro.scale import LazyWeightData
+
+from conftest import FULL, record_scale, write_result
+
+MIN_SPEEDUP = 5.0
+SAT_E2E_CAP_S = 120.0
+N_PATTERNS = 1 << (14 if FULL else 12)
+PROBE = "probe_mid"
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return rand50k()
+
+
+@pytest.mark.slow
+def test_lazy_cone_beats_full_weight_build(netlist):
+    cone = netlist.subcircuit([PROBE])
+
+    t0 = time.perf_counter()
+    full = repro.probability.compute_weights(
+        netlist, method="sampled", n_patterns=N_PATTERNS)
+    full_s = time.perf_counter() - t0
+    assert full.weights
+
+    lazy = LazyWeightData(netlist, method="sampled", n_patterns=N_PATTERNS)
+    t0 = time.perf_counter()
+    snap = lazy.restrict([PROBE])
+    cone_s = time.perf_counter() - t0
+    assert lazy.cones_materialized == 1
+    assert lazy.materialized_gates == len(cone.gates)
+
+    # Bit-identity spot check against the full build (the contract the
+    # tier-1 suite verifies exhaustively on small circuits).
+    for gate in cone.topological_gates():
+        assert (snap.weights[gate] == full.weights[gate]).all()
+
+    speedup = full_s / cone_s
+    record_scale(netlist.name, "full", len(netlist.gates),
+                 len(netlist.gates), full_s)
+    record_scale(netlist.name, "lazy_cone", len(netlist.gates),
+                 len(cone.gates), cone_s, speedup_vs_full=speedup)
+    write_result("scale_perf.txt", "\n".join([
+        f"circuit: {netlist.name} ({len(netlist.gates)} gates; "
+        f"cone of {PROBE}: {len(cone.gates)} gates)",
+        f"full sampled weight build : {full_s * 1000:9.1f} ms",
+        f"lazy cone restrict        : {cone_s * 1000:9.1f} ms",
+        f"speedup                   : {speedup:9.1f}x "
+        f"(floor {MIN_SPEEDUP}x)",
+    ]) + "\n")
+    assert speedup >= MIN_SPEEDUP, (
+        f"lazy cone only {speedup:.1f}x faster than the full build "
+        f"(floor {MIN_SPEEDUP}x)")
+
+
+@pytest.mark.slow
+def test_sat_restricted_analysis_end_to_end(netlist):
+    cone = netlist.subcircuit([PROBE])
+    t0 = time.perf_counter()
+    result = repro.analyze(netlist, 0.05, outputs=[PROBE], weights="sat")
+    sat_s = time.perf_counter() - t0
+    assert list(result.per_output) == [PROBE]
+    assert 0.0 <= result.delta(PROBE) <= 1.0
+    record_scale(netlist.name, "sat_cone", len(netlist.gates),
+                 len(cone.gates), sat_s)
+    assert sat_s <= SAT_E2E_CAP_S, (
+        f"sat-tier restricted analysis took {sat_s:.1f}s "
+        f"(cap {SAT_E2E_CAP_S}s)")

@@ -265,6 +265,31 @@ class Circuit:
         sub.set_output(output)
         return sub
 
+    def subcircuit(self, outputs: Iterable[str],
+                   name: Optional[str] = None) -> "Circuit":
+        """Extract the union-cone sub-circuit feeding ``outputs``.
+
+        The multi-output generalization of :meth:`cone`: the result holds
+        exactly the union of the transitive fanin cones of ``outputs``
+        (primary inputs keep their relative order) and declares the given
+        nodes — in this circuit's output order where applicable, appended
+        otherwise — as its primary outputs.
+        """
+        wanted = [self.node(o).name for o in outputs]
+        if not wanted:
+            raise CircuitError("subcircuit needs at least one output")
+        keep = set(self.transitive_fanin(wanted))
+        sub = Circuit(name or f"{self.name}_cone")
+        for node_name in self.topological_order():
+            if node_name in keep:
+                sub._add_node(self._nodes[node_name])
+        wanted_set = set(wanted)
+        ordered = [o for o in self._outputs if o in wanted_set]
+        ordered += [o for o in wanted if o not in ordered]
+        for out in ordered:
+            sub.set_output(out)
+        return sub
+
     def copy(self, name: Optional[str] = None) -> "Circuit":
         """Return an independent copy of this circuit."""
         dup = Circuit(name or self.name)

@@ -6,9 +6,13 @@ from .generators import (
     equality_comparator,
     full_adder,
     majority_voter,
+    large_random_netlist,
     mux_tree,
     one_hot_decoder,
     parity_tree,
+    rand10k,
+    rand50k,
+    rand100k,
     random_circuit,
     ripple_carry_adder,
     sec_circuit,
@@ -27,6 +31,7 @@ from .catalog import (
     BenchmarkEntry,
     benchmark_entry,
     get_benchmark,
+    large_catalog,
     list_benchmarks,
 )
 from .sequential import (
@@ -43,12 +48,13 @@ from . import standins
 __all__ = [
     "array_multiplier", "c17", "equality_comparator", "full_adder",
     "majority_voter", "mux_tree", "one_hot_decoder", "parity_tree",
+    "large_random_netlist", "rand10k", "rand50k", "rand100k",
     "random_circuit", "ripple_carry_adder", "sec_circuit",
     "ALU_OPS", "alu_slice", "barrel_shifter", "carry_lookahead_adder",
     "kogge_stone_adder", "priority_encoder",
     "fig1_circuit", "fig2_circuit",
     "TABLE2_BENCHMARKS", "BenchmarkEntry", "benchmark_entry",
-    "get_benchmark", "list_benchmarks", "standins",
+    "get_benchmark", "large_catalog", "list_benchmarks", "standins",
     "SequentialBenchmarkEntry", "get_sequential_benchmark",
     "list_sequential_benchmarks", "sequential_benchmark_entry",
     "seq_counter3", "seq_lfsr4", "seq_parity_acc",

@@ -416,3 +416,69 @@ def sec_circuit(data_bits: int = 32, check_bits: int = 8,
         corrected = b.xor(data[i], gated)
         b.outputs(**{f"q{i}": corrected})
     return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Large-netlist presets (the docs/scaling.md substrate)
+# ---------------------------------------------------------------------------
+
+def _attach_probe(circuit: Circuit, label: str, width: int) -> None:
+    """Graft a balanced ``width``-input tree output named ``label``.
+
+    The tree reduces the circuit's first ``width`` primary inputs
+    pairwise (NAND with an XOR every third gate, so signal probabilities
+    are non-trivial) and exposes the root as an extra primary output.
+    Its cone is exactly ``width`` inputs and ``width - 1`` gates
+    regardless of the surrounding netlist — a guaranteed-small cone that
+    restricted analysis and the SAT tier can target deterministically.
+    """
+    layer = list(circuit.inputs[:width])
+    counter = 0
+    while len(layer) > 1:
+        nxt: List[str] = []
+        for j in range(0, len(layer) - 1, 2):
+            counter += 1
+            gname = label if len(layer) == 2 else f"{label}_n{counter}"
+            gate_type = GateType.XOR if counter % 3 == 0 else GateType.NAND
+            circuit.add_gate(gname, gate_type, [layer[j], layer[j + 1]])
+            nxt.append(gname)
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    circuit.set_output(layer[0])
+
+
+def large_random_netlist(n_gates: int, seed: int,
+                         name: Optional[str] = None) -> Circuit:
+    """Deterministic large random-logic preset with probe outputs.
+
+    Inputs and outputs scale with the gate count (``max(32, n//50)``
+    inputs, ``max(8, n//500)`` outputs), matching mapped-random-logic
+    proportions.  Two probe outputs are grafted on top of the random
+    core (see :func:`_attach_probe`):
+
+    * ``probe_small`` — an 8-input cone, resolved exactly by every tier;
+    * ``probe_mid`` — a 20-input cone, sized to exercise the XOR-hash
+      approximate counting path of the ``sat`` weight tier.
+    """
+    circuit = random_circuit(max(32, n_gates // 50), n_gates,
+                             max(8, n_gates // 500), seed, name=name)
+    _attach_probe(circuit, "probe_small", 8)
+    _attach_probe(circuit, "probe_mid", 20)
+    circuit.validate()
+    return circuit
+
+
+def rand10k(name: Optional[str] = None) -> Circuit:
+    """10k-gate large-netlist preset (seeded, deterministic)."""
+    return large_random_netlist(10_000, seed=101, name=name or "rand10k")
+
+
+def rand50k(name: Optional[str] = None) -> Circuit:
+    """50k-gate large-netlist preset (seeded, deterministic)."""
+    return large_random_netlist(50_000, seed=505, name=name or "rand50k")
+
+
+def rand100k(name: Optional[str] = None) -> Circuit:
+    """100k-gate large-netlist preset (seeded, deterministic)."""
+    return large_random_netlist(100_000, seed=1009, name=name or "rand100k")

@@ -197,6 +197,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         entry = sequential_benchmark_entry(name)
         print(f"{name:16s} {entry.description} flops={entry.flops} "
               f"(use --frames)")
+    if getattr(args, "large", False):
+        from .circuits import large_catalog
+        for name in large_catalog():
+            entry = benchmark_entry(name)
+            print(f"{name:16s} {entry.description} "
+                  f"(large preset; try --outputs probe_small)")
     return 0
 
 
@@ -247,20 +253,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from .engine.requests import analyze_payload
     from .engine.session import resolve_analysis_circuit
     raw = _load_netlist(args.circuit)
+    outputs = ([o for o in args.outputs.split(",") if o]
+               if args.outputs else None)
     if args.steady_state:
+        if outputs:
+            raise SystemExit("--outputs is not supported with "
+                             "--steady-state")
         return _analyze_steady_state(args, raw)
     try:
         circuit = resolve_analysis_circuit(raw, args.frames)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    analyzer = SinglePassAnalyzer(
-        circuit, use_correlation=not args.no_correlation,
-        weight_method=args.weights, seed=args.seed,
-        max_correlation_level_gap=args.level_gap,
-        compiled=args.compiled,
-        weights_cache_dir=args.weights_cache,
-        backend=None if args.backend == "auto" else args.backend,
-        frames=args.frames)
+    try:
+        analyzer = SinglePassAnalyzer(
+            circuit, use_correlation=not args.no_correlation,
+            weight_method=args.weights, seed=args.seed,
+            max_correlation_level_gap=args.level_gap,
+            compiled=args.compiled,
+            weights_cache_dir=args.weights_cache,
+            backend=None if args.backend == "auto" else args.backend,
+            frames=args.frames, outputs=outputs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     log.info("analyzer ready (weights: %s)", analyzer.weights.source)
     eps_values = _eps_list(args.eps)
     results = []
@@ -288,6 +302,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                   "jobs": args.jobs}
         if args.frames is not None:
             params["frames"] = args.frames
+        if outputs:
+            params["outputs"] = list(outputs)
         args.obs_session.emit(
             circuit=circuit,
             params=params,
@@ -795,6 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser("bench", help="list built-in benchmarks")
+    p.add_argument("--large", action="store_true",
+                   help="also list the large-netlist presets (10k-100k "
+                        "gates; analyze them with --outputs/--weights sat)")
     add_obs(p)
     p.set_defaults(func=_cmd_bench)
 
@@ -834,7 +853,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-correlation", action="store_true",
                    help="disable Sec. 4.1 correlation coefficients")
     p.add_argument("--weights", default="auto",
-                   choices=["auto", "bdd", "exhaustive", "sampled"])
+                   choices=["auto", "bdd", "exhaustive", "sampled", "sat"])
+    p.add_argument("--outputs", default=None, metavar="O1,O2,...",
+                   help="restrict the analysis to these primary outputs: "
+                        "only their union cone is weighted and lowered "
+                        "(bit-identical results for the selected outputs; "
+                        "the large-netlist path, see docs/scaling.md)")
     p.add_argument("--level-gap", type=int, default=None,
                    help="locality cap for correlation pairs")
     p.add_argument("--json", action="store_true",
@@ -1008,7 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", default="0.01,0.05,0.1",
                    help="comma-separated eps points to profile")
     p.add_argument("--weights", default="auto",
-                   choices=["auto", "bdd", "exhaustive", "sampled"])
+                   choices=["auto", "bdd", "exhaustive", "sampled", "sat"])
     p.add_argument("--jobs", type=int, default=0, metavar="N",
                    help="worker-process lanes to fan the profiled "
                         "requests across (0 = in-process); worker spans "

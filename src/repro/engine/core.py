@@ -91,6 +91,19 @@ def _split_options(options: Dict[str, Any]
     return config_opts, extra
 
 
+def _check_outputs_method(session: "CircuitSession", method: str) -> None:
+    """Reject outputs=-restricted sessions on whole-circuit methods.
+
+    Only the single-pass path knows how to lower just the union cone;
+    closed-form / mc / consolidated / exact model the entire circuit and
+    would silently answer for all outputs.
+    """
+    if session.config.outputs and method != "single-pass":
+        raise ValueError(
+            f"method {method!r} does not support an outputs= restriction; "
+            f"use method='single-pass'")
+
+
 class AnalysisEngine:
     """A long-lived, multi-circuit reliability analysis service.
 
@@ -273,6 +286,7 @@ class AnalysisEngine:
         mc_patterns = opts.pop("mc_patterns", 1 << 16)
         correlation = opts.pop("use_correlation", correlation)
         session = self.session(circuit_or_name, **opts)
+        _check_outputs_method(session, method)
         session.touch()
         self.requests_served += 1
         deadline = self._deadline(timeout_s)
@@ -317,6 +331,7 @@ class AnalysisEngine:
         mc_patterns = opts.pop("mc_patterns", 1 << 16)
         correlation = opts.pop("use_correlation", correlation)
         session = self.session(circuit_or_name, **opts)
+        _check_outputs_method(session, method)
         session.touch()
         self.requests_served += 1
         with trace_span("engine.sweep", circuit=session.circuit.name,
@@ -370,7 +385,10 @@ class AnalysisEngine:
             fallbacks.append({"from": "single-pass-compiled",
                               "to": "single-pass-scalar",
                               "reason": "no compiled plan for this circuit"})
-        if deadline is not None and time.monotonic() >= deadline:
+        if (deadline is not None and time.monotonic() >= deadline
+                and not session.config.outputs):
+            # The closed-form rung models the full circuit, so a
+            # restricted session skips it (its pass runs flagged late).
             fallbacks.append({"from": rung, "to": "closed-form",
                               "reason": "timeout"})
             k0 = time.perf_counter()
@@ -636,7 +654,10 @@ class AnalysisEngine:
                     method=method, fallbacks=list(fallbacks),
                     timed_out=timed_out, elapsed_s=elapsed,
                     coalesced=len(members),
-                    frames=session.config.frames, result=payload)
+                    frames=session.config.frames,
+                    outputs=(list(session.config.outputs)
+                             if session.config.outputs else None),
+                    result=payload)
                 self._attach_telemetry(response, cache=cache,
                                        queue_wait_ms=queue_wait_ms,
                                        kernel_s=kernel_s)
@@ -739,7 +760,10 @@ class AnalysisEngine:
                         circuit=session.circuit.name, id=request.id,
                         method="single-pass-tensor",
                         elapsed_s=elapsed, coalesced=len(members),
-                        frames=session.config.frames, result=payload)
+                        frames=session.config.frames,
+                        outputs=(list(session.config.outputs)
+                                 if session.config.outputs else None),
+                        result=payload)
                     self._attach_telemetry(response, cache=group["cache"],
                                            queue_wait_ms=queue_wait_ms,
                                            kernel_s=kernel_s,
@@ -801,15 +825,21 @@ class AnalysisEngine:
                 return self._execute_analyze(request, session, deadline)
             if op == "curve":
                 eps_points = [float(e) for e in request.eps_points()]
-                output = request.output or session.circuit.outputs[0]
-                sweep = session.analyzer(request.correlation).sweep(
-                    eps_points)
+                analyzer = session.analyzer(request.correlation)
+                # The analyzer's circuit is the restricted cone when the
+                # session carries outputs=, so its first output is always
+                # a valid default.
+                output = request.output or analyzer.circuit.outputs[0]
+                sweep = analyzer.sweep(eps_points)
                 deltas = sweep.delta(output)
                 return AnalysisResponse(
                     ok=True, op=op, circuit=name, id=request.id,
                     method="single-pass",
+                    outputs=(list(session.config.outputs)
+                             if session.config.outputs else None),
                     result=curve_payload(name, output, eps_points, deltas))
             if op == "closed-form":
+                _check_outputs_method(session, "closed-form")
                 result = session.closed_form(request.output).analyze(
                     request.eps_points()[0])
                 return AnalysisResponse(
@@ -817,6 +847,7 @@ class AnalysisEngine:
                     method="closed-form",
                     result=result_payload(name, "closed-form", result))
             if op == "mc":
+                _check_outputs_method(session, "mc")
                 result = monte_carlo_reliability(
                     session.circuit, request.eps_points()[0],
                     n_patterns=request.options.get("mc_patterns", 1 << 16),
@@ -858,6 +889,10 @@ class AnalysisEngine:
             specs = request.eps_points()
         method = request.method
         frames = session.config.frames
+        outputs = (list(session.config.outputs)
+                   if session.config.outputs else None)
+        if method != "single-pass":
+            _check_outputs_method(session, method)
         if method == "single-pass":
             results, used, fallbacks, timed_out = \
                 self._single_pass_with_ladder(
@@ -866,7 +901,7 @@ class AnalysisEngine:
             return AnalysisResponse(
                 ok=True, op=request.op, circuit=name, id=request.id,
                 method=used, fallbacks=fallbacks, timed_out=timed_out,
-                frames=frames,
+                frames=frames, outputs=outputs,
                 result=analyze_payload(name, specs, results))
         if method == "closed-form":
             model = session.closed_form(request.output)

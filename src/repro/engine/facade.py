@@ -50,6 +50,7 @@ def analyze(circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
             output: Optional[str] = None,
             timeout_s: Optional[float] = None,
             frames: Optional[int] = None,
+            outputs: Optional[Sequence[str]] = None,
             **opts: Any):
     """Reliability of one circuit at one failure-probability vector.
 
@@ -72,6 +73,11 @@ def analyze(circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
         into ``frames`` frames before analysis and the result carries a
         ``per_frame`` view.  Default None analyzes combinationally — a
         sequential circuit without ``frames`` raises :class:`ValueError`.
+    outputs:
+        Optional subset of primary outputs: the analysis restricts to
+        the union cone and only that cone is weighted/lowered — the
+        large-netlist path (docs/scaling.md).  Results for the selected
+        outputs are bit-identical to a full run; single-pass only.
     opts:
         Session options forwarded to the engine — ``weight_method`` /
         ``weights``, ``n_patterns``, ``seed``, ``input_probs``,
@@ -84,6 +90,8 @@ def analyze(circuit_or_name: CircuitRef, eps: EpsilonSpec, *,
     """
     if frames is not None:
         opts["frames"] = frames
+    if outputs is not None:
+        opts["outputs"] = list(outputs)
     return default_engine().analyze(
         circuit_or_name, eps, method=method, correlation=correlation,
         eps10=eps10, output=output, timeout_s=timeout_s, **opts)
@@ -96,6 +104,7 @@ def sweep(circuit_or_name: CircuitRef,
           output: Optional[str] = None,
           jobs: int = 1,
           frames: Optional[int] = None,
+          outputs: Optional[Sequence[str]] = None,
           **opts: Any):
     """Reliability over many eps vectors in one engine call.
 
@@ -116,6 +125,8 @@ def sweep(circuit_or_name: CircuitRef,
     """
     if frames is not None:
         opts["frames"] = frames
+    if outputs is not None:
+        opts["outputs"] = list(outputs)
     return default_engine().sweep(
         circuit_or_name, eps_values, method=method, correlation=correlation,
         eps10_values=eps10_values, output=output, jobs=jobs, **opts)

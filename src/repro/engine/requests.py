@@ -59,6 +59,10 @@ class AnalysisRequest:
     #: Folded into ``options`` so session keying, coalescing, and cache
     #: probes all see it without special cases.
     frames: Optional[int] = None
+    #: Optional primary-output subset: restrict the analysis to the union
+    #: cone of these outputs (docs/scaling.md).  Folded into ``options``
+    #: like ``frames`` so sessions and coalescing key on it.
+    outputs: Optional[List[str]] = None
     #: Named mutable session this request targets (``edit``/``reanalyze``,
     #: or any analysis op after an ``edit``).  Named sessions live outside
     #: the LRU registry and keep their incremental workspace warm.
@@ -84,6 +88,8 @@ class AnalysisRequest:
             raise ValueError("request needs a 'circuit' field")
         if self.frames is not None:
             self.options.setdefault("frames", self.frames)
+        if self.outputs is not None:
+            self.options.setdefault("outputs", self.outputs)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AnalysisRequest":
@@ -93,7 +99,7 @@ class AnalysisRequest:
                              f"{type(data).__name__}")
         known = {"circuit", "op", "eps", "eps10", "method", "correlation",
                  "output", "timeout_s", "id", "options", "session", "edits",
-                 "frames"}
+                 "frames", "outputs"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -115,6 +121,7 @@ class AnalysisRequest:
             timeout_s=data.get("timeout_s"),
             id=data.get("id"),
             frames=data.get("frames"),
+            outputs=data.get("outputs"),
             session=data.get("session"),
             edits=data.get("edits"),
             options=dict(data.get("options") or {}),
@@ -158,6 +165,9 @@ class AnalysisResponse:
     #: circuits only; None — and absent from the wire form — for
     #: combinational traffic, keeping those envelopes byte-identical).
     frames: Optional[int] = None
+    #: Output subset the answering session was restricted to (None — and
+    #: absent from the wire form — for full-circuit traffic).
+    outputs: Optional[List[str]] = None
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     obs: Optional[Dict[str, Any]] = None
@@ -181,6 +191,8 @@ class AnalysisResponse:
         }
         if self.frames is not None:
             data["frames"] = self.frames
+        if self.outputs is not None:
+            data["outputs"] = list(self.outputs)
         if self.ok:
             data["result"] = self.result
         else:

@@ -129,11 +129,17 @@ class SessionConfig:
     #: Part of the session key: ``(circuit, frames)`` pairs get distinct
     #: sessions, since the unrolled netlists differ structurally.
     frames: Optional[int] = None
+    #: Optional primary-output subset (None = all outputs).  The session's
+    #: analyzers restrict to the union cone and its weights come from a
+    #: lazy per-cone store — the large-netlist path (docs/scaling.md).
+    #: Part of the session key, so restricted and full sessions never mix.
+    outputs: Optional[Tuple[str, ...]] = None
 
     #: Option names :meth:`from_options` understands (plus aliases).
     FIELDS = ("weight_method", "n_patterns", "seed", "input_probs",
               "max_correlation_pairs", "max_correlation_level_gap",
-              "compiled", "weights_cache_dir", "backend", "frames")
+              "compiled", "weights_cache_dir", "backend", "frames",
+              "outputs")
 
     @classmethod
     def from_options(cls, options: Mapping[str, Any]) -> "SessionConfig":
@@ -158,6 +164,13 @@ class SessionConfig:
                 value = int(value)
                 if value < 1:
                     raise ValueError(f"frames must be >= 1, got {value}")
+            if name == "outputs" and value is not None:
+                if isinstance(value, str):
+                    value = [value]
+                value = tuple(sorted(dict.fromkeys(value)))
+                if not value:
+                    raise ValueError(
+                        "outputs subset must name at least one output")
             kwargs[name] = value
         return cls(**kwargs)
 
@@ -174,6 +187,7 @@ class SessionConfig:
             "weights_cache_dir": self.weights_cache_dir,
             "backend": self.backend,
             "frames": self.frames,
+            "outputs": list(self.outputs) if self.outputs else None,
         }
 
 
@@ -237,6 +251,17 @@ class CircuitSession:
             return self.extra_analyzer_kwargs["weights"]
         if self._weights is None:
             cfg = self.config
+            if cfg.outputs:
+                # Restricted session: a lazy store so only the selected
+                # cone is ever materialized; the analyzer restricts it.
+                from ..scale import LazyWeightData
+                self._weights = LazyWeightData(
+                    self.circuit, method=cfg.weight_method,
+                    n_patterns=cfg.n_patterns, seed=cfg.seed,
+                    input_probs=dict(cfg.input_probs)
+                    if cfg.input_probs else None,
+                    cache_dir=cfg.weights_cache_dir)
+                return self._weights
             with trace_span("engine.session.weights",
                             circuit=self.circuit.name):
                 self._weights = compute_weights(
@@ -314,6 +339,10 @@ class CircuitSession:
         """
         if self._workspace is None:
             cfg = self.config
+            if cfg.outputs:
+                raise ValueError(
+                    "incremental edit sessions do not support an outputs= "
+                    "restriction; open an unrestricted session to edit")
             method = (cfg.weight_method if cfg.weight_method != "bdd"
                       else "auto")
             with trace_span("engine.session.workspace",

@@ -5,6 +5,7 @@ from .signal_prob import (
     correlation_signal_probabilities,
     exact_signal_probabilities,
     sampled_signal_probabilities,
+    sat_signal_probabilities,
 )
 from .weights import (
     WeightData,
@@ -13,6 +14,7 @@ from .weights import (
     exhaustive_weight_vectors,
     sampled_weight_vectors,
 )
+from .sat_weights import SatTierOptions, sat_weight_vectors
 from .error_propagation import (
     ERROR_FREE,
     EVENT_0TO1,
@@ -30,8 +32,10 @@ from .bounds import Interval, bound_report, signal_probability_bounds
 __all__ = [
     "CorrelationSignalProbability", "correlation_signal_probabilities",
     "exact_signal_probabilities", "sampled_signal_probabilities",
+    "sat_signal_probabilities",
     "WeightData", "bdd_weight_vectors", "compute_weights",
     "exhaustive_weight_vectors", "sampled_weight_vectors",
+    "SatTierOptions", "sat_weight_vectors",
     "ERROR_FREE", "EVENT_0TO1", "EVENT_1TO0", "CorrelationFn",
     "ErrorProbability", "combine_with_local_failure",
     "conditional_error_probability", "transition_probability",

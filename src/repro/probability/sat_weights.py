@@ -1,0 +1,221 @@
+"""SAT-backed weight vectors and signal probabilities (the ``sat`` tier).
+
+The estimator ladder below ``sampled`` in the accuracy-tiers table
+(docs/performance.md, docs/scaling.md): every per-node value is derived
+from that node's *own* transitive-fanin cone, never from the enclosing
+netlist, so a cone-restricted build is bit-identical to the full-circuit
+build by construction.  Per cone-input count ``m`` the tier grades:
+
+* ``m <= exact_threshold`` — exact enumeration of the cone (bit-parallel
+  exhaustive simulation: every input vector visited once, counts are
+  exact integers).  This also fills every other node of the same cone
+  for free, exactly.
+* ``exact_threshold < m <= approx_threshold`` — XOR-hash approximate
+  model counting (:mod:`repro.sat.counting`) with the documented
+  (epsilon, delta) multiplicative guarantee; each count carries a
+  conflict budget so hard cones degrade instead of hanging.
+* ``m > approx_threshold`` (or a counting budget exhausted) — sampled
+  estimation over the node's cone, seeded per node name so results do
+  not depend on which region of the netlist is being materialized.
+
+Uniform inputs are assumed throughout — unweighted model counting has no
+notion of ``input_probs`` (use the ``bdd`` or ``sampled`` tiers there).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..circuit import Circuit, GateType, evaluate_gate
+from ..obs import trace_span
+from ..sat.counting import ConeCounter
+from ..sat.solver import SolverBudgetExceeded
+from ..sim import patterns
+from ..sim.simulator import exhaustive_simulate, simulate
+from .weights import WeightData, _weights_from_packs
+
+__all__ = ["SatTierOptions", "sat_weight_vectors", "sat_signal_probabilities"]
+
+
+@dataclass(frozen=True)
+class SatTierOptions:
+    """Knobs of the ``method="sat"`` estimator ladder."""
+
+    #: Multiplicative accuracy of the XOR-hash counter (factor 1+epsilon).
+    epsilon: float = 0.8
+    #: Failure probability of the (epsilon, delta) guarantee.
+    delta: float = 0.2
+    #: Cones with at most this many inputs are enumerated exactly.
+    exact_threshold: int = 16
+    #: Cones above this many inputs skip counting and go straight to the
+    #: per-cone sampled fallback (counting cost grows with cone size).
+    approx_threshold: int = 24
+    #: Conflict budget per solver call inside the counter; exhausting it
+    #: falls back to sampling for that node instead of hanging.
+    max_conflicts: Optional[int] = 20_000
+
+
+def _node_seed(seed: int, name: str) -> int:
+    """Order-independent per-node RNG seed (full vs cone builds agree)."""
+    digest = hashlib.sha256(f"{seed}|{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def sat_weight_vectors(circuit: Circuit, *,
+                       n_patterns: int = 1 << 16,
+                       seed: int = 0,
+                       input_probs: Optional[Dict[str, float]] = None,
+                       options: Optional[SatTierOptions] = None
+                       ) -> WeightData:
+    """Weight vectors + signal probabilities via the SAT counting ladder.
+
+    ``n_patterns`` only sizes the *sampled fallback* arm of the ladder;
+    the exact and counting arms ignore it.
+    """
+    if input_probs:
+        raise ValueError(
+            "sat weights assume uniform inputs; use bdd/sampled for "
+            "non-uniform input_probs")
+    opts = options or SatTierOptions()
+    with trace_span("weights.sat", circuit=circuit.name):
+        weights: Dict[str, np.ndarray] = {}
+        signal: Dict[str, float] = {}
+        _fill_inputs_and_constants(circuit, signal)
+        for gate in circuit.topological_gates():
+            if gate not in weights:
+                _materialize_gate(circuit, gate, weights, signal,
+                                  n_patterns, seed, opts)
+        # Any node still missing a signal probability (e.g. a BUF chain
+        # head counted as logic) was covered by _materialize_gate; the
+        # loop above guarantees coverage of all gates.
+        return WeightData(weights=weights, signal_prob=signal, source="sat")
+
+
+def sat_signal_probabilities(circuit: Circuit,
+                             nodes: Optional[Iterable[str]] = None, *,
+                             seed: int = 0,
+                             n_patterns: int = 1 << 16,
+                             options: Optional[SatTierOptions] = None
+                             ) -> Dict[str, float]:
+    """Signal probabilities of selected ``nodes`` via the same ladder.
+
+    ``nodes`` defaults to every node; restricting it keeps the work
+    cone-local (only the named nodes' cones are touched).
+    """
+    opts = options or SatTierOptions()
+    weights: Dict[str, np.ndarray] = {}
+    signal: Dict[str, float] = {}
+    _fill_inputs_and_constants(circuit, signal)
+    wanted = list(nodes) if nodes is not None else circuit.topological_order()
+    for name in wanted:
+        if name in signal:
+            continue
+        _materialize_gate(circuit, name, weights, signal,
+                          n_patterns, seed, opts)
+    return {name: signal[name] for name in wanted}
+
+
+def _fill_inputs_and_constants(circuit: Circuit,
+                               signal: Dict[str, float]) -> None:
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type.is_input:
+            signal[name] = 0.5
+        elif node.gate_type.is_constant:
+            signal[name] = float(node.gate_type is GateType.CONST1)
+
+
+def _materialize_gate(circuit: Circuit, gate: str,
+                      weights: Dict[str, np.ndarray],
+                      signal: Dict[str, float],
+                      n_patterns: int, seed: int,
+                      opts: SatTierOptions) -> None:
+    """Fill ``gate``'s weight vector and signal probability (ladder)."""
+    cone = circuit.cone(gate)
+    m = len(cone.inputs)
+    if m <= opts.exact_threshold:
+        # Exact enumeration: one bit-parallel sweep fills the whole cone.
+        values = exhaustive_simulate(cone)
+        cone_patterns = max(64, 1 << m)
+        data = _weights_from_packs(cone, values, cone_patterns, "sat")
+        for g, vec in data.weights.items():
+            weights.setdefault(g, vec)
+        for n, p in data.signal_prob.items():
+            signal.setdefault(n, p)
+        return
+    if m <= opts.approx_threshold:
+        try:
+            _count_gate(cone, gate, weights, signal, seed, opts)
+            return
+        except SolverBudgetExceeded:
+            pass  # degrade to the sampled arm below
+    _sample_gate(circuit, cone, gate, weights, signal, n_patterns, seed)
+
+
+def _count_gate(cone: Circuit, gate: str,
+                weights: Dict[str, np.ndarray],
+                signal: Dict[str, float],
+                seed: int, opts: SatTierOptions) -> None:
+    """XOR-hash counting over one gate's cone (approximate, budgeted)."""
+    counter = ConeCounter(cone, epsilon=opts.epsilon, delta=opts.delta,
+                          max_conflicts=opts.max_conflicts,
+                          seed=_node_seed(seed, gate))
+    fanins = cone.fanins(gate)
+    k = len(fanins)
+    counts = np.empty(1 << k, dtype=np.float64)
+    for v in range(1 << k):
+        cond = {fi: bool((v >> t) & 1) for t, fi in enumerate(fanins)}
+        counts[v] = counter.count(cond).count
+    # Normalizing tames the counter's per-cell noise and keeps the
+    # vector a distribution; exact counts renormalize to themselves.
+    mass = float(counts.sum())
+    vec = (counts / mass if mass > 0
+           else np.full(1 << k, 1.0 / (1 << k)))
+    weights[gate] = vec
+    # Pr(gate = 1) follows from the weight vector and the gate's truth
+    # table (the gate is deterministic given its fanins) — no extra
+    # counting call, and the pair stays self-consistent.
+    gate_type = cone.node(gate).gate_type
+    truth = np.asarray([evaluate_gate(gate_type,
+                                      [(v >> t) & 1 for t in range(k)])
+                        for v in range(1 << k)], dtype=np.float64)
+    signal[gate] = float(np.dot(vec, truth))
+
+
+def _sample_gate(circuit: Circuit, cone: Circuit, gate: str,
+                 weights: Dict[str, np.ndarray],
+                 signal: Dict[str, float],
+                 n_patterns: int, seed: int) -> None:
+    """Sampled fallback over one cone, seeded by the gate's name.
+
+    Patterns are drawn per cone input from one node-seeded stream (in
+    the full circuit's input order), so the estimate depends only on the
+    cone — not on the enclosing region being materialized.
+    """
+    rng = np.random.default_rng(_node_seed(seed, gate))
+    n_words = patterns.words_for_patterns(n_patterns)
+    cone_inputs = set(cone.inputs)
+    pack = {name: patterns.random_words(n_words, rng)
+            for name in circuit.inputs if name in cone_inputs}
+    values = simulate(cone, pack)
+    tmask = patterns.tail_mask(n_patterns)
+    fanins = cone.fanins(gate)
+    k = len(fanins)
+    fan = np.stack([values[fi][:n_words] for fi in fanins])
+    fan[:, -1] &= tmask
+    counts = np.empty(1 << k, dtype=np.int64)
+    for v in range(1 << k):
+        acc = np.full(n_words, np.uint64(0xFFFF_FFFF_FFFF_FFFF))
+        acc[-1] &= tmask
+        for t in range(k):
+            sel = fan[t] if (v >> t) & 1 else np.bitwise_not(fan[t])
+            np.bitwise_and(acc, sel, out=acc)
+        counts[v] = patterns.popcount(acc)
+    weights[gate] = counts / n_patterns
+    out = values[gate][:n_words].copy()
+    out[-1] &= tmask
+    signal[gate] = patterns.popcount(out) / n_patterns

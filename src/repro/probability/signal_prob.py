@@ -1,9 +1,11 @@
 """Signal probability estimation (Pr[node = 1] in the error-free circuit).
 
-Three estimators with one interface:
+Four estimators with one interface:
 
 * :func:`exact_signal_probabilities` — BDD-based, exact;
 * :func:`sampled_signal_probabilities` — bit-parallel random simulation;
+* :func:`sat_signal_probabilities` — SAT-backed cone-local counting (the
+  scaling tier; re-exported from :mod:`repro.probability.sat_weights`);
 * :class:`CorrelationSignalProbability` — the Ercolani et al. (ETC 1989)
   analytic method the paper cites as [8]: one topological pass propagating
   signal probabilities together with pairwise *correlation coefficients*
@@ -24,6 +26,7 @@ from ..bdd import CircuitBdds, build_node_bdds
 from ..circuit import Circuit, truth_table
 from ..circuit.analysis import support_bitsets
 from ..sim.simulator import signal_probabilities as _sim_signal_probabilities
+from .sat_weights import sat_signal_probabilities  # noqa: F401  (re-export)
 
 
 def exact_signal_probabilities(circuit: Circuit,

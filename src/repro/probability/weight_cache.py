@@ -186,6 +186,72 @@ def _entry_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"weights-{key}.npz")
 
 
+def _decode_weight_archive(path: str, expected: str) -> WeightData:
+    """Decode one weight-entry archive, re-verifying its manifest.
+
+    Raises on any corruption/mismatch; callers turn that into a miss.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if bytes(archive["manifest"].tobytes()).decode() != expected:
+            raise ValueError("manifest mismatch")
+        names = [str(n) for n in archive["gate_names"]]
+        nodes = [str(n) for n in archive["node_names"]]
+        signal = archive["signal_prob"].astype(np.float64)
+        if len(nodes) != len(signal):
+            raise ValueError("signal_prob length mismatch")
+        flat = archive["weights_flat"].astype(np.float64)
+        lengths = archive["weights_len"].astype(np.int64)
+        if len(lengths) != len(names) or lengths.sum() != len(flat):
+            raise ValueError("weight vector layout mismatch")
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        weights = {}
+        for i, gate in enumerate(names):
+            vec = flat[offsets[i]:offsets[i + 1]].copy()
+            if len(vec) == 0 or len(vec) & (len(vec) - 1):
+                raise ValueError("weight vector not 2**k long")
+            weights[gate] = vec
+        source = str(archive["source"][()])
+    return WeightData(
+        weights=weights,
+        signal_prob={n: float(p) for n, p in zip(nodes, signal)},
+        source=source,
+    )
+
+
+def _encode_weight_archive(manifest: str, data: WeightData) -> Dict[str, np.ndarray]:
+    gate_names = list(data.weights)
+    node_names = list(data.signal_prob)
+    vectors = [np.asarray(data.weights[g], dtype=np.float64)
+               for g in gate_names]
+    return {
+        "manifest": np.frombuffer(manifest.encode(), dtype=np.uint8),
+        "gate_names": np.asarray(gate_names),
+        "node_names": np.asarray(node_names),
+        "signal_prob": np.asarray(
+            [data.signal_prob[n] for n in node_names], dtype=np.float64),
+        "source": np.asarray(data.source),
+        "weights_flat": (np.concatenate(vectors) if vectors
+                         else np.empty(0, dtype=np.float64)),
+        "weights_len": np.asarray([len(v) for v in vectors],
+                                  dtype=np.int64),
+    }
+
+
+def _atomic_savez(cache_dir: str, path: str,
+                  arrays: Dict[str, np.ndarray]) -> None:
+    fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=cache_dir)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def load_weights(cache_dir: str, circuit: Circuit, method: str,
                  n_patterns: int, seed: int,
                  input_probs: Optional[Dict[str, float]] = None
@@ -209,36 +275,12 @@ def load_weights(cache_dir: str, circuit: Circuit, method: str,
         return None
     with trace_span("weights_cache.load", circuit=circuit.name):
         try:
-            with np.load(path, allow_pickle=False) as archive:
-                if bytes(archive["manifest"].tobytes()).decode() != expected:
-                    raise ValueError("manifest mismatch")
-                names = [str(n) for n in archive["gate_names"]]
-                nodes = [str(n) for n in archive["node_names"]]
-                signal = archive["signal_prob"].astype(np.float64)
-                if len(nodes) != len(signal):
-                    raise ValueError("signal_prob length mismatch")
-                flat = archive["weights_flat"].astype(np.float64)
-                lengths = archive["weights_len"].astype(np.int64)
-                if len(lengths) != len(names) or lengths.sum() != len(flat):
-                    raise ValueError("weight vector layout mismatch")
-                offsets = np.concatenate(([0], np.cumsum(lengths)))
-                weights = {}
-                for i, gate in enumerate(names):
-                    vec = flat[offsets[i]:offsets[i + 1]].copy()
-                    if len(vec) == 0 or len(vec) & (len(vec) - 1):
-                        raise ValueError("weight vector not 2**k long")
-                    weights[gate] = vec
-                source = str(archive["source"][()])
+            data = _decode_weight_archive(path, expected)
         except Exception:
             # Anything unreadable is a stale/corrupt entry: miss, not crash.
             _note("weights_cache.corrupt", circuit)
             return None
     _note("weights_cache.hits", circuit)
-    data = WeightData(
-        weights=weights,
-        signal_prob={n: float(p) for n, p in zip(nodes, signal)},
-        source=source,
-    )
     _MEMORY.put(path, data)
     return data
 
@@ -252,37 +294,99 @@ def store_weights(cache_dir: str, circuit: Circuit, method: str,
                          input_probs)
     key = hashlib.sha256(manifest.encode()).hexdigest()
     os.makedirs(cache_dir, exist_ok=True)
-    gate_names = list(data.weights)
-    node_names = list(data.signal_prob)
-    vectors = [np.asarray(data.weights[g], dtype=np.float64)
-               for g in gate_names]
-    arrays = {
-        "manifest": np.frombuffer(manifest.encode(), dtype=np.uint8),
-        "gate_names": np.asarray(gate_names),
-        "node_names": np.asarray(node_names),
-        "signal_prob": np.asarray(
-            [data.signal_prob[n] for n in node_names], dtype=np.float64),
-        "source": np.asarray(data.source),
-        "weights_flat": (np.concatenate(vectors) if vectors
-                         else np.empty(0, dtype=np.float64)),
-        "weights_len": np.asarray([len(v) for v in vectors],
-                                  dtype=np.int64),
-    }
+    arrays = _encode_weight_archive(manifest, data)
+    path = _entry_path(cache_dir, key)
     with trace_span("weights_cache.store", circuit=circuit.name):
-        fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=cache_dir)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **arrays)
-            path = _entry_path(cache_dir, key)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        _atomic_savez(cache_dir, path, arrays)
     _MEMORY.put(path, data)
     _note("weights_cache.stores", circuit)
+
+
+# ======================================================================
+# Per-cone weight entries (lazy scaling tier)
+# ======================================================================
+#
+# The lazy weight store (repro.scale.LazyWeightData) materializes weight
+# vectors one output cone at a time, and each materialized cone is worth
+# persisting on its own.  Cone entries are *partial* views of a circuit,
+# so they live in a dedicated key namespace — a ``conewt-`` filename
+# prefix plus a ``kind: "cone_weights"`` manifest field — and can never
+# shadow (or be shadowed by) the full-circuit ``weights-`` entries even
+# if a digest ever collided: the embedded manifest is re-verified on
+# every read and the two manifest schemas are disjoint.
+
+#: Bump when the per-cone entry layout changes; old entries become misses.
+CONE_WEIGHTS_FORMAT_VERSION = 1
+
+
+def _cone_manifest(circuit_hash: str, cone_root: str, method: str,
+                   n_patterns: int, seed: int,
+                   input_probs: Optional[Dict[str, float]]) -> str:
+    return json.dumps({
+        "format": CONE_WEIGHTS_FORMAT_VERSION,
+        "kind": "cone_weights",
+        "circuit_hash": circuit_hash,
+        "cone_root": cone_root,
+        "method": method,
+        "n_patterns": int(n_patterns),
+        "seed": int(seed),
+        "input_probs": sorted((input_probs or {}).items()),
+    }, sort_keys=True)
+
+
+def _cone_entry_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"conewt-{key}.npz")
+
+
+def load_cone_weights(cache_dir: str, circuit: Circuit, cone_root: str,
+                      method: str, n_patterns: int, seed: int,
+                      input_probs: Optional[Dict[str, float]] = None
+                      ) -> Optional[WeightData]:
+    """Cached weights for one cone of ``circuit``, or None on miss.
+
+    ``circuit`` is the *full* circuit the cone was cut from (its
+    structural hash keys the entry, so an edited netlist invalidates all
+    its cones at once); ``cone_root`` names the node whose transitive
+    fanin the entry covers.  Same corruption policy as
+    :func:`load_weights`.
+    """
+    expected = _cone_manifest(structural_hash(circuit), cone_root, method,
+                              n_patterns, seed, input_probs)
+    key = hashlib.sha256(expected.encode()).hexdigest()
+    path = _cone_entry_path(cache_dir, key)
+    resident = _MEMORY.get(path)
+    if resident is not None:
+        _note("conewt_cache.memory_hits", circuit)
+        return resident
+    if not os.path.exists(path):
+        _note("conewt_cache.misses", circuit)
+        return None
+    with trace_span("conewt_cache.load", circuit=circuit.name):
+        try:
+            data = _decode_weight_archive(path, expected)
+        except Exception:
+            _note("conewt_cache.corrupt", circuit)
+            return None
+    _note("conewt_cache.hits", circuit)
+    _MEMORY.put(path, data)
+    return data
+
+
+def store_cone_weights(cache_dir: str, circuit: Circuit, cone_root: str,
+                       method: str, n_patterns: int, seed: int,
+                       input_probs: Optional[Dict[str, float]],
+                       data: WeightData) -> None:
+    """Atomically persist one materialized cone's weights."""
+    manifest = _cone_manifest(structural_hash(circuit), cone_root, method,
+                              n_patterns, seed, input_probs)
+    key = hashlib.sha256(manifest.encode()).hexdigest()
+    os.makedirs(cache_dir, exist_ok=True)
+    arrays = _encode_weight_archive(manifest, data)
+    path = _cone_entry_path(cache_dir, key)
+    with trace_span("conewt_cache.store", circuit=circuit.name):
+        _atomic_savez(cache_dir, path, arrays)
+    _MEMORY.put(path, data)
+    _note("conewt_cache.stores", circuit)
 
 
 def _note(counter: str, circuit: Circuit) -> None:

@@ -212,10 +212,14 @@ def compute_weights(circuit: Circuit,
     """Pick a weight-vector estimator suited to the circuit size.
 
     ``method`` is one of ``"auto"``, ``"bdd"``, ``"exhaustive"``,
-    ``"sampled"``.  Auto prefers exact enumeration for small input counts,
-    then BDDs (abandoning them if they exceed ``bdd_node_limit`` nodes),
-    then sampling.  A non-uniform ``input_probs`` distribution rules out
-    the exhaustive (uniform-enumeration) route.
+    ``"sampled"``, ``"sat"``.  Auto prefers exact enumeration for small
+    input counts, then BDDs (abandoning them if they exceed
+    ``bdd_node_limit`` nodes), then sampling.  A non-uniform
+    ``input_probs`` distribution rules out the exhaustive
+    (uniform-enumeration) and sat (unweighted-counting) routes.  The
+    ``sat`` tier (see docs/scaling.md) grades per cone: exact
+    enumeration for small cones, XOR-hash approximate model counting in
+    the mid range, per-cone sampling beyond.
 
     ``cache_dir``, when given, consults a persistent disk cache first
     (see :mod:`repro.probability.weight_cache`) keyed by the circuit's
@@ -250,6 +254,10 @@ def _compute_weights(circuit: Circuit, method: str, n_patterns: int,
     if method == "sampled":
         return sampled_weight_vectors(circuit, n_patterns=n_patterns,
                                       seed=seed, input_probs=input_probs)
+    if method == "sat":
+        from .sat_weights import sat_weight_vectors
+        return sat_weight_vectors(circuit, n_patterns=n_patterns, seed=seed,
+                                  input_probs=input_probs)
     if method != "auto":
         raise ValueError(f"unknown weight method {method!r}")
     if len(circuit.inputs) <= 20 and not input_probs:

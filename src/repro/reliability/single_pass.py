@@ -17,7 +17,7 @@ independence assumption at reconvergent fanout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -149,6 +149,46 @@ def group_per_frame(per_output: Mapping[str, float],
     return buckets
 
 
+def _normalize_output_subset(circuit: Circuit,
+                             outputs: Sequence[str]) -> Tuple[str, ...]:
+    """Validate/dedupe an output subset, ordered by full-circuit order."""
+    known = set(circuit.outputs)
+    requested = list(dict.fromkeys(outputs))
+    unknown = [o for o in requested if o not in known]
+    if unknown:
+        raise ValueError(
+            f"outputs {unknown!r} are not primary outputs of "
+            f"{circuit.name!r}")
+    if not requested:
+        raise ValueError("outputs subset must name at least one output")
+    want = set(requested)
+    return tuple(o for o in circuit.outputs if o in want)
+
+
+def _restrict_weights(circuit: Circuit, sel: Tuple[str, ...],
+                      weights: Optional[WeightData], weight_method: str,
+                      n_patterns: int, seed: int,
+                      input_probs: Optional[Mapping[str, float]],
+                      cache_dir: Optional[str]) -> Optional[WeightData]:
+    """Weights for the cone of ``sel``, honoring the bit-identity contract.
+
+    ``None`` weights become a lazy store restricted to the cone (only the
+    cone is ever computed); an existing :class:`LazyWeightData` restricts
+    in place; a plain full-circuit :class:`WeightData` is a superset and
+    passes through untouched.
+    """
+    from ..scale import LazyWeightData
+    if weights is None:
+        lazy = LazyWeightData(
+            circuit, method=weight_method, n_patterns=n_patterns, seed=seed,
+            input_probs=dict(input_probs) if input_probs else None,
+            cache_dir=cache_dir)
+        return lazy.restrict(sel)
+    if isinstance(weights, LazyWeightData):
+        return weights.restrict(sel)
+    return weights
+
+
 class SinglePassAnalyzer:
     """Reusable single-pass engine: weights computed once, swept many times.
 
@@ -165,7 +205,17 @@ class SinglePassAnalyzer:
         Precomputed :class:`WeightData` (else computed via
         ``weight_method``).
     weight_method:
-        ``"auto"`` (default), ``"bdd"``, ``"exhaustive"``, or ``"sampled"``.
+        ``"auto"`` (default), ``"bdd"``, ``"exhaustive"``, ``"sampled"``,
+        or ``"sat"`` (cone-local SAT/simulation ladder; see
+        docs/scaling.md).
+    outputs:
+        Optional subset of the circuit's primary outputs.  The analyzer
+        cuts the union cone (:meth:`~repro.circuit.Circuit.subcircuit`)
+        and only lowers/weights that cone — on a large netlist this is
+        the difference between touching a few hundred gates and all of
+        them.  Results for the selected outputs are bit-identical to a
+        full-circuit run (see docs/scaling.md for the two caveats:
+        BDD node-limit divergence and the correlation-pair budget).
     use_correlation:
         Apply the Sec. 4.1 correlation-coefficient correction at
         reconvergent fanout (default True).
@@ -211,11 +261,20 @@ class SinglePassAnalyzer:
                  weights_cache_dir: Optional[str] = None,
                  backend: Optional[str] = None,
                  dtype: np.dtype = np.float64,
-                 frames: Optional[int] = None):
+                 frames: Optional[int] = None,
+                 outputs: Optional[Sequence[str]] = None):
         circuit.validate()
         if compiled not in ("auto", "off"):
             raise ValueError(f"compiled must be 'auto' or 'off', "
                              f"got {compiled!r}")
+        self.outputs_restriction: Optional[Tuple[str, ...]] = None
+        if outputs is not None:
+            sel = _normalize_output_subset(circuit, outputs)
+            self.outputs_restriction = sel
+            weights = _restrict_weights(
+                circuit, sel, weights, weight_method, n_patterns, seed,
+                input_probs, weights_cache_dir)
+            circuit = circuit.subcircuit(sel)
         self.circuit = circuit
         if weights is not None:
             self.weights = weights

@@ -1,11 +1,14 @@
 """From-scratch SAT substrate: CNF, Tseitin encoding, CDCL solver, ATPG."""
 
 from .cnf import Cnf, CircuitEncoder, encode_circuit, miter
-from .solver import SatSolver, solve_cnf
+from .solver import SatSolver, SolverBudgetExceeded, solve_cnf
+from .counting import (ConeCounter, CountResult, XorHashCounter,
+                       count_cone_models)
 from .atpg import SatAtpg, sat_equivalent
 
 __all__ = [
     "Cnf", "CircuitEncoder", "encode_circuit", "miter",
-    "SatSolver", "solve_cnf",
+    "SatSolver", "SolverBudgetExceeded", "solve_cnf",
+    "ConeCounter", "CountResult", "XorHashCounter", "count_cone_models",
     "SatAtpg", "sat_equivalent",
 ]

@@ -1,0 +1,455 @@
+"""XOR-hash approximate model counting on the CDCL solver.
+
+The scaling tier (docs/scaling.md) needs *projected* model counts —
+"how many primary-input assignments make this cone node 1?" — on cones
+whose input counts rule out exhaustive enumeration.  This module
+implements the standard ApproxMC recipe (Chakraborty, Meel & Vardi,
+CAV'13) on top of :class:`~repro.sat.solver.SatSolver`:
+
+1. **Exact enumeration fallback.**  Every count starts as a bounded
+   enumeration (models blocked through incremental clauses): if the cone
+   has at most ``pivot`` models the count is *exact* and no hashing
+   happens.  Small cones therefore cost a handful of solver calls.
+2. **XOR hashing.**  Otherwise a *nested* family of random XOR parity
+   constraints over the projection variables splits the solution space
+   into ~``2**m`` cells; the smallest ``m`` whose cell holds at most
+   ``pivot`` models — found by binary search over ``m``, sound because
+   the family is nested so cell counts are monotone — yields the
+   estimate ``cell_count * 2**m``.  The median over ``trials``
+   independent repetitions is returned.
+
+With ``pivot = ceil(9.84 (1 + eps/(1+eps)) (1 + 1/eps)^2)`` each trial
+is within a factor ``1 + eps`` of the true count with probability at
+least 0.78, and the median of ``trials >= ceil(6.4 ln(1/delta))`` (odd)
+trials is within that factor with probability at least ``1 - delta`` —
+the (eps, delta) guarantee quoted in docs/scaling.md.
+
+CDCL search is a resolution engine, and resolution cannot refute parity
+systems efficiently — so feeding dense XOR chains to the solver is a
+tar pit.  Each probe therefore Gauss-eliminates its hash prefix over
+GF(2) first: the depth-``m`` cell is an affine subspace of the
+projection space, and when that subspace is small its points are
+enumerated outright (through a caller-supplied vectorized batch
+evaluator, or one unit-propagation solver call per point) for an
+*exact* cell count with no XOR clause in sight.  Only large-cell probes
+— which carry few XOR constraints and are easy instances — fall back to
+Tseitin parity chains on a fresh solver, where cell membership is
+asserted through chain-output assumption literals and blocking clauses
+hang off an activation literal retired afterwards.  The hash-free exact
+path keeps one persistent solver across ``count()`` calls.
+
+Every solver call carries the ``max_conflicts`` budget so a counting
+request degrades into :class:`SolverBudgetExceeded` instead of hanging;
+callers (the ``method="sat"`` weight tier) catch it and fall back to
+sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..sim import patterns
+from ..sim.simulator import simulate
+from .cnf import Cnf, CircuitEncoder
+from .solver import SatSolver, SolverBudgetExceeded
+
+__all__ = [
+    "CountResult", "XorHashCounter", "ConeCounter", "count_cone_models",
+]
+
+
+@dataclass
+class CountResult:
+    """One (projected) model count: the estimate plus how it was obtained."""
+
+    count: float
+    #: True when the count came from complete enumeration (no hashing).
+    exact: bool
+    #: Number of projection variables (counts live in ``[0, 2**projection]``).
+    projection: int
+    #: XOR trials that contributed to the median (0 on the exact path).
+    trials: int = 0
+    #: Solver calls that hit the conflict budget along the way.
+    budget_hits: int = 0
+
+
+def _pivot(epsilon: float) -> int:
+    return int(math.ceil(
+        9.84 * (1.0 + epsilon / (1.0 + epsilon))
+        * (1.0 + 1.0 / epsilon) ** 2))
+
+
+def _trials(delta: float) -> int:
+    t = int(math.ceil(6.4 * math.log(1.0 / delta)))
+    return max(3, t | 1)  # odd, so the median is a sample
+
+
+def _solve_affine(rows: Sequence[Tuple[int, int]], n: int
+                  ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Parametrize the solutions of the GF(2) system ``rows`` over ``n`` vars.
+
+    Each row is ``(mask, parity)``: the XOR of the variables in ``mask``
+    must equal ``parity``.  Returns ``(x0, basis)`` with ``x0`` one
+    solution and ``basis`` a ``(d, n)`` matrix whose GF(2) span offsets
+    ``x0`` over the whole solution set — or None when inconsistent.
+    """
+    # Augmented rows as Python ints: bits 0..n-1 the mask, bit n the parity.
+    pivots: Dict[int, int] = {}
+    for mask, parity in rows:
+        row = mask | (parity << n)
+        for p, prow in pivots.items():
+            if (row >> p) & 1:
+                row ^= prow
+        m = row & ((1 << n) - 1)
+        if m == 0:
+            if row >> n:
+                return None  # 0 == 1
+            continue  # redundant row
+        p = (m & -m).bit_length() - 1
+        # Full reduction: clear this pivot from every existing row.
+        for q in list(pivots):
+            if (pivots[q] >> p) & 1:
+                pivots[q] ^= row
+        pivots[p] = row
+    free = [i for i in range(n) if i not in pivots]
+    x0 = np.zeros(n, dtype=np.uint8)
+    for p, row in pivots.items():
+        x0[p] = (row >> n) & 1
+    basis = np.zeros((len(free), n), dtype=np.uint8)
+    for j, f in enumerate(free):
+        basis[j, f] = 1
+        for p, row in pivots.items():
+            if (row >> f) & 1:
+                basis[j, p] = 1
+    return x0, basis
+
+
+def _affine_points(x0: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """All ``2**d`` points ``x0 ^ span(basis)`` as a ``(2**d, n)`` array."""
+    d = basis.shape[0]
+    if d == 0:
+        return x0[None, :]
+    coeff = ((np.arange(1 << d, dtype=np.uint32)[:, None]
+              >> np.arange(d, dtype=np.uint32)) & 1).astype(np.uint8)
+    return (coeff @ basis) & 1 ^ x0
+
+
+def _pack_bits(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a ``(n_pts,)`` 0/1 array into ``n_words`` little-endian words."""
+    raw = np.packbits(bits, bitorder="little")
+    out = np.zeros(n_words * 8, dtype=np.uint8)
+    out[:len(raw)] = raw
+    return out.view("<u8")
+
+
+class XorHashCounter:
+    """ApproxMC-style counter over one CNF, projected on chosen variables.
+
+    Parameters
+    ----------
+    cnf:
+        The formula.  The counter keeps a pristine copy as the base for
+        per-trial solvers and one persistent solver for hash-free work.
+    projection_vars:
+        Variables the count ranges over (for a Tseitin-encoded cone these
+        are the primary-input variables, making the count the number of
+        *input vectors*, not raw CNF models).
+    epsilon, delta:
+        Accuracy knobs: the estimate is within a factor ``1 + epsilon``
+        of the truth with probability at least ``1 - delta``.
+    max_conflicts:
+        Per-solver-call conflict budget (None = unbounded).  When the
+        budget makes every trial fail, :class:`SolverBudgetExceeded`
+        escapes to the caller.
+    seed:
+        Seeds the XOR hash draws; counts are deterministic given a seed.
+    batch_eval:
+        Optional vectorized model checker ``f(points, assumptions) ->
+        int``: given a ``(n_pts, n_proj)`` 0/1 array of projection
+        assignments (columns in ``projection_vars`` order), return how
+        many extend to a model of the CNF under ``assumptions``.  Sound
+        only when every projection assignment extends in at most one
+        way (true for Tseitin-encoded circuits projected on inputs);
+        :class:`ConeCounter` supplies a simulation-based one.  Without
+        it, small affine cells are checked one propagation call per
+        point, which caps how large a cell is enumerated directly.
+    """
+
+    def __init__(self, cnf: Cnf, projection_vars: Sequence[int], *,
+                 epsilon: float = 0.8, delta: float = 0.2,
+                 max_conflicts: Optional[int] = None, seed: int = 0,
+                 batch_eval: Optional[
+                     Callable[[np.ndarray, Sequence[int]], int]] = None):
+        if epsilon <= 0 or not 0 < delta < 1:
+            raise ValueError("need epsilon > 0 and 0 < delta < 1")
+        self.proj = [int(v) for v in projection_vars]
+        if not self.proj:
+            raise ValueError("projection_vars must be non-empty")
+        self._base = Cnf(num_vars=cnf.num_vars, clauses=list(cnf.clauses))
+        #: Persistent solver for the hash-free exact/enumeration path.
+        self.solver = SatSolver(self._base)
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.pivot = _pivot(self.epsilon)
+        self.trials = _trials(self.delta)
+        self.max_conflicts = max_conflicts
+        self._rng = np.random.default_rng(seed)
+        self._batch_eval = batch_eval
+        #: Cells up to ``2**enum_bits`` points are enumerated directly.
+        self._enum_bits = 16 if batch_eval is not None else 10
+        #: Last trial's successful hash depth, seeding the next search.
+        self._m_hint: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def count(self, assumptions: Sequence[int] = ()) -> CountResult:
+        """Projected model count under ``assumptions``.
+
+        Exact (via enumeration) whenever at most ``pivot`` models exist
+        — or, with a batch evaluator, whenever the whole projection
+        space fits the direct-enumeration cap; otherwise the XOR-hash
+        median estimate.
+        """
+        n = len(self.proj)
+        assumptions = list(assumptions)
+        if self._batch_eval is not None and n <= self._enum_bits:
+            pts = _affine_points(np.zeros(n, dtype=np.uint8),
+                                 np.eye(n, dtype=np.uint8))
+            c = self._batch_eval(pts, assumptions)
+            return CountResult(count=float(c), exact=True, projection=n)
+        budget_hits = 0
+        c = self._count_up_to(self.solver, assumptions, self.pivot)
+        if c <= self.pivot:
+            return CountResult(count=float(c), exact=True, projection=n)
+
+        estimates: List[float] = []
+        budget_error: Optional[SolverBudgetExceeded] = None
+        attempts = 0
+        while len(estimates) < self.trials and attempts < 3 * self.trials:
+            attempts += 1
+            try:
+                est = self._one_trial(assumptions)
+            except SolverBudgetExceeded as exc:
+                budget_hits += 1
+                budget_error = exc
+                continue
+            if est is not None:
+                estimates.append(est)
+        if not estimates:
+            if budget_error is not None:
+                raise budget_error
+            raise SolverBudgetExceeded(0, self.max_conflicts or 0)
+        return CountResult(count=float(np.median(estimates)), exact=False,
+                           projection=n, trials=len(estimates),
+                           budget_hits=budget_hits)
+
+    def count_exact(self, assumptions: Sequence[int] = ()) -> CountResult:
+        """Complete enumeration (exponential in the worst case)."""
+        n = len(self.proj)
+        assumptions = list(assumptions)
+        if self._batch_eval is not None and n <= self._enum_bits:
+            pts = _affine_points(np.zeros(n, dtype=np.uint8),
+                                 np.eye(n, dtype=np.uint8))
+            c = self._batch_eval(pts, assumptions)
+        else:
+            c = self._count_up_to(self.solver, assumptions, 1 << n)
+        return CountResult(count=float(c), exact=True, projection=n)
+
+    # ------------------------------------------------------------------
+    def _one_trial(self, assumptions: List[int]) -> Optional[float]:
+        """One ApproxMCCore run: smallest hash depth with a small cell.
+
+        Draws one nested family of ``n`` random XOR constraints, then
+        binary-searches the smallest depth ``m`` whose cell has at most
+        ``pivot`` models (cell counts are monotone in ``m`` because the
+        family is nested).
+        """
+        n = len(self.proj)
+        rows = self._draw_rows()
+        counts: Dict[int, int] = {}
+
+        def cell_count(m: int) -> int:
+            if m not in counts:
+                counts[m] = self._probe(rows[:m], assumptions)
+            return counts[m]
+
+        # cell(0) is the unhashed space, already known to exceed pivot.
+        lo, hi = 0, n
+        if cell_count(hi) > self.pivot:
+            return None  # even 2**n cells stay big: give up this trial
+        # Probe the previous successful depth first to shrink the range.
+        if self._m_hint is not None and lo < self._m_hint < hi:
+            if cell_count(self._m_hint) > self.pivot:
+                lo = self._m_hint
+            else:
+                hi = self._m_hint
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if cell_count(mid) > self.pivot:
+                lo = mid
+            else:
+                hi = mid
+        c = counts[hi]
+        if c == 0:
+            return None  # hashed past every solution — failed trial
+        self._m_hint = hi
+        return float(c) * float(2 ** hi)
+
+    def _draw_rows(self) -> List[Tuple[int, int]]:
+        """One nested hash family: ``n`` random ``(mask, parity)`` rows."""
+        n = len(self.proj)
+        masks = self._rng.integers(0, 2, size=(n, n))
+        parities = self._rng.integers(0, 2, size=n)
+        return [(int(sum(1 << i for i in range(n) if masks[r, i])),
+                 int(parities[r])) for r in range(n)]
+
+    def _probe(self, rows: List[Tuple[int, int]],
+               assumptions: List[int]) -> int:
+        """Models in the cell cut out by ``rows``, capped at ``pivot + 1``."""
+        n = len(self.proj)
+        sol = _solve_affine(rows, n)
+        if sol is None:
+            return 0
+        x0, basis = sol
+        if basis.shape[0] <= self._enum_bits:
+            pts = _affine_points(x0, basis)
+            if self._batch_eval is not None:
+                return self._batch_eval(pts, assumptions)
+            found = 0
+            for pt in pts:
+                lits = assumptions + [v if pt[i] else -v
+                                      for i, v in enumerate(self.proj)]
+                if self.solver.solve(
+                        lits, max_conflicts=self.max_conflicts) is not None:
+                    found += 1
+                    if found > self.pivot:
+                        break
+            return found
+        return self._count_up_to(self._chain_solver(rows), assumptions,
+                                 self.pivot)
+
+    def _chain_solver(self, rows: List[Tuple[int, int]]) -> SatSolver:
+        """A fresh solver over the base CNF with ``rows`` as hard XORs.
+
+        Only reached on large-cell probes, which carry few rows — CDCL
+        handles those; dense parity systems never get here.
+        """
+        cnf = Cnf(num_vars=self._base.num_vars,
+                  clauses=list(self._base.clauses))
+        for mask, parity in rows:
+            chosen = [v for i, v in enumerate(self.proj) if (mask >> i) & 1]
+            if not chosen:
+                if parity:  # 0 == 1: empty cell (caller's Gauss caught it)
+                    cnf.add_clause([])
+                continue
+            acc = chosen[0]
+            for v in chosen[1:]:
+                y = cnf.new_var()
+                cnf.add_clause([-y, acc, v])
+                cnf.add_clause([-y, -acc, -v])
+                cnf.add_clause([y, -acc, v])
+                cnf.add_clause([y, acc, -v])
+                acc = y
+            cnf.add_clause([acc] if parity else [-acc])
+        return SatSolver(cnf)
+
+    def _count_up_to(self, solver: SatSolver, assumptions: List[int],
+                     limit: int) -> int:
+        """Number of projected models, enumerated up to ``limit + 1``.
+
+        Returns ``limit + 1`` as the "more than limit" sentinel.  Models
+        found are blocked through clauses guarded by a fresh activation
+        literal, retired with a unit clause once the round ends.
+        """
+        act = solver.new_var()
+        base = assumptions + [act]
+        found = 0
+        try:
+            while found <= limit:
+                model = solver.solve(base, max_conflicts=self.max_conflicts)
+                if model is None:
+                    break
+                found += 1
+                solver.add_clause([-act] + [(-v if model[v] else v)
+                                            for v in self.proj])
+        finally:
+            solver.add_clause([-act])
+        return found
+
+
+class ConeCounter:
+    """Counting interface over one circuit cone, projected on its inputs.
+
+    Encodes the cone once (Tseitin) and answers many counting queries
+    phrased over node *names*: ``count({"g5": True, "g7": False})`` is
+    the number of primary-input vectors under which g5=1 and g7=0.  The
+    circuit itself doubles as the counter's batch evaluator: small hash
+    cells are counted exactly by bit-parallel simulation of the cone
+    over just the cell's input vectors.
+    """
+
+    def __init__(self, circuit: Circuit, *, epsilon: float = 0.8,
+                 delta: float = 0.2, max_conflicts: Optional[int] = None,
+                 seed: int = 0):
+        self.circuit = circuit
+        cnf = Cnf()
+        self.var = CircuitEncoder(cnf).encode(circuit)
+        self._name_of = {v: name for name, v in self.var.items()}
+        self.n_inputs = len(circuit.inputs)
+        self._counter = XorHashCounter(
+            cnf, [self.var[i] for i in circuit.inputs],
+            epsilon=epsilon, delta=delta, max_conflicts=max_conflicts,
+            seed=seed, batch_eval=self._batch_count)
+
+    def _batch_count(self, points: np.ndarray,
+                     assumptions: Sequence[int]) -> int:
+        """Points (rows = input vectors) satisfying the assumptions."""
+        n_pts = len(points)
+        n_words = patterns.words_for_patterns(n_pts)
+        pack = {name: _pack_bits(points[:, i], n_words)
+                for i, name in enumerate(self.circuit.inputs)}
+        values = simulate(self.circuit, pack)
+        acc = np.full(n_words, ~np.uint64(0))
+        for lit in assumptions:
+            v = values[self._name_of[abs(lit)]]
+            acc &= v if lit > 0 else ~v
+        return patterns.masked_popcount(acc, n_pts)
+
+    def count(self, condition: Optional[Dict[str, bool]] = None,
+              exact: bool = False) -> CountResult:
+        """Input vectors satisfying ``condition`` (None = all, ``2**n``)."""
+        assumptions: List[int] = []
+        for name, value in (condition or {}).items():
+            v = self.var[name]
+            assumptions.append(v if value else -v)
+        if exact:
+            return self._counter.count_exact(assumptions)
+        return self._counter.count(assumptions)
+
+    def probability(self, condition: Dict[str, bool],
+                    exact: bool = False) -> float:
+        """``count(condition) / 2**n_inputs``."""
+        res = self.count(condition, exact=exact)
+        return res.count / float(2 ** self.n_inputs)
+
+
+def count_cone_models(circuit: Circuit, node: str, value: bool = True, *,
+                      epsilon: float = 0.8, delta: float = 0.2,
+                      max_conflicts: Optional[int] = None,
+                      seed: int = 0) -> CountResult:
+    """Input vectors of ``node``'s cone driving it to ``value``.
+
+    One-shot convenience: extracts the cone, encodes it, counts.  For
+    repeated queries over one cone build a :class:`ConeCounter`.
+    """
+    cone = circuit.cone(node) if node not in circuit.inputs else None
+    if cone is None:
+        # A primary input: exactly half the vectors set it to `value`.
+        return CountResult(count=1.0, exact=True, projection=1)
+    counter = ConeCounter(cone, epsilon=epsilon, delta=delta,
+                          max_conflicts=max_conflicts, seed=seed)
+    return counter.count({node: value})

@@ -20,6 +20,24 @@ from .cnf import Cnf
 _UNASSIGNED = -1
 
 
+class SolverBudgetExceeded(RuntimeError):
+    """A ``solve(max_conflicts=...)`` call ran out of conflict budget.
+
+    Raised *instead of hanging* on hard instances so callers with
+    soft-real-time needs (approximate model counting, ATPG sweeps) can
+    degrade gracefully.  ``conflicts`` records how many conflicts the
+    call consumed before giving up; the solver instance remains valid
+    and reusable afterwards.
+    """
+
+    def __init__(self, conflicts: int, max_conflicts: int):
+        super().__init__(
+            f"solver exceeded max_conflicts={max_conflicts} "
+            f"(hit {conflicts} conflicts)")
+        self.conflicts = conflicts
+        self.max_conflicts = max_conflicts
+
+
 class SatSolver:
     """CDCL solver over a fixed CNF; supports incremental assumptions."""
 
@@ -59,6 +77,35 @@ class SatSolver:
         self.watches.setdefault(clause[0], []).append(idx)
         self.watches.setdefault(clause[1], []).append(idx)
         return True
+
+    # ------------------------------------------------------------------
+    # Incremental growth (model counting adds hash constraints and
+    # blocking clauses between solve() calls; solve() always resets to
+    # decision level 0, so attachment happens on a clean trail).
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable (for XOR chains, activation lits)."""
+        self.num_vars += 1
+        self.assign.append(_UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        return self.num_vars
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause incrementally (between ``solve()`` calls)."""
+        clause = [int(l) for l in literals]
+        if not clause:
+            self._ok = False
+            return
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+        self._cancel_until(0)
+        idx = len(self.clauses)
+        self.clauses.append(clause)
+        if not self._attach(idx, clause) or self._propagate() is not None:
+            self._ok = False
 
     # ------------------------------------------------------------------
     # Assignment machinery
@@ -197,12 +244,18 @@ class SatSolver:
             return None
         return -best_var  # negative-first polarity (CNF-friendly default)
 
-    def solve(self, assumptions: Sequence[int] = ()
+    def solve(self, assumptions: Sequence[int] = (), *,
+              max_conflicts: Optional[int] = None
               ) -> Optional[Dict[int, bool]]:
         """Solve; returns {var: bool} for SAT, None for UNSAT.
 
         ``assumptions`` are literals asserted at decision level 1+; the
         solver state is reset afterwards so the instance is reusable.
+
+        ``max_conflicts`` caps this call's search effort: when the cap
+        is reached :class:`SolverBudgetExceeded` is raised (the solver
+        stays reusable).  ``None`` means unbounded — the historical
+        behaviour.
         """
         self.num_solve_calls += 1
         tallies_at_entry = (self.num_conflicts, self.num_decisions,
@@ -237,6 +290,10 @@ class SatSolver:
                 if conflict is not None:
                     total_conflicts += 1
                     self.num_conflicts += 1
+                    if (max_conflicts is not None
+                            and total_conflicts > max_conflicts):
+                        raise SolverBudgetExceeded(total_conflicts,
+                                                   max_conflicts)
                     if len(self.trail_lim) <= assumption_level:
                         return None  # conflict at (or below) assumptions
                     learnt, back_level = self._analyze(conflict)

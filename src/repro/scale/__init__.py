@@ -1,0 +1,26 @@
+"""Large-netlist substrate: lazy per-cone weights, restricted analysis.
+
+The scaling tier (docs/scaling.md) combines three pieces:
+
+* :class:`LazyWeightData` — a drop-in weight store that materializes
+  weight vectors one output cone at a time, on first touch;
+* per-cone disk persistence through the ``conewt-`` namespace of
+  :mod:`repro.probability.weight_cache`;
+* ``outputs=``-restricted analysis in
+  :class:`~repro.reliability.single_pass.SinglePassAnalyzer` and the
+  engine/CLI on top of it, which only ever touches the union cone.
+"""
+
+from .lazy_weights import (
+    LazyWeightData,
+    cone_weight_vectors,
+    full_circuit_pack,
+    resolve_lazy_method,
+)
+
+__all__ = [
+    "LazyWeightData",
+    "cone_weight_vectors",
+    "full_circuit_pack",
+    "resolve_lazy_method",
+]

@@ -1,0 +1,211 @@
+"""Tests for the XOR-hash approximate model counter (repro.sat.counting).
+
+Ground truth comes from exhaustive bit-parallel simulation of the cone
+(exact integer counts).  The exact-enumeration arms must match truth
+bit-for-bit; the XOR-hash arm must land within the documented
+``1 + epsilon`` multiplicative bound (counts are deterministic given a
+seed, so these are not flaky assertions).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.analysis import input_support
+from repro.circuits import (
+    get_benchmark,
+    list_benchmarks,
+    parity_tree,
+    random_circuit,
+)
+from repro.sat import (
+    Cnf,
+    ConeCounter,
+    SolverBudgetExceeded,
+    XorHashCounter,
+    count_cone_models,
+)
+from repro.sat.counting import _affine_points, _solve_affine
+from repro.sim import patterns
+from repro.sim.simulator import exhaustive_simulate
+
+EPSILON = 0.8
+FACTOR = 1.0 + EPSILON
+
+
+def exact_count(circuit, node, value=True):
+    """Truth: input vectors of ``circuit`` driving ``node`` to ``value``."""
+    m = len(circuit.inputs)
+    pack = exhaustive_simulate(circuit)[node]
+    ones = patterns.masked_popcount(pack, 1 << m)
+    return ones if value else (1 << m) - ones
+
+
+def counting_target(circuit, max_support=22):
+    """The gate with the widest cone still exhaustible for ground truth."""
+    support = input_support(circuit)
+    best, best_m = None, -1
+    for gate in circuit.topological_gates():
+        m = len(support[gate])
+        if best_m < m <= max_support:
+            best, best_m = gate, m
+    assert best is not None
+    return best
+
+
+class TestAffineAlgebra:
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_solutions_match_brute_force(self, n, data):
+        n_rows = data.draw(st.integers(0, n + 2))
+        rows = [(data.draw(st.integers(0, (1 << n) - 1)),
+                 data.draw(st.integers(0, 1))) for _ in range(n_rows)]
+        truth = set()
+        for x in range(1 << n):
+            if all(bin(x & mask).count("1") % 2 == parity
+                   for mask, parity in rows):
+                truth.add(x)
+        sol = _solve_affine(rows, n)
+        if sol is None:
+            assert truth == set()
+            return
+        x0, basis = sol
+        pts = _affine_points(x0, basis)
+        got = {int(sum(int(p[i]) << i for i in range(n))) for p in pts}
+        assert got == truth
+
+
+class TestExactArms:
+    def test_c17_all_nodes_exact(self):
+        circuit = get_benchmark("c17")
+        for gate in circuit.gates:
+            cone = circuit.cone(gate)
+            res = count_cone_models(circuit, gate)
+            assert res.exact
+            assert res.count == exact_count(cone, gate)
+
+    def test_primary_input(self):
+        circuit = get_benchmark("c17")
+        res = count_cone_models(circuit, circuit.inputs[0])
+        assert res.exact and res.count == 1.0 and res.projection == 1
+
+    def test_joint_conditions(self):
+        circuit = get_benchmark("fig2")
+        counter = ConeCounter(circuit)
+        values = exhaustive_simulate(circuit)
+        m = len(circuit.inputs)
+        a, b = circuit.gates[0], circuit.gates[-1]
+        truth = patterns.masked_popcount(values[a] & ~values[b], 1 << m)
+        got = counter.count({a: True, b: False})
+        assert got.exact and got.count == truth
+        assert counter.probability({a: True, b: False}) == \
+            truth / float(1 << m)
+
+    def test_unsat_condition_counts_zero(self):
+        b = CircuitBuilder("contradiction")
+        x = b.input("x")
+        y = b.and_(x, b.not_(x))
+        b.outputs(y=y)
+        circuit = b.build()
+        counter = ConeCounter(circuit)
+        res = counter.count({"y": True})
+        assert res.exact and res.count == 0.0
+        assert counter.probability({"y": True}) == 0.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_small_circuits_exact(self, seed):
+        circuit = random_circuit(n_inputs=5, n_gates=12, n_outputs=2,
+                                 seed=seed)
+        out = circuit.outputs[0]
+        cone = circuit.cone(out)
+        res = count_cone_models(circuit, out)
+        assert res.exact
+        assert res.count == exact_count(cone, out)
+
+
+class TestXorHashArm:
+    def test_parity_tree_within_bound(self):
+        circuit = parity_tree(18)
+        out = circuit.outputs[0]
+        truth = float(1 << 17)  # parity is balanced
+        res = count_cone_models(circuit, out, seed=7)
+        assert not res.exact
+        assert res.trials >= 3
+        assert truth / FACTOR <= res.count <= truth * FACTOR
+
+    def test_deterministic_given_seed(self):
+        circuit = parity_tree(18)
+        out = circuit.outputs[0]
+        a = count_cone_models(circuit, out, seed=5)
+        b = count_cone_models(circuit, out, seed=5)
+        assert a.count == b.count and a.trials == b.trials
+
+    @pytest.mark.parametrize("name", sorted(list_benchmarks()))
+    def test_catalog_counts_within_bound(self, name):
+        """All 18 catalog circuits: widest exhaustible cone vs truth."""
+        circuit = get_benchmark(name)
+        gate = counting_target(circuit)
+        cone = circuit.cone(gate)
+        truth = exact_count(cone, gate)
+        res = count_cone_models(circuit, gate, seed=11)
+        if res.exact:
+            assert res.count == truth
+        else:
+            assert truth / FACTOR <= res.count <= truth * FACTOR
+
+    def test_exact_flag_consistency(self):
+        # <= pivot models stay exact even above the enumeration width
+        b = CircuitBuilder("narrow")
+        xs = [b.input(f"x{i}") for i in range(18)]
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = b.and_(acc, x)  # exactly one model of acc=1
+        b.outputs(y=acc)
+        res = count_cone_models(b.build(), "y")
+        assert res.exact and res.count == 1.0
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        circuit = parity_tree(18)
+        counter = ConeCounter(circuit.cone(circuit.outputs[0]),
+                              max_conflicts=0)
+        with pytest.raises(SolverBudgetExceeded) as exc:
+            counter.count({circuit.outputs[0]: True})
+        assert exc.value.max_conflicts == 0
+        assert exc.value.conflicts >= 1
+        assert "max_conflicts" in str(exc.value)
+
+
+class TestRawCnfCounter:
+    def brute_force(self, cnf, proj):
+        """Distinct projection assignments extending to a model."""
+        seen = set()
+        n = cnf.num_vars
+        for bits in range(1 << n):
+            assign = [False] + [bool((bits >> i) & 1) for i in range(n)]
+            if cnf.evaluate(assign):
+                seen.add(tuple(assign[v] for v in proj))
+        return len(seen)
+
+    def test_projected_count_no_batch_eval(self):
+        cnf = Cnf(num_vars=6)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-3, 4])
+        cnf.add_clause([5, -6, 1])
+        proj = [1, 2, 3, 4]
+        counter = XorHashCounter(cnf, proj, seed=3)
+        res = counter.count()
+        assert res.exact
+        assert res.count == self.brute_force(cnf, proj)
+
+    def test_validation(self):
+        cnf = Cnf(num_vars=2)
+        with pytest.raises(ValueError):
+            XorHashCounter(cnf, [])
+        with pytest.raises(ValueError):
+            XorHashCounter(cnf, [1], epsilon=0.0)
+        with pytest.raises(ValueError):
+            XorHashCounter(cnf, [1], delta=1.5)

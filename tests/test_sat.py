@@ -11,6 +11,7 @@ from repro.sat import (
     Cnf,
     SatAtpg,
     SatSolver,
+    SolverBudgetExceeded,
     encode_circuit,
     miter,
     sat_equivalent,
@@ -124,6 +125,40 @@ class TestSolver:
         assert solver.solve([-2]) is not None
         assert solver.solve([-1, -2]) is None
         assert solver.solve() is not None
+
+    def _pigeonhole(self, pigeons, holes):
+        cnf = Cnf(num_vars=pigeons * holes)
+
+        def var(i, j):
+            return i * holes + j + 1
+
+        for i in range(pigeons):
+            cnf.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(pigeons):
+                for i2 in range(i1 + 1, pigeons):
+                    cnf.add_clause([-var(i1, j), -var(i2, j)])
+        return cnf
+
+    def test_conflict_budget_raises(self):
+        # PHP(7, 6) needs far more than 10 conflicts to refute.
+        solver = SatSolver(self._pigeonhole(7, 6))
+        with pytest.raises(SolverBudgetExceeded) as exc:
+            solver.solve(max_conflicts=10)
+        assert exc.value.max_conflicts == 10
+        assert exc.value.conflicts > 10
+        assert "max_conflicts" in str(exc.value)
+
+    def test_solver_reusable_after_budget_exhaustion(self):
+        solver = SatSolver(self._pigeonhole(7, 6))
+        with pytest.raises(SolverBudgetExceeded):
+            solver.solve(max_conflicts=10)
+        # Unbudgeted call on the same instance still refutes it.
+        assert solver.solve() is None
+        # And easy queries under a generous budget succeed.
+        easy = Cnf(num_vars=2)
+        easy.add_clause([1, 2])
+        assert SatSolver(easy).solve(max_conflicts=100) is not None
 
     @given(st.data())
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,133 @@
+"""Parity tests for the ``method="sat"`` weight tier.
+
+Every catalog circuit gets one *test cone* — the widest output cone (or
+failing that, internal gate cone) with at most 20 primary inputs, so an
+exhaustive reference is cheap while the XOR-hash arm of the ladder
+(17-24 inputs) is still exercised where the circuit offers such a cone.
+Each node is then held to the bound of the tier its own support selects:
+
+* support <= 16 (exact enumeration arm): equality to machine precision;
+* 17..24 (XOR-hash arm): each weight entry and the signal probability
+  within the documented ``1 + epsilon`` multiplicative factor;
+* > 24 (sampled fallback): loose statistical tolerance.
+
+All assertions are deterministic — the tier's per-node seeds derive from
+the node name and one base seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.analysis import input_support
+from repro.circuits import get_benchmark, list_benchmarks, parity_tree
+from repro.probability.sat_weights import SatTierOptions, sat_weight_vectors
+from repro.probability.weights import compute_weights, exhaustive_weight_vectors
+
+EPSILON = 0.8
+FACTOR = 1.0 + EPSILON
+
+
+def pick_cone(circuit, max_support=20):
+    """Widest cone under the cap, preferring primary outputs."""
+    support = input_support(circuit)
+    pools = ([o for o in circuit.outputs if o in support],
+             list(circuit.topological_gates()))
+    for pool in pools:
+        best, best_m = None, -1
+        for node in pool:
+            m = len(support[node])
+            if best_m < m <= max_support:
+                best, best_m = node, m
+        if best is not None:
+            return circuit.cone(best)
+    pytest.skip(f"{circuit.name}: no cone within {max_support} inputs")
+
+
+def assert_tier_bounds(cone, sat, ref):
+    support = input_support(cone)
+    for gate in cone.topological_gates():
+        m = len(support[gate])
+        sat_vec = np.asarray(sat.weights[gate], dtype=float)
+        ref_vec = np.asarray(ref.weights[gate], dtype=float)
+        sat_p = float(sat.signal_prob[gate])
+        ref_p = float(ref.signal_prob[gate])
+        if m <= 16:
+            np.testing.assert_allclose(sat_vec, ref_vec, atol=1e-12,
+                                       err_msg=f"{cone.name}:{gate} exact")
+            assert abs(sat_p - ref_p) < 1e-12
+        elif m <= 24:
+            # Counts within factor 1+eps each; the normalized vector and
+            # the derived signal probability inherit at most the squared
+            # factor, plus an absolute floor for near-zero entries.
+            floor = FACTOR / (1 << m)
+            for s, r in zip(sat_vec, ref_vec):
+                lo = r / FACTOR ** 2 - floor
+                hi = r * FACTOR ** 2 + floor
+                assert lo <= s <= hi, (
+                    f"{cone.name}:{gate} (m={m}) entry {s} outside "
+                    f"[{lo}, {hi}] around {r}")
+            assert abs(sat_p - ref_p) <= \
+                ref_p * (FACTOR ** 2 - 1.0) + floor
+        else:
+            assert np.all(np.abs(sat_vec - ref_vec) < 0.05)
+            assert abs(sat_p - ref_p) < 0.05
+
+
+@pytest.mark.parametrize("name", sorted(list_benchmarks()))
+def test_catalog_sat_weights_within_bounds(name):
+    circuit = get_benchmark(name)
+    cone = pick_cone(circuit)
+    ref = exhaustive_weight_vectors(cone)
+    sat = sat_weight_vectors(cone, seed=0)
+    assert sat.source == "sat"
+    assert set(sat.weights) == set(ref.weights)
+    assert_tier_bounds(cone, sat, ref)
+
+
+def test_xor_arm_on_parity_tree():
+    """An 18-input parity tree forces the XOR-hash arm at the root."""
+    circuit = parity_tree(18)
+    support = input_support(circuit)
+    root = circuit.outputs[0]
+    assert len(support[root]) == 18  # really lands in the 17..24 band
+    ref = exhaustive_weight_vectors(circuit)
+    sat = sat_weight_vectors(circuit, seed=0)
+    assert_tier_bounds(circuit, sat, ref)
+
+
+def test_compute_weights_dispatches_sat():
+    circuit = get_benchmark("c17")
+    via_dispatch = compute_weights(circuit, method="sat", seed=0)
+    direct = sat_weight_vectors(circuit, seed=0)
+    assert via_dispatch.source == "sat"
+    for gate in circuit.topological_gates():
+        np.testing.assert_array_equal(via_dispatch.weights[gate],
+                                      direct.weights[gate])
+
+
+def test_sat_rejects_nonuniform_inputs():
+    circuit = get_benchmark("c17")
+    probs = {i: 0.3 for i in circuit.inputs}
+    with pytest.raises(ValueError):
+        sat_weight_vectors(circuit, input_probs=probs)
+    with pytest.raises(ValueError):
+        compute_weights(circuit, method="sat", input_probs=probs)
+
+
+def test_budget_exhaustion_degrades_to_sampling():
+    """A zero conflict budget must not hang or raise — it samples."""
+    circuit = parity_tree(18)
+    opts = SatTierOptions(max_conflicts=0)
+    sat = sat_weight_vectors(circuit, seed=0, options=opts)
+    ref = exhaustive_weight_vectors(circuit)
+    root = circuit.outputs[0]
+    assert abs(float(sat.signal_prob[root])
+               - float(ref.signal_prob[root])) < 0.05
+
+
+def test_deterministic_across_runs():
+    circuit = parity_tree(18)
+    a = sat_weight_vectors(circuit, seed=3)
+    b = sat_weight_vectors(circuit, seed=3)
+    for gate in circuit.topological_gates():
+        np.testing.assert_array_equal(a.weights[gate], b.weights[gate])
